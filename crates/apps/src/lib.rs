@@ -1,0 +1,31 @@
+//! # smartsock-apps
+//!
+//! The two evaluation applications of the thesis (§5.3):
+//!
+//! * [`matmul`] — the distributed square-matrix multiplication program of
+//!   Appendix C: a master distributes input blocks to worker daemons,
+//!   dispatches block-compute tasks and collects results; a local mode
+//!   provides the Fig 5.2 per-machine benchmark.
+//! * [`massd`] — the massive-download program: fetches a file in fixed
+//!   blocks from a set of file servers, "using the same algorithm as the
+//!   matrix multiplication program".
+//!
+//! ## A reproduction note on massd concurrency
+//!
+//! §5.3.2 says massd downloads "from multiple servers simultaneously", but
+//! the measured throughputs of Tables 5.7–5.9 are *not* additive across
+//! servers — two servers shaped to 7.67 Mbps each deliver 994 KB/s, almost
+//! exactly one pipe's worth, and every mixed set matches the **harmonic
+//! mean** of the member bandwidths. That is the signature of block-at-a-
+//! time, round-robin fetching (one outstanding block globally). We
+//! therefore default to [`massd::FetchMode::Sequential`] to reproduce the
+//! paper's tables, and provide [`massd::FetchMode::Parallel`] (one
+//! outstanding block *per server*) as an ablation, where throughput is
+//! additive. EXPERIMENTS.md discusses the evidence.
+
+pub mod massd;
+pub mod matmul;
+pub mod msg;
+
+pub use massd::{FetchMode, FileServer, Massd, MassdParams, MassdStats};
+pub use matmul::{MatmulMaster, MatmulParams, MatmulWorker, Schedule};

@@ -1,0 +1,194 @@
+//! Criterion micro/meso benchmarks of the system's hot paths: the
+//! requirement language, the wire formats, the estimator math, wizard
+//! matching, and a full client→wizard selection round on the simulated
+//! testbed.
+//!
+//! These measure *harness* (wall-clock) cost; the paper-shaped performance
+//! numbers come from the `repro` binary, which measures virtual time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use smartsock::client::RequestSpec;
+use smartsock::Testbed;
+use smartsock_lang::{compile, Evaluator, MapVars};
+use smartsock_monitor::estimator::{reduce_round, ProbePairSpec};
+use smartsock_monitor::db::shared_dbs;
+use smartsock_proto::{Endpoint, Frame, Ip, RequestOption, ServerStatusReport, UserRequest};
+use smartsock_sim::{SimDuration, SimTime};
+use smartsock_wizard::{Wizard, WizardConfig};
+
+const REQUIREMENT: &str = "\
+host_system_load1 < 1
+host_memory_used <= 250*1024*1024
+host_cpu_free >= 0.9
+host_network_tbytesps < 1024*1024
+limit = log10(100) * 0.5
+host_system_load5 < limit
+user_denied_host1 = 137.132.90.182
+user_preferred_host1 = sagit.ddns.comp.nus.edu.sg
+";
+
+fn sample_report(i: u8) -> ServerStatusReport {
+    let mut r = ServerStatusReport::empty(format!("host{i}").as_str(), Ip::new(192, 168, 1, i));
+    r.load1 = 0.1 * f64::from(i % 5);
+    r.cpu_idle = 0.95;
+    r.mem_total = 256 << 20;
+    r.mem_used = 120 << 20;
+    r.mem_free = 136 << 20;
+    r.bogomips = 3394.76;
+    r
+}
+
+fn bench_lang(c: &mut Criterion) {
+    c.bench_function("lang/compile_paper_requirement", |b| {
+        b.iter(|| compile(black_box(REQUIREMENT)).unwrap())
+    });
+
+    let req = compile(REQUIREMENT).unwrap();
+    let vars = MapVars::new()
+        .with("host_system_load1", 0.2)
+        .with("host_system_load5", 0.3)
+        .with("host_memory_used", 120e6)
+        .with("host_cpu_free", 0.95)
+        .with("host_network_tbytesps", 1024.0);
+    c.bench_function("lang/evaluate_one_server", |b| {
+        b.iter(|| Evaluator::evaluate(black_box(&req), black_box(&vars)))
+    });
+}
+
+fn bench_proto(c: &mut Criterion) {
+    let report = sample_report(3);
+    c.bench_function("proto/status_ascii_encode", |b| b.iter(|| report.encode_ascii()));
+    let line = report.encode_ascii();
+    c.bench_function("proto/status_ascii_parse", |b| {
+        b.iter(|| ServerStatusReport::parse_ascii(black_box(&line)).unwrap())
+    });
+
+    let records: Vec<ServerStatusReport> = (0..60).map(|i| sample_report(i as u8)).collect();
+    c.bench_function("proto/frame_encode_60_records", |b| {
+        b.iter(|| Frame::system(black_box(&records)))
+    });
+    let frame = Frame::system(&records);
+    c.bench_function("proto/frame_decode_60_records", |b| {
+        b.iter(|| black_box(&frame).decode_system().unwrap())
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let spec = ProbePairSpec::OPTIMAL_1500;
+    let pairs: Vec<(SimDuration, SimDuration)> = (0..16)
+        .map(|i| {
+            (
+                SimDuration::from_micros(900 + i * 3),
+                SimDuration::from_micros(1010 + i * 5),
+            )
+        })
+        .collect();
+    c.bench_function("estimator/reduce_round_16_pairs", |b| {
+        b.iter(|| reduce_round(black_box(spec), black_box(&pairs)).unwrap())
+    });
+}
+
+fn bench_wizard(c: &mut Criterion) {
+    let mut b = smartsock_net::NetworkBuilder::new(1);
+    let w = b.host("wiz", Ip::new(10, 0, 0, 1), smartsock_net::HostParams::testbed());
+    let cl = b.host("client", Ip::new(10, 0, 0, 2), smartsock_net::HostParams::testbed());
+    b.duplex(w, cl, smartsock_net::LinkParams::lan_100mbps());
+    let net = b.build();
+    let (sysdb, netdb, secdb) = shared_dbs();
+    for i in 0..60u8 {
+        sysdb.write().upsert(sample_report(i), SimTime::ZERO);
+    }
+    let wizard = Wizard::new(
+        Ip::new(10, 0, 0, 1),
+        net,
+        sysdb,
+        netdb,
+        secdb,
+        WizardConfig { stale_max_age: None, ..Default::default() },
+    );
+    let req = UserRequest {
+        seq: 1,
+        server_num: 10,
+        option: RequestOption::DEFAULT,
+        detail: REQUIREMENT.replace("host_memory_used <= 250*1024*1024\n", ""),
+    };
+    c.bench_function("wizard/select_10_of_60", |b| {
+        b.iter(|| wizard.select(SimTime::ZERO, black_box(&req), Ip::new(10, 0, 0, 2)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Full stack: deploy the 11-machine testbed, then measure the host
+    // cost of one complete client→wizard→connect round (including all
+    // simulated daemons ticking along).
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("selection_round_on_testbed", |b| {
+        let mut s = smartsock_sim::Scheduler::new();
+        let tb = Testbed::builder(1).start(&mut s);
+        for host in tb.hosts.values() {
+            tb.net.bind_stream(
+                Endpoint::new(host.ip(), smartsock_proto::consts::ports::SERVICE),
+                |_s, _m| {},
+            );
+        }
+        s.run_until(SimTime::from_secs(10));
+        let client = tb.client("sagit");
+        b.iter(|| {
+            let done = std::rc::Rc::new(std::cell::Cell::new(false));
+            let d = std::rc::Rc::clone(&done);
+            client.request(
+                &mut s,
+                RequestSpec::new("host_cpu_free > 0.5\n", 4),
+                move |_s, r| {
+                    assert!(r.is_ok());
+                    d.set(true);
+                },
+            );
+            s.run_until(s.now() + SimDuration::from_millis(500));
+            assert!(done.get());
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // Raw event-loop throughput: a probe round-trip per iteration.
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("udp_probe_round_trip", |b| {
+        let mut nb = smartsock_net::NetworkBuilder::new(5);
+        let a = nb.host("a", Ip::new(10, 0, 0, 1), smartsock_net::HostParams::testbed());
+        let r = nb.router("r", Ip::new(10, 0, 0, 254));
+        let cnode = nb.host("c", Ip::new(10, 0, 1, 1), smartsock_net::HostParams::testbed());
+        nb.duplex(a, r, smartsock_net::LinkParams::lan_100mbps());
+        nb.duplex(r, cnode, smartsock_net::LinkParams::lan_100mbps());
+        let net = nb.build();
+        let mut s = smartsock_sim::Scheduler::new();
+        b.iter(|| {
+            let got = std::rc::Rc::new(std::cell::Cell::new(false));
+            let g = std::rc::Rc::clone(&got);
+            net.send_udp(
+                &mut s,
+                Endpoint::new(Ip::new(10, 0, 0, 1), 50000),
+                Endpoint::new(Ip::new(10, 0, 1, 1), 33434),
+                smartsock_net::Payload::zeroes(2900),
+                Some(Box::new(move |_s, _e| g.set(true))),
+            );
+            s.run();
+            assert!(got.get());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lang,
+    bench_proto,
+    bench_estimator,
+    bench_wizard,
+    bench_end_to_end,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --list            list experiment ids
+//! repro all               run everything (paper order)
+//! repro table5.3 fig3.6   run specific experiments
+//! repro --seed 42 all     override the seed
+//! ```
+
+use smartsock_bench::json::reports_to_json;
+use smartsock_bench::{catalog, run, DEFAULT_SEED};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    let mut as_json = false;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        as_json = true;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = args.remove(pos).parse().unwrap_or_else(|_| {
+                eprintln!("bad --seed value");
+                std::process::exit(2);
+            });
+        }
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--seed N] [--json] (--list | all | <experiment-id>...)");
+        eprintln!("experiments:");
+        for (id, _) in catalog() {
+            eprintln!("  {id}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in catalog() {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        catalog().into_iter().map(|(id, _)| id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut reports = Vec::new();
+    for id in ids {
+        match run(id, seed) {
+            Some(report) => {
+                if as_json {
+                    reports.push(report);
+                } else {
+                    println!("{report}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {id:?} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if as_json {
+        println!("{}", reports_to_json(&reports));
+    }
+}

@@ -1,0 +1,276 @@
+//! Tables 5.7–5.9 (and Figs 5.4–5.6): massd with two shaped server groups.
+//!
+//! Six file servers: group-1 = {mimas, telesto, lhost}, group-2 =
+//! {dione, titan-x, pandora-x}; each group's machines are shaped to its
+//! bandwidth. The client (`sagit`) either picks randomly (the paper's
+//! listed draws) or asks the wizard for `monitor_network_bw > X` — the
+//! network monitors having measured the shaped paths with the one-way UDP
+//! stream method.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smartsock::client::RequestSpec;
+use smartsock::Testbed;
+use smartsock_apps::massd::{FileServer, Massd, MassdParams};
+use smartsock_proto::Endpoint;
+use smartsock_sim::{Scheduler, SimDuration, SimTime};
+
+use crate::report::{colf, Report};
+
+const GROUP1: [&str; 3] = ["mimas", "telesto", "lhost"];
+const GROUP2: [&str; 3] = ["dione", "titan-x", "pandora-x"];
+
+struct Arm {
+    label: &'static str,
+    servers: &'static [&'static str],
+    paper_kbps: f64,
+}
+
+struct Exp {
+    id: &'static str,
+    title: &'static str,
+    group1_mbps: f64,
+    group2_mbps: f64,
+    n_servers: usize,
+    requirement: &'static str,
+    random_arms: &'static [Arm],
+    paper_smart_kbps: f64,
+    paper_smart_servers: &'static [&'static str],
+}
+
+/// Bring up the two-group deployment with shaping applied and the network
+/// monitors warmed up.
+fn deployment(seed: u64, g1_mbps: f64, g2_mbps: f64) -> (Scheduler, Testbed) {
+    let mut s = Scheduler::new();
+    let tb = Testbed::builder(seed)
+        .group("sagit", &["sagit"])
+        .group("mimas", &GROUP1)
+        .group("dione", &GROUP2)
+        .start(&mut s);
+    for name in GROUP1.iter().chain(GROUP2.iter()) {
+        FileServer::install(&tb.net, tb.host(name), tb.service_endpoint(name));
+        let mbps = if GROUP1.contains(name) { g1_mbps } else { g2_mbps };
+        tb.set_rshaper(name, Some(mbps));
+    }
+    // Let the monitors take several probing rounds over the shaped paths
+    // and the transmitter ship the records to the wizard machine.
+    s.run_until(SimTime::from_secs(40));
+    (s, tb)
+}
+
+fn run_download(s: &mut Scheduler, tb: &Testbed, servers: &[Endpoint]) -> f64 {
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    Massd::run(
+        s,
+        &tb.net,
+        tb.ip("sagit"),
+        servers,
+        MassdParams::paper(50_000, 100),
+        move |_s, stats| *g.borrow_mut() = Some(stats.throughput_kbps()),
+    );
+    let watch = Rc::clone(&got);
+    s.run_while(SimTime::from_secs(1_000_000), move || watch.borrow().is_none());
+    let t = got.borrow().expect("download completes");
+    t
+}
+
+fn smart_pick(s: &mut Scheduler, tb: &Testbed, requirement: &str, k: usize) -> Vec<Endpoint> {
+    let client = tb.client("sagit");
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.request(s, RequestSpec::new(requirement, 60), move |_s, r| {
+        *g.borrow_mut() = Some(r.expect("smart selection succeeds"));
+    });
+    let watch = Rc::clone(&got);
+    s.run_while(s.now() + SimDuration::from_secs(5), move || watch.borrow().is_none());
+    let socks = got.borrow_mut().take().expect("wizard replied");
+    // Connected sockets are already filtered to live services (§3.6.2
+    // step 4); take the first k file servers.
+    let eps: Vec<Endpoint> = socks.iter().take(k).map(|x| x.remote).collect();
+    for sock in socks {
+        sock.close();
+    }
+    eps
+}
+
+fn names_of(tb: &Testbed, eps: &[Endpoint]) -> Vec<String> {
+    eps.iter()
+        .map(|e| {
+            tb.net
+                .node_by_ip(e.ip)
+                .map(|n| tb.net.name_of(n).as_str().to_owned())
+                .unwrap_or_else(|| e.ip.to_string())
+        })
+        .collect()
+}
+
+fn run_exp(exp: &Exp, seed: u64) -> Report {
+    let mut r = Report::new(exp.id, exp.title.to_owned());
+    r.row(format!(
+        "group-1 {} Mbps ({}), group-2 {} Mbps ({}); 50000 KB by 100 KB; req: {}",
+        exp.group1_mbps,
+        GROUP1.join("/"),
+        exp.group2_mbps,
+        GROUP2.join("/"),
+        exp.requirement.trim()
+    ));
+    r.row(format!(
+        "{:<28} | {:>14} | {:>12}",
+        "arm (servers)", "measured KB/s", "paper KB/s"
+    ));
+    for (i, arm) in exp.random_arms.iter().enumerate() {
+        let (mut s, tb) = deployment(seed, exp.group1_mbps, exp.group2_mbps);
+        let eps: Vec<Endpoint> =
+            arm.servers.iter().map(|n| tb.service_endpoint(n)).collect();
+        let kbps = run_download(&mut s, &tb, &eps);
+        r.row(format!(
+            "{:<28} | {:>14} | {:>12}",
+            format!("{} ({})", arm.label, arm.servers.join(", ")),
+            colf(kbps, 0, 14).trim_start(),
+            colf(arm.paper_kbps, 0, 12).trim_start()
+        ));
+        r.figure(&format!("random{i}_kbps"), kbps);
+    }
+
+    let (mut s, tb) = deployment(seed, exp.group1_mbps, exp.group2_mbps);
+    let eps = smart_pick(&mut s, &tb, exp.requirement, exp.n_servers);
+    let names = names_of(&tb, &eps);
+    let kbps = run_download(&mut s, &tb, &eps);
+    r.row(format!(
+        "{:<28} | {:>14} | {:>12}",
+        format!("smart ({})", names.join(", ")),
+        colf(kbps, 0, 14).trim_start(),
+        colf(exp.paper_smart_kbps, 0, 12).trim_start()
+    ));
+    r.row(format!("paper smart servers: {}", exp.paper_smart_servers.join(", ")));
+    r.figure("smart_kbps", kbps);
+    r.figure("smart_count", eps.len() as f64);
+    let fast_group: &[&str] =
+        if exp.group1_mbps > exp.group2_mbps { &GROUP1 } else { &GROUP2 };
+    let all_fast = names.iter().all(|n| fast_group.iter().any(|f| f.eq_ignore_ascii_case(n)));
+    r.figure("smart_all_fast", if all_fast { 1.0 } else { 0.0 });
+    r
+}
+
+/// Table 5.7 / Fig 5.4: one server.
+pub fn table5_7(seed: u64) -> Report {
+    run_exp(
+        &Exp {
+            id: "table5.7",
+            title: "massd 1 vs 1 (groups at 6.72 / 1.33 Mbps)",
+            group1_mbps: 6.72,
+            group2_mbps: 1.33,
+            n_servers: 1,
+            requirement: "monitor_network_bw > 6\n",
+            random_arms: &[Arm { label: "random", servers: &["pandora-x"], paper_kbps: 170.0 }],
+            paper_smart_kbps: 860.0,
+            paper_smart_servers: &["lhost"],
+        },
+        seed,
+    )
+}
+
+/// Table 5.8 / Fig 5.5: two servers.
+pub fn table5_8(seed: u64) -> Report {
+    run_exp(
+        &Exp {
+            id: "table5.8",
+            title: "massd 2 vs 2 (groups at 5.01 / 7.67 Mbps)",
+            group1_mbps: 5.01,
+            group2_mbps: 7.67,
+            n_servers: 2,
+            requirement: "monitor_network_bw > 7\n",
+            random_arms: &[
+                Arm { label: "random1", servers: &["mimas", "telesto"], paper_kbps: 660.0 },
+                Arm { label: "random2", servers: &["telesto", "titan-x"], paper_kbps: 795.0 },
+            ],
+            paper_smart_kbps: 994.0,
+            paper_smart_servers: &["titan-x", "pandora-x"],
+        },
+        seed,
+    )
+}
+
+/// Table 5.9 / Fig 5.6: three servers.
+pub fn table5_9(seed: u64) -> Report {
+    run_exp(
+        &Exp {
+            id: "table5.9",
+            title: "massd 3 vs 3 (groups at 5.99 / 2.92 Mbps)",
+            group1_mbps: 5.99,
+            group2_mbps: 2.92,
+            n_servers: 3,
+            requirement: "monitor_network_bw > 5\n",
+            random_arms: &[
+                Arm {
+                    label: "random1",
+                    servers: &["dione", "titan-x", "pandora-x"],
+                    paper_kbps: 387.0,
+                },
+                Arm {
+                    label: "random2",
+                    servers: &["mimas", "titan-x", "dione"],
+                    paper_kbps: 520.0,
+                },
+                Arm {
+                    label: "random3",
+                    servers: &["telesto", "mimas", "dione"],
+                    paper_kbps: 634.0,
+                },
+            ],
+            paper_smart_kbps: 796.0,
+            paper_smart_servers: &["lhost", "telesto", "mimas"],
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn table_5_7_smart_finds_the_fast_group() {
+        let r = table5_7(DEFAULT_SEED);
+        assert_eq!(r.get("smart_count"), 1.0);
+        assert_eq!(r.get("smart_all_fast"), 1.0);
+        // Paper: 170 vs 860 KB/s — a ~5× win.
+        assert!(r.get("random0_kbps") < 220.0, "{}", r.get("random0_kbps"));
+        assert!(
+            (r.get("smart_kbps") - 860.0).abs() < 160.0,
+            "smart {}",
+            r.get("smart_kbps")
+        );
+        assert!(r.get("smart_kbps") / r.get("random0_kbps") > 3.0);
+    }
+
+    #[test]
+    fn table_5_8_ordering_matches_fig_5_5() {
+        let r = table5_8(DEFAULT_SEED);
+        assert_eq!(r.get("smart_count"), 2.0);
+        assert_eq!(r.get("smart_all_fast"), 1.0);
+        let r0 = r.get("random0_kbps"); // two slow
+        let r1 = r.get("random1_kbps"); // mixed
+        let smart = r.get("smart_kbps"); // two fast
+        assert!(r0 < r1 && r1 < smart, "{r0} < {r1} < {smart} violated");
+        assert!((smart - 994.0).abs() < 200.0, "smart {smart}");
+    }
+
+    #[test]
+    fn table_5_9_ordering_matches_fig_5_6() {
+        let r = table5_9(DEFAULT_SEED);
+        assert_eq!(r.get("smart_count"), 3.0);
+        assert_eq!(r.get("smart_all_fast"), 1.0);
+        let (r0, r1, r2, smart) = (
+            r.get("random0_kbps"),
+            r.get("random1_kbps"),
+            r.get("random2_kbps"),
+            r.get("smart_kbps"),
+        );
+        assert!(r0 < r1 && r1 < r2 && r2 < smart, "{r0} {r1} {r2} {smart}");
+        assert!((smart - 796.0).abs() < 170.0, "smart {smart}");
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod bandwidth;
+pub mod massd_calib;
+pub mod massd_exp;
+pub mod matmul_bench;
+pub mod matmul_exp;
+pub mod netmon_matrix;
+pub mod resources;
+pub mod rig;
+pub mod rtt_sweep;
+pub mod superpi_mem;
+pub mod worked_example;

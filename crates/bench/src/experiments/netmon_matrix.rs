@@ -1,0 +1,105 @@
+//! Table 3.4: the network monitors' (delay, bandwidth) record matrix.
+//!
+//! Three server groups, each with a network monitor; after the sequential
+//! probing loops run for a while, every monitor holds a record per
+//! neighbour — the exact table of §3.3.3.
+
+use smartsock_monitor::db::shared_dbs;
+use smartsock_monitor::{NetMonConfig, NetworkMonitor};
+use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
+use smartsock_proto::Ip;
+use smartsock_sim::{Scheduler, SimDuration, SimTime};
+
+use crate::report::{colf, Report};
+
+pub fn table3_4(seed: u64) -> Report {
+    // Three groups joined by a core router; group 3 sits behind a slower
+    // 30 Mbps uplink so the matrix shows distinct numbers.
+    let mut b = NetworkBuilder::new(seed);
+    let core = b.router("core", Ip::new(10, 0, 0, 254));
+    let mons: Vec<Ip> =
+        (1..=3u8).map(|g| Ip::new(10, 0, g, 1)).collect();
+    for (g, &ip) in mons.iter().enumerate() {
+        let node = b.host(&format!("netmon-{}", g + 1), ip, HostParams::testbed());
+        let params = if g == 2 {
+            LinkParams::lan_100mbps().with_rate(30e6).with_prop_delay(SimDuration::from_millis(2))
+        } else {
+            LinkParams::lan_100mbps().with_cross_load(0.05)
+        };
+        b.duplex(node, core, params);
+    }
+    let net = b.build();
+
+    let mut s = Scheduler::new();
+    let mut monitors = Vec::new();
+    for &ip in &mons {
+        let (_, netdb, _) = shared_dbs();
+        let m = NetworkMonitor::new(ip, net.clone(), netdb, NetMonConfig::default());
+        for &peer in &mons {
+            m.add_peer(peer);
+        }
+        m.start(&mut s);
+        monitors.push(m);
+    }
+    s.run_until(SimTime::from_secs(30));
+
+    let mut r = Report::new("table3.4", "Sample network monitor records (delay ms, bw Mbps)");
+    r.row(format!("{:<10} | {:<28} | {:<28}", "monitor", "peer records", ""));
+    for (g, m) in monitors.iter().enumerate() {
+        let mut cells = Vec::new();
+        for (pg, &peer) in mons.iter().enumerate() {
+            if peer == mons[g] {
+                continue;
+            }
+            let cell = match m.db().read().get(mons[g], peer) {
+                Some(rec) => {
+                    r.figure(&format!("m{}to{}_bw", g + 1, pg + 1), rec.bw_mbps);
+                    r.figure(&format!("m{}to{}_delay", g + 1, pg + 1), rec.delay_ms);
+                    format!(
+                        "mon{}({} ms, {} Mbps)",
+                        pg + 1,
+                        colf(rec.delay_ms, 2, 0).trim(),
+                        colf(rec.bw_mbps, 1, 0).trim()
+                    )
+                }
+                None => format!("mon{}(pending)", pg + 1),
+            };
+            cells.push(cell);
+        }
+        r.row(format!(
+            "netmon-{:<3} | {:<28} | {:<28}",
+            g + 1,
+            cells.first().cloned().unwrap_or_default(),
+            cells.get(1).cloned().unwrap_or_default()
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn every_monitor_pair_has_a_record() {
+        let r = table3_4(DEFAULT_SEED);
+        for a in 1..=3 {
+            for b in 1..=3 {
+                if a == b {
+                    continue;
+                }
+                let bw = r.get(&format!("m{a}to{b}_bw"));
+                assert!(bw > 1.0, "m{a}->m{b} bw {bw}");
+            }
+        }
+    }
+
+    #[test]
+    fn slow_group_paths_read_slower_and_longer() {
+        let r = table3_4(DEFAULT_SEED);
+        // Paths touching group 3 (30 Mbps, +2 ms) are slower than 1↔2.
+        assert!(r.get("m1to3_bw") < r.get("m1to2_bw") * 0.7);
+        assert!(r.get("m1to3_delay") > r.get("m1to2_delay") * 2.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Table 5.2: system resources used with 11 probes running.
+//!
+//! The paper measured CPU%, resident memory and network bandwidth of each
+//! component on the monitor machine (`dalmatian`). In the simulation the
+//! faithful observable is the **network bandwidth** of each component
+//! (message sizes × rates are modelled exactly); the memory column is the
+//! computed footprint of each component's live data structures; CPU has no
+//! simulated equivalent, so the paper's figures are quoted for reference.
+
+use smartsock::Testbed;
+use smartsock::client::RequestSpec;
+use smartsock_proto::consts::sizes::BINARY_STATUS_RECORD_BYTES;
+use smartsock_sim::SimTime;
+
+use crate::report::{colf, Report};
+
+pub fn table5_2(seed: u64) -> Report {
+    // A second monitor group (sagit's) gives the monitor-machine network
+    // monitor a peer to probe, as in the paper's deployment.
+    let mut s = smartsock_sim::Scheduler::new();
+    let tb = Testbed::builder(seed)
+        .group("sagit", &["sagit"])
+        // §5.2's deployment sends ONE 1600/2900 pair every two seconds
+        // ("one probe is done after every two seconds", 2.8 KBps).
+        .netmon_config(smartsock::monitor::NetMonConfig {
+            pairs_per_round: 1,
+            ..Default::default()
+        })
+        .start(&mut s);
+    // Give the wizard some request traffic like the sample run.
+    let client = tb.client("sagit");
+    for i in 0..5u64 {
+        let at = SimTime::from_secs(20 + i * 5);
+        let c = client.clone();
+        s.schedule_at(at, move |s| {
+            c.request(s, RequestSpec::new("host_cpu_free > 0.1\n", 11), |_s, _r| {});
+        });
+    }
+    let horizon = 60.0;
+    s.run_until(SimTime::from_secs_f64(horizon));
+
+    let kbps = |bytes: u64| bytes as f64 / horizon / 1024.0;
+    let probe_bytes = s.metrics.sum_prefix("probe.");
+    let sysmon_bytes = s.metrics.get("sysmon.bytes");
+    let netmon_bytes = s.metrics.get("netmon.bytes");
+    let tx_bytes = s.metrics.get("transmitter.bytes");
+    let rx_bytes = s.metrics.get("receiver.bytes");
+    let wiz_msgs = s.metrics.get("wizard.requests") + s.metrics.get("wizard.replies");
+    let wiz_bytes = wiz_msgs * 150; // ~150 B requests/replies in the sample run
+
+    // Memory: live data-structure footprints.
+    let sys_records = tb.sysdb.read().len() as u64;
+    let mem_monitor = sys_records * BINARY_STATUS_RECORD_BYTES as u64;
+    let mem_receiver = tb.wiz_sys.read().len() as u64 * BINARY_STATUS_RECORD_BYTES as u64
+        + tb.wiz_net.read().len() as u64 * 32;
+    let mem_wizard = mem_receiver; // wizard reads the receiver's copies
+
+    let mut r = Report::new("table5.2", "System resource used with 11 probes running");
+    r.row(format!(
+        "{:<17} | {:>9} | {:>12} | {:>14} | {:>16}",
+        "program", "paper CPU", "paper mem", "measured KBps", "paper KBps"
+    ));
+    let rows: [(&str, &str, &str, f64, &str); 7] = [
+        ("System Probe", "<0.1%", "8 KB", kbps(probe_bytes) / 11.0, "0.5~0.6 (UDP)"),
+        ("System Monitor", "0.7%", "8 KB", kbps(sysmon_bytes), "5.7 (UDP)"),
+        ("Network Monitor", "<0.1%", "8 KB", kbps(netmon_bytes), "5.6 (UDP)"),
+        ("Security Monitor", "<0.1%", "8 KB", 0.0, "(not used)"),
+        ("Transmitter", "<0.1%", "8 KB", kbps(tx_bytes), "1.2 (TCP)"),
+        ("Receiver", "<0.1%", "92 KB", kbps(rx_bytes), "1.2 (TCP)"),
+        ("Wizard", "0.1%", "96 KB", kbps(wiz_bytes), "<1 (UDP)"),
+    ];
+    for (name, cpu, mem, measured, paper) in rows {
+        r.row(format!(
+            "{name:<17} | {cpu:>9} | {mem:>12} | {:>14} | {paper:>16}",
+            colf(measured, 2, 14).trim_start()
+        ));
+    }
+    r.row(format!(
+        "live records: {sys_records} system; monitor DB ≈ {mem_monitor} B, receiver copies ≈ {mem_receiver} B, wizard view ≈ {mem_wizard} B"
+    ));
+    r.figure("probe_kbps_each", kbps(probe_bytes) / 11.0);
+    r.figure("sysmon_kbps", kbps(sysmon_bytes));
+    r.figure("netmon_kbps", kbps(netmon_bytes));
+    r.figure("transmitter_kbps", kbps(tx_bytes));
+    r.figure("receiver_kbps", kbps(rx_bytes));
+    r.figure("live_servers", sys_records as f64);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn eleven_probes_report_and_rates_match_the_papers_scale() {
+        let r = table5_2(DEFAULT_SEED);
+        assert_eq!(r.get("live_servers"), 11.0);
+        // Probe: paper 0.5–0.6 KBps with headers; our payload accounting
+        // lands in the same order of magnitude.
+        let p = r.get("probe_kbps_each");
+        assert!(p > 0.03 && p < 1.0, "probe rate {p} KBps");
+        // System monitor ingests all probes.
+        let m = r.get("sysmon_kbps");
+        assert!((m - 11.0 * p).abs() / m < 0.2, "sysmon {m} vs 11×probe {p}");
+        // Transmitter ships ~2.6 KB snapshots every 2 s ⇒ ~1.3 KBps,
+        // matching the paper's 1.2 KBps row.
+        let t = r.get("transmitter_kbps");
+        assert!(t > 0.6 && t < 3.0, "transmitter {t} KBps");
+        // Network monitor: 4.5 KB per round / 2 s ≈ 2.2 KBps (paper 5.6
+        // counted both directions and echoes).
+        let n = r.get("netmon_kbps");
+        assert!(n > 0.5 && n < 8.0, "netmon {n} KBps");
+    }
+}

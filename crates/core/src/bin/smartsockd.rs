@@ -1,0 +1,159 @@
+//! `smartsockd` — the Smart socket control plane over real UDP sockets.
+//!
+//! A minimal operational surface for the live transport (`smartsock::live`):
+//!
+//! ```text
+//! smartsockd wizard --bind 127.0.0.1:1120
+//!     Run the combined monitor+wizard daemon until SIGINT/stdin EOF.
+//!
+//! smartsockd probe --wizard 127.0.0.1:1120 --host helene --ip 192.168.3.10 \
+//!                  [--cpu-free 0.95] [--mem-free-mb 200] [--load1 0.1] [--services compute,file]
+//!     Send one status report (a stand-in for the procfs-scanning probe on
+//!     a real Linux box).
+//!
+//! smartsockd request --wizard 127.0.0.1:1120 --servers 2 [--file REQ | --req "..."]
+//!     Issue a user request; prints the selected endpoints, one per line.
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use smartsock::live::{live_request, send_live_report, LiveWizard};
+use smartsock::proto::{Ip, RequestOption, ServerStatusReport, ServiceMask, UserRequest};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = Flags::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "wizard" => cmd_wizard(&flags),
+        "probe" => cmd_probe(&flags),
+        "request" => cmd_request(&flags),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: smartsockd <wizard|probe|request> [flags]\n\
+         \n  wizard  --bind ADDR\
+         \n  probe   --wizard ADDR --host NAME --ip A.B.C.D [--cpu-free F] [--mem-free-mb N] [--load1 F] [--services a,b]\
+         \n  request --wizard ADDR --servers N [--req TEXT | --file PATH] [--timeout-ms N] [--retries N]"
+    );
+    ExitCode::from(2)
+}
+
+/// Tiny `--key value` flag parser.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(k) = it.next() {
+            if let Some(name) = k.strip_prefix("--") {
+                let v = it.next().cloned().unwrap_or_default();
+                out.push((name.to_owned(), v));
+            }
+        }
+        Flags(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
+        }
+    }
+}
+
+fn cmd_wizard(flags: &Flags) -> Result<(), String> {
+    // LiveWizard binds an ephemeral port; for the CLI we want a chosen one,
+    // so rebind via the environment the module provides.
+    let bind = flags.get("bind").unwrap_or("127.0.0.1:1120");
+    let wiz = LiveWizard::spawn_on(bind).map_err(|e| e.to_string())?;
+    println!("smartsockd wizard listening on {}", wiz.addr());
+    println!("press ENTER (or close stdin) to stop");
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    let served = wiz.shutdown().map_err(|e| e.to_string())?;
+    println!("served {served} requests");
+    Ok(())
+}
+
+fn cmd_probe(flags: &Flags) -> Result<(), String> {
+    let wizard: SocketAddr =
+        flags.require("wizard")?.parse().map_err(|_| "bad --wizard address".to_owned())?;
+    let host = flags.require("host")?;
+    let ip: Ip = flags.require("ip")?.parse().map_err(|e| format!("{e}"))?;
+    let mut report = ServerStatusReport::empty(host, ip);
+    report.cpu_idle = flags.get_parsed("cpu-free", 0.95f64)?;
+    report.cpu_user = (1.0 - report.cpu_idle).max(0.0);
+    report.load1 = flags.get_parsed("load1", 0.1f64)?;
+    report.load5 = report.load1;
+    report.load15 = report.load1;
+    report.mem_total = 256 << 20;
+    report.mem_free = flags.get_parsed("mem-free-mb", 180u64)? << 20;
+    report.mem_used = report.mem_total - report.mem_free;
+    report.bogomips = flags.get_parsed("bogomips", 3394.76f64)?;
+    if let Some(services) = flags.get("services") {
+        for class in services.split(',').filter(|c| !c.is_empty()) {
+            let mask = ServiceMask::by_name(class)
+                .ok_or_else(|| format!("unknown service class {class:?}"))?;
+            report.services |= mask;
+        }
+    }
+    send_live_report(wizard, &report).map_err(|e| e.to_string())?;
+    println!("sent {} byte report for {host} ({ip})", report.encode_ascii().len());
+    Ok(())
+}
+
+fn cmd_request(flags: &Flags) -> Result<(), String> {
+    let wizard: SocketAddr =
+        flags.require("wizard")?.parse().map_err(|_| "bad --wizard address".to_owned())?;
+    let servers: u16 = flags.get_parsed("servers", 1u16)?;
+    let detail = match (flags.get("req"), flags.get("file")) {
+        (Some(req), _) => req.to_owned(),
+        (None, Some(path)) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+        (None, None) => String::new(),
+    };
+    let timeout = Duration::from_millis(flags.get_parsed("timeout-ms", 1000u64)?);
+    let retries: u32 = flags.get_parsed("retries", 2u32)?;
+    let req = UserRequest {
+        seq: std::process::id() ^ 0x5eed_0000,
+        server_num: servers,
+        option: RequestOption::DEFAULT,
+        detail,
+    };
+    let reply = live_request(wizard, &req, timeout, retries).map_err(|e| e.to_string())?;
+    if reply.servers.is_empty() {
+        eprintln!("no server satisfies the requirement");
+        return Err("empty reply".to_owned());
+    }
+    for ep in reply.servers {
+        println!("{ep}");
+    }
+    Ok(())
+}

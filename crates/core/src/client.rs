@@ -1,0 +1,544 @@
+//! The client library (paper §3.6.2).
+//!
+//! Protocol walkthrough, matching the thesis step by step:
+//!
+//! 1. the library takes the user's requirement (from text; the thesis
+//!    reads a requirement file) and attaches a random sequence number, the
+//!    requested server count and the option field (Table 3.5);
+//! 2. sends it to the wizard as one UDP datagram;
+//! 3. waits for the reply, matching the sequence number, checking the
+//!    returned count against the request, and applying the shortfall
+//!    policy from the option field;
+//! 4. connects to the service port of each candidate and hands the caller
+//!    the group of connected sockets.
+//!
+//! UDP is unreliable, so the client retries with a timeout — the thesis
+//! leaves recovery unspecified; we document timeouts as library policy.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use smartsock_net::{Network, Payload, StreamMessage};
+use smartsock_proto::consts::ports;
+use smartsock_proto::{Endpoint, Ip, ReplyStatus, RequestOption, UserRequest, WizardReply};
+use smartsock_sim::{rng as simrng, EventId, Scheduler, SimDuration};
+
+/// Why a request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// No reply from the wizard after all retries.
+    Timeout { retries: u32 },
+    /// Wizard replied with fewer servers than requested and the option
+    /// demanded the exact count.
+    Shortfall { requested: u16, returned: u16 },
+    /// Wizard found no qualifying server at all.
+    NoServers,
+    /// Every offered server refused the service connection.
+    AllConnectionsFailed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout { retries } => {
+                write!(f, "wizard did not reply after {retries} retries")
+            }
+            ClientError::Shortfall { requested, returned } => {
+                write!(f, "only {returned} of {requested} servers available")
+            }
+            ClientError::NoServers => f.write_str("no server satisfies the requirement"),
+            ClientError::AllConnectionsFailed => f.write_str("no offered server accepted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One request's parameters.
+#[derive(Clone, Debug)]
+pub struct RequestSpec {
+    /// The requirement text in the meta language.
+    pub requirement: String,
+    /// How many servers to ask for.
+    pub servers: u16,
+    pub option: RequestOption,
+    /// Per-attempt reply timeout.
+    pub timeout: SimDuration,
+    /// Additional attempts after the first.
+    pub retries: u32,
+}
+
+impl RequestSpec {
+    pub fn new(requirement: impl Into<String>, servers: u16) -> RequestSpec {
+        RequestSpec {
+            requirement: requirement.into(),
+            servers,
+            option: RequestOption::DEFAULT,
+            timeout: SimDuration::from_secs(2),
+            retries: 2,
+        }
+    }
+
+    /// Fail unless the full server count is found.
+    pub fn exact(mut self) -> RequestSpec {
+        self.option = RequestOption::EXACT;
+        self
+    }
+
+    pub fn with_template(mut self, id: u8) -> RequestSpec {
+        self.option.template = Some(id);
+        self
+    }
+}
+
+/// A connected smart socket: one endpoint of the returned group.
+#[derive(Clone)]
+pub struct SmartSock {
+    net: Network,
+    pub local: Endpoint,
+    pub remote: Endpoint,
+}
+
+impl SmartSock {
+    /// Send a message to the server over this socket.
+    pub fn send(&self, s: &mut Scheduler, payload: Payload) {
+        self.net.send_stream(s, self.local, self.remote, payload);
+    }
+
+    /// Bind a handler for messages the server sends back to this socket.
+    pub fn on_message(&self, handler: impl FnMut(&mut Scheduler, StreamMessage) + 'static) {
+        self.net.bind_stream(self.local, handler);
+    }
+
+    /// Whether the remote service still accepts connections — the check
+    /// `SockGroup` uses to spot dead members (§6 fault tolerance).
+    pub fn is_connected(&self) -> bool {
+        self.net.stream_bound(self.remote)
+    }
+
+    /// Release the local port binding.
+    pub fn close(&self) {
+        self.net.unbind_stream(self.local);
+    }
+}
+
+impl std::fmt::Debug for SmartSock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SmartSock({} -> {})", self.local, self.remote)
+    }
+}
+
+struct Pending {
+    spec: RequestSpec,
+    attempts_left: u32,
+    timeout_event: EventId,
+}
+
+struct ClientState {
+    pending: HashMap<u32, Pending>,
+    next_port: u16,
+    rng: rand::rngs::StdRng,
+}
+
+/// The Smart socket client library instance for one client machine.
+#[derive(Clone)]
+pub struct SmartClient {
+    net: Network,
+    ip: Ip,
+    wizard: Endpoint,
+    reply_ep: Endpoint,
+    st: Rc<RefCell<ClientState>>,
+}
+
+type ResultCb = Box<dyn FnOnce(&mut Scheduler, Result<Vec<SmartSock>, ClientError>)>;
+
+impl SmartClient {
+    /// Create a client on `ip` talking to the wizard at `wizard_ip`.
+    /// `seed` drives the request sequence numbers.
+    pub fn new(net: Network, ip: Ip, wizard_ip: Ip, seed: u64) -> SmartClient {
+        let reply_ep = Endpoint::new(ip, 47000);
+        SmartClient {
+            net,
+            ip,
+            wizard: Endpoint::new(wizard_ip, ports::WIZARD),
+            reply_ep,
+            st: Rc::new(RefCell::new(ClientState {
+                pending: HashMap::new(),
+                next_port: 47100,
+                rng: simrng::derive_indexed(seed, "smart-client", u64::from(ip.0)),
+            })),
+        }
+    }
+
+    /// The client machine's address.
+    pub fn ip(&self) -> Ip {
+        self.ip
+    }
+
+    /// Request a group of servers; `on_result` receives the connected
+    /// sockets or the failure. Must be called after the wizard is up.
+    pub fn request(
+        &self,
+        s: &mut Scheduler,
+        spec: RequestSpec,
+        on_result: impl FnOnce(&mut Scheduler, Result<Vec<SmartSock>, ClientError>) + 'static,
+    ) {
+        self.ensure_reply_socket();
+        let seq: u32 = self.st.borrow_mut().rng.gen();
+        self.send_attempt(s, seq, spec, Box::new(on_result));
+    }
+
+    fn ensure_reply_socket(&self) {
+        // Bind (idempotently) the shared reply port; replies dispatch on
+        // the sequence number (§3.6.2 step 3).
+        let client = self.clone();
+        self.net.bind_udp(self.reply_ep, move |s, dgram| {
+            let Ok(reply) = WizardReply::decode(&dgram.payload.data) else {
+                s.metrics.incr("client.bad_replies");
+                return;
+            };
+            client.on_reply(s, reply);
+        });
+    }
+
+    fn send_attempt(&self, s: &mut Scheduler, seq: u32, spec: RequestSpec, cb: ResultCb) {
+        let req = UserRequest {
+            seq,
+            server_num: spec.servers,
+            option: spec.option,
+            detail: spec.requirement.clone(),
+        };
+        s.metrics.incr("client.requests");
+        self.net.send_udp(
+            s,
+            self.reply_ep,
+            self.wizard,
+            Payload::data(req.encode().freeze()),
+            None,
+        );
+        let client = self.clone();
+        let timeout_event = s.schedule_in(spec.timeout, move |s| client.on_timeout(s, seq));
+        let attempts_left = spec.retries;
+        self.st
+            .borrow_mut()
+            .pending
+            .insert(seq, Pending { spec, attempts_left, timeout_event });
+        // Store the callback alongside (separate map keeps Pending Send-free
+        // of the closure's type).
+        CALLBACKS.with(|c| c.borrow_mut().insert((self.ip.0, seq), cb));
+    }
+
+    fn on_reply(&self, s: &mut Scheduler, reply: WizardReply) {
+        let Some(pending) = self.st.borrow_mut().pending.remove(&reply.seq) else {
+            s.metrics.incr("client.unmatched_replies");
+            return;
+        };
+        s.cancel(pending.timeout_event);
+        let Some(cb) = CALLBACKS.with(|c| c.borrow_mut().remove(&(self.ip.0, reply.seq))) else {
+            return;
+        };
+        let status = reply.status(pending.spec.servers);
+        let result = match status {
+            ReplyStatus::Empty => Err(ClientError::NoServers),
+            ReplyStatus::Short { requested, returned }
+                if !pending.spec.option.accept_fewer =>
+            {
+                Err(ClientError::Shortfall { requested, returned })
+            }
+            _ => Ok(self.connect_all(&reply.servers)),
+        };
+        let result = match result {
+            Ok(socks) if socks.is_empty() => Err(ClientError::AllConnectionsFailed),
+            other => other,
+        };
+        s.metrics.incr("client.responses");
+        cb(s, result);
+    }
+
+    /// §3.6.2 step 4: connect to each candidate's service port. A server
+    /// that stopped listening between selection and connect is skipped —
+    /// the recovery behaviour Fig 1.1 motivates.
+    fn connect_all(&self, servers: &[Endpoint]) -> Vec<SmartSock> {
+        let mut out = Vec::with_capacity(servers.len());
+        for &remote in servers {
+            if !self.net.stream_bound(remote) {
+                continue;
+            }
+            let port = {
+                let mut st = self.st.borrow_mut();
+                let p = st.next_port;
+                st.next_port = st.next_port.wrapping_add(1).max(47100);
+                p
+            };
+            out.push(SmartSock {
+                net: self.net.clone(),
+                local: Endpoint::new(self.ip, port),
+                remote,
+            });
+        }
+        out
+    }
+
+    fn on_timeout(&self, s: &mut Scheduler, seq: u32) {
+        let Some(mut pending) = self.st.borrow_mut().pending.remove(&seq) else {
+            return; // already answered
+        };
+        let Some(cb) = CALLBACKS.with(|c| c.borrow_mut().remove(&(self.ip.0, seq))) else {
+            return;
+        };
+        if pending.attempts_left == 0 {
+            s.metrics.incr("client.timeouts");
+            cb(s, Err(ClientError::Timeout { retries: pending.spec.retries }));
+            return;
+        }
+        pending.attempts_left -= 1;
+        s.metrics.incr("client.retries");
+        let spec = pending.spec;
+        self.send_attempt_with_budget(s, seq, spec, pending.attempts_left, cb);
+    }
+
+    fn send_attempt_with_budget(
+        &self,
+        s: &mut Scheduler,
+        seq: u32,
+        spec: RequestSpec,
+        attempts_left: u32,
+        cb: ResultCb,
+    ) {
+        let req = UserRequest {
+            seq,
+            server_num: spec.servers,
+            option: spec.option,
+            detail: spec.requirement.clone(),
+        };
+        self.net.send_udp(
+            s,
+            self.reply_ep,
+            self.wizard,
+            Payload::data(req.encode().freeze()),
+            None,
+        );
+        let client = self.clone();
+        let timeout_event = s.schedule_in(spec.timeout, move |s| client.on_timeout(s, seq));
+        self.st
+            .borrow_mut()
+            .pending
+            .insert(seq, Pending { spec, attempts_left, timeout_event });
+        CALLBACKS.with(|c| c.borrow_mut().insert((self.ip.0, seq), cb));
+    }
+}
+
+thread_local! {
+    /// Result callbacks keyed by (client ip, seq). Thread-local because the
+    /// simulation is single-threaded; keeping boxed `FnOnce`s out of
+    /// `ClientState` lets `SmartClient` stay `Clone` + borrow-friendly.
+    static CALLBACKS: RefCell<HashMap<(u32, u32), ResultCb>> = RefCell::new(HashMap::new());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_monitor::db::shared_dbs;
+    use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
+    use smartsock_proto::ServerStatusReport;
+    use smartsock_sim::SimTime;
+    use smartsock_wizard::{Wizard, WizardConfig};
+
+    struct Rig {
+        s: Scheduler,
+        net: Network,
+        client: SmartClient,
+        sysdb: smartsock_monitor::SharedSysDb,
+    }
+
+    fn rig(with_wizard: bool) -> Rig {
+        let mut b = NetworkBuilder::new(5);
+        let w = b.host("wiz", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let c = b.host("client", Ip::new(10, 0, 0, 2), HostParams::testbed());
+        let srv1 = b.host("srv1", Ip::new(10, 0, 0, 3), HostParams::testbed());
+        let srv2 = b.host("srv2", Ip::new(10, 0, 0, 4), HostParams::testbed());
+        let r = b.router("sw", Ip::new(10, 0, 0, 254));
+        for n in [w, c, srv1, srv2] {
+            b.duplex(n, r, LinkParams::lan_100mbps());
+        }
+        let net = b.build();
+        let (sysdb, netdb, secdb) = shared_dbs();
+        let mut s = Scheduler::new();
+        if with_wizard {
+            let wiz = Wizard::new(
+                Ip::new(10, 0, 0, 1),
+                net.clone(),
+                sysdb.clone(),
+                netdb,
+                secdb,
+                WizardConfig { stale_max_age: None, ..Default::default() },
+            );
+            wiz.start(&mut s);
+        }
+        // Service daemons on both servers.
+        for ip in [Ip::new(10, 0, 0, 3), Ip::new(10, 0, 0, 4)] {
+            net.bind_stream(Endpoint::new(ip, ports::SERVICE), |_s, _m| {});
+        }
+        let client = SmartClient::new(net.clone(), Ip::new(10, 0, 0, 2), Ip::new(10, 0, 0, 1), 42);
+        Rig { s, net, client, sysdb }
+    }
+
+    fn seed_servers(rig: &Rig) {
+        for (name, ip) in [("srv1", Ip::new(10, 0, 0, 3)), ("srv2", Ip::new(10, 0, 0, 4))] {
+            let mut r = ServerStatusReport::empty(name, ip);
+            r.cpu_idle = 0.99;
+            rig.sysdb.write().upsert(r, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn request_returns_connected_sockets() {
+        let mut rig = rig(true);
+        seed_servers(&rig);
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let mut s = std::mem::take(&mut rig.s);
+        rig.client.request(
+            &mut s,
+            RequestSpec::new("host_cpu_free > 0.9\n", 2),
+            move |_s, r| *g.borrow_mut() = Some(r),
+        );
+        s.run();
+        let socks = got.borrow_mut().take().unwrap().expect("request succeeds");
+        assert_eq!(socks.len(), 2);
+        assert_eq!(socks[0].remote.port, ports::SERVICE);
+        assert_ne!(socks[0].local.port, socks[1].local.port);
+    }
+
+    #[test]
+    fn no_wizard_times_out_after_retries() {
+        let mut rig = rig(false);
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let mut s = std::mem::take(&mut rig.s);
+        rig.client.request(
+            &mut s,
+            RequestSpec::new("", 1),
+            move |_s, r| *g.borrow_mut() = Some(r),
+        );
+        s.run();
+        assert_eq!(got.borrow_mut().take().unwrap().unwrap_err(), ClientError::Timeout { retries: 2 });
+        assert_eq!(s.metrics.get("client.retries"), 2);
+    }
+
+    #[test]
+    fn shortfall_policy_is_respected() {
+        let mut rig = rig(true);
+        seed_servers(&rig);
+        let mut s = std::mem::take(&mut rig.s);
+
+        // accept_fewer (default): 5 requested, 2 delivered.
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        rig.client.request(&mut s, RequestSpec::new("", 5), move |_s, r| {
+            *g.borrow_mut() = Some(r)
+        });
+        s.run();
+        assert_eq!(got.borrow_mut().take().unwrap().unwrap().len(), 2);
+
+        // exact: the same request fails.
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        rig.client.request(&mut s, RequestSpec::new("", 5).exact(), move |_s, r| {
+            *g.borrow_mut() = Some(r)
+        });
+        s.run();
+        assert_eq!(
+            got.borrow_mut().take().unwrap().unwrap_err(),
+            ClientError::Shortfall { requested: 5, returned: 2 }
+        );
+    }
+
+    #[test]
+    fn impossible_requirement_reports_no_servers() {
+        let mut rig = rig(true);
+        seed_servers(&rig);
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let mut s = std::mem::take(&mut rig.s);
+        rig.client.request(
+            &mut s,
+            RequestSpec::new("host_cpu_free > 2\n", 1),
+            move |_s, r| *g.borrow_mut() = Some(r),
+        );
+        s.run();
+        assert_eq!(got.borrow_mut().take().unwrap().unwrap_err(), ClientError::NoServers);
+    }
+
+    #[test]
+    fn dead_service_ports_are_skipped_at_connect_time() {
+        let mut rig = rig(true);
+        seed_servers(&rig);
+        // srv2's daemon dies after selection data is in the db.
+        rig.net.unbind_stream(Endpoint::new(Ip::new(10, 0, 0, 4), ports::SERVICE));
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let mut s = std::mem::take(&mut rig.s);
+        rig.client.request(&mut s, RequestSpec::new("", 2), move |_s, r| {
+            *g.borrow_mut() = Some(r)
+        });
+        s.run();
+        let socks = got.borrow_mut().take().unwrap().unwrap();
+        assert_eq!(socks.len(), 1);
+        assert_eq!(socks[0].remote.ip, Ip::new(10, 0, 0, 3));
+    }
+
+    #[test]
+    fn concurrent_requests_are_matched_by_sequence_number() {
+        let mut rig = rig(true);
+        seed_servers(&rig);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut s = std::mem::take(&mut rig.s);
+        for n in [1u16, 2] {
+            let r = Rc::clone(&results);
+            rig.client.request(&mut s, RequestSpec::new("", n), move |_s, res| {
+                r.borrow_mut().push(res.unwrap().len());
+            });
+        }
+        s.run();
+        let mut got = results.borrow().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn sockets_can_exchange_messages_with_the_server() {
+        let mut rig = rig(true);
+        seed_servers(&rig);
+        // An echo service on srv1.
+        let net2 = rig.net.clone();
+        rig.net.bind_stream(Endpoint::new(Ip::new(10, 0, 0, 3), ports::SERVICE), move |s, m| {
+            net2.send_stream(s, m.to, m.from, Payload::data(&b"pong"[..]));
+        });
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let mut s = std::mem::take(&mut rig.s);
+        let echoed = Rc::new(RefCell::new(false));
+        let e = Rc::clone(&echoed);
+        rig.client.request(
+            &mut s,
+            RequestSpec::new("user_preferred_host1 = srv1\n", 1),
+            move |s, r| {
+                let socks = r.unwrap();
+                let sock = socks[0].clone();
+                sock.on_message(move |_s, m| {
+                    assert_eq!(&m.payload.data[..], b"pong");
+                    *e.borrow_mut() = true;
+                });
+                sock.send(s, Payload::data(&b"ping"[..]));
+                *g.borrow_mut() = Some(socks.len());
+            },
+        );
+        s.run();
+        assert_eq!(*got.borrow(), Some(1));
+        assert!(*echoed.borrow(), "echo round trip completed");
+    }
+}

@@ -1,0 +1,249 @@
+//! Fault-tolerant socket groups — the §6 "Fault-tolerance" extension.
+//!
+//! The thesis's conclusion sketches the first step of fault recovery: the
+//! monitor already detects failed servers and stops offering them, so the
+//! library can "redirect the failed connection to other running servers to
+//! resume the task" (check-pointing the task itself stays with the
+//! application, as the paper prescribes).
+//!
+//! [`SockGroup`] implements exactly that step: it remembers the request
+//! that produced a socket group, can tell which members have died (their
+//! service port no longer accepts), and can ask the wizard for
+//! replacements that satisfy the *original requirement*, excluding servers
+//! already in the group.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smartsock_proto::Endpoint;
+use smartsock_sim::Scheduler;
+
+use crate::client::{ClientError, RequestSpec, SmartClient, SmartSock};
+
+/// Result of a [`SockGroup::repair`] pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Dead members replaced with fresh connections.
+    pub replaced: usize,
+    /// Dead members that could not be replaced (no qualified spare).
+    pub still_missing: usize,
+}
+
+/// A group of smart sockets bound to the requirement that produced them.
+#[derive(Clone)]
+pub struct SockGroup {
+    client: SmartClient,
+    spec: RequestSpec,
+    socks: Rc<RefCell<Vec<SmartSock>>>,
+}
+
+impl SockGroup {
+    /// Wrap a request result into a repairable group.
+    pub fn new(client: SmartClient, spec: RequestSpec, socks: Vec<SmartSock>) -> SockGroup {
+        SockGroup { client, spec, socks: Rc::new(RefCell::new(socks)) }
+    }
+
+    /// Request `spec` and hand the callback a repairable group.
+    pub fn request(
+        client: &SmartClient,
+        s: &mut Scheduler,
+        spec: RequestSpec,
+        on_result: impl FnOnce(&mut Scheduler, Result<SockGroup, ClientError>) + 'static,
+    ) {
+        let client2 = client.clone();
+        let spec2 = spec.clone();
+        client.request(s, spec, move |s, r| {
+            on_result(s, r.map(|socks| SockGroup::new(client2, spec2, socks)));
+        });
+    }
+
+    /// Current members (clones of the handles).
+    pub fn sockets(&self) -> Vec<SmartSock> {
+        self.socks.borrow().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.socks.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.socks.borrow().is_empty()
+    }
+
+    /// Members whose remote service no longer accepts connections.
+    pub fn failed_members(&self) -> Vec<Endpoint> {
+        self.socks
+            .borrow()
+            .iter()
+            .filter(|k| !k.is_connected())
+            .map(|k| k.remote)
+            .collect()
+    }
+
+    /// True when every member is still reachable.
+    pub fn all_healthy(&self) -> bool {
+        self.failed_members().is_empty()
+    }
+
+    /// Replace dead members: drop them, re-issue the *original requirement*
+    /// for the missing count, and splice in the newcomers — skipping any
+    /// server already present in the group.
+    pub fn repair(
+        &self,
+        s: &mut Scheduler,
+        on_done: impl FnOnce(&mut Scheduler, RepairOutcome) + 'static,
+    ) {
+        let dead: Vec<Endpoint> = self.failed_members();
+        if dead.is_empty() {
+            on_done(s, RepairOutcome { replaced: 0, still_missing: 0 });
+            return;
+        }
+        // Drop the dead handles now so their ports free up.
+        self.socks.borrow_mut().retain(|k| {
+            if dead.contains(&k.remote) {
+                k.close();
+                false
+            } else {
+                true
+            }
+        });
+        let missing = dead.len();
+        // Over-ask: the wizard may hand back servers we already hold or
+        // the dead ones (their reports take 3 intervals to expire).
+        let ask = (missing + self.socks.borrow().len() + dead.len()).min(60) as u16;
+        let mut spec = self.spec.clone();
+        spec.servers = ask;
+        spec.option.accept_fewer = true;
+
+        let group = self.clone();
+        self.client.request(s, spec, move |s, r| {
+            let replaced = match r {
+                Err(_) => 0,
+                Ok(new_socks) => {
+                    let mut added = 0;
+                    let mut members = group.socks.borrow_mut();
+                    for sock in new_socks {
+                        let already = members.iter().any(|m| m.remote == sock.remote);
+                        let was_dead = dead.contains(&sock.remote);
+                        if already || was_dead || added >= missing {
+                            sock.close();
+                            continue;
+                        }
+                        members.push(sock);
+                        added += 1;
+                    }
+                    added
+                }
+            };
+            s.metrics.add("client.group_repaired", replaced as u64);
+            on_done(s, RepairOutcome { replaced, still_missing: missing - replaced });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Testbed;
+    use smartsock_proto::consts::ports;
+    use smartsock_sim::{SimDuration, SimTime};
+
+    fn group_on_testbed(seed: u64) -> (Scheduler, Testbed, SockGroup) {
+        let (mut s, tb) = Testbed::paper(seed);
+        for host in tb.hosts.values() {
+            tb.net.bind_stream(Endpoint::new(host.ip(), ports::SERVICE), |_s, _m| {});
+        }
+        s.run_until(SimTime::from_secs(10));
+        let client = tb.client("sagit");
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        SockGroup::request(
+            &client,
+            &mut s,
+            RequestSpec::new("host_cpu_free > 0.9\n", 3),
+            move |_s, r| *g.borrow_mut() = Some(r.expect("group forms")),
+        );
+        s.run_until(s.now() + SimDuration::from_secs(5));
+        let group = got.borrow_mut().take().unwrap();
+        (s, tb, group)
+    }
+
+    #[test]
+    fn healthy_groups_report_no_failures_and_repair_is_a_noop() {
+        let (mut s, _tb, group) = group_on_testbed(31);
+        assert_eq!(group.len(), 3);
+        assert!(group.all_healthy());
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        group.repair(&mut s, move |_s, r| *o.borrow_mut() = Some(r));
+        s.run_until(s.now() + SimDuration::from_secs(2));
+        assert_eq!(
+            out.borrow_mut().take().unwrap(),
+            RepairOutcome { replaced: 0, still_missing: 0 }
+        );
+    }
+
+    #[test]
+    fn dead_member_is_detected_and_replaced_by_a_fresh_server() {
+        let (mut s, tb, group) = group_on_testbed(37);
+        let victim = group.sockets()[0].remote;
+        // The service dies (daemon unbinds) and the host crashes.
+        tb.net.unbind_stream(victim);
+        let victim_name = tb
+            .net
+            .node_by_ip(victim.ip)
+            .map(|n| tb.net.name_of(n).as_str().to_owned())
+            .unwrap();
+        tb.host(&victim_name).fail();
+        // Wait out the 3-interval expiry so the wizard stops offering it.
+        s.run_until(s.now() + SimDuration::from_secs(20));
+
+        assert_eq!(group.failed_members(), vec![victim]);
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        group.repair(&mut s, move |_s, r| *o.borrow_mut() = Some(r));
+        s.run_until(s.now() + SimDuration::from_secs(5));
+        let outcome = out.borrow_mut().take().unwrap();
+        assert_eq!(outcome, RepairOutcome { replaced: 1, still_missing: 0 });
+        assert_eq!(group.len(), 3);
+        assert!(group.all_healthy());
+        assert!(
+            !group.sockets().iter().any(|k| k.remote == victim),
+            "the dead server must not return"
+        );
+    }
+
+    #[test]
+    fn repair_reports_missing_when_no_spare_qualifies() {
+        // Tight requirement: only the two P4-2.4 machines qualify; kill one
+        // and there is no third to replace it with.
+        let (mut s, tb) = Testbed::paper(41);
+        for host in tb.hosts.values() {
+            tb.net.bind_stream(Endpoint::new(host.ip(), ports::SERVICE), |_s, _m| {});
+        }
+        s.run_until(SimTime::from_secs(10));
+        let client = tb.client("sagit");
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        SockGroup::request(
+            &client,
+            &mut s,
+            RequestSpec::new("host_cpu_bogomips > 4000\n", 2),
+            move |_s, r| *g.borrow_mut() = Some(r.expect("group forms")),
+        );
+        s.run_until(s.now() + SimDuration::from_secs(5));
+        let group = got.borrow_mut().take().unwrap();
+        assert_eq!(group.len(), 2);
+
+        let victim = group.sockets()[0].remote;
+        tb.net.unbind_stream(victim);
+        s.run_until(s.now() + SimDuration::from_secs(20));
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        group.repair(&mut s, move |_s, r| *o.borrow_mut() = Some(r));
+        s.run_until(s.now() + SimDuration::from_secs(5));
+        let outcome = out.borrow_mut().take().unwrap();
+        assert_eq!(outcome, RepairOutcome { replaced: 0, still_missing: 1 });
+        assert_eq!(group.len(), 1, "group shrinks but stays usable");
+    }
+}

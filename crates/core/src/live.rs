@@ -1,0 +1,283 @@
+//! Live transport: the Smart socket control plane over **real** operating
+//! system UDP sockets.
+//!
+//! The simulator is the measurement substrate, but nothing in the
+//! protocol depends on it — the formats in `smartsock-proto` are plain
+//! bytes. This module runs a miniature deployment on 127.0.0.1 to prove
+//! it: a combined monitor+wizard daemon thread ingests ASCII status
+//! reports and answers user requests, and a blocking client issues
+//! requests with the same timeout/retry discipline as the simulated one.
+//!
+//! The daemon multiplexes one socket: datagrams starting with the status
+//! report magic (`SSR1 `) are probe reports; everything else is decoded
+//! as a user request. This mirrors how cheaply the paper's wizard and
+//! system monitor co-exist on one machine (§4.3).
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use smartsock_lang::{compile, Evaluator, HostLists};
+use smartsock_proto::consts::ports;
+use smartsock_proto::{
+    Endpoint, HostName, Ip, ServerStatusReport, UserRequest, WizardReply, MAX_SERVERS_PER_REPLY,
+};
+use smartsock_wizard::ServerVars;
+
+/// A monitor+wizard daemon on a background thread.
+pub struct LiveWizard {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<u64>>>,
+    db: Arc<RwLock<Vec<ServerStatusReport>>>,
+}
+
+impl LiveWizard {
+    /// Bind an ephemeral loopback port and start serving.
+    pub fn spawn() -> io::Result<LiveWizard> {
+        Self::spawn_on("127.0.0.1:0")
+    }
+
+    /// Bind a specific address and start serving.
+    pub fn spawn_on(addr: &str) -> io::Result<LiveWizard> {
+        let sock = UdpSocket::bind(addr)?;
+        sock.set_read_timeout(Some(Duration::from_millis(25)))?;
+        let addr = sock.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let db: Arc<RwLock<Vec<ServerStatusReport>>> = Arc::new(RwLock::new(Vec::new()));
+        let stop2 = Arc::clone(&stop);
+        let db2 = Arc::clone(&db);
+        let handle = std::thread::spawn(move || serve(sock, stop2, db2));
+        Ok(LiveWizard { addr, stop, handle: Some(handle), db })
+    }
+
+    /// Where probes report and clients ask.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of live server records.
+    pub fn live_servers(&self) -> usize {
+        self.db.read().len()
+    }
+
+    /// Stop the daemon and return the number of requests it served.
+    pub fn shutdown(mut self) -> io::Result<u64> {
+        self.stop.store(true, Ordering::SeqCst);
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| io::Error::other("wizard thread panicked"))?,
+            None => Ok(0),
+        }
+    }
+}
+
+impl Drop for LiveWizard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(
+    sock: UdpSocket,
+    stop: Arc<AtomicBool>,
+    db: Arc<RwLock<Vec<ServerStatusReport>>>,
+) -> io::Result<u64> {
+    let mut buf = [0u8; 4096];
+    let mut served = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        let (n, from) = match sock.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let datagram = &buf[..n];
+        if datagram.starts_with(ServerStatusReport::ASCII_MAGIC.as_bytes()) {
+            // A probe report: upsert by address.
+            if let Ok(text) = std::str::from_utf8(datagram) {
+                if let Ok(report) = ServerStatusReport::parse_ascii(text) {
+                    let mut records = db.write();
+                    match records.iter_mut().find(|r| r.ip == report.ip) {
+                        Some(slot) => *slot = report,
+                        None => records.push(report),
+                    }
+                }
+            }
+            continue;
+        }
+        // A user request: match and reply.
+        let Ok(req) = UserRequest::decode(datagram) else { continue };
+        let servers = select(&db.read(), &req);
+        let reply = WizardReply { seq: req.seq, servers };
+        sock.send_to(&reply.encode(), from)?;
+        served += 1;
+    }
+    Ok(served)
+}
+
+/// The wizard's matching core over a plain report list (no network
+/// monitors in the live demo, so `monitor_*` variables are local-group).
+fn select(records: &[ServerStatusReport], req: &UserRequest) -> Vec<Endpoint> {
+    let Ok(requirement) = compile(&req.detail) else { return Vec::new() };
+    let lists = HostLists::from_requirement(&requirement);
+    let mut out: Vec<(Option<usize>, Ip)> = Vec::new();
+    for report in records {
+        if lists.denied.iter().any(|d| designates(d, report)) {
+            continue;
+        }
+        let view = ServerVars {
+            report,
+            security_level: None,
+            net_record: None,
+            same_group: true,
+        };
+        if !Evaluator::evaluate(&requirement, &view).qualified {
+            continue;
+        }
+        let pref = lists.preferred.iter().position(|p| designates(p, report));
+        out.push((pref, report.ip));
+    }
+    out.sort_by_key(|&(pref, ip)| (pref.map_or(usize::MAX, |i| i), ip));
+    out.truncate(usize::from(req.server_num).min(MAX_SERVERS_PER_REPLY));
+    out.into_iter().map(|(_, ip)| Endpoint::new(ip, ports::SERVICE)).collect()
+}
+
+fn designates(designator: &str, report: &ServerStatusReport) -> bool {
+    if let Ok(ip) = designator.parse::<Ip>() {
+        return ip == report.ip;
+    }
+    report.host.matches(&HostName::new(designator))
+}
+
+/// Send one probe report to a live wizard over real UDP.
+pub fn send_live_report(wizard: SocketAddr, report: &ServerStatusReport) -> io::Result<()> {
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.send_to(report.encode_ascii().as_bytes(), wizard)?;
+    Ok(())
+}
+
+/// Blocking client request with timeout and retries — the §3.6.2 client
+/// loop over real sockets.
+pub fn live_request(
+    wizard: SocketAddr,
+    req: &UserRequest,
+    timeout: Duration,
+    retries: u32,
+) -> io::Result<WizardReply> {
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.set_read_timeout(Some(timeout))?;
+    let wire = req.encode();
+    let mut buf = [0u8; 4096];
+    for _attempt in 0..=retries {
+        sock.send_to(&wire, wizard)?;
+        match sock.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                if let Ok(reply) = WizardReply::decode(&buf[..n]) {
+                    if reply.seq == req.seq {
+                        return Ok(reply);
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::TimedOut, "wizard did not reply"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_proto::RequestOption;
+
+    fn report(name: &str, last_octet: u8, cpu_idle: f64) -> ServerStatusReport {
+        let mut r = ServerStatusReport::empty(name, Ip::new(192, 168, 9, last_octet));
+        r.cpu_idle = cpu_idle;
+        r.mem_free = 200 << 20;
+        r
+    }
+
+    fn wait_for_records(wiz: &LiveWizard, n: usize) {
+        for _ in 0..200 {
+            if wiz.live_servers() >= n {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("wizard never ingested {n} reports");
+    }
+
+    #[test]
+    fn live_roundtrip_selects_qualified_servers() {
+        let wiz = LiveWizard::spawn().unwrap();
+        send_live_report(wiz.addr(), &report("idle1", 1, 0.97)).unwrap();
+        send_live_report(wiz.addr(), &report("busy", 2, 0.10)).unwrap();
+        send_live_report(wiz.addr(), &report("idle2", 3, 0.95)).unwrap();
+        wait_for_records(&wiz, 3);
+
+        let req = UserRequest {
+            seq: 0xabcd,
+            server_num: 5,
+            option: RequestOption::DEFAULT,
+            detail: "host_cpu_free > 0.9\n".to_owned(),
+        };
+        let reply = live_request(wiz.addr(), &req, Duration::from_millis(500), 3).unwrap();
+        assert_eq!(reply.seq, 0xabcd);
+        assert_eq!(reply.servers.len(), 2);
+        let served = wiz.shutdown().unwrap();
+        assert_eq!(served, 1);
+    }
+
+    #[test]
+    fn live_reports_update_in_place_and_lists_apply() {
+        let wiz = LiveWizard::spawn().unwrap();
+        send_live_report(wiz.addr(), &report("alpha", 1, 0.97)).unwrap();
+        send_live_report(wiz.addr(), &report("beta", 2, 0.97)).unwrap();
+        wait_for_records(&wiz, 2);
+        // alpha turns busy: same address, new report.
+        send_live_report(wiz.addr(), &report("alpha", 1, 0.05)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(wiz.live_servers(), 2, "update, not insert");
+
+        let req = UserRequest {
+            seq: 9,
+            server_num: 5,
+            option: RequestOption::DEFAULT,
+            detail: "host_cpu_free > 0.9\nuser_denied_host1 = beta\n".to_owned(),
+        };
+        let reply = live_request(wiz.addr(), &req, Duration::from_millis(500), 3).unwrap();
+        // alpha is busy now, beta is denied: nothing qualifies.
+        assert!(reply.servers.is_empty());
+    }
+
+    #[test]
+    fn live_request_times_out_without_a_wizard() {
+        // An unused loopback port: bind then drop to find a dead address.
+        let dead = {
+            let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+            s.local_addr().unwrap()
+        };
+        let req = UserRequest {
+            seq: 1,
+            server_num: 1,
+            option: RequestOption::DEFAULT,
+            detail: String::new(),
+        };
+        let err = live_request(dead, &req, Duration::from_millis(50), 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+}

@@ -1,0 +1,42 @@
+//! # smartsock-hostsim
+//!
+//! Simulated Linux servers: the substrate behind the paper's server probes.
+//!
+//! The probe of §3.2.1 reads five `/proc` entries (`/proc/loadavg`,
+//! `/proc/stat` twice, `/proc/meminfo`, `/proc/net/dev` — Table 3.1). This
+//! crate provides hosts whose CPU scheduler, memory accounting, disk and
+//! NIC counters evolve under synthetic workloads and can be *rendered as
+//! the same text files*, so the probe exercises the identical parse path a
+//! real deployment would.
+//!
+//! Modelled subsystems:
+//!
+//! * **CPU** — a fair-share scheduler over compute tasks; each machine has
+//!   a per-program compute rate calibrated against Fig 5.2's matrix
+//!   benchmark (where the P3 866 MHz and P4 2.4 GHz machines beat the
+//!   P4 1.6–1.8 GHz ones — the thesis attributes this to the program/
+//!   compiler combination, so the rate is a property of the pair, not of
+//!   clock speed alone) plus the kernel's BogoMIPS figure (Table 5.1);
+//! * **load averages** — exact exponential moving averages of the run
+//!   queue length with 1/5/15-minute time constants, updated analytically
+//!   at every queue change;
+//! * **memory** — Linux-convention `total/used/free/buffers/cached`
+//!   accounting with reclaim (allocations evict cache before failing),
+//!   reproducing the SuperPI before/after snapshot of Table 4.1;
+//! * **disk & NIC counters** — integrators fed by workloads and by the
+//!   deployment glue;
+//! * **workloads** — `SuperPI` (the memory/CPU hog of §5.3.1), plus
+//!   parameterisable CPU/IO hogs for ablations.
+
+pub mod cpu;
+pub mod host;
+pub mod load;
+pub mod mem;
+pub mod procfs;
+pub mod testbed;
+pub mod workload;
+
+pub use cpu::CpuModel;
+pub use host::{Host, HostConfig, SpawnError};
+pub use testbed::{machine_specs, MachineSpec};
+pub use workload::Workload;

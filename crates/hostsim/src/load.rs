@@ -1,0 +1,123 @@
+//! Linux-style load averages.
+//!
+//! The kernel keeps exponentially damped moving averages of the run-queue
+//! length with time constants of 1, 5 and 15 minutes. Between run-queue
+//! changes the queue length is constant, so the EMA can be folded
+//! analytically at each change:
+//!
+//! ```text
+//! load(t+dt) = n + (load(t) - n) * exp(-dt/tau)
+//! ```
+//!
+//! which is exact (no 5-second sampling grid needed) and cheap.
+
+use smartsock_sim::SimTime;
+
+const TAU_1: f64 = 60.0;
+const TAU_5: f64 = 300.0;
+const TAU_15: f64 = 900.0;
+
+/// The three load averages plus the bookkeeping to update them lazily.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadAvg {
+    load1: f64,
+    load5: f64,
+    load15: f64,
+    /// Run-queue length since `since`.
+    queue_len: f64,
+    since: SimTime,
+}
+
+impl Default for LoadAvg {
+    fn default() -> Self {
+        LoadAvg { load1: 0.0, load5: 0.0, load15: 0.0, queue_len: 0.0, since: SimTime::ZERO }
+    }
+}
+
+impl LoadAvg {
+    /// Fold the interval `[self.since, now]` (constant queue) into the
+    /// averages and record a new queue length.
+    pub fn set_queue_len(&mut self, now: SimTime, n: usize) {
+        self.fold(now);
+        self.queue_len = n as f64;
+    }
+
+    /// Read the averages as of `now`.
+    pub fn sample(&self, now: SimTime) -> (f64, f64, f64) {
+        let mut copy = *self;
+        copy.fold(now);
+        (copy.load1, copy.load5, copy.load15)
+    }
+
+    fn fold(&mut self, now: SimTime) {
+        let dt = now.since(self.since).as_secs_f64();
+        if dt > 0.0 {
+            let n = self.queue_len;
+            self.load1 = n + (self.load1 - n) * (-dt / TAU_1).exp();
+            self.load5 = n + (self.load5 - n) * (-dt / TAU_5).exp();
+            self.load15 = n + (self.load15 - n) * (-dt / TAU_15).exp();
+        }
+        self.since = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_machine_stays_at_zero() {
+        let l = LoadAvg::default();
+        let (a, b, c) = l.sample(SimTime::from_secs(3600));
+        assert_eq!((a, b, c), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn sustained_load_converges_to_queue_length() {
+        let mut l = LoadAvg::default();
+        l.set_queue_len(SimTime::ZERO, 2);
+        let (l1, l5, l15) = l.sample(SimTime::from_secs(3600));
+        assert!((l1 - 2.0).abs() < 1e-6);
+        assert!((l5 - 2.0).abs() < 1e-3);
+        assert!((l15 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn one_minute_average_reacts_fastest() {
+        let mut l = LoadAvg::default();
+        l.set_queue_len(SimTime::ZERO, 1);
+        let (l1, l5, l15) = l.sample(SimTime::from_secs(60));
+        // After one time constant, load1 = 1 - 1/e ≈ 0.632.
+        assert!((l1 - 0.632).abs() < 0.01, "load1 = {l1}");
+        assert!(l5 < l1 && l15 < l5);
+    }
+
+    #[test]
+    fn load_decays_after_the_queue_empties() {
+        let mut l = LoadAvg::default();
+        l.set_queue_len(SimTime::ZERO, 1);
+        l.set_queue_len(SimTime::from_secs(3600), 0);
+        let (l1, ..) = l.sample(SimTime::from_secs(3600 + 60));
+        assert!((l1 - 1.0 / std::f64::consts::E).abs() < 0.01, "load1 = {l1}");
+        let (l1, ..) = l.sample(SimTime::from_secs(3600 + 1200));
+        assert!(l1 < 0.01);
+    }
+
+    #[test]
+    fn piecewise_folding_matches_a_single_fold() {
+        // Folding at intermediate points with unchanged queue must not
+        // change the result.
+        let mut a = LoadAvg::default();
+        a.set_queue_len(SimTime::ZERO, 3);
+        let direct = a.sample(SimTime::from_secs(500));
+
+        let mut b = LoadAvg::default();
+        b.set_queue_len(SimTime::ZERO, 3);
+        for t in (100..=400).step_by(100) {
+            b.set_queue_len(SimTime::from_secs(t), 3);
+        }
+        let stepped = b.sample(SimTime::from_secs(500));
+        assert!((direct.0 - stepped.0).abs() < 1e-9);
+        assert!((direct.2 - stepped.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Linux-convention memory accounting with cache reclaim.
+//!
+//! `/proc/meminfo` reports `total`, `used = total - free`, `free`,
+//! `buffers` and `cached`. Anonymous allocations draw from `free`; when
+//! `free` runs low the kernel reclaims page-cache (`cached`, then
+//! `buffers`). File activity grows `cached`. Table 4.1 of the paper shows
+//! the resulting dynamics around a SuperPI run; `workload::super_pi`
+//! reproduces it on this model.
+
+/// Memory state of one host, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Memory {
+    pub total: u64,
+    pub free: u64,
+    pub buffers: u64,
+    pub cached: u64,
+    /// Anonymous (non-reclaimable) bytes: kernel + resident processes.
+    pub anon: u64,
+    /// Floor the kernel keeps free under pressure.
+    pub min_free: u64,
+}
+
+impl Memory {
+    /// A fresh host: ~46% of RAM anon-resident for OS + daemons on the
+    /// thesis machines, some warm buffers/cache (the Table 4.1 "Mem1" row
+    /// has 121 MB used of 256 MB with 18 MB buffers + 82 MB cached).
+    pub fn fresh(total: u64) -> Memory {
+        let anon = total / 13; // ~20 MB on a 256 MB box: kernel + daemons
+        let buffers = total * 7 / 100;
+        let cached = total * 31 / 100;
+        Memory {
+            total,
+            free: total - anon - buffers - cached,
+            buffers,
+            cached,
+            anon,
+            min_free: (total / 64).max(2 << 20),
+        }
+    }
+
+    /// Linux `used` = total - free.
+    pub fn used(&self) -> u64 {
+        self.total - self.free
+    }
+
+    /// Allocate `bytes` anonymously. Reclaims cached then buffers when
+    /// `free` would fall under the floor; returns `false` (allocation
+    /// failure / OOM) if even reclaim cannot satisfy it.
+    pub fn alloc(&mut self, bytes: u64) -> bool {
+        let mut need = bytes;
+        let avail_free = self.free.saturating_sub(self.min_free);
+        let from_free = need.min(avail_free);
+        need -= from_free;
+        let from_cached = need.min(self.cached.saturating_sub(1 << 20));
+        need -= from_cached;
+        let from_buffers = need.min(self.buffers.saturating_sub(512 << 10));
+        need -= from_buffers;
+        if need > 0 {
+            return false;
+        }
+        self.free -= from_free;
+        self.cached -= from_cached;
+        self.buffers -= from_buffers;
+        self.anon += bytes;
+        // Reclaimed pages back an anon allocation: free stays put, the
+        // reclaim victims shrink instead.
+        debug_assert!(self.consistent());
+        true
+    }
+
+    /// Release `bytes` of anonymous memory back to `free`.
+    pub fn release(&mut self, bytes: u64) {
+        let b = bytes.min(self.anon);
+        self.anon -= b;
+        self.free += b;
+        debug_assert!(self.consistent());
+    }
+
+    /// File-cache growth from IO activity (evicting nothing while `free`
+    /// is above the floor; otherwise bounded by what can be freed).
+    pub fn grow_cache(&mut self, bytes: u64) {
+        let grow = bytes.min(self.free.saturating_sub(self.min_free));
+        self.free -= grow;
+        self.cached += grow;
+        debug_assert!(self.consistent());
+    }
+
+    fn consistent(&self) -> bool {
+        self.anon + self.free + self.buffers + self.cached == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn fresh_accounting_is_consistent() {
+        let m = Memory::fresh(256 * MB);
+        assert!(m.consistent());
+        assert_eq!(m.used(), m.total - m.free);
+        assert!(m.free > 100 * MB, "fresh box should have lots free");
+    }
+
+    #[test]
+    fn small_allocations_come_from_free() {
+        let mut m = Memory::fresh(256 * MB);
+        let (free0, cached0) = (m.free, m.cached);
+        assert!(m.alloc(10 * MB));
+        assert_eq!(m.free, free0 - 10 * MB);
+        assert_eq!(m.cached, cached0);
+        assert_eq!(m.used(), m.total - m.free);
+    }
+
+    #[test]
+    fn big_allocations_reclaim_cache_like_table_4_1() {
+        // SuperPI-scale pressure on a 256 MB machine: free collapses to the
+        // floor and cached/buffers are reclaimed, but the alloc succeeds.
+        let mut m = Memory::fresh(256 * MB);
+        assert!(m.alloc(180 * MB));
+        assert!(m.free <= m.min_free + MB, "free should be near the floor: {}", m.free);
+        assert!(m.cached < 82 * MB, "cache must have been reclaimed");
+    }
+
+    #[test]
+    fn impossible_allocations_fail_without_corrupting_state() {
+        let mut m = Memory::fresh(256 * MB);
+        let before = m;
+        assert!(!m.alloc(1024 * MB));
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn release_returns_memory_to_free() {
+        let mut m = Memory::fresh(256 * MB);
+        let free0 = m.free;
+        assert!(m.alloc(50 * MB));
+        m.release(50 * MB);
+        assert_eq!(m.free, free0);
+    }
+
+    #[test]
+    fn cache_grows_with_file_io_until_the_floor() {
+        let mut m = Memory::fresh(256 * MB);
+        let cached0 = m.cached;
+        m.grow_cache(40 * MB);
+        assert_eq!(m.cached, cached0 + 40 * MB);
+        // Saturate: cache growth stops at the free floor.
+        m.grow_cache(10_000 * MB);
+        assert!(m.free >= m.min_free);
+    }
+}

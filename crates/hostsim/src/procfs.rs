@@ -1,0 +1,325 @@
+//! `/proc` text rendering and parsing.
+//!
+//! The real server probe (paper §4.1) opens five procfs files:
+//!
+//! ```text
+//! loadavg_fname  = "/proc/loadavg"
+//! cpuusage_fname = "/proc/stat"
+//! memusage_fname = "/proc/meminfo"
+//! diskio_fname   = "/proc/stat"
+//! netio_fname    = "/proc/net/dev"
+//! ```
+//!
+//! To keep the probe's parse path faithful, the simulated host renders its
+//! state in the same (Linux 2.4-era) text formats and the probe parses the
+//! text back — round-tripping through the exact artifact a 2004 kernel
+//! produced.
+
+use crate::host::HostSample;
+
+/// Jiffies per second (`USER_HZ` on the thesis machines).
+pub const HZ: f64 = 100.0;
+
+// ----------------------------------------------------------------------
+// Rendering
+// ----------------------------------------------------------------------
+
+/// Render `/proc/loadavg`: `l1 l5 l15 running/total last_pid`.
+pub fn render_loadavg(s: &HostSample, runnable: usize, nprocs: usize) -> String {
+    format!(
+        "{:.2} {:.2} {:.2} {}/{} 3042\n",
+        s.load1,
+        s.load5,
+        s.load15,
+        runnable,
+        nprocs.max(40)
+    )
+}
+
+/// Render the probe-relevant lines of `/proc/stat` (Linux 2.4 format):
+/// the aggregate `cpu` jiffies line and the `disk_io` summary.
+pub fn render_stat(s: &HostSample, uptime_secs: f64) -> String {
+    let user = (s.busy_user * HZ) as u64;
+    let system = (s.busy_system * HZ) as u64;
+    let nice = 0u64;
+    let idle = ((uptime_secs - s.busy_user - s.busy_system).max(0.0) * HZ) as u64;
+    let allreq = s.disk_rreq + s.disk_wreq;
+    format!(
+        "cpu  {user} {nice} {system} {idle}\n\
+         cpu0 {user} {nice} {system} {idle}\n\
+         disk_io: (3,0):({allreq},{rreq},{rblk},{wreq},{wblk})\n",
+        rreq = s.disk_rreq,
+        rblk = s.disk_rblocks,
+        wreq = s.disk_wreq,
+        wblk = s.disk_wblocks,
+    )
+}
+
+/// Render `/proc/meminfo` (2.4 format with the `Mem:` byte-count header
+/// Table 4.1 quotes: total used free shared buffers cached).
+pub fn render_meminfo(s: &HostSample) -> String {
+    let used = s.mem_total - s.mem_free;
+    format!(
+        "        total:    used:    free:  shared: buffers:  cached:\n\
+         Mem:  {total} {used} {free} 0 {buffers} {cached}\n\
+         Swap: 0 0 0\n\
+         MemTotal:      {total_kb} kB\n\
+         MemFree:       {free_kb} kB\n",
+        total = s.mem_total,
+        used = used,
+        free = s.mem_free,
+        buffers = s.mem_buffers,
+        cached = s.mem_cached,
+        total_kb = s.mem_total / 1024,
+        free_kb = s.mem_free / 1024,
+    )
+}
+
+/// Render `/proc/net/dev` for the loopback and primary interfaces.
+pub fn render_net_dev(s: &HostSample, iface: &str) -> String {
+    format!(
+        "Inter-|   Receive                                                |  Transmit\n\
+         face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n\
+         \x20   lo:       0       0    0    0    0     0          0         0        0       0    0    0    0     0       0          0\n\
+         \x20 {iface}: {rb} {rp}    0    0    0     0          0         0 {tb} {tp}    0    0    0     0       0          0\n",
+        rb = s.net_rbytes,
+        rp = s.net_rpackets,
+        tb = s.net_tbytes,
+        tp = s.net_tpackets,
+    )
+}
+
+// ----------------------------------------------------------------------
+// Parsing (what the probe does)
+// ----------------------------------------------------------------------
+
+/// Parse `/proc/loadavg` into the three averages.
+pub fn parse_loadavg(text: &str) -> Option<(f64, f64, f64)> {
+    let mut it = text.split_ascii_whitespace();
+    let l1 = it.next()?.parse().ok()?;
+    let l5 = it.next()?.parse().ok()?;
+    let l15 = it.next()?.parse().ok()?;
+    Some((l1, l5, l15))
+}
+
+/// CPU jiffies from the aggregate `cpu` line of `/proc/stat`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuJiffies {
+    pub user: u64,
+    pub nice: u64,
+    pub system: u64,
+    pub idle: u64,
+}
+
+impl CpuJiffies {
+    pub fn total(&self) -> u64 {
+        self.user + self.nice + self.system + self.idle
+    }
+
+    /// Usage fractions between two cumulative readings.
+    pub fn usage_since(&self, earlier: &CpuJiffies) -> (f64, f64, f64, f64) {
+        let d = CpuJiffies {
+            user: self.user.saturating_sub(earlier.user),
+            nice: self.nice.saturating_sub(earlier.nice),
+            system: self.system.saturating_sub(earlier.system),
+            idle: self.idle.saturating_sub(earlier.idle),
+        };
+        let total = d.total().max(1) as f64;
+        (
+            d.user as f64 / total,
+            d.nice as f64 / total,
+            d.system as f64 / total,
+            d.idle as f64 / total,
+        )
+    }
+}
+
+/// Parse the `cpu` line of `/proc/stat`.
+pub fn parse_stat_cpu(text: &str) -> Option<CpuJiffies> {
+    let line = text.lines().find(|l| l.starts_with("cpu "))?;
+    let mut it = line.split_ascii_whitespace().skip(1);
+    Some(CpuJiffies {
+        user: it.next()?.parse().ok()?,
+        nice: it.next()?.parse().ok()?,
+        system: it.next()?.parse().ok()?,
+        idle: it.next()?.parse().ok()?,
+    })
+}
+
+/// Disk counters from the `disk_io` line of `/proc/stat` (2.4 format).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    pub allreq: u64,
+    pub rreq: u64,
+    pub rblocks: u64,
+    pub wreq: u64,
+    pub wblocks: u64,
+}
+
+/// Parse and sum every `(major,minor):(...)` tuple on the `disk_io` line.
+pub fn parse_stat_disk(text: &str) -> Option<DiskCounters> {
+    let line = text.lines().find(|l| l.starts_with("disk_io:"))?;
+    let mut out = DiskCounters::default();
+    for tuple in line.split_ascii_whitespace().skip(1) {
+        let inner = tuple.split(":(").nth(1)?.trim_end_matches(')');
+        let mut nums = inner.split(',').map(|n| n.parse::<u64>().ok());
+        out.allreq += nums.next()??;
+        out.rreq += nums.next()??;
+        out.rblocks += nums.next()??;
+        out.wreq += nums.next()??;
+        out.wblocks += nums.next()??;
+    }
+    Some(out)
+}
+
+/// Memory figures from the `Mem:` byte-count line of `/proc/meminfo`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemInfo {
+    pub total: u64,
+    pub used: u64,
+    pub free: u64,
+    pub shared: u64,
+    pub buffers: u64,
+    pub cached: u64,
+}
+
+pub fn parse_meminfo(text: &str) -> Option<MemInfo> {
+    let line = text.lines().find(|l| l.starts_with("Mem:"))?;
+    let mut it = line.split_ascii_whitespace().skip(1);
+    Some(MemInfo {
+        total: it.next()?.parse().ok()?,
+        used: it.next()?.parse().ok()?,
+        free: it.next()?.parse().ok()?,
+        shared: it.next()?.parse().ok()?,
+        buffers: it.next()?.parse().ok()?,
+        cached: it.next()?.parse().ok()?,
+    })
+}
+
+/// NIC counters of one interface from `/proc/net/dev`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetDevCounters {
+    pub rbytes: u64,
+    pub rpackets: u64,
+    pub tbytes: u64,
+    pub tpackets: u64,
+}
+
+pub fn parse_net_dev(text: &str, iface: &str) -> Option<NetDevCounters> {
+    for line in text.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix(&format!("{iface}:")) else { continue };
+        let cols: Vec<&str> = rest.split_ascii_whitespace().collect();
+        // Receive: bytes packets errs drop fifo frame compressed multicast
+        // Transmit: bytes packets ...
+        if cols.len() < 10 {
+            return None;
+        }
+        return Some(NetDevCounters {
+            rbytes: cols[0].parse().ok()?,
+            rpackets: cols[1].parse().ok()?,
+            tbytes: cols[8].parse().ok()?,
+            tpackets: cols[9].parse().ok()?,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HostSample {
+        HostSample {
+            load1: 0.25,
+            load5: 0.5,
+            load15: 0.75,
+            busy_user: 12.34,
+            busy_system: 0.56,
+            mem_total: 262_213_632,
+            mem_free: 141_127_680,
+            mem_buffers: 18_284_544,
+            mem_cached: 82_911_232,
+            disk_rreq: 100,
+            disk_rblocks: 800,
+            disk_wreq: 50,
+            disk_wblocks: 400,
+            net_rbytes: 123_456,
+            net_rpackets: 789,
+            net_tbytes: 654_321,
+            net_tpackets: 987,
+        }
+    }
+
+    #[test]
+    fn loadavg_roundtrip() {
+        let text = render_loadavg(&sample(), 1, 52);
+        let (l1, l5, l15) = parse_loadavg(&text).unwrap();
+        assert_eq!((l1, l5, l15), (0.25, 0.5, 0.75));
+    }
+
+    #[test]
+    fn stat_cpu_roundtrip_and_usage() {
+        let text = render_stat(&sample(), 100.0);
+        let j = parse_stat_cpu(&text).unwrap();
+        assert_eq!(j.user, 1234);
+        assert_eq!(j.system, 56);
+        // Differentiating against zero gives the overall fractions.
+        let (u, _n, sys, idle) = j.usage_since(&CpuJiffies::default());
+        assert!(u > 0.12 && u < 0.13);
+        assert!(sys < 0.01);
+        assert!(idle > 0.85);
+    }
+
+    #[test]
+    fn stat_disk_roundtrip() {
+        let text = render_stat(&sample(), 100.0);
+        let d = parse_stat_disk(&text).unwrap();
+        assert_eq!(
+            d,
+            DiskCounters { allreq: 150, rreq: 100, rblocks: 800, wreq: 50, wblocks: 400 }
+        );
+    }
+
+    #[test]
+    fn meminfo_roundtrip_matches_table_4_1_format() {
+        let text = render_meminfo(&sample());
+        let m = parse_meminfo(&text).unwrap();
+        assert_eq!(m.total, 262_213_632);
+        assert_eq!(m.used, 262_213_632 - 141_127_680);
+        assert_eq!(m.free, 141_127_680);
+        assert_eq!(m.buffers, 18_284_544);
+        assert_eq!(m.cached, 82_911_232);
+    }
+
+    #[test]
+    fn net_dev_roundtrip_skips_loopback() {
+        let text = render_net_dev(&sample(), "eth0");
+        let n = parse_net_dev(&text, "eth0").unwrap();
+        assert_eq!(
+            n,
+            NetDevCounters { rbytes: 123_456, rpackets: 789, tbytes: 654_321, tpackets: 987 }
+        );
+        let lo = parse_net_dev(&text, "lo").unwrap();
+        assert_eq!(lo, NetDevCounters::default());
+        assert!(parse_net_dev(&text, "eth1").is_none());
+    }
+
+    #[test]
+    fn parsers_reject_garbage() {
+        assert!(parse_loadavg("").is_none());
+        assert!(parse_stat_cpu("nothing here").is_none());
+        assert!(parse_stat_disk("cpu 1 2 3 4").is_none());
+        assert!(parse_meminfo("MemTotal: 1 kB").is_none());
+        assert!(parse_net_dev("junk", "eth0").is_none());
+    }
+
+    #[test]
+    fn usage_since_clamps_on_counter_regression() {
+        let a = CpuJiffies { user: 100, nice: 0, system: 10, idle: 890 };
+        let b = CpuJiffies { user: 50, nice: 0, system: 5, idle: 445 };
+        // Reading an *older* snapshot as "later" must not panic.
+        let (u, n, s, i) = b.usage_since(&a);
+        assert_eq!((u, n, s, i), (0.0, 0.0, 0.0, 0.0));
+    }
+}

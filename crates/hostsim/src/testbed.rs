@@ -1,0 +1,111 @@
+//! The eleven machines of the thesis testbed (Table 5.1, Fig 5.1).
+//!
+//! Segment layout follows Fig 5.1: the five private /24 networks
+//! `192.168.1.0/24 … 192.168.5.0/24` live in the Communication and
+//! Internet Research lab, `sagit` sits in the School of Computing network
+//! `137.132.81.0/24` behind the gateway `dalmatian`.
+
+use smartsock_proto::Ip;
+
+use crate::cpu::CpuModel;
+use crate::host::HostConfig;
+
+/// Static description of one testbed machine.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    pub cpu: CpuModel,
+    pub ram_mb: u64,
+    pub ip: Ip,
+    /// Private segment index 1..=5, or 0 for the campus network.
+    pub segment: u8,
+}
+
+impl MachineSpec {
+    pub fn host_config(&self) -> HostConfig {
+        HostConfig::new(self.name, self.ip, self.cpu, self.ram_mb)
+    }
+}
+
+/// All eleven machines of Table 5.1.
+pub fn machine_specs() -> Vec<MachineSpec> {
+    use CpuModel as C;
+    let m = |name, cpu, ram_mb, segment, host: u8| MachineSpec {
+        name,
+        cpu,
+        ram_mb,
+        ip: if segment == 0 {
+            Ip::new(137, 132, 81, host)
+        } else {
+            Ip::new(192, 168, segment, host)
+        },
+        segment,
+    };
+    vec![
+        m("sagit", C::P3_866, 128, 0, 10),
+        m("dalmatian", C::P4_2400, 512, 1, 10),
+        m("mimas", C::P4_1700, 192, 1, 11),
+        m("telesto", C::P4_1600, 128, 2, 10),
+        m("lhost", C::P3_866, 128, 2, 11),
+        m("helene", C::P4_1700, 256, 3, 10),
+        m("phoebe", C::P4_1700, 256, 3, 11),
+        m("calypso", C::P4_1700, 256, 4, 10),
+        m("dione", C::P4_2400, 512, 4, 11),
+        m("titan-x", C::P4_1700, 256, 5, 10),
+        m("pandora-x", C::P4_1800, 256, 5, 11),
+    ]
+}
+
+/// Look up one machine by name.
+pub fn spec(name: &str) -> MachineSpec {
+    machine_specs()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown testbed machine {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_eleven_machines() {
+        assert_eq!(machine_specs().len(), 11);
+    }
+
+    #[test]
+    fn table_5_1_configs() {
+        assert_eq!(spec("sagit").cpu, CpuModel::P3_866);
+        assert_eq!(spec("sagit").ram_mb, 128);
+        assert_eq!(spec("dalmatian").cpu, CpuModel::P4_2400);
+        assert_eq!(spec("dalmatian").ram_mb, 512);
+        assert_eq!(spec("mimas").ram_mb, 192);
+        assert_eq!(spec("telesto").cpu, CpuModel::P4_1600);
+        assert_eq!(spec("pandora-x").cpu, CpuModel::P4_1800);
+        assert_eq!(spec("dione").cpu, CpuModel::P4_2400);
+    }
+
+    #[test]
+    fn names_and_ips_are_unique() {
+        let specs = machine_specs();
+        for (i, a) in specs.iter().enumerate() {
+            for b in &specs[i + 1..] {
+                assert_ne!(a.name, b.name);
+                assert_ne!(a.ip, b.ip);
+            }
+        }
+    }
+
+    #[test]
+    fn sagit_is_on_the_campus_network() {
+        let s = spec("sagit");
+        assert_eq!(s.segment, 0);
+        assert_eq!(s.ip.octets()[0], 137);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown testbed machine")]
+    fn unknown_machine_panics() {
+        spec("enceladus");
+    }
+}

@@ -1,0 +1,414 @@
+//! Requirement evaluation against one candidate server (paper Fig 4.2).
+//!
+//! The bison actions of Fig 4.2 keep two pieces of mutable state while a
+//! requirement runs: a `logic` flag recording whether the last reduction
+//! was a logical operator, and `server_ok`, the running *product* of all
+//! logical statement values. This module reproduces that machine:
+//!
+//! * every logical statement must evaluate true (nonzero) for the server to
+//!   qualify — `server_ok *= value`;
+//! * non-logical statements (assignments, arithmetic) update the temp-var
+//!   environment but never the verdict;
+//! * execution errors (`undefined variable`, `division by 0`) disqualify
+//!   the server — the paper's `execerror` aborts matching for that server,
+//!   and an uninitialised temp in a logical statement "will be considered
+//!   as a false statement".
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Requirement, Stmt};
+use crate::vars::{builtin_fn, constant, is_server_var, is_user_host_var, user_host_polarity};
+
+/// Supplies the values of server-side variables for one candidate server.
+///
+/// The wizard implements this over its status databases; tests use
+/// [`MapVars`].
+pub trait VarProvider {
+    /// Value of a server-side variable, or `None` if unknown/unsupported.
+    fn lookup(&self, name: &str) -> Option<f64>;
+}
+
+/// Simple `VarProvider` backed by a map — for tests and the harness.
+#[derive(Clone, Debug, Default)]
+pub struct MapVars {
+    pub vars: HashMap<String, f64>,
+}
+
+impl MapVars {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, name: &str, value: f64) -> Self {
+        self.vars.insert(name.to_owned(), value);
+        self
+    }
+}
+
+impl VarProvider for MapVars {
+    fn lookup(&self, name: &str) -> Option<f64> {
+        self.vars.get(name).copied()
+    }
+}
+
+/// The preferred/denied host lists extracted from a requirement
+/// (`store_uparams` in Fig 4.2). Order follows statement order; the wizard
+/// gives earlier preferred hosts priority.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HostLists {
+    pub preferred: Vec<String>,
+    pub denied: Vec<String>,
+}
+
+impl HostLists {
+    /// Collect host-list assignments from a compiled requirement.
+    pub fn from_requirement(req: &Requirement) -> HostLists {
+        let mut lists = HostLists::default();
+        for stmt in &req.stmts {
+            if let Stmt::HostAssign { param, host } = stmt {
+                match user_host_polarity(param) {
+                    Some(true) => lists.preferred.push(host.clone()),
+                    Some(false) => lists.denied.push(host.clone()),
+                    None => {}
+                }
+            }
+        }
+        lists
+    }
+}
+
+/// An error raised while evaluating a requirement for one server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// `execerror("undefined variable", name)`.
+    Undefined(String),
+    /// `execerror("division by 0", "")`.
+    DivisionByZero,
+    /// A network address literal used where a number is required.
+    NetAddrInExpr(String),
+    /// Attempt to overwrite a server-side variable.
+    AssignToServerVar(String),
+    /// Attempt to use a user host-list variable in a numeric expression.
+    UserHostVarInExpr(String),
+    /// Call of a function that is not in Appendix B.4.
+    UnknownFunction(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Undefined(v) => write!(f, "undefined variable {v}"),
+            EvalError::DivisionByZero => f.write_str("division by 0"),
+            EvalError::NetAddrInExpr(a) => write!(f, "network address {a} used as a number"),
+            EvalError::AssignToServerVar(v) => write!(f, "cannot assign to server variable {v}"),
+            EvalError::UserHostVarInExpr(v) => {
+                write!(f, "user host variable {v} used as a number")
+            }
+            EvalError::UnknownFunction(name) => write!(f, "unknown function {name}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The verdict for one candidate server.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decision {
+    /// True when every logical statement held and no execution error
+    /// occurred — the server is a candidate.
+    pub qualified: bool,
+    /// How many logical statements evaluated true.
+    pub statements_true: usize,
+    /// Total number of logical statements evaluated.
+    pub statements_total: usize,
+    /// Execution errors encountered (each disqualifies the server).
+    pub errors: Vec<EvalError>,
+}
+
+/// Evaluates compiled requirements against [`VarProvider`]s.
+///
+/// An `Evaluator` is stateless between calls; temp variables live only for
+/// the duration of one `evaluate` call, exactly as the wizard resets its
+/// symbol table per server (§3.6.1 step 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Evaluator;
+
+impl Evaluator {
+    /// Run `req` against one server's variables.
+    pub fn evaluate(req: &Requirement, provider: &dyn VarProvider) -> Decision {
+        let mut temps: HashMap<String, f64> = HashMap::new();
+        let mut decision = Decision {
+            qualified: true,
+            statements_true: 0,
+            statements_total: 0,
+            errors: Vec::new(),
+        };
+        for stmt in &req.stmts {
+            let expr = match stmt {
+                Stmt::HostAssign { .. } => continue, // request-level, not per-server
+                Stmt::Expr(e) => e,
+            };
+            let logical = expr.is_logical();
+            if logical {
+                decision.statements_total += 1;
+            }
+            match eval_expr(expr, provider, &mut temps) {
+                Ok(v) => {
+                    if logical {
+                        // server_ok *= $2
+                        if v != 0.0 {
+                            decision.statements_true += 1;
+                        } else {
+                            decision.qualified = false;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // execerror: the statement yields no value; a logical
+                    // statement is "considered a false statement", and any
+                    // error leaves the server unqualified.
+                    decision.errors.push(e);
+                    decision.qualified = false;
+                }
+            }
+        }
+        decision
+    }
+}
+
+fn eval_expr(
+    expr: &Expr,
+    provider: &dyn VarProvider,
+    temps: &mut HashMap<String, f64>,
+) -> Result<f64, EvalError> {
+    match expr {
+        Expr::Number(n) => Ok(*n),
+        Expr::NetAddr(a) => Err(EvalError::NetAddrInExpr(a.clone())),
+        Expr::Paren(inner) => eval_expr(inner, provider, temps),
+        Expr::Neg(inner) => Ok(-eval_expr(inner, provider, temps)?),
+        Expr::Var(name) => {
+            if is_user_host_var(name) {
+                return Err(EvalError::UserHostVarInExpr(name.clone()));
+            }
+            // Resolution order: temp vars shadow server vars shadow
+            // constants; a name known nowhere is UNDEF.
+            if let Some(v) = temps.get(name) {
+                return Ok(*v);
+            }
+            if let Some(v) = provider.lookup(name) {
+                return Ok(v);
+            }
+            if let Some(v) = constant(name) {
+                return Ok(v);
+            }
+            Err(EvalError::Undefined(name.clone()))
+        }
+        Expr::Assign(name, rhs) => {
+            if is_server_var(name) {
+                return Err(EvalError::AssignToServerVar(name.clone()));
+            }
+            if is_user_host_var(name) {
+                return Err(EvalError::UserHostVarInExpr(name.clone()));
+            }
+            let v = eval_expr(rhs, provider, temps)?;
+            temps.insert(name.clone(), v);
+            Ok(v)
+        }
+        Expr::Call(name, arg) => {
+            let f = builtin_fn(name).ok_or_else(|| EvalError::UnknownFunction(name.clone()))?;
+            Ok(f(eval_expr(arg, provider, temps)?))
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let a = eval_expr(lhs, provider, temps)?;
+            let b = eval_expr(rhs, provider, temps)?;
+            let bool_to_f = |v: bool| if v { 1.0 } else { 0.0 };
+            Ok(match op {
+                BinOp::Or => bool_to_f(a != 0.0 || b != 0.0),
+                BinOp::And => bool_to_f(a != 0.0 && b != 0.0),
+                BinOp::Eq => bool_to_f(a == b),
+                BinOp::Ne => bool_to_f(a != b),
+                BinOp::Lt => bool_to_f(a < b),
+                // Fig 4.2 spells these as disjunctions: ($1<$3)||($1==$3).
+                BinOp::Le => bool_to_f(a <= b),
+                BinOp::Gt => bool_to_f(a > b),
+                BinOp::Ge => bool_to_f(a >= b),
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a / b
+                }
+                BinOp::Pow => a.powf(b),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn vars() -> MapVars {
+        MapVars::new()
+            .with("host_cpu_free", 0.95)
+            .with("host_system_load1", 0.2)
+            .with("host_memory_free", 200.0 * 1024.0 * 1024.0)
+            .with("host_cpu_bogomips", 4771.02)
+            .with("monitor_network_bw", 6.72)
+    }
+
+    fn check(src: &str, provider: &MapVars) -> Decision {
+        Evaluator::evaluate(&compile(src).unwrap(), provider)
+    }
+
+    #[test]
+    fn all_logical_statements_must_hold() {
+        let v = vars();
+        let d = check("host_cpu_free > 0.9\nhost_system_load1 < 1\n", &v);
+        assert!(d.qualified);
+        assert_eq!((d.statements_true, d.statements_total), (2, 2));
+
+        let d = check("host_cpu_free > 0.9\nhost_system_load1 < 0.1\n", &v);
+        assert!(!d.qualified);
+        assert_eq!((d.statements_true, d.statements_total), (1, 2));
+    }
+
+    #[test]
+    fn non_logical_statements_never_disqualify() {
+        let v = vars();
+        // `100 > 0` is trivially true; arithmetic lines are ignored for the
+        // verdict even when their value is zero.
+        let d = check("x = 0\nx * 5\n100 > 0\n", &v);
+        assert!(d.qualified);
+        assert_eq!(d.statements_total, 1);
+    }
+
+    #[test]
+    fn temp_variables_thread_between_statements() {
+        let v = vars();
+        let d = check("limit = 0.5 + 0.5\nhost_system_load1 < limit\n", &v);
+        assert!(d.qualified);
+    }
+
+    #[test]
+    fn undefined_temp_in_logical_statement_is_false() {
+        let v = vars();
+        let d = check("host_cpu_free > never_defined\n", &v);
+        assert!(!d.qualified);
+        assert_eq!(d.errors, vec![EvalError::Undefined("never_defined".into())]);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_execerror() {
+        let v = vars();
+        let d = check("x = 1 / 0\n", &v);
+        assert!(!d.qualified);
+        assert_eq!(d.errors, vec![EvalError::DivisionByZero]);
+    }
+
+    #[test]
+    fn papers_table_5_3_requirement() {
+        // (host_cpu_bogomips > 4000) && (host_cpu_free > 0.9) &&
+        // (host_memory_free > 5MB)
+        let src = "(host_cpu_bogomips > 4000) && (host_cpu_free > 0.9) && (host_memory_free > 5*1024*1024)\n";
+        let fast = vars();
+        assert!(check(src, &fast).qualified);
+        let slow = MapVars::new()
+            .with("host_cpu_bogomips", 1730.15)
+            .with("host_cpu_free", 0.99)
+            .with("host_memory_free", 100e6);
+        assert!(!check(src, &slow).qualified);
+    }
+
+    #[test]
+    fn papers_table_5_4_disjunctive_requirement() {
+        // ((bogomips > 4000) || (bogomips < 2000)) && cpu_free > 0.9 ...
+        let src = "((host_cpu_bogomips > 4000) || (host_cpu_bogomips < 2000)) && (host_cpu_free > 0.9)\n";
+        let p3 = MapVars::new().with("host_cpu_bogomips", 1730.15).with("host_cpu_free", 0.95);
+        let p4_24 = MapVars::new().with("host_cpu_bogomips", 4771.02).with("host_cpu_free", 0.95);
+        let p4_17 = MapVars::new().with("host_cpu_bogomips", 3394.76).with("host_cpu_free", 0.95);
+        assert!(Evaluator::evaluate(&compile(src).unwrap(), &p3).qualified);
+        assert!(Evaluator::evaluate(&compile(src).unwrap(), &p4_24).qualified);
+        assert!(!Evaluator::evaluate(&compile(src).unwrap(), &p4_17).qualified);
+    }
+
+    #[test]
+    fn builtins_and_constants_work_in_requirements() {
+        let v = vars();
+        assert!(check("log10(100) == 2\n", &v).qualified);
+        assert!(check("sqrt(16) == 4\n", &v).qualified);
+        assert!(check("PI > 3.14 && PI < 3.15\n", &v).qualified);
+        assert!(check("exp(0) == 1\n", &v).qualified);
+        let d = check("frob(1) > 0\n", &v);
+        assert!(!d.qualified);
+        assert_eq!(d.errors, vec![EvalError::UnknownFunction("frob".into())]);
+    }
+
+    #[test]
+    fn meaningless_tautology_qualifies_everything() {
+        // The paper warns: "A meaningless statement like 100 > 0 will make
+        // any server as a qualified candidate."
+        let empty = MapVars::new();
+        assert!(check("100 > 0\n", &empty).qualified);
+    }
+
+    #[test]
+    fn server_vars_are_read_only() {
+        let v = vars();
+        let d = check("host_cpu_free = 1\n", &v);
+        assert!(!d.qualified);
+        assert_eq!(d.errors, vec![EvalError::AssignToServerVar("host_cpu_free".into())]);
+    }
+
+    #[test]
+    fn netaddr_in_numeric_position_is_an_error() {
+        let v = vars();
+        let d = check("x = 137.132.90.182 + 1\n", &v);
+        assert!(!d.qualified);
+        assert!(matches!(d.errors[0], EvalError::NetAddrInExpr(_)));
+    }
+
+    #[test]
+    fn host_lists_are_extracted_in_order() {
+        let req = compile(
+            "user_denied_host1 = telesto\nuser_denied_host2 = mimas\nuser_preferred_host1 = sagit.comp.nus.edu.sg\nhost_cpu_free > 0.5\n",
+        )
+        .unwrap();
+        let lists = HostLists::from_requirement(&req);
+        assert_eq!(lists.denied, vec!["telesto".to_owned(), "mimas".to_owned()]);
+        assert_eq!(lists.preferred, vec!["sagit.comp.nus.edu.sg".to_owned()]);
+        // Host assignments are invisible to per-server evaluation.
+        let d = Evaluator::evaluate(&req, &vars());
+        assert_eq!(d.statements_total, 1);
+        assert!(d.qualified);
+    }
+
+    #[test]
+    fn empty_requirement_qualifies_like_the_random_baseline() {
+        let d = Evaluator::evaluate(&Requirement::empty(), &MapVars::new());
+        assert!(d.qualified);
+        assert_eq!(d.statements_total, 0);
+    }
+
+    #[test]
+    fn and_or_operate_on_truthiness_of_numbers() {
+        let v = MapVars::new();
+        assert!(check("2 && 3\n", &v).qualified);
+        assert!(!check("0 && 3\n", &v).qualified);
+        assert!(check("0 || 0.5\n", &v).qualified);
+        assert!(!check("0 || 0\n", &v).qualified);
+    }
+
+    #[test]
+    fn le_ge_match_fig_4_2_disjunction_spelling() {
+        let v = MapVars::new();
+        assert!(check("1 <= 1\n", &v).qualified);
+        assert!(check("1 >= 1\n", &v).qualified);
+        assert!(check("0.999 <= 1\n", &v).qualified);
+        assert!(!check("1.001 <= 1\n", &v).qualified);
+    }
+}

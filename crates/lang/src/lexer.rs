@@ -1,0 +1,334 @@
+//! Hand-written lexer implementing the flex rules of paper Fig 4.1.
+//!
+//! Classes, in matching priority order exactly as the flex file lists them:
+//!
+//! 1. `#.*` — comments, ignored;
+//! 2. space and tab — ignored;
+//! 3. `[0-9]+\.[0-9]+\.[0-9]+\.[0-9]+` — dotted-quad `NETADDR`;
+//! 4. `ident "." dotted-tail` — domain-name `NETADDR`;
+//! 5. `[0-9]+` / `[0-9]+\.[0-9]+` — `NUMBER`;
+//! 6. identifiers; operators; `\n` ends a statement.
+//!
+//! Deviation: identifiers and domain labels additionally accept `-` when it
+//! is *followed by an alphanumeric* (so `titan-x` is one token, matching
+//! the hosts the thesis itself blacklists in Table 5.5) while `a - b` and
+//! `a -b` still lex as subtraction/negation. The corner case `a-b` lexes as
+//! the single identifier `a-b`; requirement authors separate operators with
+//! spaces, as every example in the thesis does.
+
+use crate::token::Token;
+
+/// A lexical error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming lexer over a requirement text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lex the whole input. A trailing [`Token::Newline`] is appended if the
+    /// text does not end with one, so the parser always sees terminated
+    /// statements.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            out.push(tok);
+        }
+        if out.last() != Some(&Token::Newline) && !out.is_empty() {
+            out.push(Token::Newline);
+        }
+        Ok(out)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { line: self.line, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        loop {
+            match self.peek() {
+                None => return Ok(None),
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    // `#.*` — comment to end of line; the newline itself is
+                    // still significant.
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'\n') => {
+                    self.bump();
+                    self.line += 1;
+                    return Ok(Some(Token::Newline));
+                }
+                Some(b) if b.is_ascii_digit() => return self.number_or_ip().map(Some),
+                Some(b) if b.is_ascii_alphabetic() => return self.ident_or_domain().map(Some),
+                Some(_) => return self.operator().map(Some),
+            }
+        }
+    }
+
+    /// True if `-` at the current position continues a word (hyphenated
+    /// host/identifier) rather than being a minus operator.
+    fn hyphen_joins(&self) -> bool {
+        self.peek() == Some(b'-')
+            && self.peek2().is_some_and(|b| b.is_ascii_alphanumeric())
+    }
+
+    fn number_or_ip(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        self.eat_digits();
+        let mut dots = 0;
+        // Count how many `.digits` groups follow to disambiguate
+        // NUMBER (`1` / `1.5`) from dotted-quad NETADDR (`1.2.3.4`).
+        while self.peek() == Some(b'.') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump(); // '.'
+            self.eat_digits();
+            dots += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        match dots {
+            0 | 1 => {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("bad number {text:?}")))?;
+                Ok(Token::Number(v))
+            }
+            3 => Ok(Token::NetAddr(text.to_owned())),
+            _ => Err(self.err(format!(
+                "{text:?} is neither a NUMBER nor a dotted-quad NETADDR"
+            ))),
+        }
+    }
+
+    fn eat_digits(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+        }
+    }
+
+    fn ident_or_domain(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        // Leading label: `[a-zA-Z]+[a-zA-Z_0-9-]*`.
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            || self.hyphen_joins()
+        {
+            self.bump();
+        }
+        // A dot turns the token into a domain-name NETADDR, consuming the
+        // dotted tail `[\.a-zA-Z_0-9-]*`.
+        let mut is_domain = false;
+        while self.peek() == Some(b'.')
+            && self.peek2().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            is_domain = true;
+            self.bump(); // '.'
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                || self.hyphen_joins()
+            {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if is_domain {
+            Ok(Token::NetAddr(text.to_owned()))
+        } else {
+            Ok(Token::Ident(text.to_owned()))
+        }
+    }
+
+    fn operator(&mut self) -> Result<Token, LexError> {
+        let b = self.bump().expect("operator() called at EOF");
+        let two = |lexer: &mut Self, next: u8| -> bool {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                true
+            } else {
+                false
+            }
+        };
+        match b {
+            b'&' => {
+                if two(self, b'&') {
+                    Ok(Token::And)
+                } else {
+                    Err(self.err("single '&' (did you mean '&&'?)"))
+                }
+            }
+            b'|' => {
+                if two(self, b'|') {
+                    Ok(Token::Or)
+                } else {
+                    Err(self.err("single '|' (did you mean '||'?)"))
+                }
+            }
+            b'>' => Ok(if two(self, b'=') { Token::Ge } else { Token::Gt }),
+            b'<' => Ok(if two(self, b'=') { Token::Le } else { Token::Lt }),
+            b'=' => Ok(if two(self, b'=') { Token::EqEq } else { Token::Assign }),
+            b'!' => {
+                if two(self, b'=') {
+                    Ok(Token::Ne)
+                } else {
+                    Err(self.err("single '!' (did you mean '!='?)"))
+                }
+            }
+            b'+' => Ok(Token::Plus),
+            b'-' => Ok(Token::Minus),
+            b'*' => Ok(Token::Star),
+            b'/' => Ok(Token::Slash),
+            b'^' => Ok(Token::Caret),
+            b'(' => Ok(Token::LParen),
+            b')' => Ok(Token::RParen),
+            other => Err(self.err(format!("unexpected character {:?}", other as char))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Token::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Lexer::new(s).tokenize().unwrap()
+    }
+
+    #[test]
+    fn numbers_and_arithmetic() {
+        assert_eq!(
+            lex("1 + 2.5 * 3"),
+            vec![Number(1.0), Plus, Number(2.5), Star, Number(3.0), Newline]
+        );
+    }
+
+    #[test]
+    fn dotted_quads_are_netaddrs_not_numbers() {
+        assert_eq!(
+            lex("137.132.90.182"),
+            vec![NetAddr("137.132.90.182".into()), Newline]
+        );
+    }
+
+    #[test]
+    fn domain_names_are_netaddrs() {
+        assert_eq!(
+            lex("sagit.ddns.comp.nus.edu.sg"),
+            vec![NetAddr("sagit.ddns.comp.nus.edu.sg".into()), Newline]
+        );
+    }
+
+    #[test]
+    fn hyphenated_hosts_lex_as_one_token() {
+        assert_eq!(lex("titan-x"), vec![Ident("titan-x".into()), Newline]);
+        assert_eq!(
+            lex("pandora-x.comp.nus.edu.sg"),
+            vec![NetAddr("pandora-x.comp.nus.edu.sg".into()), Newline]
+        );
+    }
+
+    #[test]
+    fn minus_with_spacing_is_still_an_operator() {
+        assert_eq!(
+            lex("a - b"),
+            vec![Ident("a".into()), Minus, Ident("b".into()), Newline]
+        );
+        // `-b`: hyphen joins only *between* word characters.
+        assert_eq!(lex("- b"), vec![Minus, Ident("b".into()), Newline]);
+    }
+
+    #[test]
+    fn comments_vanish_but_newlines_survive() {
+        assert_eq!(
+            lex("a # trailing comment\n# whole-line comment\nb"),
+            vec![Ident("a".into()), Newline, Newline, Ident("b".into()), Newline]
+        );
+    }
+
+    #[test]
+    fn all_relational_operators() {
+        assert_eq!(
+            lex("> >= < <= == != && || ="),
+            vec![Gt, Ge, Lt, Le, EqEq, Ne, And, Or, Assign, Newline]
+        );
+    }
+
+    #[test]
+    fn parentheses_and_power() {
+        assert_eq!(
+            lex("(a ^ 2)"),
+            vec![LParen, Ident("a".into()), Caret, Number(2.0), RParen, Newline]
+        );
+    }
+
+    #[test]
+    fn bad_characters_are_reported_with_line_numbers() {
+        let e = Lexer::new("ok\nbad ~ here").tokenize().unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('~'));
+        assert!(Lexer::new("a & b").tokenize().is_err());
+        assert!(Lexer::new("a | b").tokenize().is_err());
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn malformed_dotted_numbers_are_rejected() {
+        assert!(Lexer::new("1.2.3").tokenize().is_err());
+        assert!(Lexer::new("1.2.3.4.5").tokenize().is_err());
+    }
+
+    #[test]
+    fn trailing_newline_is_synthesised() {
+        assert_eq!(lex("a"), vec![Ident("a".into()), Newline]);
+        assert_eq!(lex(""), Vec::<Token>::new());
+    }
+
+    #[test]
+    fn underscored_variables_from_the_paper() {
+        assert_eq!(
+            lex("host_system_load1 < 1"),
+            vec![Ident("host_system_load1".into()), Lt, Number(1.0), Newline]
+        );
+    }
+}

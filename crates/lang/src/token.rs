@@ -1,0 +1,76 @@
+//! Token types of the requirement language (paper Fig 4.1).
+
+use std::fmt;
+
+/// One lexical unit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// `[0-9]+` or `[0-9]+\.[0-9]+` — the `NUMBER` class.
+    Number(f64),
+    /// Dotted-quad IPs and dotted domain names — the `NETADDR` class.
+    NetAddr(String),
+    /// `[a-zA-Z]+[a-zA-Z_0-9-]*` — resolved later into VAR / PARAM /
+    /// UPARAM / BLTIN / UNDEF by the parser and evaluator.
+    Ident(String),
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<` (the paper's lexer calls it ST)
+    Lt,
+    /// `<=` (SE)
+    Le,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^` — exponentiation (`Pow` in Fig 4.2)
+    Caret,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `\n` — statement terminator
+    Newline,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::NetAddr(s) => write!(f, "{s}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::And => f.write_str("&&"),
+            Token::Or => f.write_str("||"),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::EqEq => f.write_str("=="),
+            Token::Ne => f.write_str("!="),
+            Token::Assign => f.write_str("="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Caret => f.write_str("^"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Newline => f.write_str("\\n"),
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The three status databases (`sysdb`, `netdb`, `secdb` of Fig 3.10).
+//!
+//! In the thesis these are System-V shared-memory segments guarded by
+//! semaphores (Table 4.3), written by the monitors and read by the
+//! transmitter (or, on the wizard machine, written by the receiver and
+//! read by the wizard). Here each database is an `Arc<RwLock<...>>`: the
+//! same concurrent-reader/exclusive-writer discipline without the UB.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use smartsock_proto::{Ip, NetPathRecord, SecurityRecord, ServerStatusReport};
+use smartsock_sim::{SimDuration, SimTime};
+
+/// A status report plus the time the monitor recorded it (§3.2.2: "each
+/// server status record ... is tagged with the time stamp").
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedReport {
+    pub report: ServerStatusReport,
+    pub recorded_at: SimTime,
+}
+
+/// The server status database, keyed by server address.
+#[derive(Clone, Debug, Default)]
+pub struct SysDb {
+    records: BTreeMap<Ip, TimedReport>,
+}
+
+impl SysDb {
+    /// Insert or update one server's record (§3.2.2: update if the address
+    /// exists, insert otherwise).
+    pub fn upsert(&mut self, report: ServerStatusReport, now: SimTime) {
+        self.records.insert(report.ip, TimedReport { report, recorded_at: now });
+    }
+
+    /// Drop records older than `max_age` (the stale sweep; with the 3×
+    /// interval policy of §4.1, `max_age = 3 * probe_interval`).
+    pub fn expire(&mut self, now: SimTime, max_age: SimDuration) -> usize {
+        let before = self.records.len();
+        self.records.retain(|_, r| now.since(r.recorded_at) <= max_age);
+        before - self.records.len()
+    }
+
+    pub fn get(&self, ip: Ip) -> Option<&TimedReport> {
+        self.records.get(&ip)
+    }
+
+    /// Live records in deterministic (address) order — the order the
+    /// wizard scans candidates in.
+    pub fn snapshot(&self) -> Vec<ServerStatusReport> {
+        self.records.values().map(|t| t.report.clone()).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Ip, &TimedReport)> {
+        self.records.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Replace the whole database (receiver side: §3.5.2 keeps the wizard
+    /// machine's copy identical to the transmitter's).
+    pub fn replace_all(&mut self, reports: Vec<ServerStatusReport>, now: SimTime) {
+        self.records.clear();
+        for r in reports {
+            self.upsert(r, now);
+        }
+    }
+}
+
+/// The network metrics database: one record per (from, to) monitor pair.
+#[derive(Clone, Debug, Default)]
+pub struct NetDb {
+    records: BTreeMap<(Ip, Ip), NetPathRecord>,
+}
+
+impl NetDb {
+    pub fn upsert(&mut self, rec: NetPathRecord) {
+        self.records.insert((rec.from_monitor, rec.to_monitor), rec);
+    }
+
+    pub fn get(&self, from: Ip, to: Ip) -> Option<&NetPathRecord> {
+        self.records.get(&(from, to))
+    }
+
+    pub fn snapshot(&self) -> Vec<NetPathRecord> {
+        self.records.values().copied().collect()
+    }
+
+    pub fn replace_all(&mut self, recs: Vec<NetPathRecord>) {
+        self.records.clear();
+        for r in recs {
+            self.upsert(r);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// The security database: clearance level per host.
+#[derive(Clone, Debug, Default)]
+pub struct SecDb {
+    records: BTreeMap<Ip, SecurityRecord>,
+}
+
+impl SecDb {
+    pub fn upsert(&mut self, rec: SecurityRecord) {
+        self.records.insert(rec.ip, rec);
+    }
+
+    pub fn level_of(&self, ip: Ip) -> Option<i32> {
+        self.records.get(&ip).map(|r| r.level)
+    }
+
+    pub fn snapshot(&self) -> Vec<SecurityRecord> {
+        self.records.values().cloned().collect()
+    }
+
+    pub fn replace_all(&mut self, recs: Vec<SecurityRecord>) {
+        self.records.clear();
+        for r in recs {
+            self.upsert(r);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Shared handles — the "shared memory segments".
+pub type SharedSysDb = Arc<RwLock<SysDb>>;
+pub type SharedNetDb = Arc<RwLock<NetDb>>;
+pub type SharedSecDb = Arc<RwLock<SecDb>>;
+
+/// Allocate an empty set of shared databases (one "machine"'s segments).
+pub fn shared_dbs() -> (SharedSysDb, SharedNetDb, SharedSecDb) {
+    (
+        Arc::new(RwLock::new(SysDb::default())),
+        Arc::new(RwLock::new(NetDb::default())),
+        Arc::new(RwLock::new(SecDb::default())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_proto::HostName;
+
+    fn report(ip: Ip, load: f64) -> ServerStatusReport {
+        let mut r = ServerStatusReport::empty(HostName::new("h"), ip);
+        r.load1 = load;
+        r
+    }
+
+    #[test]
+    fn upsert_updates_existing_addresses() {
+        let mut db = SysDb::default();
+        let ip = Ip::new(10, 0, 0, 1);
+        db.upsert(report(ip, 0.1), SimTime::from_secs(1));
+        db.upsert(report(ip, 0.9), SimTime::from_secs(2));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(ip).unwrap().report.load1, 0.9);
+        assert_eq!(db.get(ip).unwrap().recorded_at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn expiry_drops_only_stale_records() {
+        let mut db = SysDb::default();
+        db.upsert(report(Ip::new(10, 0, 0, 1), 0.0), SimTime::from_secs(0));
+        db.upsert(report(Ip::new(10, 0, 0, 2), 0.0), SimTime::from_secs(9));
+        let dropped = db.expire(SimTime::from_secs(10), SimDuration::from_secs(6));
+        assert_eq!(dropped, 1);
+        assert!(db.get(Ip::new(10, 0, 0, 1)).is_none());
+        assert!(db.get(Ip::new(10, 0, 0, 2)).is_some());
+    }
+
+    #[test]
+    fn snapshot_is_address_ordered() {
+        let mut db = SysDb::default();
+        db.upsert(report(Ip::new(10, 0, 0, 9), 0.0), SimTime::ZERO);
+        db.upsert(report(Ip::new(10, 0, 0, 1), 0.0), SimTime::ZERO);
+        let snap = db.snapshot();
+        assert!(snap[0].ip < snap[1].ip);
+    }
+
+    #[test]
+    fn replace_all_mirrors_the_transmitter() {
+        let mut db = SysDb::default();
+        db.upsert(report(Ip::new(10, 0, 0, 1), 0.0), SimTime::ZERO);
+        db.replace_all(vec![report(Ip::new(10, 0, 0, 7), 0.5)], SimTime::from_secs(3));
+        assert_eq!(db.len(), 1);
+        assert!(db.get(Ip::new(10, 0, 0, 7)).is_some());
+    }
+
+    #[test]
+    fn netdb_keys_are_directional() {
+        let mut db = NetDb::default();
+        let a = Ip::new(192, 168, 1, 1);
+        let b = Ip::new(192, 168, 2, 1);
+        db.upsert(NetPathRecord { from_monitor: a, to_monitor: b, delay_ms: 1.0, bw_mbps: 90.0, timestamp_ns: 0 });
+        db.upsert(NetPathRecord { from_monitor: b, to_monitor: a, delay_ms: 2.0, bw_mbps: 50.0, timestamp_ns: 0 });
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(a, b).unwrap().bw_mbps, 90.0);
+        assert_eq!(db.get(b, a).unwrap().bw_mbps, 50.0);
+        assert!(db.get(a, a).is_none());
+    }
+
+    #[test]
+    fn secdb_levels() {
+        let mut db = SecDb::default();
+        let ip = Ip::new(192, 168, 3, 1);
+        db.upsert(SecurityRecord { host: "helene".into(), ip, level: 4 });
+        assert_eq!(db.level_of(ip), Some(4));
+        assert_eq!(db.level_of(Ip::new(1, 1, 1, 1)), None);
+    }
+
+    #[test]
+    fn shared_dbs_are_independently_lockable() {
+        let (sys, net, sec) = shared_dbs();
+        let _s = sys.write();
+        let _n = net.read();
+        let _e = sec.read();
+        assert!(_n.is_empty());
+        assert!(_e.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! The one-way UDP stream bandwidth estimator — pure math (paper §3.3.2).
+//!
+//! The method sends two probe datagrams of sizes `S1 < S2` to a closed UDP
+//! port, times the ICMP port-unreachable echoes (`T1`, `T2`) and applies
+//! Equation (3.5):
+//!
+//! ```text
+//! B = (S2 − S1) / (T2 − T1)
+//! ```
+//!
+//! Probe-size rules derived in the paper:
+//!
+//! 1. both sizes must exceed the MTU, or `Speed_init` contaminates the
+//!    slope (Formula 3.7: `1/B' = 1/B + 1/Speed_init`);
+//! 2. sizes should be as small as possible (fewer fragments, less cross
+//!    traffic exposure);
+//! 3. both sizes should generate the *same number of fragments* so the
+//!    per-fragment overheads cancel in `T2 − T1`.
+//!
+//! The default pair (1600, 2900) satisfies all three at MTU 1500 and is
+//! exactly the deployment setting of §5.2.
+
+use smartsock_proto::consts::sizes;
+use smartsock_sim::SimDuration;
+
+/// A probe-pair specification: the two payload sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbePairSpec {
+    pub s1_bytes: u32,
+    pub s2_bytes: u32,
+}
+
+impl ProbePairSpec {
+    /// The paper's optimal pair for MTU 1500: 1600/2900 bytes.
+    pub const OPTIMAL_1500: ProbePairSpec =
+        ProbePairSpec { s1_bytes: sizes::PROBE_SMALL_BYTES, s2_bytes: sizes::PROBE_LARGE_BYTES };
+
+    pub fn new(s1_bytes: u32, s2_bytes: u32) -> ProbePairSpec {
+        assert!(s1_bytes < s2_bytes, "probe sizes must be ordered: {s1_bytes} < {s2_bytes}");
+        ProbePairSpec { s1_bytes, s2_bytes }
+    }
+
+    pub fn delta_bytes(&self) -> u32 {
+        self.s2_bytes - self.s1_bytes
+    }
+}
+
+/// Apply Equation (3.5) to one sample pair. Returns `None` when
+/// `t2 <= t1` (jitter inverted the pair — the sample is unusable).
+///
+/// # Example
+///
+/// ```
+/// use smartsock_monitor::estimator::{bandwidth_mbps_from_pair, ProbePairSpec};
+/// use smartsock_sim::SimDuration;
+///
+/// // ΔS = 1300 bytes, ΔT = 104 µs ⇒ B = 100 Mbps.
+/// let b = bandwidth_mbps_from_pair(
+///     ProbePairSpec::OPTIMAL_1500,
+///     SimDuration::from_micros(500),
+///     SimDuration::from_micros(604),
+/// ).unwrap();
+/// assert!((b - 100.0).abs() < 0.01);
+/// ```
+pub fn bandwidth_mbps_from_pair(
+    spec: ProbePairSpec,
+    t1: SimDuration,
+    t2: SimDuration,
+) -> Option<f64> {
+    if t2 <= t1 {
+        return None;
+    }
+    let dt = (t2 - t1).as_secs_f64();
+    Some(f64::from(spec.delta_bytes()) * 8.0 / dt / 1e6)
+}
+
+/// Aggregated outcome of a probing round (several pairs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BwEstimate {
+    /// Median over valid samples, Mbps (robust against jitter outliers).
+    pub bw_mbps: f64,
+    pub min_mbps: f64,
+    pub max_mbps: f64,
+    /// Minimum observed RTT of the small probe — the delay figure stored
+    /// in `netdb`, milliseconds.
+    pub delay_ms: f64,
+    /// Valid samples out of attempted pairs.
+    pub samples: usize,
+}
+
+/// Reduce raw per-pair measurements to a [`BwEstimate`].
+///
+/// `pairs` holds `(t1, t2)` echo RTTs for each repetition. Returns `None`
+/// when no pair was usable.
+pub fn reduce_round(spec: ProbePairSpec, pairs: &[(SimDuration, SimDuration)]) -> Option<BwEstimate> {
+    let mut bws: Vec<f64> =
+        pairs.iter().filter_map(|&(t1, t2)| bandwidth_mbps_from_pair(spec, t1, t2)).collect();
+    if bws.is_empty() {
+        return None;
+    }
+    bws.sort_by(|a, b| a.partial_cmp(b).expect("no NaN bandwidths"));
+    let delay_ms = pairs
+        .iter()
+        .map(|&(t1, _)| t1.as_millis_f64())
+        .fold(f64::INFINITY, f64::min);
+    Some(BwEstimate {
+        bw_mbps: median_of_sorted(&bws),
+        min_mbps: bws[0],
+        max_mbps: *bws.last().expect("non-empty"),
+        delay_ms,
+        samples: bws.len(),
+    })
+}
+
+fn median_of_sorted(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_3_5_on_a_clean_pair() {
+        // ΔS = 1300 bytes = 10400 bits; ΔT = 104 µs ⇒ B = 100 Mbps.
+        let spec = ProbePairSpec::OPTIMAL_1500;
+        let t1 = SimDuration::from_micros(500);
+        let t2 = SimDuration::from_micros(604);
+        let b = bandwidth_mbps_from_pair(spec, t1, t2).unwrap();
+        assert!((b - 100.0).abs() < 0.01, "b = {b}");
+    }
+
+    #[test]
+    fn inverted_pairs_are_rejected() {
+        let spec = ProbePairSpec::OPTIMAL_1500;
+        let t = SimDuration::from_micros(500);
+        assert_eq!(bandwidth_mbps_from_pair(spec, t, t), None);
+        assert_eq!(
+            bandwidth_mbps_from_pair(spec, SimDuration::from_micros(600), t),
+            None
+        );
+    }
+
+    #[test]
+    fn reduce_round_takes_median_and_min_delay() {
+        let spec = ProbePairSpec::new(1600, 2900);
+        // Three samples: 100, 50, 200 Mbps equivalents.
+        let us = |x: u64| SimDuration::from_micros(x);
+        let pairs = vec![
+            (us(1000), us(1104)), // 100 Mbps
+            (us(900), us(1108)),  // 50 Mbps
+            (us(1100), us(1152)), // 200 Mbps
+            (us(1000), us(900)),  // inverted — dropped
+        ];
+        let est = reduce_round(spec, &pairs).unwrap();
+        assert_eq!(est.samples, 3);
+        assert!((est.bw_mbps - 100.0).abs() < 1.0, "median = {}", est.bw_mbps);
+        assert!((est.min_mbps - 50.0).abs() < 1.0);
+        assert!((est.max_mbps - 200.0).abs() < 1.0);
+        assert!((est.delay_ms - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_inverted_round_yields_none() {
+        let spec = ProbePairSpec::OPTIMAL_1500;
+        let us = |x: u64| SimDuration::from_micros(x);
+        assert_eq!(reduce_round(spec, &[(us(2), us(1))]), None);
+        assert_eq!(reduce_round(spec, &[]), None);
+    }
+
+    #[test]
+    fn even_sample_counts_average_the_middle_pair() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn misordered_specs_are_rejected() {
+        ProbePairSpec::new(2900, 1600);
+    }
+}

@@ -1,0 +1,37 @@
+//! # smartsock-monitor
+//!
+//! The three monitor daemons of the Smart TCP socket library (paper §3.2.2,
+//! §3.3, §3.4) plus the status databases they maintain.
+//!
+//! * [`SystemMonitor`] — receives ASCII status reports from server probes
+//!   on UDP port 1111, upserts them into the system status database
+//!   (`sysdb`), time-stamps every record and expires servers that miss
+//!   three consecutive reporting intervals (§3.2.2, §4.1).
+//! * [`NetworkMonitor`] — one per server group; probes its peer monitors
+//!   **sequentially** (§3.3.3: "Multiple probes should not run
+//!   simultaneously") with the one-way UDP stream method of §3.3.2, and
+//!   records `(delay, bandwidth)` pairs per neighbouring group in `netdb`
+//!   (Table 3.4).
+//! * [`SecurityMonitor`] — §3.4's deliberately open security component:
+//!   reads host clearance levels from a dummy security log into `secdb`; a
+//!   third-party agent (Cisco NAC et al.) could feed the same records.
+//!
+//! The databases stand in for the paper's System-V shared-memory segments
+//! (Tables 4.2/4.3); `parking_lot::RwLock` provides the semaphore
+//! discipline. The transmitter (crate `smartsock-wire`) snapshots them for
+//! shipping to the wizard machine.
+
+pub mod db;
+pub mod estimator;
+pub mod iperf;
+pub mod netmon;
+pub mod pathload;
+pub mod pipechar;
+pub mod secmon;
+pub mod sysmon;
+
+pub use db::{NetDb, SecDb, SharedNetDb, SharedSecDb, SharedSysDb, SysDb, TimedReport};
+pub use estimator::{bandwidth_mbps_from_pair, BwEstimate, ProbePairSpec};
+pub use netmon::{NetMonConfig, NetworkMonitor};
+pub use secmon::SecurityMonitor;
+pub use sysmon::{SysMonConfig, SystemMonitor};

@@ -1,0 +1,170 @@
+//! The system status monitor (paper §3.2.2).
+
+use smartsock_net::Network;
+use smartsock_proto::consts::{ports, timing};
+use smartsock_proto::{Endpoint, Ip, ServerStatusReport};
+use smartsock_sim::{Scheduler, SimDuration};
+
+use crate::db::SharedSysDb;
+
+/// System monitor configuration.
+#[derive(Clone, Debug)]
+pub struct SysMonConfig {
+    /// The probes' reporting interval; a server missing
+    /// [`timing::FAILURE_INTERVALS`] consecutive intervals is expired.
+    pub probe_interval: SimDuration,
+    /// How often the stale sweep runs.
+    pub sweep_interval: SimDuration,
+}
+
+impl Default for SysMonConfig {
+    fn default() -> Self {
+        SysMonConfig {
+            probe_interval: SimDuration::from_secs(timing::PROBE_INTERVAL_SECS),
+            sweep_interval: SimDuration::from_secs(timing::PROBE_INTERVAL_SECS),
+        }
+    }
+}
+
+/// The monitor daemon: listens on UDP port 1111, maintains `sysdb`.
+#[derive(Clone)]
+pub struct SystemMonitor {
+    ip: Ip,
+    db: SharedSysDb,
+    cfg: SysMonConfig,
+}
+
+impl SystemMonitor {
+    pub fn new(ip: Ip, db: SharedSysDb, cfg: SysMonConfig) -> SystemMonitor {
+        SystemMonitor { ip, db, cfg }
+    }
+
+    /// The endpoint probes report to.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, ports::MON_SYS)
+    }
+
+    /// Bind the report socket and start the stale-record sweeper.
+    pub fn start(&self, s: &mut Scheduler, net: &Network) {
+        let mon = self.clone();
+        net.bind_udp(self.endpoint(), move |s, dgram| {
+            let Ok(text) = std::str::from_utf8(&dgram.payload.data) else {
+                s.metrics.incr("sysmon.bad_reports");
+                return;
+            };
+            match ServerStatusReport::parse_ascii(text) {
+                Ok(report) => {
+                    s.metrics.incr("sysmon.reports");
+                    s.metrics.add("sysmon.bytes", dgram.payload.len());
+                    mon.db.write().upsert(report, s.now());
+                }
+                Err(_) => s.metrics.incr("sysmon.bad_reports"),
+            }
+        });
+        let mon = self.clone();
+        s.schedule_in(self.cfg.sweep_interval, move |s| mon.sweep(s));
+    }
+
+    fn sweep(&self, s: &mut Scheduler) {
+        let max_age =
+            self.cfg.probe_interval.saturating_mul(u64::from(timing::FAILURE_INTERVALS));
+        let dropped = self.db.write().expire(s.now(), max_age);
+        if dropped > 0 {
+            s.metrics.add("sysmon.expired", dropped as u64);
+        }
+        let mon = self.clone();
+        s.schedule_in(self.cfg.sweep_interval, move |s| mon.sweep(s));
+    }
+
+    /// Number of live server records.
+    pub fn live_servers(&self) -> usize {
+        self.db.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::shared_dbs;
+    use smartsock_hostsim::{CpuModel, Host, HostConfig};
+    use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
+    use smartsock_probe::{ProbeConfig, ServerProbe};
+    use smartsock_sim::SimTime;
+
+    fn rig(n_servers: u8) -> (Scheduler, Network, Vec<Host>, SystemMonitor) {
+        let mut b = NetworkBuilder::new(7);
+        let r = b.router("switch", Ip::new(192, 168, 1, 254));
+        let mon_node = b.host("monmachine", Ip::new(192, 168, 1, 1), HostParams::testbed());
+        b.duplex(mon_node, r, LinkParams::lan_100mbps());
+        let mut hosts = Vec::new();
+        for i in 0..n_servers {
+            let ip = Ip::new(192, 168, 1, 10 + i);
+            let name = format!("srv{i}");
+            let node = b.host(&name, ip, HostParams::testbed());
+            b.duplex(node, r, LinkParams::lan_100mbps());
+            hosts.push(Host::new(HostConfig::new(&name, ip, CpuModel::P4_1700, 256)));
+        }
+        let net = b.build();
+        let (sysdb, _, _) = shared_dbs();
+        let mon = SystemMonitor::new(Ip::new(192, 168, 1, 1), sysdb, SysMonConfig::default());
+        let mut s = Scheduler::new();
+        mon.start(&mut s, &net);
+        for h in &hosts {
+            ServerProbe::new(h.clone(), net.clone(), ProbeConfig::new(Ip::new(192, 168, 1, 1)))
+                .start(&mut s);
+        }
+        (s, net, hosts, mon)
+    }
+
+    #[test]
+    fn reports_populate_the_database() {
+        let (mut s, _net, _hosts, mon) = rig(4);
+        s.run_until(SimTime::from_secs(5));
+        assert_eq!(mon.live_servers(), 4);
+        assert_eq!(s.metrics.get("sysmon.reports"), 8); // t=2 and t=4
+        assert_eq!(s.metrics.get("sysmon.bad_reports"), 0);
+    }
+
+    #[test]
+    fn failed_server_expires_after_three_intervals_and_rejoins() {
+        let (mut s, _net, hosts, mon) = rig(2);
+        s.run_until(SimTime::from_secs(5));
+        assert_eq!(mon.live_servers(), 2);
+
+        hosts[0].fail();
+        // Expiry horizon: 3 × 2 s after the last report (t=4) → the sweep
+        // at t≥10 drops it.
+        s.run_until(SimTime::from_secs(13));
+        assert_eq!(mon.live_servers(), 1, "failed server must expire");
+
+        hosts[0].recover();
+        s.run_until(SimTime::from_secs(17));
+        assert_eq!(mon.live_servers(), 2, "recovered server rejoins");
+    }
+
+    #[test]
+    fn malformed_reports_are_counted_and_ignored() {
+        let (mut s, net, _hosts, mon) = rig(1);
+        let from = Endpoint::new(Ip::new(192, 168, 1, 10), 45000);
+        net.send_udp(
+            &mut s,
+            from,
+            mon.endpoint(),
+            smartsock_net::Payload::data(&b"garbage report"[..]),
+            None,
+        );
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.metrics.get("sysmon.bad_reports"), 1);
+        assert_eq!(mon.live_servers(), 0);
+    }
+
+    #[test]
+    fn database_reflects_newest_report() {
+        let (mut s, _net, hosts, mon) = rig(1);
+        hosts[0].spawn_workload(&mut s, &smartsock_hostsim::Workload::super_pi(25)).unwrap();
+        s.run_until(SimTime::from_secs(200));
+        let snap = mon.db.read().snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(snap[0].load1 > 0.8, "latest report shows the hog: {}", snap[0].load1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Topology construction and static routing.
+
+use std::collections::{HashMap, VecDeque};
+
+use smartsock_proto::{HostName, Ip};
+use smartsock_sim::{SimDuration, SimTime};
+
+use crate::state::{derive_rng, Link, Network, Node, State};
+use crate::types::{HostParams, LinkParams, NodeId};
+
+/// Builds a [`Network`]: add hosts/routers, connect them with duplex
+/// links, then [`NetworkBuilder::build`] computes hop-count shortest-path
+/// routes (deterministic tie-breaking by node index).
+///
+/// # Example
+///
+/// ```
+/// use smartsock_net::{NetworkBuilder, HostParams, LinkParams};
+/// use smartsock_proto::Ip;
+///
+/// let mut b = NetworkBuilder::new(42);
+/// let a = b.host("alpha", Ip::new(10, 0, 0, 1), HostParams::testbed());
+/// let r = b.router("switch", Ip::new(10, 0, 0, 254));
+/// let c = b.host("beta", Ip::new(10, 0, 0, 2), HostParams::testbed());
+/// b.duplex(a, r, LinkParams::lan_100mbps());
+/// b.duplex(r, c, LinkParams::lan_100mbps());
+/// let net = b.build();
+/// assert_eq!(net.path_links(a, c).unwrap().len(), 2);
+/// ```
+pub struct NetworkBuilder {
+    seed: u64,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    by_ip: HashMap<Ip, NodeId>,
+    by_name: HashMap<String, NodeId>,
+    loopback_rtt: SimDuration,
+}
+
+impl NetworkBuilder {
+    pub fn new(seed: u64) -> Self {
+        NetworkBuilder {
+            seed,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            by_ip: HashMap::new(),
+            by_name: HashMap::new(),
+            // Fig 3.6(f): loopback RTT measured ≈ 0.041 ms.
+            loopback_rtt: SimDuration::from_micros(41),
+        }
+    }
+
+    fn add_node(&mut self, name: &str, ip: Ip, params: HostParams, is_router: bool) -> NodeId {
+        let id = self.nodes.len();
+        let name = HostName::new(name);
+        assert!(
+            self.by_name.insert(name.as_str().to_owned(), id).is_none(),
+            "duplicate host name {name}"
+        );
+        assert!(self.by_ip.insert(ip, id).is_none(), "duplicate IP {ip}");
+        self.nodes.push(Node { name, ip, params, is_router });
+        id
+    }
+
+    /// Add an end host.
+    pub fn host(&mut self, name: &str, ip: Ip, params: HostParams) -> NodeId {
+        self.add_node(name, ip, params, false)
+    }
+
+    /// Add a router/switch (never selected as a server; no init stage —
+    /// forwarding hardware, not a socket endpoint).
+    pub fn router(&mut self, name: &str, ip: Ip) -> NodeId {
+        let params = HostParams {
+            speed_init_bps: None,
+            sys_overhead: SimDuration::from_micros(5),
+            ..HostParams::default()
+        };
+        self.add_node(name, ip, params, true)
+    }
+
+    /// Add one *directed* link.
+    pub fn simplex(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        assert_ne!(from, to, "self-links are not allowed");
+        self.links.push(Link {
+            from,
+            to,
+            params,
+            base_rate_bps: params.rate_bps,
+            busy_until: SimTime::ZERO,
+        });
+    }
+
+    /// Add a duplex link (two directed links with identical parameters).
+    pub fn duplex(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.simplex(a, b, params);
+        self.simplex(b, a, params);
+    }
+
+    /// Override the loopback RTT constant.
+    pub fn loopback_rtt(&mut self, rtt: SimDuration) {
+        self.loopback_rtt = rtt;
+    }
+
+    /// Finalize: compute routes and produce the network handle.
+    ///
+    /// Panics if the graph is disconnected only when a path is actually
+    /// requested later (unreachable pairs route as `None`).
+    pub fn build(self) -> Network {
+        let n = self.nodes.len();
+        // adjacency: outgoing links per node, in insertion order.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (lid, l) in self.links.iter().enumerate() {
+            adj[l.from].push(lid);
+        }
+        // BFS from every destination over *reversed* edges gives, for each
+        // source, the first hop toward that destination.
+        let mut next_hop: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+        for dst in 0..n {
+            let mut dist: Vec<u32> = vec![u32::MAX; n];
+            dist[dst] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(v) = q.pop_front() {
+                // incoming links of v == links with l.to == v
+                for (lid, l) in self.links.iter().enumerate() {
+                    if l.to != v {
+                        continue;
+                    }
+                    let u = l.from;
+                    if dist[u] == u32::MAX {
+                        dist[u] = dist[v] + 1;
+                        next_hop[u][dst] = Some(lid);
+                        q.push_back(u);
+                    }
+                }
+            }
+        }
+        Network::from_state(State {
+            nodes: self.nodes,
+            links: self.links,
+            next_hop,
+            by_ip: self.by_ip,
+            by_name: self.by_name,
+            udp_handlers: HashMap::new(),
+            stream_handlers: HashMap::new(),
+            flows: Default::default(),
+            rng: derive_rng(self.seed),
+            loopback_rtt: self.loopback_rtt,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_node_line() -> (Network, NodeId, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new(1);
+        let a = b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let r = b.router("r", Ip::new(10, 0, 0, 254));
+        let c = b.host("c", Ip::new(10, 0, 1, 1), HostParams::testbed());
+        b.duplex(a, r, LinkParams::lan_100mbps());
+        b.duplex(r, c, LinkParams::lan_100mbps());
+        (b.build(), a, r, c)
+    }
+
+    #[test]
+    fn routes_follow_shortest_paths() {
+        let (net, a, r, c) = three_node_line();
+        assert_eq!(net.path_links(a, c).unwrap().len(), 2);
+        assert_eq!(net.path_links(a, r).unwrap().len(), 1);
+        assert_eq!(net.path_links(a, a).unwrap().len(), 0);
+        assert_eq!(net.path_links(c, a).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unreachable_pairs_route_none() {
+        let mut b = NetworkBuilder::new(1);
+        let a = b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let x = b.host("x", Ip::new(10, 9, 9, 9), HostParams::testbed());
+        let net = b.build();
+        assert!(net.path_links(a, x).is_none());
+        assert!(net.path_available_bw(a, x).is_none());
+        assert!(net.base_rtt(a, x).is_none());
+    }
+
+    #[test]
+    fn lookup_by_name_ip_and_designator() {
+        let (net, a, _, _) = three_node_line();
+        assert_eq!(net.node_by_name("a"), Some(a));
+        assert_eq!(net.node_by_name("A"), Some(a));
+        assert_eq!(net.node_by_ip(Ip::new(10, 0, 0, 1)), Some(a));
+        assert_eq!(net.resolve("10.0.0.1"), Some(a));
+        assert_eq!(net.resolve("a.campus.example.edu"), Some(a));
+        assert_eq!(net.resolve("nonexistent"), None);
+    }
+
+    #[test]
+    fn hosts_excludes_routers() {
+        let (net, a, _r, c) = three_node_line();
+        assert_eq!(net.hosts(), vec![a, c]);
+    }
+
+    #[test]
+    fn available_bw_is_the_min_effective_rate() {
+        let mut b = NetworkBuilder::new(1);
+        let a = b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let r = b.router("r", Ip::new(10, 0, 0, 254));
+        let c = b.host("c", Ip::new(10, 0, 1, 1), HostParams::testbed());
+        b.duplex(a, r, LinkParams::lan_100mbps());
+        b.duplex(r, c, LinkParams::lan_100mbps().with_rate(10e6).with_cross_load(0.2));
+        let net = b.build();
+        let bw = net.path_available_bw(a, c).unwrap();
+        assert!((bw - 8e6).abs() < 1.0, "got {bw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate host name")]
+    fn duplicate_names_are_rejected() {
+        let mut b = NetworkBuilder::new(1);
+        b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        b.host("a", Ip::new(10, 0, 0, 2), HostParams::testbed());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_links_are_rejected() {
+        let mut b = NetworkBuilder::new(1);
+        let a = b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        b.simplex(a, a, LinkParams::lan_100mbps());
+    }
+
+    #[test]
+    fn access_rate_cap_applies_both_directions_and_restores() {
+        let (net, a, _, c) = three_node_line();
+        net.set_access_rate(c, Some(5e6));
+        assert!((net.path_available_bw(a, c).unwrap() - 5e6).abs() < 1.0);
+        assert!((net.path_available_bw(c, a).unwrap() - 5e6).abs() < 1.0);
+        net.set_access_rate(c, None);
+        assert!((net.path_available_bw(a, c).unwrap() - 100e6).abs() < 1.0);
+    }
+}

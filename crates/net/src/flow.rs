@@ -1,0 +1,233 @@
+//! Max–min fair fluid model for TCP bulk transfers.
+//!
+//! Long-lived TCP flows competing on shared bottlenecks converge to an
+//! approximately fair share; the fluid model idealises that: at any moment
+//! each flow transfers at its max–min fair rate over the links of its path,
+//! and rates are recomputed whenever a flow starts or finishes
+//! (progressive-filling / waterfilling algorithm).
+//!
+//! This idealisation is exactly what the paper's throughput arithmetic
+//! assumes — e.g. Table 5.8 expects two servers on a 7.67 Mbps group to
+//! deliver about twice one server's rate until the client side saturates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use smartsock_sim::{EventId, Scheduler, SimTime};
+
+use crate::types::LinkId;
+
+/// Transfer rate used for same-host (loopback) flows, bits/second.
+pub const LOOPBACK_RATE_BPS: f64 = 10e9;
+
+/// Statistics handed to a flow's completion callback.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowStats {
+    pub bytes: u64,
+    pub started_at: SimTime,
+    pub finished_at: SimTime,
+}
+
+impl FlowStats {
+    /// Average goodput in bytes/second.
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        let d = self.finished_at.since(self.started_at).as_secs_f64();
+        if d <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes as f64 / d
+        }
+    }
+
+    /// Average goodput in Mbps.
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bytes_per_sec() * 8.0 / 1e6
+    }
+}
+
+pub(crate) type OnComplete = Box<dyn FnOnce(&mut Scheduler, FlowStats)>;
+
+pub(crate) struct Flow {
+    /// Directed links along the path (empty for loopback flows).
+    pub links: Vec<LinkId>,
+    pub remaining_bits: f64,
+    pub total_bytes: u64,
+    pub rate_bps: f64,
+    pub last_update: SimTime,
+    pub started_at: SimTime,
+    pub completion_event: Option<EventId>,
+    pub on_complete: Option<OnComplete>,
+}
+
+/// The set of active fluid flows.
+#[derive(Default)]
+pub(crate) struct FlowTable {
+    pub flows: BTreeMap<u64, Flow>,
+    next_id: u64,
+}
+
+impl FlowTable {
+    pub fn insert(&mut self, flow: Flow) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(id, flow);
+        id
+    }
+
+    /// Bring every flow's `remaining_bits` up to date at `now`.
+    pub fn advance_to(&mut self, now: SimTime) {
+        for f in self.flows.values_mut() {
+            let dt = now.since(f.last_update).as_secs_f64();
+            f.remaining_bits = (f.remaining_bits - f.rate_bps * dt).max(0.0);
+            f.last_update = now;
+        }
+    }
+
+    /// Recompute max–min fair rates given per-link capacities (bits/sec).
+    ///
+    /// Progressive filling: repeatedly find the most congested link
+    /// (smallest equal share), freeze its flows at that share, subtract
+    /// their usage from every link they cross, and repeat. Deterministic:
+    /// `BTreeMap` ordering breaks ties by link id.
+    pub fn waterfill(&mut self, capacity: impl Fn(LinkId) -> f64) {
+        let mut unassigned: BTreeSet<u64> = BTreeSet::new();
+        let mut users: BTreeMap<LinkId, BTreeSet<u64>> = BTreeMap::new();
+        for (&id, f) in &self.flows {
+            if f.links.is_empty() {
+                // Loopback transfer: local memcpy speed.
+                continue;
+            }
+            unassigned.insert(id);
+            for &l in &f.links {
+                users.entry(l).or_default().insert(id);
+            }
+        }
+        for f in self.flows.values_mut() {
+            if f.links.is_empty() {
+                f.rate_bps = LOOPBACK_RATE_BPS;
+            }
+        }
+        let mut cap: BTreeMap<LinkId, f64> =
+            users.keys().map(|&l| (l, capacity(l).max(0.0))).collect();
+
+        while !unassigned.is_empty() {
+            // Bottleneck link: minimal fair share among links that still
+            // carry unassigned flows.
+            let mut best: Option<(LinkId, f64)> = None;
+            for (&l, us) in &users {
+                let n = us.len();
+                if n == 0 {
+                    continue;
+                }
+                let fair = cap[&l] / n as f64;
+                if best.is_none_or(|(_, bf)| fair < bf) {
+                    best = Some((l, fair));
+                }
+            }
+            let Some((bottleneck, fair)) = best else { break };
+            let frozen: Vec<u64> = users[&bottleneck].iter().copied().collect();
+            for id in frozen {
+                let flow = self.flows.get_mut(&id).expect("flow in users map");
+                flow.rate_bps = fair;
+                for &l in &flow.links.clone() {
+                    if let Some(c) = cap.get_mut(&l) {
+                        *c = (*c - fair).max(0.0);
+                    }
+                    if let Some(us) = users.get_mut(&l) {
+                        us.remove(&id);
+                    }
+                }
+                unassigned.remove(&id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(links: Vec<LinkId>, bits: f64) -> Flow {
+        Flow {
+            links,
+            remaining_bits: bits,
+            total_bytes: (bits / 8.0) as u64,
+            rate_bps: 0.0,
+            last_update: SimTime::ZERO,
+            started_at: SimTime::ZERO,
+            completion_event: None,
+            on_complete: None,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut t = FlowTable::default();
+        let id = t.insert(flow(vec![0], 8e6));
+        t.waterfill(|_| 10e6);
+        assert_eq!(t.flows[&id].rate_bps, 10e6);
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_equally() {
+        let mut t = FlowTable::default();
+        let a = t.insert(flow(vec![0, 1], 8e6));
+        let b = t.insert(flow(vec![1, 2], 8e6));
+        t.waterfill(|_| 10e6);
+        assert_eq!(t.flows[&a].rate_bps, 5e6);
+        assert_eq!(t.flows[&b].rate_bps, 5e6);
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unconstrained_flows() {
+        // Flow a crosses a narrow private link; flow b shares the wide link
+        // with a and should get the remainder.
+        let mut t = FlowTable::default();
+        let a = t.insert(flow(vec![0, 1], 8e6)); // link 0 narrow (2 Mbps)
+        let b = t.insert(flow(vec![1], 8e6)); // only wide link (10 Mbps)
+        t.waterfill(|l| if l == 0 { 2e6 } else { 10e6 });
+        assert_eq!(t.flows[&a].rate_bps, 2e6);
+        assert_eq!(t.flows[&b].rate_bps, 8e6);
+    }
+
+    #[test]
+    fn loopback_flows_do_not_consume_links() {
+        let mut t = FlowTable::default();
+        let lo = t.insert(flow(vec![], 8e6));
+        let a = t.insert(flow(vec![0], 8e6));
+        t.waterfill(|_| 10e6);
+        assert_eq!(t.flows[&lo].rate_bps, LOOPBACK_RATE_BPS);
+        assert_eq!(t.flows[&a].rate_bps, 10e6);
+    }
+
+    #[test]
+    fn advance_decrements_remaining() {
+        let mut t = FlowTable::default();
+        let id = t.insert(flow(vec![0], 10e6));
+        t.waterfill(|_| 10e6);
+        t.advance_to(SimTime::from_secs_f64(0.5));
+        assert!((t.flows[&id].remaining_bits - 5e6).abs() < 1.0);
+        t.advance_to(SimTime::from_secs(2));
+        assert_eq!(t.flows[&id].remaining_bits, 0.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let s = FlowStats {
+            bytes: 1_000_000,
+            started_at: SimTime::ZERO,
+            finished_at: SimTime::from_secs(2),
+        };
+        assert!((s.throughput_bytes_per_sec() - 500_000.0).abs() < 1e-9);
+        assert!((s.throughput_mbps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_flows_one_link_split_three_ways() {
+        let mut t = FlowTable::default();
+        let ids: Vec<u64> = (0..3).map(|_| t.insert(flow(vec![7], 8e6))).collect();
+        t.waterfill(|_| 9e6);
+        for id in ids {
+            assert!((t.flows[&id].rate_bps - 3e6).abs() < 1e-6);
+        }
+    }
+}

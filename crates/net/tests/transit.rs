@@ -1,0 +1,287 @@
+//! End-to-end physics checks of the network simulator: these validate the
+//! phenomena the paper's measurement study (§3.3.2) depends on before any
+//! monitor code is built on top.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smartsock_net::{HostParams, LinkParams, Network, NetworkBuilder, Payload};
+use smartsock_proto::{Endpoint, Ip};
+use smartsock_sim::Scheduler;
+
+fn lan(seed: u64, mtu: u32) -> (Network, usize, usize) {
+    let mut b = NetworkBuilder::new(seed);
+    let sagit = b.host("sagit", Ip::new(137, 132, 81, 2), HostParams::testbed().with_mtu(mtu));
+    let gw = b.router("gw", Ip::new(137, 132, 81, 1));
+    let suna = b.host("suna", Ip::new(137, 132, 82, 2), HostParams::testbed());
+    // Quiet campus segments; small deterministic-ish jitter.
+    b.duplex(sagit, gw, LinkParams::lan_100mbps().with_cross_load(0.05));
+    b.duplex(gw, suna, LinkParams::lan_100mbps().with_cross_load(0.05));
+    (b.build(), sagit, suna)
+}
+
+/// Measure the RTT of one closed-port UDP probe of `payload` bytes.
+fn probe_rtt(net: &Network, s: &mut Scheduler, from: usize, to: usize, payload: u64) -> f64 {
+    let out = Rc::new(RefCell::new(None));
+    let got = Rc::clone(&out);
+    let from_ep = Endpoint::new(net.ip_of(from), 50000);
+    let to_ep = Endpoint::new(net.ip_of(to), 33434); // closed port
+    net.send_udp(
+        s,
+        from_ep,
+        to_ep,
+        Payload::zeroes(payload),
+        Some(Box::new(move |_s, echo| {
+            *got.borrow_mut() = Some(echo.rtt().as_millis_f64());
+        })),
+    );
+    s.run();
+    let rtt = out.borrow_mut().take().expect("icmp echo must arrive");
+    rtt
+}
+
+/// Average RTT over `n` probes (jitter smoothing).
+fn avg_rtt(net: &Network, s: &mut Scheduler, from: usize, to: usize, payload: u64, n: u32) -> f64 {
+    (0..n).map(|_| probe_rtt(net, s, from, to, payload)).sum::<f64>() / f64::from(n)
+}
+
+#[test]
+fn icmp_echo_returns_when_port_is_closed_and_not_when_bound() {
+    let (net, a, c) = lan(7, 1500);
+    let mut s = Scheduler::new();
+
+    // Bound port: handler receives the datagram, no ICMP.
+    let hits = Rc::new(RefCell::new(0));
+    let h = Rc::clone(&hits);
+    let svc = Endpoint::new(net.ip_of(c), 1200);
+    net.bind_udp(svc, move |_s, dgram| {
+        assert_eq!(dgram.payload.len(), 100);
+        *h.borrow_mut() += 1;
+    });
+    let from = Endpoint::new(net.ip_of(a), 40000);
+    let icmp_fired = Rc::new(RefCell::new(false));
+    let f = Rc::clone(&icmp_fired);
+    net.send_udp(
+        &mut s,
+        from,
+        svc,
+        Payload::zeroes(100),
+        Some(Box::new(move |_s, _e| *f.borrow_mut() = true)),
+    );
+    s.run();
+    assert_eq!(*hits.borrow(), 1);
+    assert!(!*icmp_fired.borrow(), "no ICMP for a bound port");
+
+    // Closed port: ICMP comes back.
+    let rtt = probe_rtt(&net, &mut s, a, c, 100);
+    assert!(rtt > 0.0 && rtt < 10.0, "LAN rtt out of range: {rtt} ms");
+}
+
+#[test]
+fn rtt_knee_sits_at_the_source_mtu() {
+    // Reproduce the shape of Figs 3.3–3.5: the RTT-vs-size slope is much
+    // steeper below the MTU than above it, for MTU ∈ {1500, 1000, 500}.
+    for mtu in [1500u32, 1000, 500] {
+        let (net, a, c) = lan(11, mtu);
+        let mut s = Scheduler::new();
+        let m = u64::from(mtu);
+        // Slopes from secants well below and well above the knee.
+        let lo1 = avg_rtt(&net, &mut s, a, c, m / 4, 12);
+        let lo2 = avg_rtt(&net, &mut s, a, c, m / 2, 12);
+        let hi1 = avg_rtt(&net, &mut s, a, c, 2 * m, 12);
+        let hi2 = avg_rtt(&net, &mut s, a, c, 3 * m, 12);
+        let slope_below = (lo2 - lo1) / (m as f64 / 4.0);
+        let slope_above = (hi2 - hi1) / (m as f64);
+        assert!(
+            slope_below > 2.0 * slope_above,
+            "mtu={mtu}: slope below knee ({slope_below:.3e}) should be ≫ above ({slope_above:.3e})"
+        );
+    }
+}
+
+#[test]
+fn no_knee_without_the_init_stage() {
+    // Observation 1 of §3.3.2: virtual interfaces show no threshold.
+    let mut b = NetworkBuilder::new(5);
+    let a = b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed().without_init_stage());
+    let c = b.host("c", Ip::new(10, 0, 0, 2), HostParams::testbed().without_init_stage());
+    b.duplex(a, c, LinkParams::lan_100mbps());
+    let net = b.build();
+    let mut s = Scheduler::new();
+    let lo1 = avg_rtt(&net, &mut s, a, c, 400, 16);
+    let lo2 = avg_rtt(&net, &mut s, a, c, 800, 16);
+    let hi1 = avg_rtt(&net, &mut s, a, c, 3000, 16);
+    let hi2 = avg_rtt(&net, &mut s, a, c, 3400, 16);
+    let slope_below = (lo2 - lo1) / 400.0;
+    let slope_above = (hi2 - hi1) / 400.0;
+    // Single-hop path: without Speed_init both slopes are ~1/R.
+    assert!(
+        (slope_below / slope_above) < 1.6,
+        "slopes should be similar: below={slope_below:.3e} above={slope_above:.3e}"
+    );
+}
+
+#[test]
+fn loopback_has_no_knee_and_tiny_rtt() {
+    let (net, a, _) = lan(3, 1500);
+    let mut s = Scheduler::new();
+    let r_small = probe_rtt(&net, &mut s, a, a, 100);
+    let r_big = probe_rtt(&net, &mut s, a, a, 6000);
+    assert!(r_small < 0.2, "loopback rtt {r_small} ms");
+    assert!(r_big < 0.2, "loopback rtt {r_big} ms");
+    assert!(r_big - r_small < 0.05, "loopback must not show a size knee");
+}
+
+#[test]
+fn rtt_grows_roughly_linearly_above_the_mtu() {
+    let (net, a, c) = lan(13, 1500);
+    let mut s = Scheduler::new();
+    let r2 = avg_rtt(&net, &mut s, a, c, 2000, 16);
+    let r4 = avg_rtt(&net, &mut s, a, c, 4000, 16);
+    let r6 = avg_rtt(&net, &mut s, a, c, 6000, 16);
+    let d1 = r4 - r2;
+    let d2 = r6 - r4;
+    assert!(d1 > 0.0 && d2 > 0.0);
+    assert!((d1 - d2).abs() / d1 < 0.5, "increments should be similar: {d1} vs {d2}");
+}
+
+#[test]
+fn packet_pair_estimate_recovers_available_bandwidth_above_mtu() {
+    // The estimator's core identity, Eq (3.5): B = (S2-S1)/(T2-T1), using
+    // the paper's optimal probe sizes 1600/2900 (equal fragment counts).
+    let (net, a, c) = lan(17, 1500);
+    let mut s = Scheduler::new();
+    let n = 30;
+    let t1 = avg_rtt(&net, &mut s, a, c, 1600, n);
+    let t2 = avg_rtt(&net, &mut s, a, c, 2900, n);
+    let b_est = (2900.0 - 1600.0) * 8.0 / ((t2 - t1) / 1e3) / 1e6; // Mbps
+    let truth = net.path_available_bw(a, c).unwrap() / 1e6;
+    assert!(
+        (b_est - truth).abs() / truth < 0.25,
+        "estimate {b_est:.1} Mbps vs truth {truth:.1} Mbps"
+    );
+}
+
+#[test]
+fn sub_mtu_probes_underestimate_bandwidth() {
+    // Formula (3.7): 1/B' = 1/B + 1/Speed_init ⇒ B' < min(B, Speed_init).
+    let (net, a, c) = lan(19, 1500);
+    let mut s = Scheduler::new();
+    let n = 30;
+    let t1 = avg_rtt(&net, &mut s, a, c, 100, n);
+    let t2 = avg_rtt(&net, &mut s, a, c, 1000, n);
+    let b_est = (1000.0 - 100.0) * 8.0 / ((t2 - t1) / 1e3) / 1e6;
+    assert!(b_est < 25.0, "sub-MTU estimate must stay below Speed_init: {b_est:.1} Mbps");
+    assert!(b_est > 5.0, "estimate collapsed: {b_est:.1} Mbps");
+}
+
+#[test]
+fn flows_share_a_shaped_access_link_fairly() {
+    let mut b = NetworkBuilder::new(23);
+    let srv = b.host("srv", Ip::new(10, 0, 0, 1), HostParams::testbed());
+    let r = b.router("r", Ip::new(10, 0, 0, 254));
+    let c1 = b.host("c1", Ip::new(10, 0, 1, 1), HostParams::testbed());
+    let c2 = b.host("c2", Ip::new(10, 0, 1, 2), HostParams::testbed());
+    b.duplex(srv, r, LinkParams::lan_100mbps());
+    b.duplex(r, c1, LinkParams::lan_100mbps());
+    b.duplex(r, c2, LinkParams::lan_100mbps());
+    let net = b.build();
+    net.set_access_rate(srv, Some(8e6)); // rshaper to 8 Mbps
+
+    let mut s = Scheduler::new();
+    let done: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    for dst in [c1, c2] {
+        let d = Rc::clone(&done);
+        net.start_flow(&mut s, srv, dst, 1_000_000, move |_s, stats| {
+            d.borrow_mut().push(stats.throughput_mbps());
+        });
+    }
+    s.run();
+    let th = done.borrow();
+    assert_eq!(th.len(), 2);
+    // Two equal flows over an 8 Mbps bottleneck: ~4 Mbps each.
+    for &t in th.iter() {
+        assert!((t - 4.0).abs() < 0.3, "throughput {t:.2} Mbps, expected ~4");
+    }
+}
+
+#[test]
+fn flow_completing_frees_capacity_for_the_other() {
+    let mut b = NetworkBuilder::new(29);
+    let a = b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed());
+    let c = b.host("c", Ip::new(10, 0, 0, 2), HostParams::testbed());
+    b.duplex(a, c, LinkParams::default().with_rate(10e6));
+    let net = b.build();
+    let mut s = Scheduler::new();
+
+    let short_done = Rc::new(RefCell::new(None));
+    let long_done = Rc::new(RefCell::new(None));
+    let sd = Rc::clone(&short_done);
+    let ld = Rc::clone(&long_done);
+    // Short flow: 1.25 MB; long flow: 5 MB. Together they split 10 Mbps.
+    net.start_flow(&mut s, a, c, 1_250_000, move |s, _| {
+        *sd.borrow_mut() = Some(s.now().as_secs_f64());
+    });
+    net.start_flow(&mut s, a, c, 5_000_000, move |s, _| {
+        *ld.borrow_mut() = Some(s.now().as_secs_f64());
+    });
+    s.run();
+    let t_short = short_done.borrow().unwrap();
+    let t_long = long_done.borrow().unwrap();
+    // Short: 10 Mbit at 5 Mbps = 2 s. Long: 10 Mbit at 5 Mbps + 30 Mbit at
+    // 10 Mbps = 2 + 3 = 5 s.
+    assert!((t_short - 2.0).abs() < 0.05, "short flow finished at {t_short}");
+    assert!((t_long - 5.0).abs() < 0.05, "long flow finished at {t_long}");
+}
+
+#[test]
+fn stream_messages_reach_bound_handlers_with_payload_intact() {
+    let (net, a, c) = lan(31, 1500);
+    let mut s = Scheduler::new();
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    let svc = Endpoint::new(net.ip_of(c), 1121);
+    net.bind_stream(svc, move |_s, msg| {
+        *g.borrow_mut() = Some((msg.from, msg.payload.data.to_vec()));
+    });
+    let from = Endpoint::new(net.ip_of(a), 39000);
+    net.send_stream(&mut s, from, svc, Payload::data(vec![1u8, 2, 3, 4]));
+    s.run();
+    let (msg_from, data) = got.borrow_mut().take().expect("stream delivered");
+    assert_eq!(msg_from, from);
+    assert_eq!(data, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn unroutable_traffic_is_counted_not_crashing() {
+    let (net, a, _) = lan(37, 1500);
+    let mut s = Scheduler::new();
+    let from = Endpoint::new(net.ip_of(a), 40000);
+    let nowhere = Endpoint::new(Ip::new(203, 0, 113, 9), 1200);
+    net.send_udp(&mut s, from, nowhere, Payload::zeroes(10), None);
+    net.send_stream(&mut s, from, nowhere, Payload::zeroes(10));
+    s.run();
+    assert_eq!(s.metrics.get("net.udp_dropped_unroutable"), 1);
+    assert_eq!(s.metrics.get("net.stream_dropped_unroutable"), 1);
+}
+
+#[test]
+fn massd_calibration_throughput_tracks_rshaper_setting() {
+    // Shape of Fig 5.3: a single download's goodput ≈ the shaped rate.
+    for cap_mbps in [1.0f64, 3.0, 5.0, 8.0] {
+        let (net, a, c) = lan(41, 1500);
+        net.set_access_rate(c, Some(cap_mbps * 1e6));
+        let mut s = Scheduler::new();
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        net.start_flow(&mut s, c, a, 2_000_000, move |_s, stats| {
+            *o.borrow_mut() = Some(stats.throughput_mbps());
+        });
+        s.run();
+        let got = out.borrow().unwrap();
+        assert!(
+            (got - cap_mbps).abs() / cap_mbps < 0.1,
+            "shaped to {cap_mbps} Mbps but measured {got:.2}"
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! # smartsock-probe
+//!
+//! The server probe daemon (paper §3.2.1, §4.1).
+//!
+//! Every monitored server runs one probe. At a configurable interval
+//! (2–10 s depending on the experiment) the probe:
+//!
+//! 1. renders and re-parses the five `/proc` files of Table 3.1 —
+//!    `loadavg`, `stat` (CPU + disk), `meminfo`, `net/dev` — through
+//!    [`smartsock_hostsim::procfs`], exercising the same text formats a
+//!    2004 Linux kernel produced;
+//! 2. differentiates cumulative counters (CPU jiffies, NIC bytes) against
+//!    the previous scan to obtain usage fractions and per-second rates;
+//! 3. formats the result as the sub-200-byte ASCII status report of
+//!    §3.2.1 — decimal strings precisely so that endianness never matters —
+//!    and sends it by UDP to the system monitor (port 1111).
+//!
+//! A failed host's probe goes silent; after three missed intervals the
+//! system monitor expires the record (§4.1). The probe resumes reporting
+//! when the host recovers.
+//!
+//! The §6 "UDP vs TCP" future-work item is implemented as
+//! [`ProbeConfig::use_tcp`]: long reports on congested networks may switch
+//! to the reliable stream transport at the cost of connection overhead.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smartsock_hostsim::procfs::{self, CpuJiffies};
+use smartsock_hostsim::Host;
+use smartsock_net::{Network, Payload};
+use smartsock_proto::consts::{ports, timing};
+use smartsock_proto::{Endpoint, ServerStatusReport};
+use smartsock_sim::{Scheduler, SimDuration, SimTime};
+
+/// Probe configuration.
+#[derive(Clone, Debug)]
+pub struct ProbeConfig {
+    /// Reporting interval (default 2 s, the Table 5.2 setting).
+    pub interval: SimDuration,
+    /// Where the system monitor listens.
+    pub monitor: Endpoint,
+    /// Use the reliable stream transport instead of UDP (§6 extension).
+    pub use_tcp: bool,
+}
+
+impl ProbeConfig {
+    pub fn new(monitor_ip: smartsock_proto::Ip) -> ProbeConfig {
+        ProbeConfig {
+            interval: SimDuration::from_secs(timing::PROBE_INTERVAL_SECS),
+            monitor: Endpoint::new(monitor_ip, ports::MON_SYS),
+            use_tcp: false,
+        }
+    }
+
+    pub fn with_interval(mut self, interval: SimDuration) -> ProbeConfig {
+        self.interval = interval;
+        self
+    }
+
+    pub fn over_tcp(mut self) -> ProbeConfig {
+        self.use_tcp = true;
+        self
+    }
+}
+
+struct ProbeState {
+    prev_jiffies: CpuJiffies,
+    prev_sample_at: SimTime,
+    prev_net: procfs::NetDevCounters,
+    prev_disk: procfs::DiskCounters,
+    reports_sent: u64,
+}
+
+/// One probe daemon instance.
+#[derive(Clone)]
+pub struct ServerProbe {
+    host: Host,
+    net: Network,
+    cfg: ProbeConfig,
+    st: Rc<RefCell<ProbeState>>,
+}
+
+impl ServerProbe {
+    pub fn new(host: Host, net: Network, cfg: ProbeConfig) -> ServerProbe {
+        ServerProbe {
+            host,
+            net,
+            cfg,
+            st: Rc::new(RefCell::new(ProbeState {
+                prev_jiffies: CpuJiffies::default(),
+                prev_sample_at: SimTime::ZERO,
+                prev_net: procfs::NetDevCounters::default(),
+                prev_disk: procfs::DiskCounters::default(),
+                reports_sent: 0,
+            })),
+        }
+    }
+
+    /// Start the periodic reporting loop. The first report goes out after
+    /// one interval (the probe needs two scans to differentiate counters).
+    pub fn start(&self, s: &mut Scheduler) {
+        // Take the baseline scan now.
+        let _ = self.scan(s.now());
+        let probe = self.clone();
+        s.schedule_in(self.cfg.interval, move |s| probe.tick(s));
+    }
+
+    /// Number of reports sent so far.
+    pub fn reports_sent(&self) -> u64 {
+        self.st.borrow().reports_sent
+    }
+
+    fn tick(&self, s: &mut Scheduler) {
+        if !self.host.is_failed() {
+            let report = self.scan(s.now());
+            self.send(s, report);
+        }
+        let probe = self.clone();
+        s.schedule_in(self.cfg.interval, move |s| probe.tick(s));
+    }
+
+    /// One probing pass: render the /proc files, parse them back,
+    /// differentiate, and build the status report.
+    fn scan(&self, now: SimTime) -> ServerStatusReport {
+        let sample = self.host.sample(now);
+        let uptime = now.as_secs_f64();
+
+        // Render-then-parse: the identical artefacts a real kernel serves.
+        let loadavg_text = procfs::render_loadavg(&sample, self.host.runnable(), 60);
+        let stat_text = procfs::render_stat(&sample, uptime);
+        let meminfo_text = procfs::render_meminfo(&sample);
+        let netdev_text = procfs::render_net_dev(&sample, "eth0");
+
+        let (l1, l5, l15) = procfs::parse_loadavg(&loadavg_text).expect("loadavg renders sanely");
+        let jiffies = procfs::parse_stat_cpu(&stat_text).expect("stat renders sanely");
+        let disk = procfs::parse_stat_disk(&stat_text).expect("disk_io renders sanely");
+        let mem = procfs::parse_meminfo(&meminfo_text).expect("meminfo renders sanely");
+        let netdev = procfs::parse_net_dev(&netdev_text, "eth0").expect("net/dev renders sanely");
+
+        let mut st = self.st.borrow_mut();
+        let window = now.since(st.prev_sample_at).as_secs_f64().max(1e-9);
+        let (cpu_user, cpu_nice, cpu_system, cpu_idle) = if jiffies.total() == 0 {
+            (0.0, 0.0, 0.0, 1.0)
+        } else if st.prev_sample_at == SimTime::ZERO && st.prev_jiffies.total() == 0 {
+            jiffies.usage_since(&CpuJiffies::default())
+        } else {
+            // Idle jiffies are derived from uptime in the renderer, so the
+            // delta can be computed directly.
+            jiffies.usage_since(&st.prev_jiffies)
+        };
+
+        let mut r = ServerStatusReport::empty(self.host.name(), self.host.ip());
+        r.timestamp_ns = now.0;
+        r.load1 = l1;
+        r.load5 = l5;
+        r.load15 = l15;
+        r.cpu_user = cpu_user;
+        r.cpu_nice = cpu_nice;
+        r.cpu_system = cpu_system;
+        r.cpu_idle = cpu_idle;
+        r.bogomips = self.host.cpu_model().bogomips;
+        r.mem_total = mem.total;
+        r.mem_used = mem.used;
+        r.mem_free = mem.free;
+        r.mem_buffers = mem.buffers;
+        r.mem_cached = mem.cached;
+        // Disk counters report the activity *within this interval*.
+        r.disk_allreq = disk.allreq.saturating_sub(st.prev_disk.allreq);
+        r.disk_rreq = disk.rreq.saturating_sub(st.prev_disk.rreq);
+        r.disk_rblocks = disk.rblocks.saturating_sub(st.prev_disk.rblocks);
+        r.disk_wreq = disk.wreq.saturating_sub(st.prev_disk.wreq);
+        r.disk_wblocks = disk.wblocks.saturating_sub(st.prev_disk.wblocks);
+        r.iface = "eth0".to_owned();
+        r.net_rbytes_ps = netdev.rbytes.saturating_sub(st.prev_net.rbytes) as f64 / window;
+        r.net_rpackets_ps = netdev.rpackets.saturating_sub(st.prev_net.rpackets) as f64 / window;
+        r.net_tbytes_ps = netdev.tbytes.saturating_sub(st.prev_net.tbytes) as f64 / window;
+        r.net_tpackets_ps = netdev.tpackets.saturating_sub(st.prev_net.tpackets) as f64 / window;
+        r.services = self.host.services();
+
+        st.prev_jiffies = jiffies;
+        st.prev_net = netdev;
+        st.prev_disk = disk;
+        st.prev_sample_at = now;
+        r
+    }
+
+    fn send(&self, s: &mut Scheduler, report: ServerStatusReport) {
+        let line = report.encode_ascii();
+        let bytes = line.len() as u64;
+        let from = Endpoint::new(self.host.ip(), 40000 + (self.st.borrow().reports_sent % 1000) as u16);
+        let metric = format!("probe.{}.bytes", self.host.name());
+        s.metrics.add(&metric, bytes);
+        s.metrics.incr("probe.reports");
+        self.host.note_tx(bytes + 28, 1);
+        let payload = Payload::data(line.into_bytes());
+        if self.cfg.use_tcp {
+            self.net.send_stream(s, from, self.cfg.monitor, payload);
+        } else {
+            self.net.send_udp(s, from, self.cfg.monitor, payload, None);
+        }
+        self.st.borrow_mut().reports_sent += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_hostsim::{CpuModel, HostConfig, Workload};
+    use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
+    use smartsock_proto::Ip;
+
+    fn rig() -> (Scheduler, Network, Host, Rc<RefCell<Vec<ServerStatusReport>>>) {
+        let mut b = NetworkBuilder::new(99);
+        let server = b.host("helene", Ip::new(192, 168, 3, 10), HostParams::testbed());
+        let mon = b.host("monitor", Ip::new(192, 168, 3, 1), HostParams::testbed());
+        b.duplex(server, mon, LinkParams::lan_100mbps());
+        let net = b.build();
+        let host = Host::new(HostConfig::new("helene", Ip::new(192, 168, 3, 10), CpuModel::P4_1700, 256));
+
+        let got: Rc<RefCell<Vec<ServerStatusReport>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&got);
+        net.bind_udp(Endpoint::new(Ip::new(192, 168, 3, 1), ports::MON_SYS), move |_s, d| {
+            let text = std::str::from_utf8(&d.payload.data).unwrap();
+            sink.borrow_mut().push(ServerStatusReport::parse_ascii(text).unwrap());
+        });
+        (Scheduler::new(), net, host, got)
+    }
+
+    #[test]
+    fn probe_reports_at_the_configured_interval() {
+        let (mut s, net, host, got) = rig();
+        let probe = ServerProbe::new(
+            host,
+            net.clone(),
+            ProbeConfig::new(Ip::new(192, 168, 3, 1)).with_interval(SimDuration::from_secs(2)),
+        );
+        probe.start(&mut s);
+        s.run_until(SimTime::from_secs(11));
+        // Reports at t = 2,4,6,8,10.
+        assert_eq!(got.borrow().len(), 5);
+        assert_eq!(probe.reports_sent(), 5);
+        assert_eq!(got.borrow()[0].host.as_str(), "helene");
+        assert!((got.borrow()[0].bogomips - 3394.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn idle_host_reports_idle_cpu_and_zero_load() {
+        let (mut s, net, host, got) = rig();
+        ServerProbe::new(host, net, ProbeConfig::new(Ip::new(192, 168, 3, 1))).start(&mut s);
+        s.run_until(SimTime::from_secs(5));
+        let r = got.borrow()[0].clone();
+        assert!(r.cpu_idle > 0.98, "idle = {}", r.cpu_idle);
+        assert!(r.load1 < 0.01);
+    }
+
+    #[test]
+    fn busy_host_reports_load_and_cpu_usage() {
+        let (mut s, net, host, got) = rig();
+        host.spawn_workload(&mut s, &Workload::super_pi(25)).unwrap();
+        ServerProbe::new(host, net, ProbeConfig::new(Ip::new(192, 168, 3, 1))).start(&mut s);
+        s.run_until(SimTime::from_secs(121));
+        let r = got.borrow().last().unwrap().clone();
+        assert!(r.cpu_idle < 0.05, "idle = {}", r.cpu_idle);
+        assert!(r.cpu_user > 0.9);
+        assert!(r.load1 > 0.8, "load1 = {}", r.load1);
+        // SuperPI(25) holds 150 MB.
+        assert!(r.mem_free < 100 << 20);
+    }
+
+    #[test]
+    fn failed_host_goes_silent_and_resumes() {
+        let (mut s, net, host, got) = rig();
+        let probe = ServerProbe::new(host.clone(), net, ProbeConfig::new(Ip::new(192, 168, 3, 1)));
+        probe.start(&mut s);
+        s.run_until(SimTime::from_secs(5)); // t=2,4 → 2 reports
+        assert_eq!(got.borrow().len(), 2);
+        host.fail();
+        s.run_until(SimTime::from_secs(11)); // silence
+        assert_eq!(got.borrow().len(), 2);
+        host.recover();
+        s.run_until(SimTime::from_secs(15)); // resumes at t=12,14
+        assert_eq!(got.borrow().len(), 4);
+    }
+
+    #[test]
+    fn reports_stay_under_200_bytes_and_carry_rates() {
+        let (mut s, net, host, got) = rig();
+        host.note_tx(0, 0);
+        ServerProbe::new(host.clone(), net, ProbeConfig::new(Ip::new(192, 168, 3, 1)))
+            .start(&mut s);
+        // Generate some NIC traffic between scans.
+        s.schedule_in(SimDuration::from_secs(1), {
+            let h = host.clone();
+            move |_| h.note_rx(2_000_000, 1500)
+        });
+        s.run_until(SimTime::from_secs(3));
+        let r = got.borrow()[0].clone();
+        assert!(r.encode_ascii().len() < 200);
+        // 2 MB over a 2 s window ≈ 1 MB/s.
+        assert!((r.net_rbytes_ps - 1_000_000.0).abs() < 50_000.0, "rate {}", r.net_rbytes_ps);
+    }
+
+    #[test]
+    fn tcp_mode_delivers_via_stream_transport() {
+        let (mut s, net, host, _got) = rig();
+        let stream_got = Rc::new(RefCell::new(0u32));
+        let sink = Rc::clone(&stream_got);
+        net.bind_stream(Endpoint::new(Ip::new(192, 168, 3, 1), ports::MON_SYS), move |_s, m| {
+            assert!(ServerStatusReport::parse_ascii(
+                std::str::from_utf8(&m.payload.data).unwrap()
+            )
+            .is_ok());
+            *sink.borrow_mut() += 1;
+        });
+        ServerProbe::new(host, net, ProbeConfig::new(Ip::new(192, 168, 3, 1)).over_tcp())
+            .start(&mut s);
+        s.run_until(SimTime::from_secs(5));
+        assert_eq!(*stream_got.borrow(), 2);
+    }
+
+    #[test]
+    fn probe_bandwidth_matches_table_5_2_scale() {
+        // §5.2: ~190-byte reports every 2 s ⇒ ~0.1 KB/s payload, well under
+        // the 0.5–0.6 KBps the paper measured with headers and retries.
+        let (mut s, net, host, _got) = rig();
+        ServerProbe::new(host, net, ProbeConfig::new(Ip::new(192, 168, 3, 1))).start(&mut s);
+        s.run_until(SimTime::from_secs(60));
+        let bytes = s.metrics.get("probe.helene.bytes");
+        let rate = bytes as f64 / 60.0;
+        assert!(rate > 40.0 && rate < 620.0, "probe payload rate {rate} B/s");
+    }
+}

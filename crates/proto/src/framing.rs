@@ -1,0 +1,265 @@
+//! The `[type, size, data]` binary framing used between transmitter and
+//! receiver (paper §3.5.1).
+//!
+//! "The format for data transmission is `[type, size, data]`. *Type* and
+//! *size* fields are transmitted first, so the receiver can determine the
+//! amount of memory that should be allocated to store the *data* field."
+//!
+//! Both header fields are little-endian `u32`. The data field carries a
+//! snapshot of one status database: a `u32` record count followed by that
+//! many fixed-size records of the frame's type.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::netstatus::NetPathRecord;
+use crate::security::SecurityRecord;
+use crate::status::ServerStatusReport;
+use crate::ProtoError;
+
+/// Which status database a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum RecordType {
+    /// Server status reports (`sysdb`).
+    System = 1,
+    /// Network path records (`netdb`).
+    Network = 2,
+    /// Security records (`secdb`).
+    Security = 3,
+}
+
+impl RecordType {
+    pub fn from_u32(v: u32) -> Result<Self, ProtoError> {
+        match v {
+            1 => Ok(RecordType::System),
+            2 => Ok(RecordType::Network),
+            3 => Ok(RecordType::Security),
+            other => Err(ProtoError::UnknownType(other)),
+        }
+    }
+}
+
+/// One framed message: a typed, length-prefixed byte payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    pub rtype: RecordType,
+    pub data: Bytes,
+}
+
+impl Frame {
+    /// Header size: `type` + `size`, both `u32`.
+    pub const HEADER_BYTES: usize = 8;
+
+    /// Serialize header + payload.
+    pub fn encode(&self, out: &mut BytesMut) {
+        out.put_u32_le(self.rtype as u32);
+        out.put_u32_le(self.data.len() as u32);
+        out.put_slice(&self.data);
+    }
+
+    /// Total on-wire length of this frame.
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_BYTES + self.data.len()
+    }
+
+    /// Try to decode one frame from the front of `buf`. Returns `Ok(None)`
+    /// when more bytes are needed (stream reassembly), consuming nothing.
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, ProtoError> {
+        if buf.len() < Self::HEADER_BYTES {
+            return Ok(None);
+        }
+        let mut peek = &buf[..];
+        let rtype = peek.get_u32_le();
+        let size = peek.get_u32_le() as usize;
+        if buf.len() < Self::HEADER_BYTES + size {
+            return Ok(None);
+        }
+        let rtype = RecordType::from_u32(rtype)?;
+        buf.advance(Self::HEADER_BYTES);
+        let data = buf.split_to(size).freeze();
+        Ok(Some(Frame { rtype, data }))
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot payloads
+    // ------------------------------------------------------------------
+
+    /// Build a `System` frame from a database snapshot.
+    pub fn system(records: &[ServerStatusReport]) -> Frame {
+        let mut data = BytesMut::with_capacity(4 + records.len() * 204);
+        data.put_u32_le(records.len() as u32);
+        for r in records {
+            r.encode_binary(&mut data);
+        }
+        Frame { rtype: RecordType::System, data: data.freeze() }
+    }
+
+    /// Build a `Network` frame from a database snapshot.
+    pub fn network(records: &[NetPathRecord]) -> Frame {
+        let mut data = BytesMut::with_capacity(4 + records.len() * NetPathRecord::BINARY_BYTES);
+        data.put_u32_le(records.len() as u32);
+        for r in records {
+            r.encode_binary(&mut data);
+        }
+        Frame { rtype: RecordType::Network, data: data.freeze() }
+    }
+
+    /// Build a `Security` frame from a database snapshot.
+    pub fn security(records: &[SecurityRecord]) -> Frame {
+        let mut data = BytesMut::with_capacity(4 + records.len() * SecurityRecord::BINARY_BYTES);
+        data.put_u32_le(records.len() as u32);
+        for r in records {
+            r.encode_binary(&mut data);
+        }
+        Frame { rtype: RecordType::Security, data: data.freeze() }
+    }
+
+    /// Decode a `System` payload.
+    pub fn decode_system(&self) -> Result<Vec<ServerStatusReport>, ProtoError> {
+        self.expect(RecordType::System)?;
+        decode_counted(&self.data[..], ServerStatusReport::decode_binary)
+    }
+
+    /// Decode a `Network` payload.
+    pub fn decode_network(&self) -> Result<Vec<NetPathRecord>, ProtoError> {
+        self.expect(RecordType::Network)?;
+        decode_counted(&self.data[..], NetPathRecord::decode_binary)
+    }
+
+    /// Decode a `Security` payload.
+    pub fn decode_security(&self) -> Result<Vec<SecurityRecord>, ProtoError> {
+        self.expect(RecordType::Security)?;
+        decode_counted(&self.data[..], SecurityRecord::decode_binary)
+    }
+
+    fn expect(&self, want: RecordType) -> Result<(), ProtoError> {
+        if self.rtype == want {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!("expected {want:?} frame, got {:?}", self.rtype)))
+        }
+    }
+}
+
+fn decode_counted<T, B: Buf>(
+    mut cursor: B,
+    decode_one: impl Fn(&mut B) -> Result<T, ProtoError>,
+) -> Result<Vec<T>, ProtoError> {
+    if cursor.remaining() < 4 {
+        return Err(ProtoError::Truncated { expected: 4, got: cursor.remaining() });
+    }
+    let count = cursor.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(decode_one(&mut cursor)?);
+    }
+    if cursor.has_remaining() {
+        return Err(ProtoError::Malformed(format!(
+            "{} trailing bytes after {} records",
+            cursor.remaining(),
+            count
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ip;
+
+    fn sys_report(i: u8) -> ServerStatusReport {
+        let mut r =
+            ServerStatusReport::empty(format!("host{i}").as_str(), Ip::new(192, 168, 1, i));
+        r.load1 = f64::from(i) / 10.0;
+        r.mem_total = 1 << 28;
+        r
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_byte_stream() {
+        let frame = Frame::system(&[sys_report(1), sys_report(2)]);
+        let mut wire = BytesMut::new();
+        frame.encode(&mut wire);
+        assert_eq!(wire.len(), frame.wire_len());
+
+        let got = Frame::decode(&mut wire).unwrap().unwrap();
+        assert_eq!(got, frame);
+        assert!(wire.is_empty());
+        let records = got.decode_system().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].host.as_str(), "host2");
+    }
+
+    #[test]
+    fn decode_waits_for_partial_frames() {
+        let frame = Frame::security(&[SecurityRecord {
+            host: "helene".into(),
+            ip: Ip::new(192, 168, 3, 1),
+            level: 2,
+        }]);
+        let mut wire = BytesMut::new();
+        frame.encode(&mut wire);
+
+        // Feed the stream byte by byte; nothing decodes until complete.
+        let mut rx = BytesMut::new();
+        let total = wire.len();
+        for (i, b) in wire.iter().enumerate() {
+            rx.put_u8(*b);
+            let r = Frame::decode(&mut rx).unwrap();
+            if i + 1 < total {
+                assert!(r.is_none(), "decoded early at byte {i}");
+            } else {
+                assert_eq!(r.unwrap(), frame);
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order() {
+        let f1 = Frame::system(&[sys_report(1)]);
+        let f2 = Frame::network(&[NetPathRecord {
+            from_monitor: Ip::new(10, 0, 0, 1),
+            to_monitor: Ip::new(10, 0, 0, 2),
+            delay_ms: 1.5,
+            bw_mbps: 88.0,
+            timestamp_ns: 7,
+        }]);
+        let mut wire = BytesMut::new();
+        f1.encode(&mut wire);
+        f2.encode(&mut wire);
+        assert_eq!(Frame::decode(&mut wire).unwrap().unwrap(), f1);
+        assert_eq!(Frame::decode(&mut wire).unwrap().unwrap(), f2);
+        assert!(Frame::decode(&mut wire).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(99);
+        wire.put_u32_le(0);
+        assert_eq!(Frame::decode(&mut wire), Err(ProtoError::UnknownType(99)));
+    }
+
+    #[test]
+    fn type_confusion_is_rejected() {
+        let frame = Frame::system(&[sys_report(1)]);
+        assert!(frame.decode_network().is_err());
+        assert!(frame.decode_security().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_in_payload_are_rejected() {
+        let mut data = BytesMut::new();
+        data.put_u32_le(0); // zero records...
+        data.put_u8(0xff); // ...but a stray byte
+        let frame = Frame { rtype: RecordType::System, data: data.freeze() };
+        assert!(frame.decode_system().is_err());
+    }
+
+    #[test]
+    fn empty_snapshots_are_valid() {
+        let frame = Frame::network(&[]);
+        assert_eq!(frame.decode_network().unwrap(), vec![]);
+    }
+}

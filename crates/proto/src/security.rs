@@ -1,0 +1,128 @@
+//! Security-level records (paper §3.4).
+//!
+//! The thesis deliberately keeps security pluggable: "the security monitor
+//! reads the security records from a dummy security log. The log file
+//! contains the server names and the correspondingly security levels, which
+//! is an integer representing the clearance level of each server." We
+//! implement exactly that record plus the dummy-log text format, so a third
+//! party agent (the paper cites Cisco NAC) could be substituted by emitting
+//! the same lines.
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{HostName, Ip};
+use crate::ProtoError;
+
+/// One server's clearance level, as read from the security log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityRecord {
+    pub host: HostName,
+    pub ip: Ip,
+    /// Integer clearance level; larger means more trusted. Exposed to the
+    /// requirement language as `host_security_level`.
+    pub level: i32,
+}
+
+impl SecurityRecord {
+    pub const BINARY_BYTES: usize = 24 + 4 + 4;
+
+    /// Parse one line of the dummy security log: `<host> <ip> <level>`,
+    /// `#`-comments and blank lines skipped by the caller.
+    pub fn parse_log_line(line: &str) -> Result<Self, ProtoError> {
+        let mut it = line.split_ascii_whitespace();
+        let host = it
+            .next()
+            .ok_or(ProtoError::BadField { field: "host", text: "<missing>".into() })?;
+        let ip: Ip = it
+            .next()
+            .ok_or(ProtoError::BadField { field: "ip", text: "<missing>".into() })?
+            .parse()?;
+        let level = it
+            .next()
+            .ok_or(ProtoError::BadField { field: "level", text: "<missing>".into() })?;
+        let level: i32 = level
+            .parse()
+            .map_err(|_| ProtoError::BadField { field: "level", text: level.into() })?;
+        if it.next().is_some() {
+            return Err(ProtoError::Malformed("trailing fields in security log line".into()));
+        }
+        Ok(SecurityRecord { host: HostName::new(host), ip, level })
+    }
+
+    /// Render as a dummy-log line.
+    pub fn to_log_line(&self) -> String {
+        format!("{} {} {}", self.host, self.ip, self.level)
+    }
+
+    /// Parse a whole dummy log, skipping comments and blank lines.
+    pub fn parse_log(text: &str) -> Result<Vec<Self>, ProtoError> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(Self::parse_log_line)
+            .collect()
+    }
+
+    pub fn encode_binary(&self, out: &mut impl BufMut) {
+        let mut host = [0u8; 24];
+        let src = self.host.as_str().as_bytes();
+        let n = src.len().min(23);
+        host[..n].copy_from_slice(&src[..n]);
+        out.put_slice(&host);
+        out.put_u32_le(self.ip.0);
+        out.put_i32_le(self.level);
+    }
+
+    pub fn decode_binary(buf: &mut impl Buf) -> Result<Self, ProtoError> {
+        if buf.remaining() < Self::BINARY_BYTES {
+            return Err(ProtoError::Truncated {
+                expected: Self::BINARY_BYTES,
+                got: buf.remaining(),
+            });
+        }
+        let mut host = [0u8; 24];
+        buf.copy_to_slice(&mut host);
+        let end = host.iter().position(|&b| b == 0).unwrap_or(host.len());
+        let host = HostName::new(String::from_utf8_lossy(&host[..end]).into_owned());
+        Ok(SecurityRecord { host, ip: Ip(buf.get_u32_le()), level: buf.get_i32_le() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn log_line_roundtrip() {
+        let r = SecurityRecord { host: "helene".into(), ip: Ip::new(192, 168, 3, 1), level: 5 };
+        let line = r.to_log_line();
+        assert_eq!(SecurityRecord::parse_log_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn log_parser_skips_comments_and_blanks() {
+        let log = "# dummy security log\n\nhelene 192.168.3.1 5\n  # indented comment\nmimas 192.168.2.1 -1\n";
+        let recs = SecurityRecord::parse_log(log).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].host.as_str(), "helene");
+        assert_eq!(recs[1].level, -1);
+    }
+
+    #[test]
+    fn log_line_rejects_garbage() {
+        assert!(SecurityRecord::parse_log_line("helene").is_err());
+        assert!(SecurityRecord::parse_log_line("helene 192.168.3.1 high").is_err());
+        assert!(SecurityRecord::parse_log_line("helene 192.168.3.1 5 extra").is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let r = SecurityRecord { host: "titan-x".into(), ip: Ip::new(192, 168, 4, 1), level: 3 };
+        let mut buf = BytesMut::new();
+        r.encode_binary(&mut buf);
+        assert_eq!(buf.len(), SecurityRecord::BINARY_BYTES);
+        assert_eq!(SecurityRecord::decode_binary(&mut buf).unwrap(), r);
+    }
+}

@@ -1,0 +1,121 @@
+//! Service-type reporting (paper §6, "Server report issues").
+//!
+//! "In an actual distributed computing environment, different servers may
+//! offer distinct services. We can extend the function of the server probe
+//! and allow it to report the types of services available on every
+//! server." This module implements that extension: a compact bitmask of
+//! well-known service classes, carried in the status report (one extra
+//! ASCII field; four bytes of the binary record's reserved area, keeping
+//! the 204-byte size) and exposed to the requirement language as
+//! `host_service_*` variables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A set of service classes offered by one server.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ServiceMask(pub u32);
+
+impl ServiceMask {
+    /// No services advertised (the pre-extension default).
+    pub const NONE: ServiceMask = ServiceMask(0);
+    /// General computation service (the matmul worker).
+    pub const COMPUTE: ServiceMask = ServiceMask(1 << 0);
+    /// File/data service (the massd file server).
+    pub const FILE: ServiceMask = ServiceMask(1 << 1);
+    /// Rendering farm node (a §1.1 motivating workload).
+    pub const RENDER: ServiceMask = ServiceMask(1 << 2);
+    /// Database service.
+    pub const DATABASE: ServiceMask = ServiceMask(1 << 3);
+
+    /// Named classes, in bit order, as exposed to the requirement
+    /// language (`host_service_<name>`).
+    pub const NAMES: [(&'static str, ServiceMask); 4] = [
+        ("compute", Self::COMPUTE),
+        ("file", Self::FILE),
+        ("render", Self::RENDER),
+        ("database", Self::DATABASE),
+    ];
+
+    pub fn contains(self, other: ServiceMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Look up a class by its requirement-language name.
+    pub fn by_name(name: &str) -> Option<ServiceMask> {
+        Self::NAMES.iter().find(|(n, _)| *n == name).map(|(_, m)| *m)
+    }
+}
+
+impl BitOr for ServiceMask {
+    type Output = ServiceMask;
+    fn bitor(self, rhs: ServiceMask) -> ServiceMask {
+        ServiceMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for ServiceMask {
+    fn bitor_assign(&mut self, rhs: ServiceMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for ServiceMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for (name, mask) in ServiceMask::NAMES {
+            if self.contains(mask) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        let unknown = self.0 & !ServiceMask::NAMES.iter().fold(0, |a, (_, m)| a | m.0);
+        if unknown != 0 {
+            if !first {
+                f.write_str("|")?;
+            }
+            write!(f, "{unknown:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_compose_and_test() {
+        let m = ServiceMask::COMPUTE | ServiceMask::FILE;
+        assert!(m.contains(ServiceMask::COMPUTE));
+        assert!(m.contains(ServiceMask::FILE));
+        assert!(!m.contains(ServiceMask::RENDER));
+        assert!(ServiceMask::NONE.is_empty());
+    }
+
+    #[test]
+    fn names_resolve_both_ways() {
+        for (name, mask) in ServiceMask::NAMES {
+            assert_eq!(ServiceMask::by_name(name), Some(mask));
+        }
+        assert_eq!(ServiceMask::by_name("quantum"), None);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", ServiceMask::NONE), "none");
+        assert_eq!(format!("{:?}", ServiceMask::COMPUTE | ServiceMask::FILE), "compute|file");
+        assert_eq!(format!("{:?}", ServiceMask(1 << 10)), "0x400");
+    }
+}

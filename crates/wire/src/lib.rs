@@ -1,0 +1,432 @@
+//! # smartsock-wire
+//!
+//! Transmitter and receiver (paper §3.5): the components that move the
+//! three status databases from each monitor machine to the wizard machine.
+//!
+//! The transmitter snapshots `sysdb`/`netdb`/`secdb` and ships them as
+//! binary `[type, size, data]` frames over TCP (§3.5.1 — binary because a
+//! monitor may track many servers and ASCII conversion would waste cycles;
+//! the record layout is pinned little-endian, see `smartsock-proto`). The
+//! receiver reassembles the frames and overwrites its local copies, so the
+//! wizard reads them "as if they were generated locally" (§3.5.2).
+//!
+//! Two operating modes (§3.5.1):
+//!
+//! * **Centralized** — the transmitter pushes every `interval`; the wizard
+//!   always has fresh data and replies instantly. Right for small, dense
+//!   deployments.
+//! * **Distributed** — the transmitter listens passively on port 1110 and
+//!   sends a snapshot only when the wizard's receiver requests one,
+//!   avoiding steady background traffic across a sparse wide-area system.
+
+use bytes::BytesMut;
+
+use smartsock_monitor::{SharedNetDb, SharedSecDb, SharedSysDb};
+use smartsock_net::{Network, Payload};
+use smartsock_proto::consts::{ports, timing};
+use smartsock_proto::{Endpoint, Frame, Ip};
+use smartsock_sim::{Scheduler, SimDuration};
+
+/// Transmitter/receiver operating mode (§3.5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Push snapshots on a timer.
+    Centralized,
+    /// Wait for pull requests from the wizard machine.
+    Distributed,
+}
+
+/// The pull-request body sent by a receiver in distributed mode.
+pub const PULL_REQUEST: &[u8] = b"SSPULL1";
+
+/// The transmitter daemon on a monitor machine.
+#[derive(Clone)]
+pub struct Transmitter {
+    ip: Ip,
+    net: Network,
+    mode: Mode,
+    receiver: Endpoint,
+    interval: SimDuration,
+    sysdb: SharedSysDb,
+    netdb: SharedNetDb,
+    secdb: SharedSecDb,
+}
+
+impl Transmitter {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ip: Ip,
+        net: Network,
+        mode: Mode,
+        receiver_ip: Ip,
+        sysdb: SharedSysDb,
+        netdb: SharedNetDb,
+        secdb: SharedSecDb,
+    ) -> Transmitter {
+        Transmitter {
+            ip,
+            net,
+            mode,
+            receiver: Endpoint::new(receiver_ip, ports::RECEIVER),
+            interval: SimDuration::from_secs(timing::TRANSMIT_INTERVAL_SECS),
+            sysdb,
+            netdb,
+            secdb,
+        }
+    }
+
+    pub fn with_interval(mut self, interval: SimDuration) -> Transmitter {
+        self.interval = interval;
+        self
+    }
+
+    /// The passive-mode listening endpoint (port 1110 of Table 4.2).
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, ports::TRANSMITTER)
+    }
+
+    pub fn start(&self, s: &mut Scheduler) {
+        match self.mode {
+            Mode::Centralized => {
+                let tx = self.clone();
+                s.schedule_in(self.interval, move |s| tx.tick(s));
+            }
+            Mode::Distributed => {
+                let tx = self.clone();
+                self.net.bind_stream(self.endpoint(), move |s, msg| {
+                    if &msg.payload.data[..] == PULL_REQUEST {
+                        s.metrics.incr("transmitter.pulls");
+                        tx.push_snapshot(s);
+                    } else {
+                        s.metrics.incr("transmitter.bad_requests");
+                    }
+                });
+            }
+        }
+    }
+
+    fn tick(&self, s: &mut Scheduler) {
+        self.push_snapshot(s);
+        let tx = self.clone();
+        s.schedule_in(self.interval, move |s| tx.tick(s));
+    }
+
+    /// Snapshot all three databases and ship them as one framed message.
+    pub fn push_snapshot(&self, s: &mut Scheduler) {
+        let sys = Frame::system(&self.sysdb.read().snapshot());
+        let net_frame = Frame::network(&self.netdb.read().snapshot());
+        let sec = Frame::security(&self.secdb.read().snapshot());
+        let mut wire = BytesMut::with_capacity(sys.wire_len() + net_frame.wire_len() + sec.wire_len());
+        sys.encode(&mut wire);
+        net_frame.encode(&mut wire);
+        sec.encode(&mut wire);
+        s.metrics.incr("transmitter.snapshots");
+        s.metrics.add("transmitter.bytes", wire.len() as u64);
+        let from = Endpoint::new(self.ip, ports::TRANSMITTER);
+        self.net.send_stream(s, from, self.receiver, Payload::data(wire.freeze()));
+    }
+}
+
+/// The receiver daemon on the wizard machine.
+#[derive(Clone)]
+pub struct Receiver {
+    ip: Ip,
+    net: Network,
+    sysdb: SharedSysDb,
+    netdb: SharedNetDb,
+    secdb: SharedSecDb,
+}
+
+impl Receiver {
+    pub fn new(
+        ip: Ip,
+        net: Network,
+        sysdb: SharedSysDb,
+        netdb: SharedNetDb,
+        secdb: SharedSecDb,
+    ) -> Receiver {
+        Receiver { ip, net, sysdb, netdb, secdb }
+    }
+
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, ports::RECEIVER)
+    }
+
+    /// Bind the frame sink. Incoming snapshots *merge* per record type —
+    /// several monitor machines may feed one receiver, and each snapshot
+    /// carries the full state of its sender's databases.
+    pub fn start(&self, s: &mut Scheduler) {
+        let _ = s;
+        let rx = self.clone();
+        self.net.bind_stream(self.endpoint(), move |s, msg| {
+            let mut buf = BytesMut::from(&msg.payload.data[..]);
+            loop {
+                match Frame::decode(&mut buf) {
+                    Ok(Some(frame)) => rx.apply(s, frame),
+                    Ok(None) => break,
+                    Err(_) => {
+                        s.metrics.incr("receiver.bad_frames");
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    fn apply(&self, s: &mut Scheduler, frame: Frame) {
+        s.metrics.incr("receiver.frames");
+        s.metrics.add("receiver.bytes", frame.wire_len() as u64);
+        match frame.rtype {
+            smartsock_proto::RecordType::System => match frame.decode_system() {
+                Ok(reports) => {
+                    let now = s.now();
+                    let mut db = self.sysdb.write();
+                    for r in reports {
+                        db.upsert(r, now);
+                    }
+                }
+                Err(_) => s.metrics.incr("receiver.bad_frames"),
+            },
+            smartsock_proto::RecordType::Network => match frame.decode_network() {
+                Ok(recs) => {
+                    let mut db = self.netdb.write();
+                    for r in recs {
+                        db.upsert(r);
+                    }
+                }
+                Err(_) => s.metrics.incr("receiver.bad_frames"),
+            },
+            smartsock_proto::RecordType::Security => match frame.decode_security() {
+                Ok(recs) => {
+                    let mut db = self.secdb.write();
+                    for r in recs {
+                        db.upsert(r);
+                    }
+                }
+                Err(_) => s.metrics.incr("receiver.bad_frames"),
+            },
+        }
+    }
+
+    /// Distributed mode: ask every listed transmitter for a fresh snapshot
+    /// (§3.5.2: "a wizard triggers all transmitters participating in the
+    /// computing task to send updated reports").
+    pub fn request_update(&self, s: &mut Scheduler, transmitters: &[Ip]) {
+        for &tx in transmitters {
+            let from = self.endpoint();
+            let to = Endpoint::new(tx, ports::TRANSMITTER);
+            s.metrics.incr("receiver.pull_requests");
+            self.net.send_stream(s, from, to, Payload::data(PULL_REQUEST));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_monitor::db::shared_dbs;
+    use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
+    use smartsock_proto::{NetPathRecord, SecurityRecord, ServerStatusReport};
+    use smartsock_sim::SimTime;
+
+    struct Rig {
+        s: Scheduler,
+        net: Network,
+        mon_dbs: (SharedSysDb, SharedNetDb, SharedSecDb),
+        wiz_dbs: (SharedSysDb, SharedNetDb, SharedSecDb),
+        mon_ip: Ip,
+        wiz_ip: Ip,
+    }
+
+    fn rig() -> Rig {
+        let mut b = NetworkBuilder::new(55);
+        let mon = b.host("monmachine", Ip::new(192, 168, 1, 1), HostParams::testbed());
+        let wiz = b.host("wizmachine", Ip::new(192, 168, 2, 1), HostParams::testbed());
+        let r = b.router("core", Ip::new(192, 168, 0, 254));
+        b.duplex(mon, r, LinkParams::lan_100mbps());
+        b.duplex(r, wiz, LinkParams::lan_100mbps());
+        Rig {
+            s: Scheduler::new(),
+            net: b.build(),
+            mon_dbs: shared_dbs(),
+            wiz_dbs: shared_dbs(),
+            mon_ip: Ip::new(192, 168, 1, 1),
+            wiz_ip: Ip::new(192, 168, 2, 1),
+        }
+    }
+
+    fn seed_monitor_dbs(r: &Rig) {
+        let mut report = ServerStatusReport::empty("helene", Ip::new(192, 168, 3, 10));
+        report.load1 = 0.5;
+        report.mem_free = 100 << 20;
+        r.mon_dbs.0.write().upsert(report, SimTime::ZERO);
+        r.mon_dbs.1.write().upsert(NetPathRecord {
+            from_monitor: r.mon_ip,
+            to_monitor: Ip::new(192, 168, 5, 1),
+            delay_ms: 1.2,
+            bw_mbps: 88.0,
+            timestamp_ns: 0,
+        });
+        r.mon_dbs.2.write().upsert(SecurityRecord {
+            host: "helene".into(),
+            ip: Ip::new(192, 168, 3, 10),
+            level: 3,
+        });
+    }
+
+    #[test]
+    fn centralized_mode_pushes_snapshots_periodically() {
+        let mut r = rig();
+        seed_monitor_dbs(&r);
+        Receiver::new(r.wiz_ip, r.net.clone(), r.wiz_dbs.0.clone(), r.wiz_dbs.1.clone(), r.wiz_dbs.2.clone())
+            .start(&mut r.s);
+        Transmitter::new(
+            r.mon_ip,
+            r.net.clone(),
+            Mode::Centralized,
+            r.wiz_ip,
+            r.mon_dbs.0.clone(),
+            r.mon_dbs.1.clone(),
+            r.mon_dbs.2.clone(),
+        )
+        .start(&mut r.s);
+
+        r.s.run_until(SimTime::from_secs(5));
+        assert!(r.s.metrics.get("transmitter.snapshots") >= 2);
+        let wiz_sys = r.wiz_dbs.0.read().snapshot();
+        assert_eq!(wiz_sys.len(), 1);
+        assert_eq!(wiz_sys[0].host.as_str(), "helene");
+        assert_eq!(wiz_sys[0].mem_free, 100 << 20);
+        assert_eq!(r.wiz_dbs.1.read().get(r.mon_ip, Ip::new(192, 168, 5, 1)).unwrap().bw_mbps, 88.0);
+        assert_eq!(r.wiz_dbs.2.read().level_of(Ip::new(192, 168, 3, 10)), Some(3));
+    }
+
+    #[test]
+    fn distributed_mode_sends_only_on_pull() {
+        let mut r = rig();
+        seed_monitor_dbs(&r);
+        let rx = Receiver::new(
+            r.wiz_ip,
+            r.net.clone(),
+            r.wiz_dbs.0.clone(),
+            r.wiz_dbs.1.clone(),
+            r.wiz_dbs.2.clone(),
+        );
+        rx.start(&mut r.s);
+        Transmitter::new(
+            r.mon_ip,
+            r.net.clone(),
+            Mode::Distributed,
+            r.wiz_ip,
+            r.mon_dbs.0.clone(),
+            r.mon_dbs.1.clone(),
+            r.mon_dbs.2.clone(),
+        )
+        .start(&mut r.s);
+
+        r.s.run_until(SimTime::from_secs(10));
+        assert_eq!(r.s.metrics.get("transmitter.snapshots"), 0, "no unsolicited pushes");
+        assert!(r.wiz_dbs.0.read().is_empty());
+
+        rx.request_update(&mut r.s, &[r.mon_ip]);
+        r.s.run_until(SimTime::from_secs(12));
+        assert_eq!(r.s.metrics.get("transmitter.pulls"), 1);
+        assert_eq!(r.s.metrics.get("transmitter.snapshots"), 1);
+        assert_eq!(r.wiz_dbs.0.read().len(), 1);
+    }
+
+    #[test]
+    fn updates_overwrite_older_records() {
+        let mut r = rig();
+        seed_monitor_dbs(&r);
+        let rx = Receiver::new(
+            r.wiz_ip,
+            r.net.clone(),
+            r.wiz_dbs.0.clone(),
+            r.wiz_dbs.1.clone(),
+            r.wiz_dbs.2.clone(),
+        );
+        rx.start(&mut r.s);
+        let tx = Transmitter::new(
+            r.mon_ip,
+            r.net.clone(),
+            Mode::Centralized,
+            r.wiz_ip,
+            r.mon_dbs.0.clone(),
+            r.mon_dbs.1.clone(),
+            r.mon_dbs.2.clone(),
+        );
+        tx.start(&mut r.s);
+        r.s.run_until(SimTime::from_secs(3));
+        assert_eq!(r.wiz_dbs.0.read().snapshot()[0].load1, 0.5);
+
+        // The monitor learns a new load value; the next push propagates it.
+        let mut newer = ServerStatusReport::empty("helene", Ip::new(192, 168, 3, 10));
+        newer.load1 = 2.5;
+        r.mon_dbs.0.write().upsert(newer, r.s.now());
+        r.s.run_until(SimTime::from_secs(6));
+        assert_eq!(r.wiz_dbs.0.read().snapshot()[0].load1, 2.5);
+    }
+
+    #[test]
+    fn garbage_requests_and_frames_are_counted() {
+        let mut r = rig();
+        Transmitter::new(
+            r.mon_ip,
+            r.net.clone(),
+            Mode::Distributed,
+            r.wiz_ip,
+            r.mon_dbs.0.clone(),
+            r.mon_dbs.1.clone(),
+            r.mon_dbs.2.clone(),
+        )
+        .start(&mut r.s);
+        let rx = Receiver::new(
+            r.wiz_ip,
+            r.net.clone(),
+            r.wiz_dbs.0.clone(),
+            r.wiz_dbs.1.clone(),
+            r.wiz_dbs.2.clone(),
+        );
+        rx.start(&mut r.s);
+        // Garbage pull request.
+        let from = Endpoint::new(r.wiz_ip, 45000);
+        r.net.send_stream(
+            &mut r.s,
+            from,
+            Endpoint::new(r.mon_ip, ports::TRANSMITTER),
+            Payload::data(&b"HAX"[..]),
+        );
+        // Garbage frame stream to the receiver.
+        r.net.send_stream(
+            &mut r.s,
+            from,
+            rx.endpoint(),
+            Payload::data(vec![9u8, 9, 9, 9, 4, 0, 0, 0, 1, 2, 3, 4]),
+        );
+        r.s.run_until(SimTime::from_secs(2));
+        assert_eq!(r.s.metrics.get("transmitter.bad_requests"), 1);
+        assert_eq!(r.s.metrics.get("receiver.bad_frames"), 1);
+    }
+
+    #[test]
+    fn snapshot_bytes_scale_with_record_count() {
+        // 11 probes + 1 net record + 2 security records at 2 s intervals is
+        // the Table 5.2 configuration (~1.2 KBps measured). Our frames:
+        // 11×204 + 32 + 2×32 + headers ≈ 2.4 KB per push ⇒ ~1.2 KBps.
+        let r = rig();
+        for i in 0..11u8 {
+            r.mon_dbs.0.write().upsert(
+                ServerStatusReport::empty(format!("srv{i}").as_str(), Ip::new(192, 168, 4, i)),
+                SimTime::ZERO,
+            );
+        }
+        seed_monitor_dbs(&r); // +1 more sys record, 1 net, 1 sec
+        let sys = Frame::system(&r.mon_dbs.0.read().snapshot());
+        let netf = Frame::network(&r.mon_dbs.1.read().snapshot());
+        let secf = Frame::security(&r.mon_dbs.2.read().snapshot());
+        let total = sys.wire_len() + netf.wire_len() + secf.wire_len();
+        // 12 system records now; per 2 s push that is ~1.25 KBps.
+        assert!(total > 2000 && total < 3500, "snapshot is {total} bytes");
+    }
+}

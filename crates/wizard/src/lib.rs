@@ -1,0 +1,562 @@
+//! # smartsock-wizard
+//!
+//! The *wizard* — the user-request handler of the Smart TCP socket library
+//! (paper §3.6.1).
+//!
+//! The wizard daemon listens on UDP port 1120 (UDP "due to the low
+//! overhead", and because a TCP server would accumulate `TIME_WAIT`
+//! connections under load). For every request it:
+//!
+//! 1. refreshes its view of the status databases — immediately available
+//!    in centralized mode, pulled from the transmitters in distributed
+//!    mode (§3.6.1 step 2);
+//! 2. compiles the request detail with `smartsock-lang` (lexical +
+//!    syntactical analysis, §3.6.1 step 3);
+//! 3. evaluates every live server record against the requirement, skipping
+//!    blacklisted hosts and expired records;
+//! 4. orders candidates — preferred hosts first, then an optional rank
+//!    directive (§6 extension), then address order — and replies with at
+//!    most 60 servers (Table 3.6).
+//!
+//! ## Rank directive (future-work extension)
+//!
+//! §6 notes the wizard "examines the server reports one by one, which
+//! makes it very difficult for users to write a requirement like '3
+//! servers with largest memory'". We implement the suggested fix: a
+//! `#!rank <server_var> [asc|desc]` directive line (a comment to the
+//! requirement language, so the grammar is untouched) makes the wizard
+//! sort qualified candidates by that variable before truncating.
+
+pub mod templates;
+pub mod vars;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use smartsock_lang::{compile, Evaluator, HostLists};
+use smartsock_monitor::{SharedNetDb, SharedSecDb, SharedSysDb};
+use smartsock_net::{Network, Payload};
+use smartsock_proto::consts::ports;
+use smartsock_proto::{Endpoint, Ip, UserRequest, WizardReply, MAX_SERVERS_PER_REPLY};
+use smartsock_sim::{Scheduler, SimDuration, SimTime};
+use smartsock_wire::Receiver;
+
+pub use vars::ServerVars;
+
+/// Wizard operating mode, mirroring the transmitters' (§3.5.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WizardMode {
+    /// Status arrives continuously; requests are answered immediately.
+    Centralized,
+    /// Each request first triggers a pull from the listed transmitter
+    /// machines, then matches after a settle delay.
+    Distributed { transmitters: Vec<Ip>, settle: SimDuration },
+}
+
+/// Wizard configuration.
+#[derive(Clone, Debug)]
+pub struct WizardConfig {
+    pub mode: WizardMode,
+    /// Records older than this are treated as expired even if the sweep
+    /// has not caught them yet. `None` disables the check.
+    pub stale_max_age: Option<SimDuration>,
+}
+
+impl Default for WizardConfig {
+    fn default() -> Self {
+        WizardConfig {
+            mode: WizardMode::Centralized,
+            stale_max_age: Some(SimDuration::from_secs(6)),
+        }
+    }
+}
+
+/// The wizard daemon.
+#[derive(Clone)]
+pub struct Wizard {
+    ip: Ip,
+    net: Network,
+    sysdb: SharedSysDb,
+    netdb: SharedNetDb,
+    secdb: SharedSecDb,
+    cfg: WizardConfig,
+    /// host ip → its group's network-monitor ip (for `monitor_*` vars).
+    group_map: Rc<RefCell<HashMap<Ip, Ip>>>,
+    /// Receiver co-located with the wizard (needed for distributed pulls).
+    receiver: Option<Receiver>,
+    templates: Rc<RefCell<HashMap<u8, String>>>,
+}
+
+impl Wizard {
+    pub fn new(
+        ip: Ip,
+        net: Network,
+        sysdb: SharedSysDb,
+        netdb: SharedNetDb,
+        secdb: SharedSecDb,
+        cfg: WizardConfig,
+    ) -> Wizard {
+        Wizard {
+            ip,
+            net,
+            sysdb,
+            netdb,
+            secdb,
+            cfg,
+            group_map: Rc::new(RefCell::new(HashMap::new())),
+            receiver: None,
+            templates: Rc::new(RefCell::new(templates::defaults())),
+        }
+    }
+
+    /// Attach the co-located receiver (distributed mode pulls through it).
+    pub fn with_receiver(mut self, rx: Receiver) -> Wizard {
+        self.receiver = Some(rx);
+        self
+    }
+
+    /// Register which network monitor serves a host's group.
+    pub fn map_group(&self, host: Ip, monitor: Ip) {
+        self.group_map.borrow_mut().insert(host, monitor);
+    }
+
+    /// Register a requirement template usable via the request option field.
+    pub fn add_template(&self, id: u8, text: impl Into<String>) {
+        self.templates.borrow_mut().insert(id, text.into());
+    }
+
+    /// The service endpoint (port 1120 of Table 4.2).
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, ports::WIZARD)
+    }
+
+    /// Bind the request socket.
+    pub fn start(&self, s: &mut Scheduler) {
+        let _ = s;
+        let wiz = self.clone();
+        self.net.bind_udp(self.endpoint(), move |s, dgram| {
+            let Ok(req) = UserRequest::decode(&dgram.payload.data) else {
+                s.metrics.incr("wizard.bad_requests");
+                return;
+            };
+            s.metrics.incr("wizard.requests");
+            wiz.handle(s, req, dgram.from);
+        });
+    }
+
+    fn handle(&self, s: &mut Scheduler, req: UserRequest, client: Endpoint) {
+        match &self.cfg.mode {
+            WizardMode::Centralized => self.match_and_reply(s, req, client),
+            WizardMode::Distributed { transmitters, settle } => {
+                if let Some(rx) = &self.receiver {
+                    rx.request_update(s, transmitters);
+                }
+                let wiz = self.clone();
+                let settle = *settle;
+                s.schedule_in(settle, move |s| wiz.match_and_reply(s, req, client));
+            }
+        }
+    }
+
+    /// §3.6.1 steps 3–4: evaluate and reply. Public so the harness can
+    /// drive matching synchronously.
+    pub fn match_and_reply(&self, s: &mut Scheduler, req: UserRequest, client: Endpoint) {
+        let servers = self.select(s.now(), &req, client.ip);
+        let reply = WizardReply { seq: req.seq, servers };
+        let payload = Payload::data(reply.encode().freeze());
+        s.metrics.incr("wizard.replies");
+        s.metrics.add("wizard.reply_servers", reply.servers.len() as u64);
+        self.net.send_udp(s, self.endpoint(), client, payload, None);
+    }
+
+    /// The selection core, independent of the transport: returns the
+    /// ordered candidate list for a request from `client_ip`.
+    pub fn select(&self, now: SimTime, req: &UserRequest, client_ip: Ip) -> Vec<Endpoint> {
+        // Prepend a template when the option asks for one.
+        let detail = match req.option.template {
+            Some(id) => match self.templates.borrow().get(&id) {
+                Some(t) => format!("{t}\n{}", req.detail),
+                None => req.detail.clone(),
+            },
+            None => req.detail.clone(),
+        };
+        let Ok(requirement) = compile(&detail) else {
+            return Vec::new(); // uncompilable requirement ⇒ empty reply
+        };
+        let lists = HostLists::from_requirement(&requirement);
+        let rank = parse_rank_directive(&detail);
+
+        let group_map = self.group_map.borrow();
+        let client_mon = group_map.get(&client_ip).copied();
+
+        struct Candidate {
+            ip: Ip,
+            preferred_rank: Option<usize>,
+            rank_value: f64,
+        }
+        let mut qualified: Vec<Candidate> = Vec::new();
+        {
+            let sysdb = self.sysdb.read();
+            let netdb = self.netdb.read();
+            let secdb = self.secdb.read();
+            for (&ip, timed) in sysdb.iter() {
+                if let Some(max_age) = self.cfg.stale_max_age {
+                    if now.since(timed.recorded_at) > max_age {
+                        continue;
+                    }
+                }
+                let report = &timed.report;
+                if lists.denied.iter().any(|d| designates(d, report)) {
+                    continue;
+                }
+                let server_mon = group_map.get(&ip).copied();
+                let net_rec = match (client_mon, server_mon) {
+                    (Some(a), Some(b)) if a != b => netdb.get(a, b).copied(),
+                    _ => None,
+                };
+                let same_group = client_mon.is_some() && client_mon == server_mon;
+                let view = ServerVars {
+                    report,
+                    security_level: secdb.level_of(ip),
+                    net_record: net_rec,
+                    same_group,
+                };
+                let decision = Evaluator::evaluate(&requirement, &view);
+                if !decision.qualified {
+                    continue;
+                }
+                let preferred_rank =
+                    lists.preferred.iter().position(|p| designates(p, report));
+                let rank_value = rank
+                    .as_ref()
+                    .and_then(|(var, _)| view_lookup(&view, var))
+                    .unwrap_or(0.0);
+                qualified.push(Candidate { ip, preferred_rank, rank_value });
+            }
+        }
+
+        // Ordering: preferred first (by preference index), then the rank
+        // directive, then address order for determinism.
+        qualified.sort_by(|a, b| {
+            let pa = a.preferred_rank.map_or(usize::MAX, |i| i);
+            let pb = b.preferred_rank.map_or(usize::MAX, |i| i);
+            pa.cmp(&pb)
+                .then_with(|| match &rank {
+                    Some((_, descending)) => {
+                        let ord = a
+                            .rank_value
+                            .partial_cmp(&b.rank_value)
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        if *descending {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    }
+                    None => std::cmp::Ordering::Equal,
+                })
+                .then_with(|| a.ip.cmp(&b.ip))
+        });
+
+        let cap = usize::from(req.server_num).min(MAX_SERVERS_PER_REPLY);
+        qualified.truncate(cap);
+        qualified.into_iter().map(|c| Endpoint::new(c.ip, ports::SERVICE)).collect()
+    }
+}
+
+/// Does a user host designator (IP, domain or bare name) refer to this
+/// server's report?
+fn designates(designator: &str, report: &smartsock_proto::ServerStatusReport) -> bool {
+    if let Ok(ip) = designator.parse::<Ip>() {
+        return ip == report.ip;
+    }
+    report.host.matches(&smartsock_proto::HostName::new(designator))
+}
+
+/// Parse the `#!rank <var> [asc|desc]` directive, if present.
+fn parse_rank_directive(detail: &str) -> Option<(String, bool)> {
+    for line in detail.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("#!rank") {
+            let mut it = rest.split_ascii_whitespace();
+            let var = it.next()?.to_owned();
+            let descending = match it.next() {
+                Some("asc") => false,
+                Some("desc") | None => true,
+                Some(_) => return None,
+            };
+            return Some((var, descending));
+        }
+    }
+    None
+}
+
+fn view_lookup(view: &ServerVars<'_>, var: &str) -> Option<f64> {
+    use smartsock_lang::VarProvider;
+    view.lookup(var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_monitor::db::shared_dbs;
+    use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
+    use smartsock_proto::{NetPathRecord, RequestOption, SecurityRecord, ServerStatusReport};
+
+    fn report(name: &str, ip: Ip) -> ServerStatusReport {
+        let mut r = ServerStatusReport::empty(name, ip);
+        r.cpu_idle = 0.95;
+        r.load1 = 0.1;
+        r.mem_free = 200 << 20;
+        r.bogomips = 3394.76;
+        r
+    }
+
+    fn wizard_rig() -> (Wizard, SharedSysDb, SharedNetDb, SharedSecDb) {
+        let mut b = NetworkBuilder::new(1);
+        let w = b.host("wiz", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let c = b.host("client", Ip::new(10, 0, 0, 2), HostParams::testbed());
+        b.duplex(w, c, LinkParams::lan_100mbps());
+        let net = b.build();
+        let (sysdb, netdb, secdb) = shared_dbs();
+        let wiz = Wizard::new(
+            Ip::new(10, 0, 0, 1),
+            net,
+            sysdb.clone(),
+            netdb.clone(),
+            secdb.clone(),
+            WizardConfig { stale_max_age: None, ..Default::default() },
+        );
+        (wiz, sysdb, netdb, secdb)
+    }
+
+    fn request(detail: &str, n: u16) -> UserRequest {
+        UserRequest {
+            seq: 7,
+            server_num: n,
+            option: RequestOption::DEFAULT,
+            detail: detail.to_owned(),
+        }
+    }
+
+    #[test]
+    fn selects_only_qualified_servers() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        let mut busy = report("busy", Ip::new(10, 0, 1, 1));
+        busy.cpu_idle = 0.1;
+        sysdb.write().upsert(busy, SimTime::ZERO);
+        sysdb.write().upsert(report("idle", Ip::new(10, 0, 1, 2)), SimTime::ZERO);
+
+        let got = wiz.select(SimTime::ZERO, &request("host_cpu_free > 0.9\n", 5), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 2));
+        assert_eq!(got[0].port, ports::SERVICE);
+    }
+
+    #[test]
+    fn denied_hosts_are_excluded_even_when_qualified() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        sysdb.write().upsert(report("titan-x", Ip::new(10, 0, 1, 1)), SimTime::ZERO);
+        sysdb.write().upsert(report("dione", Ip::new(10, 0, 1, 2)), SimTime::ZERO);
+        let got = wiz.select(
+            SimTime::ZERO,
+            &request("host_cpu_free > 0.5\nuser_denied_host1 = titan-x\n", 5),
+            Ip::new(10, 0, 0, 2),
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 2));
+        // Denying by IP works too.
+        let got = wiz.select(
+            SimTime::ZERO,
+            &request("host_cpu_free > 0.5\nuser_denied_host1 = 10.0.1.2\n", 5),
+            Ip::new(10, 0, 0, 2),
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 1));
+    }
+
+    #[test]
+    fn preferred_hosts_come_first() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        for (name, last) in [("alpha", 1u8), ("beta", 2), ("gamma", 3)] {
+            sysdb.write().upsert(report(name, Ip::new(10, 0, 1, last)), SimTime::ZERO);
+        }
+        let got = wiz.select(
+            SimTime::ZERO,
+            &request("host_cpu_free > 0.5\nuser_preferred_host1 = gamma\n", 3),
+            Ip::new(10, 0, 0, 2),
+        );
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 3), "preferred host leads");
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn empty_requirement_returns_everything_up_to_the_cap() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        for i in 0..70u8 {
+            sysdb.write().upsert(
+                report(&format!("s{i}"), Ip::new(10, 0, 2, i)),
+                SimTime::ZERO,
+            );
+        }
+        let got = wiz.select(SimTime::ZERO, &request("", 100), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.len(), MAX_SERVERS_PER_REPLY);
+        let got = wiz.select(SimTime::ZERO, &request("", 3), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn stale_records_are_not_offered() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        let wiz = Wizard { cfg: WizardConfig::default(), ..wiz }; // 6 s staleness
+        sysdb.write().upsert(report("old", Ip::new(10, 0, 1, 1)), SimTime::ZERO);
+        sysdb.write().upsert(report("new", Ip::new(10, 0, 1, 2)), SimTime::from_secs(10));
+        let got = wiz.select(SimTime::from_secs(12), &request("", 5), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn security_levels_flow_from_secdb() {
+        let (wiz, sysdb, _netdb, secdb) = wizard_rig();
+        sysdb.write().upsert(report("secure", Ip::new(10, 0, 1, 1)), SimTime::ZERO);
+        sysdb.write().upsert(report("sketchy", Ip::new(10, 0, 1, 2)), SimTime::ZERO);
+        secdb.write().upsert(SecurityRecord { host: "secure".into(), ip: Ip::new(10, 0, 1, 1), level: 5 });
+        secdb.write().upsert(SecurityRecord { host: "sketchy".into(), ip: Ip::new(10, 0, 1, 2), level: 1 });
+        let got = wiz.select(
+            SimTime::ZERO,
+            &request("host_security_level >= 3\n", 5),
+            Ip::new(10, 0, 0, 2),
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 1));
+    }
+
+    #[test]
+    fn monitor_bandwidth_requirements_use_the_group_map() {
+        let (wiz, sysdb, netdb, _) = wizard_rig();
+        let client = Ip::new(10, 0, 0, 2);
+        let fast = Ip::new(10, 0, 1, 1);
+        let slow = Ip::new(10, 0, 2, 1);
+        let mon_client = Ip::new(10, 0, 0, 100);
+        let mon_fast = Ip::new(10, 0, 1, 100);
+        let mon_slow = Ip::new(10, 0, 2, 100);
+        sysdb.write().upsert(report("fast", fast), SimTime::ZERO);
+        sysdb.write().upsert(report("slow", slow), SimTime::ZERO);
+        wiz.map_group(client, mon_client);
+        wiz.map_group(fast, mon_fast);
+        wiz.map_group(slow, mon_slow);
+        netdb.write().upsert(NetPathRecord {
+            from_monitor: mon_client,
+            to_monitor: mon_fast,
+            delay_ms: 0.5,
+            bw_mbps: 6.72,
+            timestamp_ns: 0,
+        });
+        netdb.write().upsert(NetPathRecord {
+            from_monitor: mon_client,
+            to_monitor: mon_slow,
+            delay_ms: 0.5,
+            bw_mbps: 1.33,
+            timestamp_ns: 0,
+        });
+        // Table 5.7's requirement.
+        let got = wiz.select(SimTime::ZERO, &request("monitor_network_bw > 6\n", 5), client);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ip, fast);
+    }
+
+    #[test]
+    fn rank_directive_orders_by_server_variable() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        for (name, ip_last, mem_mb) in
+            [("small", 1u8, 64u64), ("big", 2, 400), ("mid", 3, 128)]
+        {
+            let mut r = report(name, Ip::new(10, 0, 1, ip_last));
+            r.mem_free = mem_mb << 20;
+            sysdb.write().upsert(r, SimTime::ZERO);
+        }
+        // "3 servers with largest memory" — the §6 wish, via the rank
+        // directive extension.
+        let got = wiz.select(
+            SimTime::ZERO,
+            &request("#!rank host_memory_free desc\nhost_cpu_free > 0.5\n", 2),
+            Ip::new(10, 0, 0, 2),
+        );
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 2), "largest memory first");
+        assert_eq!(got[1].ip, Ip::new(10, 0, 1, 3));
+    }
+
+    #[test]
+    fn templates_prepend_requirements() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        let mut weak = report("weak", Ip::new(10, 0, 1, 1));
+        weak.cpu_idle = 0.2;
+        sysdb.write().upsert(weak, SimTime::ZERO);
+        sysdb.write().upsert(report("strong", Ip::new(10, 0, 1, 2)), SimTime::ZERO);
+        wiz.add_template(9, "host_cpu_free > 0.9");
+        let req = UserRequest {
+            seq: 1,
+            server_num: 5,
+            option: RequestOption { accept_fewer: true, template: Some(9) },
+            detail: String::new(),
+        };
+        let got = wiz.select(SimTime::ZERO, &req, Ip::new(10, 0, 0, 2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ip, Ip::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn uncompilable_requirements_yield_empty_replies() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        sysdb.write().upsert(report("x", Ip::new(10, 0, 1, 1)), SimTime::ZERO);
+        let got = wiz.select(SimTime::ZERO, &request("+++ ~~~", 5), Ip::new(10, 0, 0, 2));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_over_udp() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut b = NetworkBuilder::new(3);
+        let w = b.host("wiz", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let c = b.host("client", Ip::new(10, 0, 0, 2), HostParams::testbed());
+        b.duplex(w, c, LinkParams::lan_100mbps());
+        let net = b.build();
+        let (sysdb, netdb, secdb) = shared_dbs();
+        sysdb.write().upsert(report("srv", Ip::new(10, 0, 0, 9)), SimTime::ZERO);
+        let wiz = Wizard::new(
+            Ip::new(10, 0, 0, 1),
+            net.clone(),
+            sysdb,
+            netdb,
+            secdb,
+            WizardConfig { stale_max_age: None, ..Default::default() },
+        );
+        let mut s = Scheduler::new();
+        wiz.start(&mut s);
+
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let client_ep = Endpoint::new(Ip::new(10, 0, 0, 2), 50001);
+        net.bind_udp(client_ep, move |_s, d| {
+            *g.borrow_mut() = Some(WizardReply::decode(&d.payload.data).unwrap());
+        });
+        let req = request("host_cpu_free > 0.5\n", 1);
+        net.send_udp(
+            &mut s,
+            client_ep,
+            wiz.endpoint(),
+            Payload::data(req.encode().freeze()),
+            None,
+        );
+        s.run();
+        let reply = got.borrow_mut().take().expect("wizard replied");
+        assert_eq!(reply.seq, 7);
+        assert_eq!(reply.servers.len(), 1);
+        assert_eq!(s.metrics.get("wizard.requests"), 1);
+        assert_eq!(s.metrics.get("wizard.replies"), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Predefined requirement templates (paper §3.6.1: the option field lets a
+//! user apply "some predefined server requirement templates").
+
+use std::collections::HashMap;
+
+/// Template ids shipped by default.
+pub mod ids {
+    /// Any live server.
+    pub const ANY: u8 = 0;
+    /// CPU-bound tasks: mostly-idle CPU, low load.
+    pub const CPU_BOUND: u8 = 1;
+    /// Memory-bound tasks: ≥ 100 MB free.
+    pub const MEM_BOUND: u8 = 2;
+    /// Data-intensive tasks: quiet disk and NIC.
+    pub const IO_BOUND: u8 = 3;
+    /// Wide-area tasks: good path metrics (Fig 1.4's example thresholds).
+    pub const NET_SENSITIVE: u8 = 4;
+}
+
+/// The default template registry.
+pub fn defaults() -> HashMap<u8, String> {
+    let mut t = HashMap::new();
+    t.insert(ids::ANY, String::new());
+    t.insert(
+        ids::CPU_BOUND,
+        "host_cpu_free > 0.9\nhost_system_load1 < 0.5\n".to_owned(),
+    );
+    t.insert(ids::MEM_BOUND, "host_memory_free > 100*1024*1024\n".to_owned());
+    t.insert(
+        ids::IO_BOUND,
+        "host_disk_rblocks + host_disk_wblocks < 1000\nhost_network_tbytesps < 1024*1024\n"
+            .to_owned(),
+    );
+    t.insert(
+        ids::NET_SENSITIVE,
+        "monitor_network_delay < 20\nmonitor_network_bw > 10\n".to_owned(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_default_templates_compile() {
+        for (id, text) in defaults() {
+            assert!(
+                smartsock_lang::compile(&text).is_ok(),
+                "template {id} fails to compile: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn net_sensitive_matches_fig_1_4_thresholds() {
+        let t = defaults();
+        let text = &t[&ids::NET_SENSITIVE];
+        assert!(text.contains("monitor_network_delay < 20"));
+        assert!(text.contains("monitor_network_bw > 10"));
+    }
+}

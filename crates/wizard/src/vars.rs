@@ -1,0 +1,145 @@
+//! The wizard's per-server variable view: binds the 22 server-side
+//! variables (Appendix B.1), `host_security_level` and the `monitor_*`
+//! network metrics onto one candidate's records.
+
+use smartsock_lang::VarProvider;
+use smartsock_proto::{NetPathRecord, ServerStatusReport};
+
+/// One candidate server's variables, as the requirement language sees them.
+pub struct ServerVars<'a> {
+    pub report: &'a ServerStatusReport,
+    /// Clearance from `secdb`, if the security monitor knows this host.
+    pub security_level: Option<i32>,
+    /// Path metrics from the client's group monitor to this server's
+    /// group monitor, if the groups differ.
+    pub net_record: Option<NetPathRecord>,
+    /// True when client and server share a group — the paper's assumption
+    /// is that LAN bandwidth/delay are "sufficient for most applications",
+    /// so local candidates see ideal metrics.
+    pub same_group: bool,
+}
+
+/// Idealised metrics for same-group candidates.
+const LOCAL_BW_MBPS: f64 = 1000.0;
+const LOCAL_DELAY_MS: f64 = 0.1;
+
+impl VarProvider for ServerVars<'_> {
+    fn lookup(&self, name: &str) -> Option<f64> {
+        let r = self.report;
+        Some(match name {
+            "host_system_load1" => r.load1,
+            "host_system_load5" => r.load5,
+            "host_system_load15" => r.load15,
+            "host_cpu_user" => r.cpu_user,
+            "host_cpu_nice" => r.cpu_nice,
+            "host_cpu_system" => r.cpu_system,
+            "host_cpu_idle" => r.cpu_idle,
+            "host_cpu_free" => r.cpu_free(),
+            "host_cpu_bogomips" => r.bogomips,
+            "host_memory_total" => r.mem_total as f64,
+            "host_memory_used" => r.mem_used as f64,
+            "host_memory_free" => r.mem_free as f64,
+            "host_memory_buffers" => r.mem_buffers as f64,
+            "host_memory_cached" => r.mem_cached as f64,
+            "host_disk_allreq" => r.disk_allreq as f64,
+            "host_disk_rreq" => r.disk_rreq as f64,
+            "host_disk_rblocks" => r.disk_rblocks as f64,
+            "host_disk_wreq" => r.disk_wreq as f64,
+            "host_disk_wblocks" => r.disk_wblocks as f64,
+            "host_network_rbytesps" => r.net_rbytes_ps,
+            "host_network_tbytesps" => r.net_tbytes_ps,
+            "host_security_level" => f64::from(self.security_level?),
+            _ if name.starts_with("host_service_") => {
+                let class = &name["host_service_".len()..];
+                let mask = smartsock_proto::ServiceMask::by_name(class)?;
+                if r.services.contains(mask) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            "monitor_network_bw" => {
+                if self.same_group {
+                    LOCAL_BW_MBPS
+                } else {
+                    self.net_record?.bw_mbps
+                }
+            }
+            "monitor_network_delay" => {
+                if self.same_group {
+                    LOCAL_DELAY_MS
+                } else {
+                    self.net_record?.delay_ms
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_proto::Ip;
+
+    fn view(report: &ServerStatusReport) -> ServerVars<'_> {
+        ServerVars { report, security_level: Some(4), net_record: None, same_group: true }
+    }
+
+    #[test]
+    fn every_documented_server_var_resolves() {
+        let mut r = ServerStatusReport::empty("h", Ip::new(10, 0, 0, 1));
+        r.load1 = 0.5;
+        r.mem_free = 1 << 30;
+        let v = view(&r);
+        for name in smartsock_lang::SERVER_VARS {
+            assert!(v.lookup(name).is_some(), "unresolved server var {name}");
+        }
+        assert_eq!(v.lookup("host_system_load1"), Some(0.5));
+        assert_eq!(v.lookup("host_memory_free"), Some((1u64 << 30) as f64));
+    }
+
+    #[test]
+    fn monitor_vars_resolve_locally_and_remotely() {
+        let r = ServerStatusReport::empty("h", Ip::new(10, 0, 0, 1));
+        let local = view(&r);
+        assert_eq!(local.lookup("monitor_network_bw"), Some(1000.0));
+        assert_eq!(local.lookup("monitor_network_delay"), Some(0.1));
+
+        let remote = ServerVars {
+            report: &r,
+            security_level: None,
+            net_record: Some(NetPathRecord {
+                from_monitor: Ip::new(10, 0, 0, 100),
+                to_monitor: Ip::new(10, 0, 1, 100),
+                delay_ms: 7.5,
+                bw_mbps: 6.72,
+                timestamp_ns: 0,
+            }),
+            same_group: false,
+        };
+        assert_eq!(remote.lookup("monitor_network_bw"), Some(6.72));
+        assert_eq!(remote.lookup("monitor_network_delay"), Some(7.5));
+
+        let unknown = ServerVars { report: &r, security_level: None, net_record: None, same_group: false };
+        assert_eq!(unknown.lookup("monitor_network_bw"), None);
+        assert_eq!(unknown.lookup("host_security_level"), None);
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        let r = ServerStatusReport::empty("h", Ip::new(10, 0, 0, 1));
+        assert_eq!(view(&r).lookup("host_gpu_count"), None);
+        assert_eq!(view(&r).lookup("host_service_quantum"), None);
+    }
+
+    #[test]
+    fn service_flags_resolve_from_the_mask() {
+        use smartsock_proto::ServiceMask;
+        let mut r = ServerStatusReport::empty("h", Ip::new(10, 0, 0, 1));
+        r.services = ServiceMask::FILE;
+        let v = view(&r);
+        assert_eq!(v.lookup("host_service_file"), Some(1.0));
+        assert_eq!(v.lookup("host_service_compute"), Some(0.0));
+    }
+}

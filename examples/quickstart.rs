@@ -1,0 +1,67 @@
+//! Quickstart: bring up the whole Smart TCP socket system on the paper's
+//! testbed, ask for three good servers, and talk to them.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smartsock::client::RequestSpec;
+use smartsock::net::Payload;
+use smartsock::proto::consts::ports;
+use smartsock::proto::Endpoint;
+use smartsock::sim::SimTime;
+use smartsock::Testbed;
+
+fn main() {
+    // One call deploys Fig 3.1 on Fig 5.1: 11 machines, probes, monitors,
+    // transmitter/receiver and the wizard — all driven by a deterministic
+    // virtual clock.
+    let (mut s, tb) = Testbed::paper(42);
+
+    // Run a tiny echo service on every machine's service port, so the
+    // client's connect step succeeds.
+    for host in tb.hosts.values() {
+        let net = tb.net.clone();
+        tb.net.bind_stream(Endpoint::new(host.ip(), ports::SERVICE), move |s, m| {
+            net.send_stream(s, m.to, m.from, Payload::data(&b"hello from the server"[..]));
+        });
+    }
+
+    // Let the probes report a couple of rounds.
+    s.run_until(SimTime::from_secs(10));
+
+    // The paper's pitch (Fig 1.3): describe the servers you want, not
+    // their names.
+    let requirement = "\
+host_cpu_free >= 0.9
+host_system_load1 < 0.5
+host_memory_free > 50*1024*1024
+";
+    let client = tb.client("sagit");
+    let done = Rc::new(RefCell::new(false));
+    let done2 = Rc::clone(&done);
+    let net = tb.net.clone();
+    client.request(&mut s, RequestSpec::new(requirement, 3), move |s, result| {
+        let socks = result.expect("the idle testbed has qualified servers");
+        println!("wizard returned {} connected sockets:", socks.len());
+        for sock in &socks {
+            let name = net
+                .node_by_ip(sock.remote.ip)
+                .map(|n| net.name_of(n).as_str().to_owned())
+                .unwrap_or_default();
+            println!("  {} -> {} ({name})", sock.local, sock.remote);
+            // Say hello over each socket.
+            sock.on_message(|_s, m| {
+                println!("  reply: {:?}", std::str::from_utf8(&m.payload.data).unwrap());
+            });
+            sock.send(s, Payload::data(&b"ping"[..]));
+        }
+        *done2.borrow_mut() = true;
+    });
+    s.run_until(SimTime::from_secs(12));
+    assert!(*done.borrow(), "request completed");
+    println!("virtual time elapsed: {}", s.now());
+}

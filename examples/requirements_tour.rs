@@ -1,0 +1,105 @@
+//! A tour of the requirement meta language (paper §3.6, §4.3, Appendix B):
+//! temp variables, math builtins, preferred/denied hosts, security levels,
+//! service classes, rank directives and templates — each against the live
+//! testbed.
+//!
+//! ```text
+//! cargo run --example requirements_tour
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smartsock::client::RequestSpec;
+use smartsock::hostsim::{machine_specs, Workload};
+use smartsock::proto::consts::ports;
+use smartsock::proto::Endpoint;
+use smartsock::sim::{Scheduler, SimDuration, SimTime};
+use smartsock::Testbed;
+use smartsock_apps::massd::FileServer;
+
+fn ask(s: &mut Scheduler, tb: &Testbed, label: &str, requirement: &str, n: u16) {
+    let client = tb.client("sagit");
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    let spec = RequestSpec::new(requirement, n);
+    client.request(s, spec, move |_s, r| *g.borrow_mut() = Some(r));
+    let watch = Rc::clone(&got);
+    s.run_while(s.now() + SimDuration::from_secs(8), move || watch.borrow().is_none());
+    let result = got.borrow_mut().take().expect("reply");
+    let names: Vec<String> = match &result {
+        Err(e) => vec![format!("<{e}>")],
+        Ok(socks) => socks
+            .iter()
+            .filter_map(|k| {
+                tb.net.node_by_ip(k.remote.ip).map(|nd| tb.net.name_of(nd).as_str().to_owned())
+            })
+            .collect(),
+    };
+    println!("--- {label}");
+    for line in requirement.lines().filter(|l| !l.trim().is_empty()) {
+        println!("    {line}");
+    }
+    println!("    => {}\n", names.join(", "));
+    if let Ok(socks) = result {
+        for sock in socks {
+            sock.close();
+        }
+    }
+}
+
+fn main() {
+    let mut s = Scheduler::new();
+    // Security log: clearance 5 for the lab row-3/4 machines, 1 elsewhere.
+    let log: String = machine_specs()
+        .iter()
+        .map(|m| {
+            let level = if matches!(m.segment, 3 | 4) { 5 } else { 1 };
+            format!("{} {} {}\n", m.name, m.ip, level)
+        })
+        .collect();
+    let tb = Testbed::builder(2026).security_log(&log).start(&mut s);
+    for (_, host) in &tb.hosts {
+        tb.net.bind_stream(Endpoint::new(host.ip(), ports::SERVICE), |_s, _m| {});
+    }
+    // A couple of file servers and one busy machine for contrast.
+    for name in ["mimas", "telesto"] {
+        FileServer::install(&tb.net, tb.host(name), tb.service_endpoint(name));
+    }
+    tb.host("phoebe").spawn_workload(&mut s, &Workload::super_pi(25)).unwrap();
+    s.run_until(SimTime::from_secs(90)); // let load averages rise
+
+    ask(&mut s, &tb, "comparisons and arithmetic (the §3.6.2 sample)", "\
+host_system_load1 < 1
+host_memory_used <= 250*1024*1024
+host_cpu_free >= 0.9
+host_network_tbytesps < 1024*1024   # for network IO
+", 60);
+
+    ask(&mut s, &tb, "temp variables and builtins (Appendix B)", "\
+budget = 100 * 1024 * 1024
+log10(host_memory_free) > log10(budget)
+sqrt(host_cpu_bogomips) > 65        # bogomips > 4225
+", 60);
+
+    ask(&mut s, &tb, "preferred and denied hosts", "\
+host_cpu_free > 0.5
+user_preferred_host1 = pandora-x
+user_denied_host1 = dalmatian
+user_denied_host2 = 137.132.81.10   # sagit, by address
+", 3);
+
+    ask(&mut s, &tb, "security clearances (§3.4)", "host_security_level >= 3\n", 60);
+
+    ask(&mut s, &tb, "service classes (§6 extension)", "host_service_file == 1\n", 60);
+
+    ask(&mut s, &tb, "avoid the SuperPI machine (§5.3.1 style)", "\
+host_cpu_free > 0.9
+host_system_load1 < 0.5
+", 60);
+
+    ask(&mut s, &tb, "rank: two largest-memory machines (§6 wish)", "\
+#!rank host_memory_free desc
+host_cpu_free > 0.5
+", 2);
+}

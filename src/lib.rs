@@ -1,0 +1,5 @@
+//! Workspace facade crate: hosts the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. Downstream users
+//! should depend on the individual `smartsock-*` crates (or the `smartsock`
+//! facade) directly.
+pub use smartsock as core;

@@ -1,0 +1,178 @@
+//! Property-based tests of the wire formats and network-model invariants.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+use smartsock_net::packet::{fragment_sizes, udp_wire_size};
+use smartsock_proto::{
+    Endpoint, Frame, Ip, NetPathRecord, RequestOption, SecurityRecord, ServerStatusReport,
+    UserRequest, WizardReply,
+};
+
+fn arb_ip() -> impl Strategy<Value = Ip> {
+    any::<u32>().prop_map(Ip)
+}
+
+fn arb_report() -> impl Strategy<Value = ServerStatusReport> {
+    (
+        "[a-z][a-z0-9-]{0,14}",
+        arb_ip(),
+        0.0f64..100.0,
+        proptest::collection::vec(0u64..1u64 << 33, 5),
+        0.0f64..1e8,
+    )
+        .prop_map(|(host, ip, load, mems, rate)| {
+            let mut r = ServerStatusReport::empty(host.as_str(), ip);
+            r.load1 = load;
+            r.load5 = load / 2.0;
+            r.cpu_idle = 0.5;
+            r.cpu_user = 0.5;
+            r.mem_total = mems[0];
+            r.mem_used = mems[1];
+            r.mem_free = mems[2];
+            r.mem_buffers = mems[3];
+            r.mem_cached = mems[4];
+            r.disk_rblocks = mems[0] % 100_000;
+            r.net_tbytes_ps = rate;
+            r.timestamp_ns = mems[1];
+            r
+        })
+}
+
+proptest! {
+    /// Every generated report's ASCII encoding stays under the paper's
+    /// 200-byte bound and round-trips its integer fields exactly.
+    #[test]
+    fn ascii_report_roundtrip_and_bound(r in arb_report()) {
+        let line = r.encode_ascii();
+        prop_assert!(line.len() < 200, "{} bytes", line.len());
+        let back = ServerStatusReport::parse_ascii(&line).unwrap();
+        prop_assert_eq!(back.host, r.host);
+        prop_assert_eq!(back.ip, r.ip);
+        prop_assert_eq!(back.mem_total, r.mem_total);
+        prop_assert_eq!(back.mem_free, r.mem_free);
+        prop_assert_eq!(back.disk_rblocks, r.disk_rblocks);
+        prop_assert!((back.load1 - r.load1).abs() <= 0.005);
+    }
+
+    /// The binary record is always exactly 204 bytes and round-trips.
+    #[test]
+    fn binary_report_roundtrip(r in arb_report()) {
+        let mut buf = BytesMut::new();
+        r.encode_binary(&mut buf);
+        prop_assert_eq!(buf.len(), 204);
+        let back = ServerStatusReport::decode_binary(&mut buf).unwrap();
+        prop_assert_eq!(back.ip, r.ip);
+        prop_assert_eq!(back.timestamp_ns, r.timestamp_ns);
+        prop_assert_eq!(back.mem_cached, r.mem_cached);
+    }
+
+    /// Frames of arbitrary record batches round-trip over a reassembled
+    /// byte stream, even when delivered in two arbitrary chunks.
+    #[test]
+    fn frame_roundtrip_with_arbitrary_split(
+        reports in proptest::collection::vec(arb_report(), 0..20),
+        split in 0usize..200,
+    ) {
+        let frame = Frame::system(&reports);
+        let mut wire = BytesMut::new();
+        frame.encode(&mut wire);
+        let cut = split.min(wire.len());
+        let mut rx = BytesMut::new();
+        rx.extend_from_slice(&wire[..cut]);
+        if cut < wire.len() {
+            prop_assert!(Frame::decode(&mut rx).unwrap().is_none() || cut >= frame.wire_len());
+            rx.extend_from_slice(&wire[cut..]);
+        }
+        let got = Frame::decode(&mut rx).unwrap().unwrap();
+        prop_assert_eq!(got.decode_system().unwrap().len(), reports.len());
+    }
+
+    /// User requests round-trip for any detail text and option bits.
+    #[test]
+    fn user_request_roundtrip(
+        seq in any::<u32>(),
+        n in any::<u16>(),
+        accept in any::<bool>(),
+        template in proptest::option::of(any::<u8>()),
+        detail in "[ -~\n]{0,300}",
+    ) {
+        let req = UserRequest {
+            seq,
+            server_num: n,
+            option: RequestOption { accept_fewer: accept, template },
+            detail,
+        };
+        let wire = req.encode();
+        prop_assert_eq!(UserRequest::decode(&wire).unwrap(), req);
+    }
+
+    /// Wizard replies round-trip for any legal server list.
+    #[test]
+    fn wizard_reply_roundtrip(
+        seq in any::<u32>(),
+        servers in proptest::collection::vec((arb_ip(), any::<u16>()), 0..=60),
+    ) {
+        let reply = WizardReply {
+            seq,
+            servers: servers.into_iter().map(|(ip, p)| Endpoint::new(ip, p)).collect(),
+        };
+        let wire = reply.encode();
+        prop_assert_eq!(WizardReply::decode(&wire).unwrap(), reply);
+    }
+
+    /// Random prefixes of a valid reply never decode successfully
+    /// (truncation is always detected).
+    #[test]
+    fn truncated_replies_are_rejected(
+        servers in proptest::collection::vec(arb_ip(), 1..=10),
+        frac in 0.0f64..0.99,
+    ) {
+        let reply = WizardReply {
+            seq: 7,
+            servers: servers.into_iter().map(|ip| Endpoint::new(ip, 1200)).collect(),
+        };
+        let wire = reply.encode();
+        let cut = ((wire.len() as f64) * frac) as usize;
+        prop_assert!(WizardReply::decode(&wire[..cut]).is_err());
+    }
+
+    /// Network/security records round-trip.
+    #[test]
+    fn net_and_sec_record_roundtrip(
+        from in arb_ip(), to in arb_ip(),
+        delay in 0.0f64..1e4, bw in 0.0f64..1e4,
+        level in any::<i32>(),
+    ) {
+        let rec = NetPathRecord { from_monitor: from, to_monitor: to, delay_ms: delay, bw_mbps: bw, timestamp_ns: 9 };
+        let mut buf = BytesMut::new();
+        rec.encode_binary(&mut buf);
+        prop_assert_eq!(NetPathRecord::decode_binary(&mut buf).unwrap(), rec);
+
+        let sec = SecurityRecord { host: "h".into(), ip: from, level };
+        let mut buf = BytesMut::new();
+        sec.encode_binary(&mut buf);
+        prop_assert_eq!(SecurityRecord::decode_binary(&mut buf).unwrap(), sec);
+    }
+
+    /// Fragmentation conserves payload bytes, never exceeds the MTU, and
+    /// its fragment count is monotone in the payload size.
+    #[test]
+    fn fragmentation_invariants(payload in 0u64..100_000, mtu in 100u32..9000) {
+        let frags = fragment_sizes(payload, mtu);
+        let total: u64 = frags.iter().sum();
+        let n = frags.len() as u64;
+        prop_assert_eq!(total, payload + 8 + 20 * n);
+        prop_assert!(frags.iter().all(|&f| f <= u64::from(mtu.max(28))));
+        let frags_bigger = fragment_sizes(payload + 1480, mtu);
+        prop_assert!(frags_bigger.len() >= frags.len());
+        prop_assert!(udp_wire_size(payload) == payload + 28);
+    }
+
+    /// Endpoint display/parse round-trips.
+    #[test]
+    fn endpoint_roundtrip(ip in arb_ip(), port in any::<u16>()) {
+        let e = Endpoint::new(ip, port);
+        prop_assert_eq!(e.to_string().parse::<Endpoint>().unwrap(), e);
+    }
+}
