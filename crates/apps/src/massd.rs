@@ -169,14 +169,12 @@ impl Massd {
 
     fn bind(&self) {
         let client = self.clone();
-        self.net.bind_stream(self.local, move |s, m| {
-            match AppMsg::decode(&m.payload.data) {
-                Some(AppMsg::BlockData { .. }) => {
-                    s.metrics.incr("massd.blocks_received");
-                    client.block_done(s);
-                }
-                _ => s.metrics.incr("massd.client_bad_msgs"),
+        self.net.bind_stream(self.local, move |s, m| match AppMsg::decode(&m.payload.data) {
+            Some(AppMsg::BlockData { .. }) => {
+                s.metrics.incr("massd.blocks_received");
+                client.block_done(s);
             }
+            _ => s.metrics.incr("massd.client_bad_msgs"),
         });
     }
 
@@ -338,7 +336,12 @@ mod tests {
     fn server_disk_counters_reflect_the_download() {
         let (mut s, net, eps) = rig(&[50.0]);
         // Install a fresh server we keep a handle to.
-        let host = Host::new(HostConfig::new("fsx", net.ip_of(net.node_by_name("fs0").unwrap()), CpuModel::P4_1700, 256));
+        let host = Host::new(HostConfig::new(
+            "fsx",
+            net.ip_of(net.node_by_name("fs0").unwrap()),
+            CpuModel::P4_1700,
+            256,
+        ));
         FileServer::install(&net, &host, eps[0]);
         run_massd(&mut s, &net, &eps, MassdParams::paper(1_000, 100));
         let sample = host.sample(s.now());

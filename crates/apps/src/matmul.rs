@@ -302,15 +302,13 @@ impl MatmulMaster {
     fn bind(&self, s: &mut Scheduler) {
         let _ = s;
         let master = self.clone();
-        self.net.bind_stream(self.local, move |s, m| {
-            match AppMsg::decode(&m.payload.data) {
-                Some(AppMsg::MatInputAck { tag }) => master.dispatch_next(s, tag as usize),
-                Some(AppMsg::MatResult { tag }) => {
-                    s.metrics.incr("matmul.tiles_done");
-                    master.tile_done(s, tag as usize);
-                }
-                _ => s.metrics.incr("matmul.master_bad_msgs"),
+        self.net.bind_stream(self.local, move |s, m| match AppMsg::decode(&m.payload.data) {
+            Some(AppMsg::MatInputAck { tag }) => master.dispatch_next(s, tag as usize),
+            Some(AppMsg::MatResult { tag }) => {
+                s.metrics.incr("matmul.tiles_done");
+                master.tile_done(s, tag as usize);
             }
+            _ => s.metrics.incr("matmul.master_bad_msgs"),
         });
     }
 
@@ -361,8 +359,7 @@ impl MatmulMaster {
             match next {
                 None => None,
                 Some(tile) => {
-                    let m =
-                        AppMsg::MatTask { tag: server_idx as u32, r: tile.r, c: tile.c, n };
+                    let m = AppMsg::MatTask { tag: server_idx as u32, r: tile.r, c: tile.c, n };
                     st.outstanding += 1;
                     Some((m, st.servers[server_idx].remote))
                 }
@@ -535,10 +532,7 @@ mod tests {
         };
         let fast = run([CpuModel::P4_2400, CpuModel::P4_2400]);
         let slow = run([CpuModel::P4_1700, CpuModel::P4_1600]);
-        assert!(
-            slow / fast > 1.3,
-            "fast pair {fast:.1}s should clearly beat slow pair {slow:.1}s"
-        );
+        assert!(slow / fast > 1.3, "fast pair {fast:.1}s should clearly beat slow pair {slow:.1}s");
     }
 
     #[test]

@@ -81,7 +81,12 @@ impl AppMsg {
                 if buf.remaining() < 12 {
                     return None;
                 }
-                AppMsg::MatTask { tag, r: buf.get_u32_le(), c: buf.get_u32_le(), n: buf.get_u32_le() }
+                AppMsg::MatTask {
+                    tag,
+                    r: buf.get_u32_le(),
+                    c: buf.get_u32_le(),
+                    n: buf.get_u32_le(),
+                }
             }
             K_MAT_RESULT => AppMsg::MatResult { tag },
             K_BLOCK_REQUEST => {

@@ -11,8 +11,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use smartsock::client::RequestSpec;
 use smartsock::Testbed;
 use smartsock_lang::{compile, Evaluator, MapVars};
-use smartsock_monitor::estimator::{reduce_round, ProbePairSpec};
 use smartsock_monitor::db::shared_dbs;
+use smartsock_monitor::estimator::{reduce_round, ProbePairSpec};
 use smartsock_proto::{Endpoint, Frame, Ip, RequestOption, ServerStatusReport, UserRequest};
 use smartsock_sim::{SimDuration, SimTime};
 use smartsock_wizard::{Wizard, WizardConfig};
@@ -77,12 +77,7 @@ fn bench_proto(c: &mut Criterion) {
 fn bench_estimator(c: &mut Criterion) {
     let spec = ProbePairSpec::OPTIMAL_1500;
     let pairs: Vec<(SimDuration, SimDuration)> = (0..16)
-        .map(|i| {
-            (
-                SimDuration::from_micros(900 + i * 3),
-                SimDuration::from_micros(1010 + i * 5),
-            )
-        })
+        .map(|i| (SimDuration::from_micros(900 + i * 3), SimDuration::from_micros(1010 + i * 5)))
         .collect();
     c.bench_function("estimator/reduce_round_16_pairs", |b| {
         b.iter(|| reduce_round(black_box(spec), black_box(&pairs)).unwrap())
@@ -138,14 +133,10 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let done = std::rc::Rc::new(std::cell::Cell::new(false));
             let d = std::rc::Rc::clone(&done);
-            client.request(
-                &mut s,
-                RequestSpec::new("host_cpu_free > 0.5\n", 4),
-                move |_s, r| {
-                    assert!(r.is_ok());
-                    d.set(true);
-                },
-            );
+            client.request(&mut s, RequestSpec::new("host_cpu_free > 0.5\n", 4), move |_s, r| {
+                assert!(r.is_ok());
+                d.set(true);
+            });
             s.run_until(s.now() + SimDuration::from_millis(500));
             assert!(done.get());
         })

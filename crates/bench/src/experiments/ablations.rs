@@ -22,10 +22,7 @@ pub fn fetch_mode(seed: u64) -> Report {
         "ablation.fetch",
         "massd fetch discipline: sequential (paper) vs parallel (ablation)",
     );
-    r.row(format!(
-        "{:<24} | {:>16} | {:>16}",
-        "server set", "sequential KB/s", "parallel KB/s"
-    ));
+    r.row(format!("{:<24} | {:>16} | {:>16}", "server set", "sequential KB/s", "parallel KB/s"));
     for (label, caps) in [
         ("2 servers @ 5 Mbps", vec![5.0, 5.0]),
         ("2 @ 5.01 + 7.67 Mbps", vec![5.01, 7.67]),
@@ -90,7 +87,10 @@ pub fn staleness(seed: u64) -> Report {
                 .start(&mut s);
             for host in tb.hosts.values() {
                 tb.net.bind_stream(
-                    smartsock_proto::Endpoint::new(host.ip(), smartsock_proto::consts::ports::SERVICE),
+                    smartsock_proto::Endpoint::new(
+                        host.ip(),
+                        smartsock_proto::consts::ports::SERVICE,
+                    ),
                     |_s, _m| {},
                 );
             }
@@ -132,14 +132,8 @@ pub fn probe_size_rules(seed: u64) -> Report {
     let (net, from, to) = rig::campus_pair(seed, 1500);
     let truth = net.path_available_bw(from, to).unwrap() / 1e6;
     let mut s = Scheduler::new();
-    let mut r = Report::new(
-        "ablation.probesize",
-        "probe-size rules at equal delta-S = 1300 bytes",
-    );
-    r.row(format!(
-        "{:<28} | {:>9} | {:>10}",
-        "pair (property)", "est Mbps", "err vs 95"
-    ));
+    let mut r = Report::new("ablation.probesize", "probe-size rules at equal delta-S = 1300 bytes");
+    r.row(format!("{:<28} | {:>9} | {:>10}", "pair (property)", "est Mbps", "err vs 95"));
     let cases: [(&str, u64, u64); 3] = [
         ("300~1600 (S1 below MTU)", 300, 1600),
         ("2960~4260 (frags 3 vs 3)", 2960, 4260),
@@ -176,9 +170,17 @@ pub fn estimators(seed: u64) -> Report {
     ));
     let build = |rate_mbps: f64, cross: f64| {
         let mut b = smartsock::net::NetworkBuilder::new(seed ^ (rate_mbps as u64));
-        let a = b.host("a", smartsock::proto::Ip::new(10, 0, 0, 1), smartsock::net::HostParams::testbed());
+        let a = b.host(
+            "a",
+            smartsock::proto::Ip::new(10, 0, 0, 1),
+            smartsock::net::HostParams::testbed(),
+        );
         let router = b.router("r", smartsock::proto::Ip::new(10, 0, 0, 254));
-        let c = b.host("c", smartsock::proto::Ip::new(10, 0, 1, 1), smartsock::net::HostParams::testbed());
+        let c = b.host(
+            "c",
+            smartsock::proto::Ip::new(10, 0, 1, 1),
+            smartsock::net::HostParams::testbed(),
+        );
         b.duplex(a, router, smartsock::net::LinkParams::lan_100mbps());
         b.duplex(
             router,
@@ -214,9 +216,14 @@ pub fn estimators(seed: u64) -> Report {
         // pipechar.
         let pc = Rc::new(RefCell::new(None));
         let g = Rc::clone(&pc);
-        pipechar::estimate(&mut s, &net, a, c, pipechar::PipecharConfig::default(), move |_s, e| {
-            *g.borrow_mut() = Some(e)
-        });
+        pipechar::estimate(
+            &mut s,
+            &net,
+            a,
+            c,
+            pipechar::PipecharConfig::default(),
+            move |_s, e| *g.borrow_mut() = Some(e),
+        );
         s.run();
         let pc = pc.borrow_mut().take().flatten().unwrap_or(f64::NAN);
 
@@ -339,7 +346,8 @@ pub fn scaling(seed: u64) -> Report {
         // Use only the P4-1.7 class machines plus clones? The testbed has
         // five P4-1.7s; for k > 5 include the 1.6/1.8 ones (close enough
         // for the trend).
-        let pool = ["helene", "phoebe", "calypso", "titan-x", "mimas", "pandora-x", "telesto", "lhost"];
+        let pool =
+            ["helene", "phoebe", "calypso", "titan-x", "mimas", "pandora-x", "telesto", "lhost"];
         let workers: Vec<Endpoint> = pool[..k]
             .iter()
             .map(|n| {
@@ -407,10 +415,7 @@ mod tests {
         let truth = r.get("truth_30_0");
         for tool in ["oneway", "pipechar", "slops", "iperf"] {
             let est = r.get(&format!("{tool}_30_0"));
-            assert!(
-                (est - truth).abs() / truth < 0.3,
-                "{tool}: {est:.1} vs truth {truth:.1}"
-            );
+            assert!((est - truth).abs() / truth < 0.3, "{tool}: {est:.1} vs truth {truth:.1}");
         }
         // Loaded path: pipechar measures raw capacity (~100), the other
         // two track availability (~70) — the paper's robustness point.

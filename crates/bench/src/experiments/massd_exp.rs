@@ -116,14 +116,10 @@ fn run_exp(exp: &Exp, seed: u64) -> Report {
         GROUP2.join("/"),
         exp.requirement.trim()
     ));
-    r.row(format!(
-        "{:<28} | {:>14} | {:>12}",
-        "arm (servers)", "measured KB/s", "paper KB/s"
-    ));
+    r.row(format!("{:<28} | {:>14} | {:>12}", "arm (servers)", "measured KB/s", "paper KB/s"));
     for (i, arm) in exp.random_arms.iter().enumerate() {
         let (mut s, tb) = deployment(seed, exp.group1_mbps, exp.group2_mbps);
-        let eps: Vec<Endpoint> =
-            arm.servers.iter().map(|n| tb.service_endpoint(n)).collect();
+        let eps: Vec<Endpoint> = arm.servers.iter().map(|n| tb.service_endpoint(n)).collect();
         let kbps = run_download(&mut s, &tb, &eps);
         r.row(format!(
             "{:<28} | {:>14} | {:>12}",
@@ -147,8 +143,7 @@ fn run_exp(exp: &Exp, seed: u64) -> Report {
     r.row(format!("paper smart servers: {}", exp.paper_smart_servers.join(", ")));
     r.figure("smart_kbps", kbps);
     r.figure("smart_count", eps.len() as f64);
-    let fast_group: &[&str] =
-        if exp.group1_mbps > exp.group2_mbps { &GROUP1 } else { &GROUP2 };
+    let fast_group: &[&str] = if exp.group1_mbps > exp.group2_mbps { &GROUP1 } else { &GROUP2 };
     let all_fast = names.iter().all(|n| fast_group.iter().any(|f| f.eq_ignore_ascii_case(n)));
     r.figure("smart_all_fast", if all_fast { 1.0 } else { 0.0 });
     r
@@ -239,11 +234,7 @@ mod tests {
         assert_eq!(r.get("smart_all_fast"), 1.0);
         // Paper: 170 vs 860 KB/s — a ~5× win.
         assert!(r.get("random0_kbps") < 220.0, "{}", r.get("random0_kbps"));
-        assert!(
-            (r.get("smart_kbps") - 860.0).abs() < 160.0,
-            "smart {}",
-            r.get("smart_kbps")
-        );
+        assert!((r.get("smart_kbps") - 860.0).abs() < 160.0, "smart {}", r.get("smart_kbps"));
         assert!(r.get("smart_kbps") / r.get("random0_kbps") > 3.0);
     }
 

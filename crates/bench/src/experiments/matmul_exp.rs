@@ -40,7 +40,11 @@ fn deployment(seed: u64, busy: &[&str], warmup_secs: u64) -> (Scheduler, Testbed
     let mut s = Scheduler::new();
     let tb = Testbed::builder(seed).start(&mut s);
     for (name, host) in &tb.hosts {
-        MatmulWorker::install(&tb.net, host, Endpoint::new(host.ip(), smartsock_proto::consts::ports::SERVICE));
+        MatmulWorker::install(
+            &tb.net,
+            host,
+            Endpoint::new(host.ip(), smartsock_proto::consts::ports::SERVICE),
+        );
         let _ = name;
     }
     for b in busy {
@@ -80,7 +84,9 @@ fn run_smart(
         *g.borrow_mut() = Some(r.expect("smart selection succeeds"));
     });
     let watch = Rc::clone(&got);
-    s.run_while(s.now() + smartsock_sim::SimDuration::from_secs(5), move || watch.borrow().is_none());
+    s.run_while(s.now() + smartsock_sim::SimDuration::from_secs(5), move || {
+        watch.borrow().is_none()
+    });
     let socks = got.borrow_mut().take().expect("wizard replied");
     let endpoints: Vec<Endpoint> = socks.iter().map(|k| k.remote).collect();
     let names: Vec<String> = endpoints
@@ -104,8 +110,7 @@ fn run_exp(exp: &Exp, seed: u64) -> Report {
 
     // Random arm (fresh deployment).
     let (mut s, tb) = deployment(seed, exp.busy, warmup);
-    let random_eps: Vec<Endpoint> =
-        exp.random_set.iter().map(|n| tb.service_endpoint(n)).collect();
+    let random_eps: Vec<Endpoint> = exp.random_set.iter().map(|n| tb.service_endpoint(n)).collect();
     let t_random = run_on(&mut s, &tb, &random_eps, exp.params);
 
     // Smart arm (fresh deployment, same seed).
@@ -114,8 +119,7 @@ fn run_exp(exp: &Exp, seed: u64) -> Report {
     for (i, denial) in exp.extra_denials.iter().enumerate() {
         requirement.push_str(&format!("user_denied_host{} = {}\n", i + 1, denial));
     }
-    let (smart_names, t_smart) =
-        run_smart(&mut s, &tb, requirement, exp.n_servers, exp.params);
+    let (smart_names, t_smart) = run_smart(&mut s, &tb, requirement, exp.n_servers, exp.params);
 
     let improvement = (t_random - t_smart) / t_random * 100.0;
     let paper_improvement =
@@ -130,10 +134,7 @@ fn run_exp(exp: &Exp, seed: u64) -> Report {
     ));
     r.row(format!("random servers : {}", exp.random_set.join(", ")));
     r.row(format!("smart servers  : {}", smart_names.join(", ")));
-    r.row(format!(
-        "{:<22} | {:>10} | {:>10}",
-        "", "random(s)", "smart(s)"
-    ));
+    r.row(format!("{:<22} | {:>10} | {:>10}", "", "random(s)", "smart(s)"));
     r.row(format!(
         "{:<22} | {:>10} | {:>10}",
         "measured",
@@ -146,9 +147,7 @@ fn run_exp(exp: &Exp, seed: u64) -> Report {
         colf(exp.paper_random_secs, 2, 10).trim_start(),
         colf(exp.paper_smart_secs, 2, 10).trim_start()
     ));
-    r.row(format!(
-        "improvement: measured {improvement:.1}% vs paper {paper_improvement:.1}%"
-    ));
+    r.row(format!("improvement: measured {improvement:.1}% vs paper {paper_improvement:.1}%"));
     r.figure("random_secs", t_random);
     r.figure("smart_secs", t_smart);
     r.figure("improvement_pct", improvement);

@@ -17,8 +17,7 @@ pub fn table3_4(seed: u64) -> Report {
     // 30 Mbps uplink so the matrix shows distinct numbers.
     let mut b = NetworkBuilder::new(seed);
     let core = b.router("core", Ip::new(10, 0, 0, 254));
-    let mons: Vec<Ip> =
-        (1..=3u8).map(|g| Ip::new(10, 0, g, 1)).collect();
+    let mons: Vec<Ip> = (1..=3u8).map(|g| Ip::new(10, 0, g, 1)).collect();
     for (g, &ip) in mons.iter().enumerate() {
         let node = b.host(&format!("netmon-{}", g + 1), ip, HostParams::testbed());
         let params = if g == 2 {

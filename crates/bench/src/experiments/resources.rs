@@ -7,8 +7,8 @@
 //! computed footprint of each component's live data structures; CPU has no
 //! simulated equivalent, so the paper's figures are quoted for reference.
 
-use smartsock::Testbed;
 use smartsock::client::RequestSpec;
+use smartsock::Testbed;
 use smartsock_proto::consts::sizes::BINARY_STATUS_RECORD_BYTES;
 use smartsock_sim::SimTime;
 

@@ -32,11 +32,7 @@ pub fn six_paths(seed: u64) -> (Network, Vec<(NodeId, NodeId, &'static str, f64)
 
     // (c) local network segment: sagit → ubin, 0.262 ms by ping.
     let ubin = b.host("ubin", Ip::new(137, 132, 81, 3), HostParams::testbed());
-    b.duplex(
-        ubin,
-        campus,
-        LinkParams::lan_100mbps().with_prop_delay(SimDuration::from_micros(40)),
-    );
+    b.duplex(ubin, campus, LinkParams::lan_100mbps().with_prop_delay(SimDuration::from_micros(40)));
 
     // (a) NUS → APAN Japan: 126 ms.
     let wan_jp = b.router("singaren-jp", Ip::new(202, 3, 135, 1));
@@ -79,7 +75,13 @@ pub fn six_paths(seed: u64) -> (Network, Vec<(NodeId, NodeId, &'static str, f64)
 
 /// Synchronously measure the RTT of one closed-port UDP probe, in ms.
 /// Returns `None` when the echo never arrives.
-pub fn probe_rtt_ms(net: &Network, s: &mut Scheduler, from: NodeId, to: NodeId, size: u64) -> Option<f64> {
+pub fn probe_rtt_ms(
+    net: &Network,
+    s: &mut Scheduler,
+    from: NodeId,
+    to: NodeId,
+    size: u64,
+) -> Option<f64> {
     let out = Rc::new(RefCell::new(None));
     let got = Rc::clone(&out);
     let from_ep = Endpoint::new(net.ip_of(from), 50000);
@@ -99,7 +101,14 @@ pub fn probe_rtt_ms(net: &Network, s: &mut Scheduler, from: NodeId, to: NodeId, 
 }
 
 /// Average probe RTT over `n` repetitions, in ms.
-pub fn avg_rtt_ms(net: &Network, s: &mut Scheduler, from: NodeId, to: NodeId, size: u64, n: u32) -> f64 {
+pub fn avg_rtt_ms(
+    net: &Network,
+    s: &mut Scheduler,
+    from: NodeId,
+    to: NodeId,
+    size: u64,
+    n: u32,
+) -> f64 {
     let mut sum = 0.0;
     let mut count = 0u32;
     for _ in 0..n {

@@ -10,10 +10,8 @@ use crate::report::{colf, Report};
 fn rtt_figure(id: &'static str, seed: u64, mtu: u32) -> Report {
     let (net, from, to) = rig::campus_pair(seed, mtu);
     let mut s = Scheduler::new();
-    let mut r = Report::new(
-        id,
-        format!("RTT from sagit to suna over UDP payload size, MTU={mtu} bytes"),
-    );
+    let mut r =
+        Report::new(id, format!("RTT from sagit to suna over UDP payload size, MTU={mtu} bytes"));
     r.row(format!("{:>8} | {:>10}", "size(B)", "rtt(ms)"));
     let step = 250u64;
     let mut series = Vec::new();
@@ -41,9 +39,7 @@ fn rtt_figure(id: &'static str, seed: u64, mtu: u32) -> Report {
         slope_above,
         slope_below / slope_above
     ));
-    r.row(format!(
-        "paper: threshold at the MTU ({mtu} B); ascent rate much higher below it"
-    ));
+    r.row(format!("paper: threshold at the MTU ({mtu} B); ascent rate much higher below it"));
     r.figure("slope_below_ms_per_kb", slope_below);
     r.figure("slope_above_ms_per_kb", slope_above);
     r.figure("slope_ratio", slope_below / slope_above);
@@ -73,7 +69,11 @@ pub fn table3_2(seed: u64) -> Report {
     r.row(format!("{:<24} | {:>12} | {:>12}", "path", "paper(ms)", "measured(ms)"));
     for (i, (from, to, label, paper_ms)) in paths.iter().enumerate() {
         let measured = rig::avg_rtt_ms(&net, &mut s, *from, *to, 56, 10);
-        r.row(format!("{label:<24} | {:>12} | {:>12}", colf(*paper_ms, 3, 12).trim_start(), colf(measured, 3, 12).trim_start()));
+        r.row(format!(
+            "{label:<24} | {:>12} | {:>12}",
+            colf(*paper_ms, 3, 12).trim_start(),
+            colf(measured, 3, 12).trim_start()
+        ));
         r.figure(&format!("path{i}_rtt_ms"), measured);
     }
     r
@@ -124,12 +124,7 @@ mod tests {
     fn knee_slope_ratio_exceeds_two_for_all_mtus() {
         for f in [fig3_3, fig3_4, fig3_5] {
             let r = f(DEFAULT_SEED);
-            assert!(
-                r.get("slope_ratio") > 2.0,
-                "{}: ratio {}",
-                r.id,
-                r.get("slope_ratio")
-            );
+            assert!(r.get("slope_ratio") > 2.0, "{}: ratio {}", r.id, r.get("slope_ratio"));
         }
     }
 

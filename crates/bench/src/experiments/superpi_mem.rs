@@ -8,8 +8,9 @@ use crate::report::Report;
 
 pub fn table4_1(seed: u64) -> Report {
     let _ = seed; // deterministic: no randomness in the memory model
-    // The Table 4.1 machine has 262_213_632 B ≈ 250 MB of RAM.
-    let host = Host::new(HostConfig::new("dalmatian", Ip::new(192, 168, 1, 10), CpuModel::P4_2400, 250));
+                  // The Table 4.1 machine has 262_213_632 B ≈ 250 MB of RAM.
+    let host =
+        Host::new(HostConfig::new("dalmatian", Ip::new(192, 168, 1, 10), CpuModel::P4_2400, 250));
     let mut s = Scheduler::new();
     let before = host.sample(s.now());
     host.spawn_workload(&mut s, &Workload::super_pi(25)).expect("superpi fits");

@@ -37,7 +37,8 @@ pub fn fig1_4(seed: u64) -> Report {
     wizard.map_group(client_ip, client_mon);
 
     // Four networks with the figure's delays.
-    let nets: [(&str, u8, f64); 4] = [("A", 1, 100.0), ("B", 2, 5.0), ("C", 3, 10.0), ("D", 4, 15.0)];
+    let nets: [(&str, u8, f64); 4] =
+        [("A", 1, 100.0), ("B", 2, 5.0), ("C", 3, 10.0), ("D", 4, 15.0)];
     let mb = |m: u64| m << 20;
     let mut expected = Vec::new();
     let mut listed = Vec::new();
@@ -106,7 +107,8 @@ user_denied_host1 = 10.0.3.2
     ));
     r.row("paper: B2, C1 and D1 are chosen; C2 is skipped as blacklisted");
     r.figure("selected_count", got.len() as f64);
-    let matches_expected = got.len() == 3 && expected.iter().all(|ip| got.iter().any(|e| e.ip == *ip));
+    let matches_expected =
+        got.len() == 3 && expected.iter().all(|ip| got.iter().any(|e| e.ip == *ip));
     r.figure("matches_paper", if matches_expected { 1.0 } else { 0.0 });
     r
 }

@@ -40,11 +40,8 @@ fn number(v: f64) -> String {
 
 /// Serialize one report.
 pub fn report_to_json(r: &Report) -> String {
-    let figures: Vec<String> = r
-        .figures
-        .iter()
-        .map(|(k, v)| format!("\"{}\": {}", escape(k), number(*v)))
-        .collect();
+    let figures: Vec<String> =
+        r.figures.iter().map(|(k, v)| format!("\"{}\": {}", escape(k), number(*v))).collect();
     format!(
         "{{\"id\": \"{}\", \"title\": \"{}\", \"figures\": {{{}}}, \"body\": \"{}\"}}",
         escape(r.id),

@@ -35,10 +35,7 @@ impl Report {
     /// Fetch a previously recorded figure (panics on typos — these are
     /// internal keys).
     pub fn get(&self, key: &str) -> f64 {
-        *self
-            .figures
-            .get(key)
-            .unwrap_or_else(|| panic!("report {} has no figure {key:?}", self.id))
+        *self.figures.get(key).unwrap_or_else(|| panic!("report {} has no figure {key:?}", self.id))
     }
 }
 

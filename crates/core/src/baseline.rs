@@ -9,8 +9,8 @@
 //! [`LeastConnectionsSelector`] model those (the latter mirrors the Linux
 //! Virtual Server strategies of §2.4).
 
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 
 use smartsock_proto::Endpoint;
 use smartsock_sim::rng as simrng;

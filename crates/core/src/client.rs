@@ -114,9 +114,11 @@ impl SmartSock {
     }
 
     /// Whether the remote service still accepts connections — the check
-    /// `SockGroup` uses to spot dead members (§6 fault tolerance).
+    /// `SockGroup` uses to spot dead members (§6 fault tolerance). A
+    /// member counts as dead when its service port is gone *or* the path
+    /// to it is cut (host down, link down, partition).
     pub fn is_connected(&self) -> bool {
-        self.net.stream_bound(self.remote)
+        self.net.stream_bound(self.remote) && self.net.reachable(self.local.ip, self.remote.ip)
     }
 
     /// Release the local port binding.
@@ -134,6 +136,11 @@ impl std::fmt::Debug for SmartSock {
 struct Pending {
     spec: RequestSpec,
     attempts_left: u32,
+    /// Which attempt the armed timeout belongs to. A timeout event carries
+    /// the attempt it was scheduled for; if the stamps disagree the event
+    /// is stale (cancelled-but-fired, or racing a retransmit) and must
+    /// never consume the callback.
+    attempt: u32,
     timeout_event: EventId,
 }
 
@@ -188,7 +195,8 @@ impl SmartClient {
     ) {
         self.ensure_reply_socket();
         let seq: u32 = self.st.borrow_mut().rng.gen();
-        self.send_attempt(s, seq, spec, Box::new(on_result));
+        let attempts_left = spec.retries;
+        self.send_attempt(s, seq, spec, attempts_left, 0, Box::new(on_result));
     }
 
     fn ensure_reply_socket(&self) {
@@ -204,7 +212,20 @@ impl SmartClient {
         });
     }
 
-    fn send_attempt(&self, s: &mut Scheduler, seq: u32, spec: RequestSpec, cb: ResultCb) {
+    /// One wizard attempt. `attempt` 0 waits the base timeout; retries
+    /// wait exponentially longer (doubling, capped at 8× base) with a
+    /// deterministic jitter drawn from the client RNG — the classic
+    /// backoff that keeps a herd of retrying clients from re-synchronizing
+    /// on a recovering wizard.
+    fn send_attempt(
+        &self,
+        s: &mut Scheduler,
+        seq: u32,
+        spec: RequestSpec,
+        attempts_left: u32,
+        attempt: u32,
+        cb: ResultCb,
+    ) {
         let req = UserRequest {
             seq,
             server_num: spec.servers,
@@ -219,13 +240,23 @@ impl SmartClient {
             Payload::data(req.encode().freeze()),
             None,
         );
+        let timeout = if attempt == 0 {
+            spec.timeout
+        } else {
+            let factor = (1u64 << attempt.min(3)) as f64;
+            let jitter: f64 = self.st.borrow_mut().rng.gen_range(0.0..0.25);
+            let t =
+                SimDuration::from_secs_f64(spec.timeout.as_secs_f64() * factor * (1.0 + jitter));
+            let extra_ms = t.as_nanos().saturating_sub(spec.timeout.as_nanos()) / 1_000_000;
+            s.metrics.add("client.backoff_ms_total", extra_ms);
+            t
+        };
         let client = self.clone();
-        let timeout_event = s.schedule_in(spec.timeout, move |s| client.on_timeout(s, seq));
-        let attempts_left = spec.retries;
+        let timeout_event = s.schedule_in(timeout, move |s| client.on_timeout(s, seq, attempt));
         self.st
             .borrow_mut()
             .pending
-            .insert(seq, Pending { spec, attempts_left, timeout_event });
+            .insert(seq, Pending { spec, attempts_left, attempt, timeout_event });
         // Store the callback alongside (separate map keeps Pending Send-free
         // of the closure's type).
         CALLBACKS.with(|c| c.borrow_mut().insert((self.ip.0, seq), cb));
@@ -243,9 +274,7 @@ impl SmartClient {
         let status = reply.status(pending.spec.servers);
         let result = match status {
             ReplyStatus::Empty => Err(ClientError::NoServers),
-            ReplyStatus::Short { requested, returned }
-                if !pending.spec.option.accept_fewer =>
-            {
+            ReplyStatus::Short { requested, returned } if !pending.spec.option.accept_fewer => {
                 Err(ClientError::Shortfall { requested, returned })
             }
             _ => Ok(self.connect_all(&reply.servers)),
@@ -282,10 +311,24 @@ impl SmartClient {
         out
     }
 
-    fn on_timeout(&self, s: &mut Scheduler, seq: u32) {
-        let Some(mut pending) = self.st.borrow_mut().pending.remove(&seq) else {
-            return; // already answered
-        };
+    fn on_timeout(&self, s: &mut Scheduler, seq: u32, attempt: u32) {
+        {
+            // Stale-event guard: only the timeout armed for the *current*
+            // attempt of a *still-pending* request may act. A reply removed
+            // the entry (and cancelled us); a retransmit bumped the stamp.
+            let st = self.st.borrow();
+            match st.pending.get(&seq) {
+                None => return, // already answered
+                Some(p) if p.attempt != attempt => {
+                    drop(st);
+                    s.metrics.incr("client.stale_timeouts");
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        let mut pending =
+            self.st.borrow_mut().pending.remove(&seq).expect("checked under the same borrow");
         let Some(cb) = CALLBACKS.with(|c| c.borrow_mut().remove(&(self.ip.0, seq))) else {
             return;
         };
@@ -297,37 +340,7 @@ impl SmartClient {
         pending.attempts_left -= 1;
         s.metrics.incr("client.retries");
         let spec = pending.spec;
-        self.send_attempt_with_budget(s, seq, spec, pending.attempts_left, cb);
-    }
-
-    fn send_attempt_with_budget(
-        &self,
-        s: &mut Scheduler,
-        seq: u32,
-        spec: RequestSpec,
-        attempts_left: u32,
-        cb: ResultCb,
-    ) {
-        let req = UserRequest {
-            seq,
-            server_num: spec.servers,
-            option: spec.option,
-            detail: spec.requirement.clone(),
-        };
-        self.net.send_udp(
-            s,
-            self.reply_ep,
-            self.wizard,
-            Payload::data(req.encode().freeze()),
-            None,
-        );
-        let client = self.clone();
-        let timeout_event = s.schedule_in(spec.timeout, move |s| client.on_timeout(s, seq));
-        self.st
-            .borrow_mut()
-            .pending
-            .insert(seq, Pending { spec, attempts_left, timeout_event });
-        CALLBACKS.with(|c| c.borrow_mut().insert((self.ip.0, seq), cb));
+        self.send_attempt(s, seq, spec, pending.attempts_left, attempt + 1, cb);
     }
 }
 
@@ -401,11 +414,9 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
         let mut s = std::mem::take(&mut rig.s);
-        rig.client.request(
-            &mut s,
-            RequestSpec::new("host_cpu_free > 0.9\n", 2),
-            move |_s, r| *g.borrow_mut() = Some(r),
-        );
+        rig.client.request(&mut s, RequestSpec::new("host_cpu_free > 0.9\n", 2), move |_s, r| {
+            *g.borrow_mut() = Some(r)
+        });
         s.run();
         let socks = got.borrow_mut().take().unwrap().expect("request succeeds");
         assert_eq!(socks.len(), 2);
@@ -419,13 +430,12 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
         let mut s = std::mem::take(&mut rig.s);
-        rig.client.request(
-            &mut s,
-            RequestSpec::new("", 1),
-            move |_s, r| *g.borrow_mut() = Some(r),
-        );
+        rig.client.request(&mut s, RequestSpec::new("", 1), move |_s, r| *g.borrow_mut() = Some(r));
         s.run();
-        assert_eq!(got.borrow_mut().take().unwrap().unwrap_err(), ClientError::Timeout { retries: 2 });
+        assert_eq!(
+            got.borrow_mut().take().unwrap().unwrap_err(),
+            ClientError::Timeout { retries: 2 }
+        );
         assert_eq!(s.metrics.get("client.retries"), 2);
     }
 
@@ -438,9 +448,7 @@ mod tests {
         // accept_fewer (default): 5 requested, 2 delivered.
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
-        rig.client.request(&mut s, RequestSpec::new("", 5), move |_s, r| {
-            *g.borrow_mut() = Some(r)
-        });
+        rig.client.request(&mut s, RequestSpec::new("", 5), move |_s, r| *g.borrow_mut() = Some(r));
         s.run();
         assert_eq!(got.borrow_mut().take().unwrap().unwrap().len(), 2);
 
@@ -464,11 +472,9 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
         let mut s = std::mem::take(&mut rig.s);
-        rig.client.request(
-            &mut s,
-            RequestSpec::new("host_cpu_free > 2\n", 1),
-            move |_s, r| *g.borrow_mut() = Some(r),
-        );
+        rig.client.request(&mut s, RequestSpec::new("host_cpu_free > 2\n", 1), move |_s, r| {
+            *g.borrow_mut() = Some(r)
+        });
         s.run();
         assert_eq!(got.borrow_mut().take().unwrap().unwrap_err(), ClientError::NoServers);
     }
@@ -482,9 +488,7 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
         let mut s = std::mem::take(&mut rig.s);
-        rig.client.request(&mut s, RequestSpec::new("", 2), move |_s, r| {
-            *g.borrow_mut() = Some(r)
-        });
+        rig.client.request(&mut s, RequestSpec::new("", 2), move |_s, r| *g.borrow_mut() = Some(r));
         s.run();
         let socks = got.borrow_mut().take().unwrap().unwrap();
         assert_eq!(socks.len(), 1);

@@ -264,8 +264,13 @@ impl TestbedBuilder {
 
         // ---- receiver / wizard ----
         let (wiz_sys, wiz_net, wiz_sec) = shared_dbs();
-        let receiver =
-            Receiver::new(wizard_ip, net.clone(), wiz_sys.clone(), wiz_net.clone(), wiz_sec.clone());
+        let receiver = Receiver::new(
+            wizard_ip,
+            net.clone(),
+            wiz_sys.clone(),
+            wiz_net.clone(),
+            wiz_sec.clone(),
+        );
         receiver.start(s);
 
         let wizard_mode = if self.distributed {
@@ -390,6 +395,44 @@ impl Testbed {
     /// restores the raw line rate.
     pub fn set_rshaper(&self, host: &str, mbps: Option<f64>) {
         self.net.set_access_rate(self.node(host), mbps.map(|m| m * 1e6));
+    }
+
+    /// A fault injector with every moving part of this deployment
+    /// pre-registered: all hosts, their probes, every system monitor and
+    /// the wizard. Chaos sampling derives from the testbed seed.
+    pub fn fault_injector(&self) -> smartsock_faults::FaultInjector {
+        let inj = smartsock_faults::FaultInjector::new(self.net.clone(), self.seed);
+        for host in self.hosts.values() {
+            inj.register_host(host.clone());
+        }
+        for probe in &self.probes {
+            inj.register_probe(probe.host().name().as_str(), probe.clone());
+        }
+        for mon in &self.sysmons {
+            if let Some(node) = self.net.node_by_ip(mon.endpoint().ip) {
+                inj.register_monitor(self.net.name_of(node).as_str(), mon.clone());
+            }
+        }
+        inj.register_wizard(self.wizard.clone());
+        // The wire components' socket bindings die with their machine:
+        // re-install the receiver's frame sink (and any distributed-mode
+        // transmitter listener) when the hosting machine reboots, or the
+        // wizard's database copies would stay stale forever afterwards.
+        let rx = self.receiver.clone();
+        if let Some(host) = self.host_of_ip(rx.endpoint().ip) {
+            inj.on_reboot(&host, move |s| rx.start(s));
+        }
+        for tx in &self.transmitters {
+            let tx = tx.clone();
+            if let Some(host) = self.host_of_ip(tx.endpoint().ip) {
+                inj.on_reboot(&host, move |s| tx.rebind(s));
+            }
+        }
+        inj
+    }
+
+    fn host_of_ip(&self, ip: Ip) -> Option<String> {
+        self.net.node_by_ip(ip).map(|n| self.net.name_of(n).as_str().to_ascii_lowercase())
     }
 
     /// Service endpoints of every machine except the named exclusions —

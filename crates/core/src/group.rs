@@ -12,11 +12,11 @@
 //! replacements that satisfy the *original requirement*, excluding servers
 //! already in the group.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use smartsock_proto::Endpoint;
-use smartsock_sim::Scheduler;
+use smartsock_sim::{Scheduler, SimDuration};
 
 use crate::client::{ClientError, RequestSpec, SmartClient, SmartSock};
 
@@ -34,13 +34,18 @@ pub struct RepairOutcome {
 pub struct SockGroup {
     client: SmartClient,
     spec: RequestSpec,
+    /// The strength the group tries to maintain (the original request's
+    /// server count). A repair that found no spare leaves the group short;
+    /// later repairs top it back up once qualified servers reappear.
+    target: usize,
     socks: Rc<RefCell<Vec<SmartSock>>>,
 }
 
 impl SockGroup {
     /// Wrap a request result into a repairable group.
     pub fn new(client: SmartClient, spec: RequestSpec, socks: Vec<SmartSock>) -> SockGroup {
-        SockGroup { client, spec, socks: Rc::new(RefCell::new(socks)) }
+        let target = usize::from(spec.servers);
+        SockGroup { client, spec, target, socks: Rc::new(RefCell::new(socks)) }
     }
 
     /// Request `spec` and hand the callback a repairable group.
@@ -72,12 +77,7 @@ impl SockGroup {
 
     /// Members whose remote service no longer accepts connections.
     pub fn failed_members(&self) -> Vec<Endpoint> {
-        self.socks
-            .borrow()
-            .iter()
-            .filter(|k| !k.is_connected())
-            .map(|k| k.remote)
-            .collect()
+        self.socks.borrow().iter().filter(|k| !k.is_connected()).map(|k| k.remote).collect()
     }
 
     /// True when every member is still reachable.
@@ -85,8 +85,15 @@ impl SockGroup {
         self.failed_members().is_empty()
     }
 
-    /// Replace dead members: drop them, re-issue the *original requirement*
-    /// for the missing count, and splice in the newcomers — skipping any
+    /// True when the group is healthy *and* holds as many members as the
+    /// original request asked for.
+    pub fn at_full_strength(&self) -> bool {
+        self.all_healthy() && self.len() >= self.target
+    }
+
+    /// Replace dead members and top the group back up to its original
+    /// strength: drop the dead, re-issue the *original requirement* for
+    /// the missing count, and splice in the newcomers — skipping any
     /// server already present in the group.
     pub fn repair(
         &self,
@@ -94,7 +101,9 @@ impl SockGroup {
         on_done: impl FnOnce(&mut Scheduler, RepairOutcome) + 'static,
     ) {
         let dead: Vec<Endpoint> = self.failed_members();
-        if dead.is_empty() {
+        let live = self.socks.borrow().len() - dead.len();
+        let missing = self.target.saturating_sub(live);
+        if missing == 0 {
             on_done(s, RepairOutcome { replaced: 0, still_missing: 0 });
             return;
         }
@@ -107,7 +116,6 @@ impl SockGroup {
                 true
             }
         });
-        let missing = dead.len();
         // Over-ask: the wizard may hand back servers we already hold or
         // the dead ones (their reports take 3 intervals to expire).
         let ask = (missing + self.socks.borrow().len() + dead.len()).min(60) as u16;
@@ -138,6 +146,47 @@ impl SockGroup {
             s.metrics.add("client.group_repaired", replaced as u64);
             on_done(s, RepairOutcome { replaced, still_missing: missing - replaced });
         });
+    }
+
+    /// Start the automatic recovery loop: every `interval`, check the
+    /// members' health and repair when any died — the end-to-end failover
+    /// behaviour the §6 fault-tolerance sketch asks for. Keep the returned
+    /// guard alive and call [`RepairGuard::stop`] to halt the loop.
+    pub fn auto_repair(&self, s: &mut Scheduler, interval: SimDuration) -> RepairGuard {
+        let active = Rc::new(Cell::new(true));
+        self.repair_tick(s, interval, Rc::clone(&active));
+        RepairGuard { active }
+    }
+
+    fn repair_tick(&self, s: &mut Scheduler, interval: SimDuration, active: Rc<Cell<bool>>) {
+        let group = self.clone();
+        s.schedule_in(interval, move |s| {
+            if !active.get() {
+                return;
+            }
+            if group.at_full_strength() {
+                group.repair_tick(s, interval, active);
+            } else {
+                s.metrics.incr("client.auto_repairs");
+                let g2 = group.clone();
+                group.repair(s, move |s, _outcome| {
+                    // Reschedule after the repair settles, healed or not —
+                    // a still-missing member is retried next tick.
+                    g2.repair_tick(s, interval, active);
+                });
+            }
+        });
+    }
+}
+
+/// Stops a running [`SockGroup::auto_repair`] loop.
+pub struct RepairGuard {
+    active: Rc<Cell<bool>>,
+}
+
+impl RepairGuard {
+    pub fn stop(&self) {
+        self.active.set(false);
     }
 }
 
@@ -189,11 +238,8 @@ mod tests {
         let victim = group.sockets()[0].remote;
         // The service dies (daemon unbinds) and the host crashes.
         tb.net.unbind_stream(victim);
-        let victim_name = tb
-            .net
-            .node_by_ip(victim.ip)
-            .map(|n| tb.net.name_of(n).as_str().to_owned())
-            .unwrap();
+        let victim_name =
+            tb.net.node_by_ip(victim.ip).map(|n| tb.net.name_of(n).as_str().to_owned()).unwrap();
         tb.host(&victim_name).fail();
         // Wait out the 3-interval expiry so the wizard stops offering it.
         s.run_until(s.now() + SimDuration::from_secs(20));

@@ -43,12 +43,13 @@ pub mod reliable;
 
 pub use baseline::{RandomSelector, RoundRobinSelector};
 pub use client::{ClientError, RequestSpec, SmartClient, SmartSock};
-pub use group::{RepairOutcome, SockGroup};
-pub use reliable::{ReliableServer, ReliableSock};
 pub use deploy::{Testbed, TestbedBuilder};
+pub use group::{RepairGuard, RepairOutcome, SockGroup};
+pub use reliable::{ReliableServer, ReliableServerHandle, ReliableSock};
 
 // Re-export the system's building blocks so downstream users need only
 // this facade crate.
+pub use smartsock_faults as faults;
 pub use smartsock_hostsim as hostsim;
 pub use smartsock_lang as lang;
 pub use smartsock_monitor as monitor;

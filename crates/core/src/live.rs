@@ -96,8 +96,7 @@ fn serve(
         let (n, from) = match sock.recv_from(&mut buf) {
             Ok(x) => x,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue;
             }
@@ -137,12 +136,7 @@ fn select(records: &[ServerStatusReport], req: &UserRequest) -> Vec<Endpoint> {
         if lists.denied.iter().any(|d| designates(d, report)) {
             continue;
         }
-        let view = ServerVars {
-            report,
-            security_level: None,
-            net_record: None,
-            same_group: true,
-        };
+        let view = ServerVars { report, security_level: None, net_record: None, same_group: true };
         if !Evaluator::evaluate(&requirement, &view).qualified {
             continue;
         }
@@ -191,8 +185,8 @@ pub fn live_request(
                 }
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut => {}
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
             Err(e) => return Err(e),
         }
     }

@@ -44,10 +44,7 @@ fn decode_frame(payload: &Payload) -> Option<(u8, u64, Payload)> {
     }
     let kind = buf.get_u8();
     let seq = buf.get_u64_le();
-    let inner = Payload {
-        data: Bytes::copy_from_slice(buf),
-        virtual_bytes: payload.virtual_bytes,
-    };
+    let inner = Payload { data: Bytes::copy_from_slice(buf), virtual_bytes: payload.virtual_bytes };
     Some((kind, seq, inner))
 }
 
@@ -213,17 +210,49 @@ struct ServerState {
 /// The server end: acknowledges, deduplicates and delivers in order.
 pub struct ReliableServer;
 
+/// Handle to an installed reliable server. Sequencing state lives here —
+/// the rsocks "checkpoint" — so a crash that wipes the host's socket
+/// bindings can be survived: call [`ReliableServerHandle::rebind`] after
+/// the reboot and delivery stays exactly-once, in order, across the
+/// outage (the client's retransmission timer fills the gap).
+#[derive(Clone)]
+pub struct ReliableServerHandle {
+    net: Network,
+    ep: Endpoint,
+    st: Rc<RefCell<ServerState>>,
+    on_message: Rc<RefCell<OnServerMessage>>,
+}
+
+type OnServerMessage = dyn FnMut(&mut Scheduler, Endpoint, Payload);
+
 impl ReliableServer {
     /// Bind on `ep`; `on_message` sees each application payload exactly
     /// once, in sequence order, with the sender's *current* endpoint.
+    /// The returned handle can re-bind the same state after a host crash.
     pub fn install(
         net: &Network,
         ep: Endpoint,
-        mut on_message: impl FnMut(&mut Scheduler, Endpoint, Payload) + 'static,
-    ) {
-        let st = Rc::new(RefCell::new(ServerState { expected: 0, held: BTreeMap::new() }));
-        let net2 = net.clone();
-        net.bind_stream(ep, move |s, m: StreamMessage| {
+        on_message: impl FnMut(&mut Scheduler, Endpoint, Payload) + 'static,
+    ) -> ReliableServerHandle {
+        let handle = ReliableServerHandle {
+            net: net.clone(),
+            ep,
+            st: Rc::new(RefCell::new(ServerState { expected: 0, held: BTreeMap::new() })),
+            on_message: Rc::new(RefCell::new(on_message)),
+        };
+        handle.rebind();
+        handle
+    }
+}
+
+impl ReliableServerHandle {
+    /// (Re-)bind the stream handler. Safe to call after the binding was
+    /// wiped (host crash); the dedup/ordering state is preserved.
+    pub fn rebind(&self) {
+        let st = Rc::clone(&self.st);
+        let on_message = Rc::clone(&self.on_message);
+        let net2 = self.net.clone();
+        self.net.bind_stream(self.ep, move |s, m: StreamMessage| {
             let Some((KIND_DATA, seq, inner)) = decode_frame(&m.payload) else {
                 s.metrics.incr("rsock.server_bad_frames");
                 return;
@@ -243,10 +272,20 @@ impl ReliableServer {
                 let Some((from, payload)) = state.held.remove(&key) else { break };
                 state.expected += 1;
                 drop(state);
-                on_message(s, from, payload);
+                on_message.borrow_mut()(s, from, payload);
                 state = st.borrow_mut();
             }
         });
+    }
+
+    /// The endpoint this server answers on.
+    pub fn endpoint(&self) -> Endpoint {
+        self.ep
+    }
+
+    /// Next sequence number the server expects (diagnostics).
+    pub fn expected_seq(&self) -> u64 {
+        self.st.borrow().expected
     }
 }
 

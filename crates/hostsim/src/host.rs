@@ -166,6 +166,44 @@ impl Host {
         self.inner.borrow_mut().failed = false;
     }
 
+    /// Hard-crash the host: mark it failed and kill every running task —
+    /// their `on_done` callbacks never fire and their memory is released.
+    /// A crashed host keeps its cumulative counters frozen until
+    /// [`Host::reboot`] zeroes them.
+    pub fn crash(&self, s: &mut Scheduler) {
+        self.fail();
+        let ids: Vec<u64> = self.inner.borrow().cpu.tasks.keys().copied().collect();
+        for id in ids {
+            self.kill_task(s, id);
+        }
+    }
+
+    /// Reboot a crashed host: clear the failure flag and reset everything
+    /// a fresh kernel would reset — cumulative /proc/stat busy time, disk
+    /// and NIC counters, the page cache, and the load averages. Services
+    /// stay advertised (they are configuration, re-announced by the
+    /// restarted daemons).
+    pub fn reboot(&self, s: &mut Scheduler) {
+        let now = s.now();
+        let mut st = self.inner.borrow_mut();
+        st.failed = false;
+        st.busy_user = 0.0;
+        st.busy_system = 0.0;
+        st.busy_since = now;
+        st.io = IoRates::default();
+        st.io_since = now;
+        st.disk_rreq = 0.0;
+        st.disk_rblocks = 0.0;
+        st.disk_wreq = 0.0;
+        st.disk_wblocks = 0.0;
+        st.net_rbytes = 0;
+        st.net_rpackets = 0;
+        st.net_tbytes = 0;
+        st.net_tpackets = 0;
+        st.mem = Memory::fresh(st.cfg.ram_bytes);
+        st.load = LoadAvg::default();
+    }
+
     /// Advertise a service class (§6 extension). Daemons call this when
     /// they install themselves; the probe reports the accumulated mask.
     pub fn register_service(&self, mask: ServiceMask) {
@@ -441,8 +479,7 @@ mod tests {
         let done_at = Rc::new(Cell::new(0.0f64));
         let d = Rc::clone(&done_at);
         // 16.5e6 madds at 16.5e6 madds/s = 1 second.
-        h.spawn_compute(&mut s, 16.5e6, 1 << 20, move |s| d.set(s.now().as_secs_f64()))
-            .unwrap();
+        h.spawn_compute(&mut s, 16.5e6, 1 << 20, move |s| d.set(s.now().as_secs_f64())).unwrap();
         s.run();
         assert!((done_at.get() - 1.0).abs() < 1e-9);
     }
@@ -469,8 +506,7 @@ mod tests {
         h.spawn_workload(&mut s, &Workload::super_pi(25)).unwrap();
         let done_at = Rc::new(Cell::new(0.0f64));
         let d = Rc::clone(&done_at);
-        h.spawn_compute(&mut s, 16.5e6, 1 << 20, move |s| d.set(s.now().as_secs_f64()))
-            .unwrap();
+        h.spawn_compute(&mut s, 16.5e6, 1 << 20, move |s| d.set(s.now().as_secs_f64())).unwrap();
         s.run_until(SimTime::from_secs(100));
         // Sharing with the hog: 2 s instead of 1 s.
         assert!((done_at.get() - 2.0).abs() < 1e-6, "done at {}", done_at.get());

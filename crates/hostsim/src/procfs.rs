@@ -26,14 +26,7 @@ pub const HZ: f64 = 100.0;
 
 /// Render `/proc/loadavg`: `l1 l5 l15 running/total last_pid`.
 pub fn render_loadavg(s: &HostSample, runnable: usize, nprocs: usize) -> String {
-    format!(
-        "{:.2} {:.2} {:.2} {}/{} 3042\n",
-        s.load1,
-        s.load5,
-        s.load15,
-        runnable,
-        nprocs.max(40)
-    )
+    format!("{:.2} {:.2} {:.2} {}/{} 3042\n", s.load1, s.load5, s.load15, runnable, nprocs.max(40))
 }
 
 /// Render the probe-relevant lines of `/proc/stat` (Linux 2.4 format):

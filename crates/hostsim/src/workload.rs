@@ -111,7 +111,13 @@ mod tests {
 
     #[test]
     fn io_rates_add_componentwise() {
-        let a = IoRates { rreq_ps: 1.0, rblocks_ps: 2.0, wreq_ps: 3.0, wblocks_ps: 4.0, cache_growth_ps: 5.0 };
+        let a = IoRates {
+            rreq_ps: 1.0,
+            rblocks_ps: 2.0,
+            wreq_ps: 3.0,
+            wblocks_ps: 4.0,
+            cache_growth_ps: 5.0,
+        };
         let b = a + a;
         assert_eq!(b.rblocks_ps, 4.0);
         assert_eq!(b.cache_growth_ps, 10.0);

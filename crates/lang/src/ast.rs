@@ -27,7 +27,14 @@ impl BinOp {
     pub fn is_logical(self) -> bool {
         matches!(
             self,
-            BinOp::Or | BinOp::And | BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            BinOp::Or
+                | BinOp::And
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
         )
     }
 }
@@ -162,10 +169,7 @@ impl Requirement {
 
     /// Number of logical statements — the conditions a server must pass.
     pub fn logical_count(&self) -> usize {
-        self.stmts
-            .iter()
-            .filter(|s| matches!(s, Stmt::Expr(e) if e.is_logical()))
-            .count()
+        self.stmts.iter().filter(|s| matches!(s, Stmt::Expr(e) if e.is_logical())).count()
     }
 }
 
@@ -202,11 +206,7 @@ mod tests {
 
     #[test]
     fn parens_preserve_logic() {
-        let cmp = Expr::Binary(
-            BinOp::Lt,
-            Box::new(Expr::Number(1.0)),
-            Box::new(Expr::Number(2.0)),
-        );
+        let cmp = Expr::Binary(BinOp::Lt, Box::new(Expr::Number(1.0)), Box::new(Expr::Number(2.0)));
         assert!(Expr::Paren(Box::new(cmp.clone())).is_logical());
         assert!(Expr::Paren(Box::new(Expr::Paren(Box::new(cmp)))).is_logical());
         assert!(!Expr::Paren(Box::new(Expr::Number(1.0))).is_logical());

@@ -327,7 +327,8 @@ mod tests {
     #[test]
     fn papers_table_5_4_disjunctive_requirement() {
         // ((bogomips > 4000) || (bogomips < 2000)) && cpu_free > 0.9 ...
-        let src = "((host_cpu_bogomips > 4000) || (host_cpu_bogomips < 2000)) && (host_cpu_free > 0.9)\n";
+        let src =
+            "((host_cpu_bogomips > 4000) || (host_cpu_bogomips < 2000)) && (host_cpu_free > 0.9)\n";
         let p3 = MapVars::new().with("host_cpu_bogomips", 1730.15).with("host_cpu_free", 0.95);
         let p4_24 = MapVars::new().with("host_cpu_bogomips", 4771.02).with("host_cpu_free", 0.95);
         let p4_17 = MapVars::new().with("host_cpu_bogomips", 3394.76).with("host_cpu_free", 0.95);

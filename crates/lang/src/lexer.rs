@@ -109,8 +109,7 @@ impl<'a> Lexer<'a> {
     /// True if `-` at the current position continues a word (hyphenated
     /// host/identifier) rather than being a minus operator.
     fn hyphen_joins(&self) -> bool {
-        self.peek() == Some(b'-')
-            && self.peek2().is_some_and(|b| b.is_ascii_alphanumeric())
+        self.peek() == Some(b'-') && self.peek2().is_some_and(|b| b.is_ascii_alphanumeric())
     }
 
     fn number_or_ip(&mut self) -> Result<Token, LexError> {
@@ -127,15 +126,11 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
         match dots {
             0 | 1 => {
-                let v: f64 = text
-                    .parse()
-                    .map_err(|_| self.err(format!("bad number {text:?}")))?;
+                let v: f64 = text.parse().map_err(|_| self.err(format!("bad number {text:?}")))?;
                 Ok(Token::Number(v))
             }
             3 => Ok(Token::NetAddr(text.to_owned())),
-            _ => Err(self.err(format!(
-                "{text:?} is neither a NUMBER nor a dotted-quad NETADDR"
-            ))),
+            _ => Err(self.err(format!("{text:?} is neither a NUMBER nor a dotted-quad NETADDR"))),
         }
     }
 
@@ -148,9 +143,7 @@ impl<'a> Lexer<'a> {
     fn ident_or_domain(&mut self) -> Result<Token, LexError> {
         let start = self.pos;
         // Leading label: `[a-zA-Z]+[a-zA-Z_0-9-]*`.
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
             || self.hyphen_joins()
         {
             self.bump();
@@ -163,9 +156,7 @@ impl<'a> Lexer<'a> {
         {
             is_domain = true;
             self.bump(); // '.'
-            while self
-                .peek()
-                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
                 || self.hyphen_joins()
             {
                 self.bump();
@@ -245,10 +236,7 @@ mod tests {
 
     #[test]
     fn dotted_quads_are_netaddrs_not_numbers() {
-        assert_eq!(
-            lex("137.132.90.182"),
-            vec![NetAddr("137.132.90.182".into()), Newline]
-        );
+        assert_eq!(lex("137.132.90.182"), vec![NetAddr("137.132.90.182".into()), Newline]);
     }
 
     #[test]
@@ -270,10 +258,7 @@ mod tests {
 
     #[test]
     fn minus_with_spacing_is_still_an_operator() {
-        assert_eq!(
-            lex("a - b"),
-            vec![Ident("a".into()), Minus, Ident("b".into()), Newline]
-        );
+        assert_eq!(lex("a - b"), vec![Ident("a".into()), Minus, Ident("b".into()), Newline]);
         // `-b`: hyphen joins only *between* word characters.
         assert_eq!(lex("- b"), vec![Minus, Ident("b".into()), Newline]);
     }

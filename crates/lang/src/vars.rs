@@ -38,12 +38,8 @@ pub const SERVER_VARS: [&str; 22] = [
 
 /// Service-class flags (§6 extension): 1.0 when the host advertises the
 /// class, 0.0 otherwise.
-pub const SERVICE_VARS: [&str; 4] = [
-    "host_service_compute",
-    "host_service_file",
-    "host_service_render",
-    "host_service_database",
-];
+pub const SERVICE_VARS: [&str; 4] =
+    ["host_service_compute", "host_service_file", "host_service_render", "host_service_database"];
 
 /// Network-metric variables resolved from the network monitor's records
 /// (`netdb`): available bandwidth in Mbps and delay in milliseconds of the

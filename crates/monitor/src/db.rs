@@ -36,11 +36,19 @@ impl SysDb {
     }
 
     /// Drop records older than `max_age` (the stale sweep; with the 3×
-    /// interval policy of §4.1, `max_age = 3 * probe_interval`).
-    pub fn expire(&mut self, now: SimTime, max_age: SimDuration) -> usize {
-        let before = self.records.len();
-        self.records.retain(|_, r| now.since(r.recorded_at) <= max_age);
-        before - self.records.len()
+    /// interval policy of §4.1, `max_age = 3 * probe_interval`). Returns
+    /// the evicted server addresses, in address order, so callers can log
+    /// and account for exactly *which* servers went dark.
+    pub fn expire(&mut self, now: SimTime, max_age: SimDuration) -> Vec<Ip> {
+        let mut evicted = Vec::new();
+        self.records.retain(|&ip, r| {
+            let keep = now.since(r.recorded_at) <= max_age;
+            if !keep {
+                evicted.push(ip);
+            }
+            keep
+        });
+        evicted
     }
 
     pub fn get(&self, ip: Ip) -> Option<&TimedReport> {
@@ -187,7 +195,7 @@ mod tests {
         db.upsert(report(Ip::new(10, 0, 0, 1), 0.0), SimTime::from_secs(0));
         db.upsert(report(Ip::new(10, 0, 0, 2), 0.0), SimTime::from_secs(9));
         let dropped = db.expire(SimTime::from_secs(10), SimDuration::from_secs(6));
-        assert_eq!(dropped, 1);
+        assert_eq!(dropped, vec![Ip::new(10, 0, 0, 1)]);
         assert!(db.get(Ip::new(10, 0, 0, 1)).is_none());
         assert!(db.get(Ip::new(10, 0, 0, 2)).is_some());
     }
@@ -215,8 +223,20 @@ mod tests {
         let mut db = NetDb::default();
         let a = Ip::new(192, 168, 1, 1);
         let b = Ip::new(192, 168, 2, 1);
-        db.upsert(NetPathRecord { from_monitor: a, to_monitor: b, delay_ms: 1.0, bw_mbps: 90.0, timestamp_ns: 0 });
-        db.upsert(NetPathRecord { from_monitor: b, to_monitor: a, delay_ms: 2.0, bw_mbps: 50.0, timestamp_ns: 0 });
+        db.upsert(NetPathRecord {
+            from_monitor: a,
+            to_monitor: b,
+            delay_ms: 1.0,
+            bw_mbps: 90.0,
+            timestamp_ns: 0,
+        });
+        db.upsert(NetPathRecord {
+            from_monitor: b,
+            to_monitor: a,
+            delay_ms: 2.0,
+            bw_mbps: 50.0,
+            timestamp_ns: 0,
+        });
         assert_eq!(db.len(), 2);
         assert_eq!(db.get(a, b).unwrap().bw_mbps, 90.0);
         assert_eq!(db.get(b, a).unwrap().bw_mbps, 50.0);

@@ -92,17 +92,17 @@ pub struct BwEstimate {
 ///
 /// `pairs` holds `(t1, t2)` echo RTTs for each repetition. Returns `None`
 /// when no pair was usable.
-pub fn reduce_round(spec: ProbePairSpec, pairs: &[(SimDuration, SimDuration)]) -> Option<BwEstimate> {
+pub fn reduce_round(
+    spec: ProbePairSpec,
+    pairs: &[(SimDuration, SimDuration)],
+) -> Option<BwEstimate> {
     let mut bws: Vec<f64> =
         pairs.iter().filter_map(|&(t1, t2)| bandwidth_mbps_from_pair(spec, t1, t2)).collect();
     if bws.is_empty() {
         return None;
     }
     bws.sort_by(|a, b| a.partial_cmp(b).expect("no NaN bandwidths"));
-    let delay_ms = pairs
-        .iter()
-        .map(|&(t1, _)| t1.as_millis_f64())
-        .fold(f64::INFINITY, f64::min);
+    let delay_ms = pairs.iter().map(|&(t1, _)| t1.as_millis_f64()).fold(f64::INFINITY, f64::min);
     Some(BwEstimate {
         bw_mbps: median_of_sorted(&bws),
         min_mbps: bws[0],
@@ -140,10 +140,7 @@ mod tests {
         let spec = ProbePairSpec::OPTIMAL_1500;
         let t = SimDuration::from_micros(500);
         assert_eq!(bandwidth_mbps_from_pair(spec, t, t), None);
-        assert_eq!(
-            bandwidth_mbps_from_pair(spec, SimDuration::from_micros(600), t),
-            None
-        );
+        assert_eq!(bandwidth_mbps_from_pair(spec, SimDuration::from_micros(600), t), None);
     }
 
     #[test]

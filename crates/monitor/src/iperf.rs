@@ -64,9 +64,7 @@ pub fn estimate(
         // Progress = capacity × elapsed for the single flood flow; read it
         // back through the flow table by measuring the path's current fair
         // share (the flood is still running and owns the bottleneck).
-        let bw = net2
-            .path_available_bw(src, dst)
-            .map(|b| b / 1e6);
+        let bw = net2.path_available_bw(src, dst).map(|b| b / 1e6);
         // Tear the flood down by letting it run: in the fluid model we
         // cannot abort a flow, so the harness uses short-lived networks;
         // real iperf stops sending. Record and report.
@@ -111,7 +109,14 @@ mod tests {
         // one-way stream probes see almost nothing left.
         let (net, a, c) = line(20.0);
         let mut s = Scheduler::new();
-        estimate(&mut s, &net, a, c, IperfConfig { duration: SimDuration::from_secs(30) }, |_s, _e| {});
+        estimate(
+            &mut s,
+            &net,
+            a,
+            c,
+            IperfConfig { duration: SimDuration::from_secs(30) },
+            |_s, _e| {},
+        );
         s.run_until(smartsock_sim::SimTime::from_secs(1));
 
         // Probe RTT while the flood owns the link.

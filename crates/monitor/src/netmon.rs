@@ -172,13 +172,7 @@ impl NetworkMonitor {
         }
     }
 
-    fn send_pair(
-        self,
-        s: &mut Scheduler,
-        peer: Ip,
-        ctx: Rc<RefCell<RoundCtx>>,
-        pair_index: usize,
-    ) {
+    fn send_pair(self, s: &mut Scheduler, peer: Ip, ctx: Rc<RefCell<RoundCtx>>, pair_index: usize) {
         if pair_index >= self.cfg.pairs_per_round {
             self.finish_round(s, peer, &ctx);
             return;
@@ -186,33 +180,27 @@ impl NetworkMonitor {
         let from = Endpoint::new(self.ip, ports::MON_NET);
         let to = Endpoint::new(peer, ports::UDP_PROBE_CLOSED);
         s.metrics.incr("netmon.probes");
-        s.metrics.add(
-            "netmon.bytes",
-            u64::from(self.cfg.spec.s1_bytes + self.cfg.spec.s2_bytes),
-        );
+        s.metrics.add("netmon.bytes", u64::from(self.cfg.spec.s1_bytes + self.cfg.spec.s2_bytes));
         // Per-pair timeout: if either echo is lost, skip this pair and
         // move on rather than stalling the whole round (§3.3.1: loss is
         // rare but must not wedge the sequential schedule).
         let guard_mon = self.clone();
         let guard_ctx = Rc::clone(&ctx);
-        s.schedule_in(
-            SimDuration::from_nanos(self.cfg.echo_timeout.as_nanos() * 2),
-            move |s| {
-                let stuck = {
-                    let c = guard_ctx.borrow();
-                    !c.finished && c.resolved == pair_index
-                };
-                if stuck {
-                    s.metrics.incr("netmon.pairs_timed_out");
-                    {
-                        let mut c = guard_ctx.borrow_mut();
-                        c.resolved = pair_index + 1;
-                        c.t1 = None;
-                    }
-                    guard_mon.send_pair(s, peer, guard_ctx, pair_index + 1);
+        s.schedule_in(SimDuration::from_nanos(self.cfg.echo_timeout.as_nanos() * 2), move |s| {
+            let stuck = {
+                let c = guard_ctx.borrow();
+                !c.finished && c.resolved == pair_index
+            };
+            if stuck {
+                s.metrics.incr("netmon.pairs_timed_out");
+                {
+                    let mut c = guard_ctx.borrow_mut();
+                    c.resolved = pair_index + 1;
+                    c.t1 = None;
                 }
-            },
-        );
+                guard_mon.send_pair(s, peer, guard_ctx, pair_index + 1);
+            }
+        });
         // Send S1; on its echo, send S2; on that echo, advance.
         let mon = self.clone();
         let ctx1 = Rc::clone(&ctx);
@@ -309,8 +297,18 @@ mod tests {
         }
         let (_, netdb1, _) = shared_dbs();
         let (_, netdb2, _) = shared_dbs();
-        let a = NetworkMonitor::new(Ip::new(192, 168, 1, 1), net.clone(), netdb1, NetMonConfig::default());
-        let bmon = NetworkMonitor::new(Ip::new(192, 168, 2, 1), net.clone(), netdb2, NetMonConfig::default());
+        let a = NetworkMonitor::new(
+            Ip::new(192, 168, 1, 1),
+            net.clone(),
+            netdb1,
+            NetMonConfig::default(),
+        );
+        let bmon = NetworkMonitor::new(
+            Ip::new(192, 168, 2, 1),
+            net.clone(),
+            netdb2,
+            NetMonConfig::default(),
+        );
         a.add_peer(bmon.ip());
         bmon.add_peer(a.ip());
         (Scheduler::new(), net, a, bmon)

@@ -156,10 +156,9 @@ fn next_stream(
             true // heavy loss / nothing arrived: treat as overloaded
         } else {
             let third = ds.len() / 3;
-            let head: f64 =
-                ds[..third].iter().map(|d| d.as_secs_f64()).sum::<f64>() / third as f64;
-            let tail: f64 = ds[ds.len() - third..].iter().map(|d| d.as_secs_f64()).sum::<f64>()
-                / third as f64;
+            let head: f64 = ds[..third].iter().map(|d| d.as_secs_f64()).sum::<f64>() / third as f64;
+            let tail: f64 =
+                ds[ds.len() - third..].iter().map(|d| d.as_secs_f64()).sum::<f64>() / third as f64;
             tail - head > cfg.trend_threshold.as_secs_f64()
         };
         drop(ds);
@@ -201,9 +200,7 @@ mod tests {
         let mut s = Scheduler::new();
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
-        estimate(&mut s, net, a, c, SlopsConfig::default(), move |_s, e| {
-            *g.borrow_mut() = Some(e)
-        });
+        estimate(&mut s, net, a, c, SlopsConfig::default(), move |_s, e| *g.borrow_mut() = Some(e));
         s.run();
         let e = got.borrow().expect("slops converges");
         e

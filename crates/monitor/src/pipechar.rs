@@ -151,10 +151,7 @@ mod tests {
         for rate in [10.0f64, 30.0, 100.0] {
             let (net, a, c) = pair_net(7, rate);
             let est = run_estimate(&net, a, c).expect("echoes return");
-            assert!(
-                (est - rate).abs() / rate < 0.3,
-                "bottleneck {rate} Mbps, estimated {est:.1}"
-            );
+            assert!((est - rate).abs() / rate < 0.3, "bottleneck {rate} Mbps, estimated {est:.1}");
         }
     }
 

@@ -100,7 +100,11 @@ mod tests {
     fn external_agent_records_are_ingested() {
         let (_, _, secdb) = shared_dbs();
         let mon = SecurityMonitor::new(secdb.clone(), "");
-        mon.ingest([SecurityRecord { host: "titan-x".into(), ip: Ip::new(192, 168, 5, 10), level: -1 }]);
+        mon.ingest([SecurityRecord {
+            host: "titan-x".into(),
+            ip: Ip::new(192, 168, 5, 10),
+            level: -1,
+        }]);
         assert_eq!(secdb.read().level_of(Ip::new(192, 168, 5, 10)), Some(-1));
     }
 }

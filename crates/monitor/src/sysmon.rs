@@ -32,11 +32,15 @@ pub struct SystemMonitor {
     ip: Ip,
     db: SharedSysDb,
     cfg: SysMonConfig,
+    /// Restart generation for the sweep loop (same epoch scheme as the
+    /// probe daemon): a stopped monitor's pending sweep fires into a dead
+    /// epoch and dies quietly instead of double-scheduling.
+    epoch: std::rc::Rc<std::cell::Cell<u64>>,
 }
 
 impl SystemMonitor {
     pub fn new(ip: Ip, db: SharedSysDb, cfg: SysMonConfig) -> SystemMonitor {
-        SystemMonitor { ip, db, cfg }
+        SystemMonitor { ip, db, cfg, epoch: std::rc::Rc::new(std::cell::Cell::new(0)) }
     }
 
     /// The endpoint probes report to.
@@ -62,18 +66,42 @@ impl SystemMonitor {
             }
         });
         let mon = self.clone();
-        s.schedule_in(self.cfg.sweep_interval, move |s| mon.sweep(s));
+        let epoch = self.epoch.get();
+        s.schedule_in(self.cfg.sweep_interval, move |s| mon.sweep(s, epoch));
     }
 
-    fn sweep(&self, s: &mut Scheduler) {
-        let max_age =
-            self.cfg.probe_interval.saturating_mul(u64::from(timing::FAILURE_INTERVALS));
-        let dropped = self.db.write().expire(s.now(), max_age);
-        if dropped > 0 {
-            s.metrics.add("sysmon.expired", dropped as u64);
+    /// Kill the daemon: unbind the report socket and halt the sweep loop.
+    /// Reports sent while it is down are lost, exactly like a real machine
+    /// crash; records it held go stale on its next restart sweep.
+    pub fn stop(&self, net: &Network) {
+        self.epoch.set(self.epoch.get() + 1);
+        net.unbind_udp(self.endpoint());
+    }
+
+    /// Restart a stopped daemon: rebind, sweep immediately (everything
+    /// that expired during the outage is purged at once), resume the loop.
+    pub fn restart(&self, s: &mut Scheduler, net: &Network) {
+        self.epoch.set(self.epoch.get() + 1);
+        s.metrics.incr("sysmon.restarts");
+        self.start(s, net);
+        self.sweep_once(s);
+    }
+
+    fn sweep(&self, s: &mut Scheduler, epoch: u64) {
+        if self.epoch.get() != epoch {
+            return;
         }
+        self.sweep_once(s);
         let mon = self.clone();
-        s.schedule_in(self.cfg.sweep_interval, move |s| mon.sweep(s));
+        s.schedule_in(self.cfg.sweep_interval, move |s| mon.sweep(s, epoch));
+    }
+
+    fn sweep_once(&self, s: &mut Scheduler) {
+        let max_age = self.cfg.probe_interval.saturating_mul(u64::from(timing::FAILURE_INTERVALS));
+        let dropped = self.db.write().expire(s.now(), max_age);
+        if !dropped.is_empty() {
+            s.metrics.add("sysmon.expired", dropped.len() as u64);
+        }
     }
 
     /// Number of live server records.

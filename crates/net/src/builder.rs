@@ -57,7 +57,7 @@ impl NetworkBuilder {
             "duplicate host name {name}"
         );
         assert!(self.by_ip.insert(ip, id).is_none(), "duplicate IP {ip}");
-        self.nodes.push(Node { name, ip, params, is_router });
+        self.nodes.push(Node { name, ip, params, is_router, up: true });
         id
     }
 
@@ -85,7 +85,10 @@ impl NetworkBuilder {
             to,
             params,
             base_rate_bps: params.rate_bps,
+            base_loss_prob: params.loss_prob,
+            base_prop_delay: params.prop_delay,
             busy_until: SimTime::ZERO,
+            up: true,
         });
     }
 

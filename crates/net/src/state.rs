@@ -22,6 +22,9 @@ pub(crate) struct Node {
     pub ip: Ip,
     pub params: HostParams,
     pub is_router: bool,
+    /// Runtime fault state: a down node neither sends, receives nor
+    /// forwards. Starts up; toggled by the fault-injection layer.
+    pub up: bool,
 }
 
 pub(crate) struct Link {
@@ -30,8 +33,27 @@ pub(crate) struct Link {
     pub params: LinkParams,
     /// Line rate before any `rshaper` cap, for restoring.
     pub base_rate_bps: f64,
+    /// Loss probability before any injected loss spike, for restoring.
+    pub base_loss_prob: f64,
+    /// Propagation delay before any injected latency spike, for restoring.
+    pub base_prop_delay: SimDuration,
     /// Serialization queue: the instant the link next becomes idle.
     pub busy_until: SimTime,
+    /// Runtime fault state: a down link drops every fragment and caps
+    /// fluid flows at zero (they stall, not abort — TCP keeps retrying).
+    pub up: bool,
+}
+
+/// Why a datagram never arrived (fault accounting in `send_udp`).
+pub(crate) enum Blocked {
+    /// No route between the nodes.
+    Unroutable,
+    /// A per-fragment loss roll failed along the path.
+    Loss,
+    /// A link on the path is administratively down.
+    LinkDown,
+    /// Source or destination host is down.
+    HostDown,
 }
 
 type UdpHandler = Rc<RefCell<dyn FnMut(&mut Scheduler, UdpDatagram)>>;
@@ -223,10 +245,21 @@ impl Network {
             let mut st = self.st.borrow_mut();
             transit_time(&mut st, s.now(), src, dst, payload.len(), true)
         };
-        let Some(arrival) = arrival else {
-            // Either no route or a loss roll along the path.
-            s.metrics.incr("net.udp_lost");
-            return;
+        let arrival = match arrival {
+            Ok(at) => at,
+            Err(Blocked::LinkDown) => {
+                s.metrics.incr("net.link_down_drops");
+                return;
+            }
+            Err(Blocked::HostDown) => {
+                s.metrics.incr("net.host_down_drops");
+                return;
+            }
+            Err(Blocked::Unroutable | Blocked::Loss) => {
+                // Either no route or a loss roll along the path.
+                s.metrics.incr("net.udp_lost");
+                return;
+            }
         };
 
         let net = self.clone();
@@ -244,6 +277,12 @@ impl Network {
         dst: NodeId,
         on_icmp: Option<IcmpHandler>,
     ) {
+        // The destination may have gone down while the datagram was in
+        // flight: it vanishes without even an ICMP answer.
+        if !self.st.borrow().nodes[dst].up {
+            s.metrics.incr("net.host_down_drops");
+            return;
+        }
         let handler = self.st.borrow().udp_handlers.get(&datagram.to).cloned();
         match handler {
             Some(h) => {
@@ -262,7 +301,7 @@ impl Network {
                     // socket-to-NIC handoff modelled).
                     transit_time(&mut st, s.now(), dst, src, ICMP_UNREACHABLE_WIRE, false)
                 };
-                let Some(back) = back else { return };
+                let Ok(back) = back else { return };
                 s.metrics.incr("net.icmp_echoes");
                 let echo = IcmpEcho {
                     sent_at: datagram.sent_at,
@@ -316,6 +355,17 @@ impl Network {
             s.metrics.incr("net.stream_dropped_unroutable");
             return;
         };
+        // TCP needs a working duplex path at connect time: a down host or
+        // a cut anywhere on either direction means the handshake times out
+        // and the message is never sent (the caller's retransmission layer
+        // is responsible for retrying).
+        {
+            let st = self.st.borrow();
+            if !path_up(&st, src, dst) || !path_up(&st, dst, src) {
+                s.metrics.incr("net.stream_blocked");
+                return;
+            }
+        }
         s.metrics.incr("net.stream_messages");
         // ~3% header/ack overhead on the wire.
         let wire_bytes = payload.len() + payload.len() / 32 + 64;
@@ -388,7 +438,20 @@ impl Network {
         let schedule: Vec<(u64, Option<smartsock_sim::EventId>, SimTime)> = {
             let mut st = self.st.borrow_mut();
             st.flows.advance_to(now);
-            let caps: Vec<f64> = st.links.iter().map(|l| l.params.effective_rate()).collect();
+            // A down link (or a link touching a down node) carries nothing:
+            // flows crossing it get rate 0 and stall until the next
+            // recompute after a heal — TCP's stubborn retransmission.
+            let caps: Vec<f64> = st
+                .links
+                .iter()
+                .map(|l| {
+                    if l.up && st.nodes[l.from].up && st.nodes[l.to].up {
+                        l.params.effective_rate()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
             st.flows.waterfill(|l| caps[l]);
             st.flows
                 .flows
@@ -443,6 +506,132 @@ impl Network {
             cb(s, stats);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection: runtime up/down state and parameter spikes
+    // ------------------------------------------------------------------
+
+    /// Whether `node` is currently up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.st.borrow().nodes[node].up
+    }
+
+    /// Mark a node up or down without touching its socket bindings (a
+    /// "frozen" host: bindings survive, but nothing gets through). Flows
+    /// crossing the node stall while it is down.
+    pub fn set_node_up(&self, s: &mut Scheduler, node: NodeId, up: bool) {
+        self.st.borrow_mut().nodes[node].up = up;
+        self.recompute_flows(s);
+    }
+
+    /// Crash a node: mark it down *and* unbind every UDP and stream
+    /// handler at its address — a rebooted kernel has no sockets. Flows
+    /// crossing it stall until revival.
+    pub fn crash_node(&self, s: &mut Scheduler, node: NodeId) {
+        {
+            let mut st = self.st.borrow_mut();
+            st.nodes[node].up = false;
+            let ip = st.nodes[node].ip;
+            st.udp_handlers.retain(|ep, _| ep.ip != ip);
+            st.stream_handlers.retain(|ep, _| ep.ip != ip);
+        }
+        s.metrics.incr("net.node_crashes");
+        self.recompute_flows(s);
+    }
+
+    /// Bring a crashed node back up. Its daemons must re-bind their own
+    /// sockets (the fault layer restarts them explicitly).
+    pub fn revive_node(&self, s: &mut Scheduler, node: NodeId) {
+        self.st.borrow_mut().nodes[node].up = true;
+        s.metrics.incr("net.node_revivals");
+        self.recompute_flows(s);
+    }
+
+    /// The directed link ids between `a` and `b` (both directions).
+    pub fn links_between(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        let st = self.st.borrow();
+        (0..st.links.len())
+            .filter(|&l| {
+                (st.links[l].from == a && st.links[l].to == b)
+                    || (st.links[l].from == b && st.links[l].to == a)
+            })
+            .collect()
+    }
+
+    /// The `(from, to)` node endpoints of a directed link.
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        let st = self.st.borrow();
+        (st.links[link].from, st.links[link].to)
+    }
+
+    /// Whether a link is currently up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.st.borrow().links[link].up
+    }
+
+    /// Set a specific set of directed links up or down (partitions cut
+    /// many links at once and must restore exactly the same set).
+    pub fn set_links_up(&self, s: &mut Scheduler, links: &[LinkId], up: bool) {
+        {
+            let mut st = self.st.borrow_mut();
+            for &l in links {
+                st.links[l].up = up;
+            }
+        }
+        self.recompute_flows(s);
+    }
+
+    /// Set the duplex link between two adjacent nodes up or down.
+    pub fn set_link_up_between(&self, s: &mut Scheduler, a: NodeId, b: NodeId, up: bool) {
+        let links = self.links_between(a, b);
+        assert!(!links.is_empty(), "no link between nodes {a} and {b}");
+        self.set_links_up(s, &links, up);
+    }
+
+    /// Inject (or with `None` clear) a transient loss-probability spike on
+    /// the duplex link between two adjacent nodes.
+    pub fn set_link_loss_between(&self, a: NodeId, b: NodeId, loss: Option<f64>) {
+        let links = self.links_between(a, b);
+        assert!(!links.is_empty(), "no link between nodes {a} and {b}");
+        let mut st = self.st.borrow_mut();
+        for l in links {
+            st.links[l].params.loss_prob = match loss {
+                Some(p) => p.clamp(0.0, 1.0),
+                None => st.links[l].base_loss_prob,
+            };
+        }
+    }
+
+    /// Inject (or with `None` clear) a transient latency spike: extra
+    /// propagation delay on the duplex link between two adjacent nodes.
+    pub fn set_link_extra_delay_between(&self, a: NodeId, b: NodeId, extra: Option<SimDuration>) {
+        let links = self.links_between(a, b);
+        assert!(!links.is_empty(), "no link between nodes {a} and {b}");
+        let mut st = self.st.borrow_mut();
+        for l in links {
+            st.links[l].params.prop_delay = match extra {
+                Some(e) => st.links[l].base_prop_delay + e,
+                None => st.links[l].base_prop_delay,
+            };
+        }
+    }
+
+    /// Whether traffic can currently flow both ways between two addresses:
+    /// both hosts up, routes exist, and every link and relay on both
+    /// directions is up. The client library's liveness check under faults.
+    pub fn reachable(&self, src: Ip, dst: Ip) -> bool {
+        let st = self.st.borrow();
+        let Some(&a) = st.by_ip.get(&src) else { return false };
+        let b = if dst.is_loopback() {
+            a
+        } else {
+            match st.by_ip.get(&dst) {
+                Some(&b) => b,
+                None => return false,
+            }
+        };
+        path_up(&st, a, b) && path_up(&st, b, a)
+    }
 }
 
 /// Shortest-path links from `src` to `dst` using the precomputed next-hop
@@ -474,15 +663,29 @@ fn transit_time(
     dst: NodeId,
     payload: u64,
     with_init_stage: bool,
-) -> Option<SimTime> {
+) -> Result<SimTime, Blocked> {
+    if !st.nodes[src].up || !st.nodes[dst].up {
+        return Err(Blocked::HostDown);
+    }
     if src == dst {
         // Loopback: no NIC, no fragmentation effects (observation 1 of
         // §3.3.2) — just a tiny constant plus memcpy-speed serialization.
         let copy = SimDuration::transmission(udp_wire_size(payload), LOOPBACK_RATE_BPS);
-        return Some(now + SimDuration::from_nanos(st.loopback_rtt.as_nanos() / 2) + copy);
+        return Ok(now + SimDuration::from_nanos(st.loopback_rtt.as_nanos() / 2) + copy);
     }
-    let links = path_links_inner(st, src, dst)?;
+    let links = path_links_inner(st, src, dst).ok_or(Blocked::Unroutable)?;
     debug_assert!(!links.is_empty());
+    // A cut anywhere drops the datagram: either the link itself is down
+    // or the relaying node behind it is.
+    for &lid in &links {
+        if !st.links[lid].up {
+            return Err(Blocked::LinkDown);
+        }
+        let hop = st.links[lid].to;
+        if !st.nodes[hop].up {
+            return Err(if hop == dst { Blocked::HostDown } else { Blocked::LinkDown });
+        }
+    }
     // Per-fragment loss along the path: losing any fragment loses the
     // datagram (IP reassembly fails). Rolled up front so serialization
     // bookkeeping stays simple; the capacity a dropped datagram would
@@ -493,7 +696,7 @@ fn transit_time(
         if p > 0.0 {
             for _ in 0..frag_count {
                 if st.rng.gen_range(0.0..1.0) < p {
-                    return None;
+                    return Err(Blocked::Loss);
                 }
             }
         }
@@ -528,12 +731,7 @@ fn transit_time(
             // traffic *and* live fluid-flow allocations reduce the rate.
             let alloc = flow_alloc(&st.flows, lid);
             let eff = (l.params.effective_rate() - alloc).max(l.params.rate_bps * 0.01);
-            (
-                eff,
-                l.params.prop_delay,
-                l.params.per_fragment_overhead,
-                l.params.jitter_mean,
-            )
+            (eff, l.params.prop_delay, l.params.per_fragment_overhead, l.params.jitter_mean)
         };
         let mut prev_arrival = SimTime::ZERO;
         for (i, &fs) in frags.iter().enumerate() {
@@ -549,17 +747,27 @@ fn transit_time(
         }
     }
     let last = ready.into_iter().max().unwrap_or(t);
-    Some(last + st.nodes[dst].params.sys_overhead)
+    Ok(last + st.nodes[dst].params.sys_overhead)
+}
+
+/// Whether every element along `src → dst` — both hosts, every link and
+/// every relaying node — is currently up.
+fn path_up(st: &State, src: NodeId, dst: NodeId) -> bool {
+    if !st.nodes[src].up || !st.nodes[dst].up {
+        return false;
+    }
+    if src == dst {
+        return true;
+    }
+    let Some(links) = path_links_inner(st, src, dst) else {
+        return false;
+    };
+    links.iter().all(|&l| st.links[l].up && st.nodes[st.links[l].to].up)
 }
 
 /// Bits/second currently allocated to fluid flows crossing `lid`.
 fn flow_alloc(flows: &FlowTable, lid: LinkId) -> f64 {
-    flows
-        .flows
-        .values()
-        .filter(|f| f.links.contains(&lid))
-        .map(|f| f.rate_bps)
-        .sum()
+    flows.flows.values().filter(|f| f.links.contains(&lid)).map(|f| f.rate_bps).sum()
 }
 
 /// Exponentially distributed jitter with the given mean.

@@ -37,7 +37,14 @@ impl CrossTraffic {
         // 200 ms bursts keep the load reasonably smooth.
         let period = SimDuration::from_millis(200);
         let bytes_per_burst = (rate_mbps * 1e6 / 8.0 * period.as_secs_f64()) as u64;
-        CrossTraffic { net: net.clone(), src, dst, bytes_per_burst, period, active: Rc::new(RefCell::new(false)) }
+        CrossTraffic {
+            net: net.clone(),
+            src,
+            dst,
+            bytes_per_burst,
+            period,
+            active: Rc::new(RefCell::new(false)),
+        }
     }
 
     /// Begin generating.
@@ -69,10 +76,10 @@ impl CrossTraffic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{HostParams, LinkParams, NetworkBuilder};
-    use smartsock_proto::{Endpoint, Ip, consts::ports};
-    use smartsock_sim::SimTime;
     use crate::packet::Payload;
+    use crate::{HostParams, LinkParams, NetworkBuilder};
+    use smartsock_proto::{consts::ports, Endpoint, Ip};
+    use smartsock_sim::SimTime;
 
     fn line(seed: u64) -> (Network, NodeId, NodeId, NodeId) {
         let mut b = NetworkBuilder::new(seed);

@@ -70,6 +70,11 @@ struct ProbeState {
     prev_net: procfs::NetDevCounters,
     prev_disk: procfs::DiskCounters,
     reports_sent: u64,
+    /// Restart generation. A scheduled tick carries the epoch it was
+    /// armed under and dies quietly if the daemon was stopped or
+    /// restarted since — stop/restart never double-schedules the loop.
+    epoch: u64,
+    running: bool,
 }
 
 /// One probe daemon instance.
@@ -93,6 +98,8 @@ impl ServerProbe {
                 prev_net: procfs::NetDevCounters::default(),
                 prev_disk: procfs::DiskCounters::default(),
                 reports_sent: 0,
+                epoch: 0,
+                running: false,
             })),
         }
     }
@@ -102,8 +109,49 @@ impl ServerProbe {
     pub fn start(&self, s: &mut Scheduler) {
         // Take the baseline scan now.
         let _ = self.scan(s.now());
+        let epoch = {
+            let mut st = self.st.borrow_mut();
+            st.running = true;
+            st.epoch
+        };
         let probe = self.clone();
-        s.schedule_in(self.cfg.interval, move |s| probe.tick(s));
+        s.schedule_in(self.cfg.interval, move |s| probe.tick(s, epoch));
+    }
+
+    /// Kill the daemon: the reporting loop halts after the current epoch's
+    /// pending tick fires into a dead generation.
+    pub fn stop(&self) {
+        let mut st = self.st.borrow_mut();
+        st.running = false;
+        st.epoch += 1;
+    }
+
+    /// Restart a stopped daemon: re-baseline the differentiated counters
+    /// (a fresh process has no previous scan) and resume the loop.
+    pub fn restart(&self, s: &mut Scheduler) {
+        {
+            let mut st = self.st.borrow_mut();
+            if st.running {
+                return;
+            }
+            st.epoch += 1;
+            st.prev_jiffies = CpuJiffies::default();
+            st.prev_net = procfs::NetDevCounters::default();
+            st.prev_disk = procfs::DiskCounters::default();
+            st.prev_sample_at = SimTime::ZERO;
+        }
+        s.metrics.incr("probe.restarts");
+        self.start(s);
+    }
+
+    /// The host this probe daemon runs on.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Whether the reporting loop is currently running.
+    pub fn is_running(&self) -> bool {
+        self.st.borrow().running
     }
 
     /// Number of reports sent so far.
@@ -111,13 +159,19 @@ impl ServerProbe {
         self.st.borrow().reports_sent
     }
 
-    fn tick(&self, s: &mut Scheduler) {
+    fn tick(&self, s: &mut Scheduler, epoch: u64) {
+        {
+            let st = self.st.borrow();
+            if !st.running || st.epoch != epoch {
+                return;
+            }
+        }
         if !self.host.is_failed() {
             let report = self.scan(s.now());
             self.send(s, report);
         }
         let probe = self.clone();
-        s.schedule_in(self.cfg.interval, move |s| probe.tick(s));
+        s.schedule_in(self.cfg.interval, move |s| probe.tick(s, epoch));
     }
 
     /// One probing pass: render the /proc files, parse them back,
@@ -188,7 +242,8 @@ impl ServerProbe {
     fn send(&self, s: &mut Scheduler, report: ServerStatusReport) {
         let line = report.encode_ascii();
         let bytes = line.len() as u64;
-        let from = Endpoint::new(self.host.ip(), 40000 + (self.st.borrow().reports_sent % 1000) as u16);
+        let from =
+            Endpoint::new(self.host.ip(), 40000 + (self.st.borrow().reports_sent % 1000) as u16);
         let metric = format!("probe.{}.bytes", self.host.name());
         s.metrics.add(&metric, bytes);
         s.metrics.incr("probe.reports");
@@ -216,7 +271,8 @@ mod tests {
         let mon = b.host("monitor", Ip::new(192, 168, 3, 1), HostParams::testbed());
         b.duplex(server, mon, LinkParams::lan_100mbps());
         let net = b.build();
-        let host = Host::new(HostConfig::new("helene", Ip::new(192, 168, 3, 10), CpuModel::P4_1700, 256));
+        let host =
+            Host::new(HostConfig::new("helene", Ip::new(192, 168, 3, 10), CpuModel::P4_1700, 256));
 
         let got: Rc<RefCell<Vec<ServerStatusReport>>> = Rc::new(RefCell::new(Vec::new()));
         let sink = Rc::clone(&got);
@@ -307,10 +363,8 @@ mod tests {
         let stream_got = Rc::new(RefCell::new(0u32));
         let sink = Rc::clone(&stream_got);
         net.bind_stream(Endpoint::new(Ip::new(192, 168, 3, 1), ports::MON_SYS), move |_s, m| {
-            assert!(ServerStatusReport::parse_ascii(
-                std::str::from_utf8(&m.payload.data).unwrap()
-            )
-            .is_ok());
+            assert!(ServerStatusReport::parse_ascii(std::str::from_utf8(&m.payload.data).unwrap())
+                .is_ok());
             *sink.borrow_mut() += 1;
         });
         ServerProbe::new(host, net, ProbeConfig::new(Ip::new(192, 168, 3, 1)).over_tcp())

@@ -6,7 +6,6 @@
 //! simulated testbed keeps a name↔address registry, so both spellings
 //! resolve to the same server.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -14,7 +13,7 @@ use crate::ProtoError;
 
 /// An IPv4 address in the simulated internet, stored big-endian-logically
 /// (the first octet is the most significant byte).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ip(pub u32);
 
 impl Ip {
@@ -78,7 +77,7 @@ impl FromStr for Ip {
 }
 
 /// A (host, port) pair — the address of one simulated socket.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Endpoint {
     pub ip: Ip,
     pub port: u16,
@@ -106,16 +105,14 @@ impl FromStr for Endpoint {
     type Err = ProtoError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (ip, port) = s.split_once(':').ok_or_else(|| ProtoError::BadField {
-            field: "endpoint",
-            text: s.to_owned(),
-        })?;
+        let (ip, port) = s
+            .split_once(':')
+            .ok_or_else(|| ProtoError::BadField { field: "endpoint", text: s.to_owned() })?;
         Ok(Endpoint {
             ip: ip.parse()?,
-            port: port.parse().map_err(|_| ProtoError::BadField {
-                field: "port",
-                text: port.to_owned(),
-            })?,
+            port: port
+                .parse()
+                .map_err(|_| ProtoError::BadField { field: "port", text: port.to_owned() })?,
         })
     }
 }
@@ -125,7 +122,7 @@ impl FromStr for Endpoint {
 /// Host names in the testbed mirror the paper's machines (`sagit`,
 /// `dalmatian`, `mimas`, ...). Comparison is case-insensitive, matching
 /// common DNS behaviour.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostName(String);
 
 impl HostName {
@@ -168,7 +165,7 @@ impl From<&str> for HostName {
 }
 
 /// Either spelling of a network address in the requirement language.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum NetAddr {
     Ip(Ip),
     Name(HostName),
@@ -191,9 +188,7 @@ impl FromStr for NetAddr {
             return Ok(NetAddr::Ip(ip));
         }
         if s.is_empty()
-            || !s
-                .bytes()
-                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_')
+            || !s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_')
         {
             return Err(ProtoError::BadField { field: "netaddr", text: s.to_owned() });
         }
@@ -247,10 +242,7 @@ mod tests {
 
     #[test]
     fn netaddr_distinguishes_ips_and_names() {
-        assert_eq!(
-            "10.0.0.1".parse::<NetAddr>().unwrap(),
-            NetAddr::Ip(Ip::new(10, 0, 0, 1))
-        );
+        assert_eq!("10.0.0.1".parse::<NetAddr>().unwrap(), NetAddr::Ip(Ip::new(10, 0, 0, 1)));
         assert_eq!(
             "sagit.comp.nus.edu.sg".parse::<NetAddr>().unwrap(),
             NetAddr::Name("sagit.comp.nus.edu.sg".into())

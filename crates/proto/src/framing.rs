@@ -169,8 +169,7 @@ mod tests {
     use crate::addr::Ip;
 
     fn sys_report(i: u8) -> ServerStatusReport {
-        let mut r =
-            ServerStatusReport::empty(format!("host{i}").as_str(), Ip::new(192, 168, 1, i));
+        let mut r = ServerStatusReport::empty(format!("host{i}").as_str(), Ip::new(192, 168, 1, i));
         r.load1 = f64::from(i) / 10.0;
         r.mem_total = 1 << 28;
         r

@@ -8,13 +8,12 @@
 //! `monitor_network_bw > 10`.
 
 use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
 
 use crate::addr::Ip;
 use crate::ProtoError;
 
 /// Measured metrics of one network path between two monitor groups.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetPathRecord {
     /// Address of the monitor that performed the measurement.
     pub from_monitor: Ip,

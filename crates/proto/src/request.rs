@@ -8,7 +8,6 @@
 //! is not reliable when the message becomes long".
 
 use bytes::{Buf, BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{Endpoint, Ip};
 use crate::ProtoError;
@@ -19,7 +18,7 @@ pub const MAX_SERVERS_PER_REPLY: usize = 60;
 
 /// The request `Option` field: what the wizard/client should do in special
 /// situations (paper: shortfall handling and requirement templates).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RequestOption {
     /// Accept a candidate list shorter than requested instead of failing.
     pub accept_fewer: bool,
@@ -62,7 +61,7 @@ impl Default for RequestOption {
 }
 
 /// A user request for `server_num` servers satisfying `detail`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UserRequest {
     /// Random tag identifying the request (Table 3.5 "Sequence Num").
     pub seq: u32,
@@ -128,7 +127,7 @@ pub enum ReplyStatus {
 }
 
 /// The wizard's reply: the candidate server list.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WizardReply {
     /// Echoes the request's sequence number.
     pub seq: u32,
@@ -266,8 +265,9 @@ mod tests {
 
     #[test]
     fn sixty_servers_fit_in_one_reply() {
-        let servers: Vec<Endpoint> =
-            (0..60).map(|i| Endpoint::new(Ip::new(10, 0, (i / 250) as u8, (i % 250) as u8), 1200)).collect();
+        let servers: Vec<Endpoint> = (0..60)
+            .map(|i| Endpoint::new(Ip::new(10, 0, (i / 250) as u8, (i % 250) as u8), 1200))
+            .collect();
         let reply = WizardReply { seq: 7, servers };
         let wire = reply.encode();
         // Must fit comfortably within one UDP datagram (< 64 KiB, and in

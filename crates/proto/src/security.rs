@@ -9,13 +9,12 @@
 //! the same lines.
 
 use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{HostName, Ip};
 use crate::ProtoError;
 
 /// One server's clearance level, as read from the security log.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SecurityRecord {
     pub host: HostName,
     pub ip: Ip,
@@ -31,16 +30,14 @@ impl SecurityRecord {
     /// `#`-comments and blank lines skipped by the caller.
     pub fn parse_log_line(line: &str) -> Result<Self, ProtoError> {
         let mut it = line.split_ascii_whitespace();
-        let host = it
-            .next()
-            .ok_or(ProtoError::BadField { field: "host", text: "<missing>".into() })?;
+        let host =
+            it.next().ok_or(ProtoError::BadField { field: "host", text: "<missing>".into() })?;
         let ip: Ip = it
             .next()
             .ok_or(ProtoError::BadField { field: "ip", text: "<missing>".into() })?
             .parse()?;
-        let level = it
-            .next()
-            .ok_or(ProtoError::BadField { field: "level", text: "<missing>".into() })?;
+        let level =
+            it.next().ok_or(ProtoError::BadField { field: "level", text: "<missing>".into() })?;
         let level: i32 = level
             .parse()
             .map_err(|_| ProtoError::BadField { field: "level", text: level.into() })?;

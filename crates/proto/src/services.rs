@@ -9,12 +9,11 @@
 //! the 204-byte size) and exposed to the requirement language as
 //! `host_service_*` variables.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 
 /// A set of service classes offered by one server.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ServiceMask(pub u32);
 
 impl ServiceMask {

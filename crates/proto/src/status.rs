@@ -14,7 +14,6 @@
 //!   efficiency rationale while removing the portability hazard.
 
 use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{HostName, Ip};
 use crate::consts::sizes::BINARY_STATUS_RECORD_BYTES;
@@ -23,7 +22,7 @@ use crate::ProtoError;
 
 /// One server's resource snapshot, the unit record of the system-status
 /// database (`sysdb` in Fig 3.10).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServerStatusReport {
     /// Unqualified host name (≤ 23 bytes in the binary encoding).
     pub host: HostName,
@@ -263,17 +262,12 @@ impl ServerStatusReport {
             out.put_f32_le(v as f32);
         }
         out.put_f32_le(self.bogomips as f32);
-        for v in [self.mem_total, self.mem_used, self.mem_free, self.mem_buffers, self.mem_cached]
-        {
+        for v in [self.mem_total, self.mem_used, self.mem_free, self.mem_buffers, self.mem_cached] {
             out.put_u64_le(v);
         }
-        for v in [
-            self.disk_allreq,
-            self.disk_rreq,
-            self.disk_rblocks,
-            self.disk_wreq,
-            self.disk_wblocks,
-        ] {
+        for v in
+            [self.disk_allreq, self.disk_rreq, self.disk_rblocks, self.disk_wreq, self.disk_wblocks]
+        {
             out.put_u64_le(v);
         }
         for v in

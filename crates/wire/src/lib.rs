@@ -105,6 +105,16 @@ impl Transmitter {
         }
     }
 
+    /// Re-install the passive pull listener after the hosting node's
+    /// socket table was wiped (host crash). Centralized mode keeps its
+    /// scheduler timer loop across a crash — pushes simply fail while the
+    /// node is down — so there is nothing to re-bind.
+    pub fn rebind(&self, s: &mut Scheduler) {
+        if self.mode == Mode::Distributed {
+            self.start(s);
+        }
+    }
+
     fn tick(&self, s: &mut Scheduler) {
         self.push_snapshot(s);
         let tx = self.clone();
@@ -116,7 +126,8 @@ impl Transmitter {
         let sys = Frame::system(&self.sysdb.read().snapshot());
         let net_frame = Frame::network(&self.netdb.read().snapshot());
         let sec = Frame::security(&self.secdb.read().snapshot());
-        let mut wire = BytesMut::with_capacity(sys.wire_len() + net_frame.wire_len() + sec.wire_len());
+        let mut wire =
+            BytesMut::with_capacity(sys.wire_len() + net_frame.wire_len() + sec.wire_len());
         sys.encode(&mut wire);
         net_frame.encode(&mut wire);
         sec.encode(&mut wire);
@@ -278,8 +289,14 @@ mod tests {
     fn centralized_mode_pushes_snapshots_periodically() {
         let mut r = rig();
         seed_monitor_dbs(&r);
-        Receiver::new(r.wiz_ip, r.net.clone(), r.wiz_dbs.0.clone(), r.wiz_dbs.1.clone(), r.wiz_dbs.2.clone())
-            .start(&mut r.s);
+        Receiver::new(
+            r.wiz_ip,
+            r.net.clone(),
+            r.wiz_dbs.0.clone(),
+            r.wiz_dbs.1.clone(),
+            r.wiz_dbs.2.clone(),
+        )
+        .start(&mut r.s);
         Transmitter::new(
             r.mon_ip,
             r.net.clone(),
@@ -297,7 +314,10 @@ mod tests {
         assert_eq!(wiz_sys.len(), 1);
         assert_eq!(wiz_sys[0].host.as_str(), "helene");
         assert_eq!(wiz_sys[0].mem_free, 100 << 20);
-        assert_eq!(r.wiz_dbs.1.read().get(r.mon_ip, Ip::new(192, 168, 5, 1)).unwrap().bw_mbps, 88.0);
+        assert_eq!(
+            r.wiz_dbs.1.read().get(r.mon_ip, Ip::new(192, 168, 5, 1)).unwrap().bw_mbps,
+            88.0
+        );
         assert_eq!(r.wiz_dbs.2.read().level_of(Ip::new(192, 168, 3, 10)), Some(3));
     }
 

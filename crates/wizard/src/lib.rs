@@ -86,6 +86,9 @@ pub struct Wizard {
     /// Receiver co-located with the wizard (needed for distributed pulls).
     receiver: Option<Receiver>,
     templates: Rc<RefCell<HashMap<u8, String>>>,
+    /// Restart generation for the stale sweep (same epoch scheme as the
+    /// probe daemon): a stopped wizard's pending sweep dies quietly.
+    epoch: Rc<std::cell::Cell<u64>>,
 }
 
 impl Wizard {
@@ -107,6 +110,7 @@ impl Wizard {
             group_map: Rc::new(RefCell::new(HashMap::new())),
             receiver: None,
             templates: Rc::new(RefCell::new(templates::defaults())),
+            epoch: Rc::new(std::cell::Cell::new(0)),
         }
     }
 
@@ -131,9 +135,9 @@ impl Wizard {
         Endpoint::new(self.ip, ports::WIZARD)
     }
 
-    /// Bind the request socket.
+    /// Bind the request socket and start the wizard's own stale sweep
+    /// (skipped when `stale_max_age` is disabled).
     pub fn start(&self, s: &mut Scheduler) {
-        let _ = s;
         let wiz = self.clone();
         self.net.bind_udp(self.endpoint(), move |s, dgram| {
             let Ok(req) = UserRequest::decode(&dgram.payload.data) else {
@@ -143,6 +147,44 @@ impl Wizard {
             s.metrics.incr("wizard.requests");
             wiz.handle(s, req, dgram.from);
         });
+        if let Some(age) = self.cfg.stale_max_age {
+            let interval = SimDuration::from_nanos((age.as_nanos() / 2).max(1));
+            let wiz = self.clone();
+            let epoch = self.epoch.get();
+            s.schedule_in(interval, move |s| wiz.sweep(s, epoch, interval));
+        }
+    }
+
+    /// Kill the daemon: unbind the request socket and halt the sweep.
+    /// In-flight requests get no answer — clients rely on their own
+    /// retry/backoff loop.
+    pub fn stop(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+        self.net.unbind_udp(self.endpoint());
+    }
+
+    /// Restart a stopped wizard: rebind and resume sweeping.
+    pub fn restart(&self, s: &mut Scheduler) {
+        self.epoch.set(self.epoch.get() + 1);
+        s.metrics.incr("wizard.restarts");
+        self.start(s);
+    }
+
+    /// Periodic stale sweep: evict expired records from the wizard's own
+    /// `sysdb` view so dead servers stop being offered, and account for
+    /// exactly which addresses went dark.
+    fn sweep(&self, s: &mut Scheduler, epoch: u64, interval: SimDuration) {
+        if self.epoch.get() != epoch {
+            return;
+        }
+        if let Some(age) = self.cfg.stale_max_age {
+            let evicted = self.sysdb.write().expire(s.now(), age);
+            if !evicted.is_empty() {
+                s.metrics.add("wizard.stale_evictions", evicted.len() as u64);
+            }
+        }
+        let wiz = self.clone();
+        s.schedule_in(interval, move |s| wiz.sweep(s, epoch, interval));
     }
 
     fn handle(&self, s: &mut Scheduler, req: UserRequest, client: Endpoint) {
@@ -226,12 +268,9 @@ impl Wizard {
                 if !decision.qualified {
                     continue;
                 }
-                let preferred_rank =
-                    lists.preferred.iter().position(|p| designates(p, report));
-                let rank_value = rank
-                    .as_ref()
-                    .and_then(|(var, _)| view_lookup(&view, var))
-                    .unwrap_or(0.0);
+                let preferred_rank = lists.preferred.iter().position(|p| designates(p, report));
+                let rank_value =
+                    rank.as_ref().and_then(|(var, _)| view_lookup(&view, var)).unwrap_or(0.0);
                 qualified.push(Candidate { ip, preferred_rank, rank_value });
             }
         }
@@ -348,7 +387,8 @@ mod tests {
         sysdb.write().upsert(busy, SimTime::ZERO);
         sysdb.write().upsert(report("idle", Ip::new(10, 0, 1, 2)), SimTime::ZERO);
 
-        let got = wiz.select(SimTime::ZERO, &request("host_cpu_free > 0.9\n", 5), Ip::new(10, 0, 0, 2));
+        let got =
+            wiz.select(SimTime::ZERO, &request("host_cpu_free > 0.9\n", 5), Ip::new(10, 0, 0, 2));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].ip, Ip::new(10, 0, 1, 2));
         assert_eq!(got[0].port, ports::SERVICE);
@@ -395,10 +435,7 @@ mod tests {
     fn empty_requirement_returns_everything_up_to_the_cap() {
         let (wiz, sysdb, ..) = wizard_rig();
         for i in 0..70u8 {
-            sysdb.write().upsert(
-                report(&format!("s{i}"), Ip::new(10, 0, 2, i)),
-                SimTime::ZERO,
-            );
+            sysdb.write().upsert(report(&format!("s{i}"), Ip::new(10, 0, 2, i)), SimTime::ZERO);
         }
         let got = wiz.select(SimTime::ZERO, &request("", 100), Ip::new(10, 0, 0, 2));
         assert_eq!(got.len(), MAX_SERVERS_PER_REPLY);
@@ -422,8 +459,16 @@ mod tests {
         let (wiz, sysdb, _netdb, secdb) = wizard_rig();
         sysdb.write().upsert(report("secure", Ip::new(10, 0, 1, 1)), SimTime::ZERO);
         sysdb.write().upsert(report("sketchy", Ip::new(10, 0, 1, 2)), SimTime::ZERO);
-        secdb.write().upsert(SecurityRecord { host: "secure".into(), ip: Ip::new(10, 0, 1, 1), level: 5 });
-        secdb.write().upsert(SecurityRecord { host: "sketchy".into(), ip: Ip::new(10, 0, 1, 2), level: 1 });
+        secdb.write().upsert(SecurityRecord {
+            host: "secure".into(),
+            ip: Ip::new(10, 0, 1, 1),
+            level: 5,
+        });
+        secdb.write().upsert(SecurityRecord {
+            host: "sketchy".into(),
+            ip: Ip::new(10, 0, 1, 2),
+            level: 1,
+        });
         let got = wiz.select(
             SimTime::ZERO,
             &request("host_security_level >= 3\n", 5),
@@ -470,9 +515,7 @@ mod tests {
     #[test]
     fn rank_directive_orders_by_server_variable() {
         let (wiz, sysdb, ..) = wizard_rig();
-        for (name, ip_last, mem_mb) in
-            [("small", 1u8, 64u64), ("big", 2, 400), ("mid", 3, 128)]
-        {
+        for (name, ip_last, mem_mb) in [("small", 1u8, 64u64), ("big", 2, 400), ("mid", 3, 128)] {
             let mut r = report(name, Ip::new(10, 0, 1, ip_last));
             r.mem_free = mem_mb << 20;
             sysdb.write().upsert(r, SimTime::ZERO);
@@ -545,13 +588,7 @@ mod tests {
             *g.borrow_mut() = Some(WizardReply::decode(&d.payload.data).unwrap());
         });
         let req = request("host_cpu_free > 0.5\n", 1);
-        net.send_udp(
-            &mut s,
-            client_ep,
-            wiz.endpoint(),
-            Payload::data(req.encode().freeze()),
-            None,
-        );
+        net.send_udp(&mut s, client_ep, wiz.endpoint(), Payload::data(req.encode().freeze()), None);
         s.run();
         let reply = got.borrow_mut().take().expect("wizard replied");
         assert_eq!(reply.seq, 7);

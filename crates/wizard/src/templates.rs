@@ -21,10 +21,7 @@ pub mod ids {
 pub fn defaults() -> HashMap<u8, String> {
     let mut t = HashMap::new();
     t.insert(ids::ANY, String::new());
-    t.insert(
-        ids::CPU_BOUND,
-        "host_cpu_free > 0.9\nhost_system_load1 < 0.5\n".to_owned(),
-    );
+    t.insert(ids::CPU_BOUND, "host_cpu_free > 0.9\nhost_system_load1 < 0.5\n".to_owned());
     t.insert(ids::MEM_BOUND, "host_memory_free > 100*1024*1024\n".to_owned());
     t.insert(
         ids::IO_BOUND,

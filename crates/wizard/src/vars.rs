@@ -121,7 +121,8 @@ mod tests {
         assert_eq!(remote.lookup("monitor_network_bw"), Some(6.72));
         assert_eq!(remote.lookup("monitor_network_delay"), Some(7.5));
 
-        let unknown = ServerVars { report: &r, security_level: None, net_record: None, same_group: false };
+        let unknown =
+            ServerVars { report: &r, security_level: None, net_record: None, same_group: false };
         assert_eq!(unknown.lookup("monitor_network_bw"), None);
         assert_eq!(unknown.lookup("host_security_level"), None);
     }

@@ -38,9 +38,14 @@ fn main() {
     let client = tb.client("sagit");
     let group_slot = Rc::new(RefCell::new(None));
     let g = Rc::clone(&group_slot);
-    SockGroup::request(&client, &mut s, RequestSpec::new("host_cpu_free > 0.9\n", 3), move |_s, r| {
-        *g.borrow_mut() = Some(r.expect("group forms"));
-    });
+    SockGroup::request(
+        &client,
+        &mut s,
+        RequestSpec::new("host_cpu_free > 0.9\n", 3),
+        move |_s, r| {
+            *g.borrow_mut() = Some(r.expect("group forms"));
+        },
+    );
     s.run_until(s.now() + SimDuration::from_secs(3));
     let group = group_slot.borrow_mut().take().unwrap();
     let names = |eps: &[Endpoint]| -> Vec<String> {

@@ -16,9 +16,7 @@ use std::thread;
 
 use smartsock::lang::{compile, Evaluator};
 use smartsock::proto::consts::ports;
-use smartsock::proto::{
-    Endpoint, Ip, RequestOption, ServerStatusReport, UserRequest, WizardReply,
-};
+use smartsock::proto::{Endpoint, Ip, RequestOption, ServerStatusReport, UserRequest, WizardReply};
 use smartsock::wizard::ServerVars;
 
 fn main() -> std::io::Result<()> {

@@ -14,11 +14,19 @@ use smartsock::sim::SimTime;
 use smartsock::{RandomSelector, Testbed};
 use smartsock_apps::matmul::{MatmulMaster, MatmulParams, MatmulWorker};
 
-fn run_arm(label: &str, seed: u64, pick: impl FnOnce(&mut smartsock::sim::Scheduler, &Testbed) -> Vec<Endpoint>) -> f64 {
+fn run_arm(
+    label: &str,
+    seed: u64,
+    pick: impl FnOnce(&mut smartsock::sim::Scheduler, &Testbed) -> Vec<Endpoint>,
+) -> f64 {
     let mut s = smartsock::sim::Scheduler::new();
     let tb = Testbed::builder(seed).start(&mut s);
     for host in tb.hosts.values() {
-        MatmulWorker::install(&tb.net, host, Endpoint::new(host.ip(), smartsock::proto::consts::ports::SERVICE));
+        MatmulWorker::install(
+            &tb.net,
+            host,
+            Endpoint::new(host.ip(), smartsock::proto::consts::ports::SERVICE),
+        );
     }
     s.run_until(SimTime::from_secs(10));
     let servers = pick(&mut s, &tb);
@@ -69,7 +77,9 @@ fn main() {
         );
         {
             let watch = Rc::clone(&out);
-            s.run_while(s.now() + smartsock::sim::SimDuration::from_secs(5), move || watch.borrow().is_none());
+            s.run_while(s.now() + smartsock::sim::SimDuration::from_secs(5), move || {
+                watch.borrow().is_none()
+            });
         }
         let socks = out.borrow_mut().take().expect("wizard replied");
         socks.iter().map(|k| k.remote).collect()

@@ -59,7 +59,7 @@ fn main() {
         })
         .collect();
     let tb = Testbed::builder(2026).security_log(&log).start(&mut s);
-    for (_, host) in &tb.hosts {
+    for host in tb.hosts.values() {
         tb.net.bind_stream(Endpoint::new(host.ip(), ports::SERVICE), |_s, _m| {});
     }
     // A couple of file servers and one busy machine for contrast.
@@ -69,37 +69,67 @@ fn main() {
     tb.host("phoebe").spawn_workload(&mut s, &Workload::super_pi(25)).unwrap();
     s.run_until(SimTime::from_secs(90)); // let load averages rise
 
-    ask(&mut s, &tb, "comparisons and arithmetic (the §3.6.2 sample)", "\
+    ask(
+        &mut s,
+        &tb,
+        "comparisons and arithmetic (the §3.6.2 sample)",
+        "\
 host_system_load1 < 1
 host_memory_used <= 250*1024*1024
 host_cpu_free >= 0.9
 host_network_tbytesps < 1024*1024   # for network IO
-", 60);
+",
+        60,
+    );
 
-    ask(&mut s, &tb, "temp variables and builtins (Appendix B)", "\
+    ask(
+        &mut s,
+        &tb,
+        "temp variables and builtins (Appendix B)",
+        "\
 budget = 100 * 1024 * 1024
 log10(host_memory_free) > log10(budget)
 sqrt(host_cpu_bogomips) > 65        # bogomips > 4225
-", 60);
+",
+        60,
+    );
 
-    ask(&mut s, &tb, "preferred and denied hosts", "\
+    ask(
+        &mut s,
+        &tb,
+        "preferred and denied hosts",
+        "\
 host_cpu_free > 0.5
 user_preferred_host1 = pandora-x
 user_denied_host1 = dalmatian
 user_denied_host2 = 137.132.81.10   # sagit, by address
-", 3);
+",
+        3,
+    );
 
     ask(&mut s, &tb, "security clearances (§3.4)", "host_security_level >= 3\n", 60);
 
     ask(&mut s, &tb, "service classes (§6 extension)", "host_service_file == 1\n", 60);
 
-    ask(&mut s, &tb, "avoid the SuperPI machine (§5.3.1 style)", "\
+    ask(
+        &mut s,
+        &tb,
+        "avoid the SuperPI machine (§5.3.1 style)",
+        "\
 host_cpu_free > 0.9
 host_system_load1 < 0.5
-", 60);
+",
+        60,
+    );
 
-    ask(&mut s, &tb, "rank: two largest-memory machines (§6 wish)", "\
+    ask(
+        &mut s,
+        &tb,
+        "rank: two largest-memory machines (§6 wish)",
+        "\
 #!rank host_memory_free desc
 host_cpu_free > 0.5
-", 2);
+",
+        2,
+    );
 }

@@ -1,0 +1,413 @@
+//! End-to-end failover recovery under deterministic fault injection: the
+//! scripted scenarios the `smartsock-faults` crate exists for. Every
+//! scenario ends with the client holding connections to live,
+//! requirement-satisfying servers, and every run is reproducible from its
+//! seed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use smartsock::client::RequestSpec;
+use smartsock::{ReliableServer, ReliableSock, SockGroup, Testbed};
+use smartsock_faults::{ChaosConfig, Daemon, FaultInjector, FaultKind, FaultPlan};
+use smartsock_net::{HostParams, LinkParams, NetworkBuilder, Payload};
+use smartsock_proto::consts::ports;
+use smartsock_proto::{Endpoint, Ip};
+use smartsock_sim::{Scheduler, SimDuration, SimTime};
+
+fn with_services(seed: u64) -> (Scheduler, Testbed) {
+    let (mut s, tb) = Testbed::paper(seed);
+    for host in tb.hosts.values() {
+        tb.net.bind_stream(Endpoint::new(host.ip(), ports::SERVICE), |_s, _m| {});
+    }
+    s.run_until(SimTime::from_secs(10));
+    (s, tb)
+}
+
+fn form_group(s: &mut Scheduler, tb: &Testbed, requirement: &str, n: u16) -> SockGroup {
+    let client = tb.client("sagit");
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    SockGroup::request(&client, s, RequestSpec::new(requirement, n), move |_s, r| {
+        *g.borrow_mut() = Some(r.expect("group forms"));
+    });
+    s.run_until(s.now() + SimDuration::from_secs(5));
+    let group = got.borrow_mut().take().expect("request completed");
+    group
+}
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn member_names(tb: &Testbed, group: &SockGroup) -> Vec<String> {
+    let mut names: Vec<String> = group
+        .sockets()
+        .iter()
+        .map(|k| {
+            let node = tb.net.node_by_ip(k.remote.ip).expect("member resolves");
+            tb.net.name_of(node).as_str().to_owned()
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+/// The far end of `host`'s uplink (its access switch or gateway).
+fn access_switch(tb: &Testbed, host: &str) -> String {
+    let node = tb.node(host);
+    let other = if host.eq_ignore_ascii_case("sagit") { "dalmatian" } else { "sagit" };
+    let links = tb.net.path_links(node, tb.node(other)).expect("host is attached");
+    let peer = tb.net.link_endpoints(links[0]).1;
+    tb.net.name_of(peer).as_str().to_owned()
+}
+
+const SPREAD: &str = "host_cpu_free > 0.9\nuser_denied_host1 = sagit\n";
+
+/// A group member that is safe to kill without also taking down the
+/// monitor/wizard machine (dalmatian hosts both — crashing it is its own
+/// scenario below).
+fn expendable_member(tb: &Testbed, group: &SockGroup) -> String {
+    member_names(tb, group)
+        .into_iter()
+        .find(|n| n != "dalmatian")
+        .expect("group has a non-monitor member")
+}
+
+/// Scenario 1: a group member's access link flaps. While the link is down
+/// the member is unreachable; the auto-repair loop swaps in a live
+/// replacement, and after the heal the group is still fully healthy.
+#[test]
+fn link_flap_is_survived_by_auto_repair() {
+    let (mut s, tb) = with_services(211);
+    let group = form_group(&mut s, &tb, SPREAD, 3);
+    assert_eq!(group.len(), 3);
+    let victim = expendable_member(&tb, &group);
+    let switch = access_switch(&tb, &victim);
+
+    let _guard = group.auto_repair(&mut s, SimDuration::from_secs(2));
+    let inj = tb.fault_injector();
+    let t0 = s.now();
+    let plan = FaultPlan::new()
+        .at(
+            t0 + SimDuration::from_secs(2),
+            FaultKind::LinkDown { a: victim.clone(), b: switch.clone() },
+        )
+        .at(t0 + SimDuration::from_secs(40), FaultKind::LinkUp { a: victim, b: switch });
+    inj.schedule(&mut s, &plan);
+
+    s.run_until(t0 + SimDuration::from_secs(60));
+    assert_eq!(group.len(), 3, "group back to full strength: {:?}", member_names(&tb, &group));
+    assert!(group.all_healthy(), "all members reachable after the heal");
+    assert_eq!(s.metrics.get("faults.link_down"), 1);
+    assert_eq!(s.metrics.get("faults.link_up"), 1);
+    assert!(s.metrics.get("net.link_down_drops") > 0, "down link dropped traffic");
+    assert!(s.metrics.get("client.auto_repairs") >= 1, "repair loop fired");
+}
+
+/// Scenario 2: a group member's machine crashes outright (sockets wiped,
+/// procfs counters reset) and later reboots. The group repairs onto a
+/// survivor; after the reboot the probe re-registers with the monitor and
+/// the machine serves again.
+#[test]
+fn host_crash_and_reboot_recover_end_to_end() {
+    let (mut s, tb) = with_services(223);
+    let group = form_group(&mut s, &tb, SPREAD, 3);
+    let victim = expendable_member(&tb, &group);
+
+    let _guard = group.auto_repair(&mut s, SimDuration::from_secs(2));
+    let inj = tb.fault_injector();
+    // A rebooted machine restarts its service daemon too.
+    let net = tb.net.clone();
+    let service = tb.service_endpoint(&victim);
+    inj.on_reboot(&victim, move |_s| {
+        net.bind_stream(service, |_s, _m| {});
+    });
+    let t0 = s.now();
+    let plan = FaultPlan::new()
+        .at(t0 + SimDuration::from_secs(2), FaultKind::HostCrash { host: victim.clone() })
+        .at(t0 + SimDuration::from_secs(30), FaultKind::HostReboot { host: victim.clone() });
+    inj.schedule(&mut s, &plan);
+
+    s.run_until(t0 + SimDuration::from_secs(25));
+    assert!(group.all_healthy(), "repaired before the reboot");
+    assert!(
+        !member_names(&tb, &group).contains(&victim),
+        "crashed {victim} was replaced: {:?}",
+        member_names(&tb, &group)
+    );
+
+    s.run_until(t0 + SimDuration::from_secs(60));
+    assert_eq!(group.len(), 3);
+    assert!(group.all_healthy());
+    assert_eq!(tb.sysmon.live_servers(), 11, "rebooted {victim} reports again");
+    assert_eq!(s.metrics.get("faults.host_crashes"), 1);
+    assert_eq!(s.metrics.get("faults.host_reboots"), 1);
+    assert_eq!(s.metrics.get("net.node_crashes"), 1);
+    assert_eq!(s.metrics.get("net.node_revivals"), 1);
+    assert!(s.metrics.get("probe.restarts") >= 1, "probe came back after reboot");
+}
+
+/// Scenario 3: a partition isolates segment 2 (telesto, lhost) from the
+/// monitor/client side. Both members go unreachable, their reports expire,
+/// the group repairs onto the majority side; the heal reconnects the
+/// segment and its probes resume reporting.
+#[test]
+fn partition_isolating_a_server_group_heals_cleanly() {
+    let (mut s, tb) = with_services(227);
+    let group = form_group(
+        &mut s,
+        &tb,
+        "host_cpu_free > 0.9\nuser_preferred_host1 = telesto\nuser_preferred_host2 = lhost\nuser_denied_host1 = sagit\n",
+        3,
+    );
+    let before = member_names(&tb, &group);
+    assert!(before.contains(&"telesto".to_owned()), "preferred member present: {before:?}");
+    assert!(before.contains(&"lhost".to_owned()), "preferred member present: {before:?}");
+
+    let _guard = group.auto_repair(&mut s, SimDuration::from_secs(2));
+    let inj = tb.fault_injector();
+    let t0 = s.now();
+    let plan = FaultPlan::new()
+        .at(
+            t0 + SimDuration::from_secs(2),
+            FaultKind::Partition {
+                name: "seg2".to_owned(),
+                side_a: vec!["telesto".to_owned(), "lhost".to_owned()],
+                side_b: vec!["sagit".to_owned(), "dalmatian".to_owned()],
+            },
+        )
+        .at(t0 + SimDuration::from_secs(30), FaultKind::Heal { name: "seg2".to_owned() });
+    inj.schedule(&mut s, &plan);
+
+    s.run_until(t0 + SimDuration::from_secs(25));
+    let during = member_names(&tb, &group);
+    assert!(group.all_healthy(), "repaired onto the majority side: {during:?}");
+    assert!(!during.contains(&"telesto".to_owned()), "isolated member replaced: {during:?}");
+    assert!(!during.contains(&"lhost".to_owned()), "isolated member replaced: {during:?}");
+    assert_eq!(tb.sysmon.live_servers(), 9, "isolated segment expired from the monitor");
+
+    s.run_until(t0 + SimDuration::from_secs(50));
+    assert!(group.all_healthy());
+    assert_eq!(group.len(), 3);
+    assert_eq!(tb.sysmon.live_servers(), 11, "healed segment reports again");
+    assert_eq!(s.metrics.get("faults.partitions"), 1);
+    assert_eq!(s.metrics.get("faults.heals"), 1);
+}
+
+/// Scenario 4: the wizard daemon dies just before a request. The client's
+/// exponential backoff rides out the outage; once the wizard restarts, the
+/// retry succeeds and the client holds live connections.
+#[test]
+fn wizard_daemon_restart_is_ridden_out_by_client_backoff() {
+    let (mut s, tb) = with_services(229);
+    let inj = tb.fault_injector();
+    inj.apply(&mut s, &FaultKind::DaemonKill { daemon: Daemon::Wizard });
+
+    let t0 = s.now();
+    let plan = FaultPlan::new()
+        .at(t0 + SimDuration::from_secs(3), FaultKind::DaemonRestart { daemon: Daemon::Wizard });
+    inj.schedule(&mut s, &plan);
+
+    let client = tb.client("sagit");
+    let mut spec = RequestSpec::new(SPREAD, 3);
+    spec.retries = 3;
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    client.request(&mut s, spec, move |_s, r| *g.borrow_mut() = Some(r));
+    s.run_until(t0 + SimDuration::from_secs(30));
+
+    let socks = got.borrow_mut().take().expect("callback fired").expect("request succeeded");
+    assert_eq!(socks.len(), 3);
+    assert!(socks.iter().all(|k| k.is_connected()), "all connections live");
+    assert!(s.metrics.get("client.retries") >= 1, "first attempt hit the dead wizard");
+    assert!(s.metrics.get("client.backoff_ms_total") > 0, "backoff applied");
+    assert_eq!(s.metrics.get("wizard.restarts"), 1);
+    for k in socks {
+        k.close();
+    }
+}
+
+/// Scenario 5: the monitor/wizard machine itself crashes mid-experiment.
+/// Established connections keep working through the outage (the data path
+/// does not involve the monitor), and after the reboot the full stack —
+/// probe, system monitor, wizard — comes back and serves fresh requests.
+#[test]
+fn monitor_machine_crash_mid_experiment_recovers_the_stack() {
+    let (mut s, tb) = with_services(233);
+    let group = form_group(
+        &mut s,
+        &tb,
+        "host_cpu_free > 0.9\nuser_denied_host1 = sagit\nuser_denied_host2 = dalmatian\n",
+        3,
+    );
+    assert!(!member_names(&tb, &group).contains(&"dalmatian".to_owned()));
+
+    let inj = tb.fault_injector();
+    let net = tb.net.clone();
+    let service = tb.service_endpoint("dalmatian");
+    inj.on_reboot("dalmatian", move |_s| {
+        net.bind_stream(service, |_s, _m| {});
+    });
+    let t0 = s.now();
+    let plan = FaultPlan::new()
+        .at(t0 + SimDuration::from_secs(2), FaultKind::HostCrash { host: "dalmatian".to_owned() })
+        .at(
+            t0 + SimDuration::from_secs(20),
+            FaultKind::HostReboot { host: "dalmatian".to_owned() },
+        );
+    inj.schedule(&mut s, &plan);
+
+    // Mid-outage: the group's data path is monitor-free and stays healthy.
+    s.run_until(t0 + SimDuration::from_secs(15));
+    assert!(group.all_healthy(), "existing connections survive the monitor outage");
+
+    // Post-reboot: probes repopulate the restarted monitor, the restarted
+    // wizard answers a brand-new request.
+    s.run_until(t0 + SimDuration::from_secs(45));
+    assert!(tb.sysmon.live_servers() >= 10, "monitor repopulated after restart");
+    let fresh = form_group(&mut s, &tb, SPREAD, 3);
+    assert_eq!(fresh.len(), 3);
+    assert!(fresh.all_healthy());
+    assert_eq!(s.metrics.get("sysmon.restarts"), 1);
+    assert_eq!(s.metrics.get("wizard.restarts"), 1);
+    assert!(s.metrics.get("net.host_down_drops") > 0, "reports dropped during the crash");
+}
+
+/// One full chaos run: random faults sampled from the seed for 40 sim
+/// seconds while a reliable conversation runs across the testbed. Returns
+/// the delivered bytes, the full metrics table and the event count.
+fn chaos_run(seed: u64) -> (Vec<u8>, Vec<String>, u64) {
+    let (mut s, tb) = with_services(seed);
+    let inj = tb.fault_injector();
+
+    let client_ep = Endpoint::new(tb.ip("sagit"), 48000);
+    let server_ep = Endpoint::new(tb.ip("helene"), 48100);
+    let delivered: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = Rc::clone(&delivered);
+    let handle = ReliableServer::install(&tb.net, server_ep, move |_s, _from, payload| {
+        sink.borrow_mut().push(payload.data[0]);
+    });
+    let h2 = handle.clone();
+    inj.on_reboot("helene", move |_s| h2.rebind());
+    let sock = ReliableSock::connect(&tb.net, client_ep, server_ep);
+    let sock2 = sock.clone();
+    inj.on_reboot("sagit", move |s| sock2.resume(s, None));
+
+    for i in 0..30u8 {
+        let sock2 = sock.clone();
+        s.schedule_at(
+            SimTime::from_secs(10) + SimDuration::from_millis(500 * u64::from(i)),
+            move |s| sock2.send(s, Payload::data(vec![i])),
+        );
+    }
+    inj.chaos(&mut s, ChaosConfig::gentle(SimTime::from_secs(40)));
+    s.run_until(SimTime::from_secs(80));
+
+    let metrics: Vec<String> = s.metrics.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let bytes = delivered.borrow().clone();
+    (bytes, metrics, s.events_processed())
+}
+
+/// ChaosRng mode: the same seed reproduces the run byte-for-byte; a
+/// different seed produces different fault timings; and in both cases the
+/// reliable socket delivers every message exactly once, in order, with no
+/// panics and no event-cap blowup.
+#[test]
+fn chaos_runs_are_seed_deterministic_and_never_duplicate_delivery() {
+    let expected: Vec<u8> = (0..30u8).collect();
+
+    let (bytes_a, metrics_a, events_a) = chaos_run(777);
+    let (bytes_b, metrics_b, events_b) = chaos_run(777);
+    assert_eq!(metrics_a, metrics_b, "same seed, byte-identical metrics");
+    assert_eq!(events_a, events_b, "same seed, same event count");
+    assert_eq!(bytes_a, expected, "exactly-once, in-order through the chaos");
+    assert_eq!(bytes_b, expected);
+    assert!(s_metric(&metrics_a, "faults.applied") > 0, "chaos actually injected faults");
+
+    let (bytes_c, metrics_c, _events_c) = chaos_run(778);
+    assert_eq!(bytes_c, expected, "different seed still delivers exactly once");
+    assert_ne!(metrics_a, metrics_c, "different seed, different fault timings");
+}
+
+fn s_metric(metrics: &[String], name: &str) -> u64 {
+    let prefix = format!("{name}=");
+    metrics.iter().find_map(|m| m.strip_prefix(&prefix)).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+proptest! {
+    /// Satellite property: a reliable socket whose only path flaps up and
+    /// down at arbitrary times — optionally suspending and resuming
+    /// mid-stream — still delivers every message exactly once, in order.
+    #[test]
+    fn rsock_suspend_resume_under_injected_loss_delivers_exactly_once(
+        seed in 0u64..1_000,
+        flaps in proptest::collection::vec((0u64..8_000, 200u64..2_500), 1..4),
+        n_msgs in 5usize..20,
+        suspend_at in proptest::option::of(0u64..8_000),
+    ) {
+        let mut b = NetworkBuilder::new(seed);
+        let a = b.host("client", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let r = b.router("sw", Ip::new(10, 0, 0, 254));
+        let c = b.host("server", Ip::new(10, 0, 1, 1), HostParams::testbed());
+        b.duplex(a, r, LinkParams::lan_100mbps());
+        b.duplex(r, c, LinkParams::lan_100mbps());
+        let net = b.build();
+        let mut s = Scheduler::new();
+
+        let client_ep = Endpoint::new(Ip::new(10, 0, 0, 1), 46000);
+        let server_ep = Endpoint::new(Ip::new(10, 0, 1, 1), 1200);
+        let delivered: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&delivered);
+        ReliableServer::install(&net, server_ep, move |_s, _from, payload| {
+            sink.borrow_mut().push(payload.data[0]);
+        });
+        let sock = ReliableSock::connect(&net, client_ep, server_ep);
+
+        // The injected loss: the client's access link cuts and restores at
+        // arbitrary offsets (stream frames sent into a down link vanish).
+        let inj = FaultInjector::new(net.clone(), seed);
+        let mut plan = FaultPlan::new();
+        for &(off, dur) in &flaps {
+            plan = plan
+                .at(at_ms(off), FaultKind::LinkDown {
+                    a: "client".to_owned(),
+                    b: "sw".to_owned(),
+                })
+                .at(at_ms(off + dur), FaultKind::LinkUp {
+                    a: "client".to_owned(),
+                    b: "sw".to_owned(),
+                });
+        }
+        inj.schedule(&mut s, &plan);
+
+        if let Some(t) = suspend_at {
+            let sock2 = sock.clone();
+            s.schedule_at(at_ms(t), move |_s| sock2.suspend());
+            let sock2 = sock.clone();
+            s.schedule_at(at_ms(t + 777), move |s| sock2.resume(s, None));
+        }
+
+        for i in 0..n_msgs {
+            let sock2 = sock.clone();
+            s.schedule_at(at_ms(500 + 300 * i as u64), move |s| {
+                sock2.send(s, Payload::data(vec![i as u8]));
+            });
+        }
+
+        s.run_until(SimTime::from_secs(30));
+        let expected: Vec<u8> = (0..n_msgs as u8).collect();
+        prop_assert_eq!(
+            delivered.borrow().clone(),
+            expected,
+            "exactly-once in-order despite {} flaps (unacked={})",
+            flaps.len(),
+            sock.unacked()
+        );
+        prop_assert_eq!(sock.unacked(), 0);
+        let _ = a;
+        let _ = c;
+        let _ = r;
+    }
+}

@@ -162,13 +162,9 @@ fn security_levels_from_the_dummy_log_gate_selection() {
 #[test]
 fn rank_directive_returns_the_largest_memory_machines() {
     let (mut s, tb) = with_services(137);
-    let names = request_names(
-        &mut s,
-        &tb,
-        "#!rank host_memory_free desc\nhost_cpu_free > 0.5\n",
-        2,
-    )
-    .unwrap();
+    let names =
+        request_names(&mut s, &tb, "#!rank host_memory_free desc\nhost_cpu_free > 0.5\n", 2)
+            .unwrap();
     // The 512 MB machines have the most free memory.
     let mut names = names;
     names.sort();
@@ -242,11 +238,8 @@ fn multi_monitor_layout_mirrors_fig_3_8() {
     s.run_until(SimTime::from_secs(12));
 
     // Group-local reporting: mimas's stack sees exactly its three members.
-    let mimas_mon = tb
-        .sysmons
-        .iter()
-        .find(|m| m.endpoint().ip == tb.ip("mimas"))
-        .expect("mimas runs a stack");
+    let mimas_mon =
+        tb.sysmons.iter().find(|m| m.endpoint().ip == tb.ip("mimas")).expect("mimas runs a stack");
     assert_eq!(mimas_mon.live_servers(), 3);
     // The default stack holds only the ungrouped machines (11 - 7 = 4).
     assert_eq!(tb.sysmon.live_servers(), 4);

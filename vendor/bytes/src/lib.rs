@@ -1,0 +1,394 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the smartsock wire formats use: little-endian
+//! `Buf`/`BufMut` cursors, an immutable shared `Bytes`, and a growable
+//! `BytesMut` with `advance`/`split_to`/`freeze`. Backed by plain `Vec<u8>`
+//! (with `Arc` sharing for `Bytes`); copies where upstream would split
+//! reference-counted views, which is irrelevant at simulator scale.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Read cursor over a contiguous buffer.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+
+    fn chunk(&self) -> &[u8];
+
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice past end of buffer");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        self.get_u32_le() as i32
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending to a growable buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable, cheaply cloneable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from(src.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Bytes {
+        v.freeze()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+/// Growable byte buffer with an efficient consumed-prefix cursor.
+#[derive(Clone, Default, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Bytes before `head` have been consumed by `advance`/`split_to`.
+    head: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap), head: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.head = 0;
+    }
+
+    /// Detach and return the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        BytesMut { data: front, head: 0 }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        if self.head == 0 {
+            Bytes::from(self.data)
+        } else {
+            Bytes::from(self.data[self.head..].to_vec())
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes::copy_from_slice(self).fmt(f)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> BytesMut {
+        BytesMut { data: v.to_vec(), head: 0 }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.head += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_roundtrip_through_bytesmut() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(300);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        b.put_i32_le(-5);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 4 + 4 + 8);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 300);
+        assert_eq!(b.get_u32_le(), 70_000);
+        assert_eq!(b.get_u64_le(), 1 << 40);
+        assert_eq!(b.get_i32_le(), -5);
+        assert_eq!(b.get_f32_le(), 1.5);
+        assert_eq!(b.get_f64_le(), -2.25);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_and_freeze_preserve_contents() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"headerpayload");
+        b.advance(3); // drop "hea"
+        let front = b.split_to(3); // "der"
+        assert_eq!(&front[..], b"der");
+        let rest = b.freeze();
+        assert_eq!(&rest[..], b"payload");
+        assert_eq!(rest.slice(0..4).as_ref(), b"payl");
+    }
+
+    #[test]
+    fn slice_buf_cursor_is_nondestructive_peek() {
+        let b = BytesMut::from(&b"\x01\x00\x00\x00rest"[..]);
+        let mut peek = &b[..];
+        assert_eq!(peek.get_u32_le(), 1);
+        assert_eq!(peek.remaining(), 4);
+        assert_eq!(b.len(), 8, "peeking must not consume");
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn reading_past_end_panics() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in the build container, so this shim keeps
+//! the bench harness compiling and gives rough wall-clock numbers: each
+//! `bench_function` runs a short warm-up, then a fixed iteration batch, and
+//! prints mean time per iteration. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier so the optimizer cannot elide benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..8 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        println!("bench {name:<48} {:>12.3} us/iter", per_iter * 1e6);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let saved = self.parent.sample_size;
+        if let Some(n) = self.sample_size {
+            self.parent.sample_size = n;
+        }
+        self.parent.bench_function(&full, f);
+        self.parent.sample_size = saved;
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
