@@ -1,0 +1,229 @@
+//! Orchestration: walk the workspace, lex each file, run the rules, apply
+//! suppressions, and render the report.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::rules::{self, Finding};
+
+/// The result of one `check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression filtering, in walk order.
+    pub findings: Vec<Finding>,
+    /// How many findings were silenced by a justified `allow(…)`.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// One file to scan, with the crate it belongs to.
+struct Target {
+    path: PathBuf,
+    rel: String,
+    krate: String,
+    is_test: bool,
+}
+
+fn push_rs_files(dir: &Path, root: &Path, krate: &str, is_test: bool, out: &mut Vec<Target>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    // Sort so the report (and JSON) is byte-stable across runs and platforms.
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            push_rs_files(&p, root, krate, is_test, out);
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(Target { path: p, rel, krate: krate.to_owned(), is_test });
+        }
+    }
+}
+
+/// Enumerate every file the checker covers: `crates/*/{src,tests}`, plus the
+/// facade package's `src/`, `tests/` and `examples/`.
+fn targets(root: &Path) -> Vec<Target> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect())
+        .unwrap_or_default();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let Some(name) = dir.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        push_rs_files(&dir.join("src"), root, &name, false, &mut out);
+        push_rs_files(&dir.join("tests"), root, &name, true, &mut out);
+    }
+    push_rs_files(&root.join("src"), root, "suite", false, &mut out);
+    push_rs_files(&root.join("tests"), root, "suite", true, &mut out);
+    push_rs_files(&root.join("examples"), root, "suite", true, &mut out);
+    out
+}
+
+/// Scan one already-loaded file. Exposed for the fixture tests.
+pub fn scan_source(rel: &str, krate: &str, is_test: bool, src: &str) -> (Vec<Finding>, usize) {
+    let lexed = lexer::lex(src);
+    let ranges = rules::test_ranges(&lexed.toks);
+    let ctx =
+        rules::FileCtx { rel, krate, file_is_test: is_test, lexed: &lexed, test_ranges: &ranges };
+    let raw = rules::check_file(&ctx);
+
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let covered = lexed.suppressions.iter().any(|s| s.justified && s.covers(f.rule, f.line));
+        if covered {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    // A suppression without a justification is itself a finding — the whole
+    // point of `allow` is to leave a paper trail.
+    for s in &lexed.suppressions {
+        if !s.justified {
+            kept.push(Finding {
+                file: rel.to_owned(),
+                line: s.line,
+                rule: rules::SS_ALLOW_001,
+                message: format!(
+                    "allow({}) has no justification; write \
+                     `// analyze: allow({}): <why this is sound>`",
+                    s.rules.join(", "),
+                    s.rules.join(", "),
+                ),
+            });
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Walk the tree under `root` and run every rule.
+pub fn run_check(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for t in targets(root) {
+        let src = fs::read_to_string(&t.path)?;
+        let (findings, suppressed) = scan_source(&t.rel, &t.krate, t.is_test, &src);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Machine-readable rendering: a single JSON object, stable field order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+                json_escape(&f.file),
+                f.line,
+                f.rule,
+                json_escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" },
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"total\": {}\n}}",
+            self.files_scanned,
+            self.suppressed,
+            self.findings.len()
+        ));
+        s
+    }
+
+    /// Human rendering: one `path:line: RULE message` per finding + summary.
+    pub fn to_human(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            s.push_str(&format!("{}:{}: {} {}\n", f.file, f.line, f.rule, f.message));
+        }
+        let rules_hit: BTreeSet<&str> = self.findings.iter().map(|f| f.rule).collect();
+        if self.findings.is_empty() {
+            s.push_str(&format!(
+                "analyze: clean — {} files scanned, 0 findings ({} suppressed with \
+                 justification)\n",
+                self.files_scanned, self.suppressed
+            ));
+        } else {
+            s.push_str(&format!(
+                "analyze: {} finding(s) across {} rule(s) in {} files ({} suppressed)\n",
+                self.findings.len(),
+                rules_hit.len(),
+                self.files_scanned,
+                self.suppressed
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn justified_allow_suppresses_and_counts() {
+        let src = "let m: HashMap<u8, u8>; // analyze: allow(SS-DET-002): lookup-only cache\n";
+        let (kept, suppressed) = scan_source("f.rs", "net", false, src);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn unjustified_allow_is_its_own_finding() {
+        let src = "let m: HashMap<u8, u8>; // analyze: allow(SS-DET-002)\n";
+        let (kept, _) = scan_source("f.rs", "net", false, src);
+        // The HashMap stays suppressed? No: an unjustified allow does not
+        // suppress, so both the DET finding and the ALLOW finding surface.
+        let rules: Vec<_> = kept.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, [rules::SS_DET_002, rules::SS_ALLOW_001]);
+    }
+
+    #[test]
+    fn own_line_allow_covers_next_line() {
+        let src = "// analyze: allow(SS-DET-002): fixture table, never iterated\n\
+                   let m: HashMap<u8, u8>;\n";
+        let (kept, suppressed) = scan_source("f.rs", "net", false, src);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn json_report_is_valid_shape() {
+        let src = "let m: HashMap<u8, u8>;\n";
+        let (kept, _) = scan_source("f.rs", "net", false, src);
+        let report = Report { findings: kept, suppressed: 0, files_scanned: 1 };
+        let json = report.to_json();
+        assert!(json.contains("\"rule\": \"SS-DET-002\""));
+        assert!(json.contains("\"total\": 1"));
+    }
+}

@@ -1,0 +1,432 @@
+//! A minimal Rust lexer: just enough to run token-level lint passes.
+//!
+//! Comments are stripped (suppression comments are recorded on the way out),
+//! string/char literals become opaque `Str` tokens so their contents can never
+//! be mistaken for code, and lifetimes are distinguished from char literals so
+//! `'a` never swallows the rest of the file. This is *not* a full lexer — it
+//! has no notion of macro expansion — but every rule in this tool only needs
+//! honest token boundaries and line numbers.
+
+/// Token classes the rule passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, …).
+    Ident,
+    /// Numeric literal (`42`, `0x1F`, `1.5`).
+    Number,
+    /// String or char literal; `text` holds the raw contents.
+    Str,
+    /// Punctuation. Multi-char range tokens (`..`, `..=`) are merged.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A `// analyze: allow(RULE-ID[, RULE-ID…]): justification` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub line: u32,
+    pub rules: Vec<String>,
+    /// True when a non-empty justification follows the closing paren.
+    pub justified: bool,
+    /// True when the comment is alone on its line, in which case it also
+    /// covers the line below it.
+    pub own_line: bool,
+}
+
+impl Suppression {
+    /// Does this suppression cover `rule` at `line`?
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        let line_ok = self.line == line || (self.own_line && self.line + 1 == line);
+        line_ok && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// Lexer output: the token stream plus every suppression comment seen.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub suppressions: Vec<Suppression>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse the body of a `//` comment as a suppression directive, if it is one.
+fn parse_suppression(comment: &str, line: u32, own_line: bool) -> Option<Suppression> {
+    let rest = comment.trim_start();
+    let rest = rest.strip_prefix("analyze:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|r| r.trim().to_owned()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let justified = after.strip_prefix(':').map(|j| !j.trim().is_empty()).unwrap_or(false);
+    Some(Suppression { line, rules, justified, own_line })
+}
+
+/// Lex `src` into tokens and suppression records.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Whether any token has been emitted on the current line; a comment on a
+    // code-free line suppresses the line *below* it as well.
+    let mut line_has_code = false;
+    let mut out = Lexed::default();
+
+    'outer: while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            if let Some(s) = parse_suppression(&text, line, !line_has_code) {
+                out.suppressions.push(s);
+            }
+            i = j;
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    line_has_code = false;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings (`r"…"`, `r#"…"#`, `br##"…"##`) and raw identifiers.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            if j < n && b[j] == 'r' {
+                j += 1;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    let tok_line = line;
+                    j += 1;
+                    let start = j;
+                    while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if b[j] == '"' {
+                            let mut h = 0usize;
+                            let mut m = j + 1;
+                            while m < n && b[m] == '#' && h < hashes {
+                                h += 1;
+                                m += 1;
+                            }
+                            if h == hashes {
+                                let text: String = b[start..j].iter().collect();
+                                out.toks.push(Tok { kind: TokKind::Str, text, line: tok_line });
+                                line_has_code = true;
+                                i = m;
+                                continue 'outer;
+                            }
+                        }
+                        j += 1;
+                    }
+                    // Unterminated raw string: consume the rest.
+                    i = n;
+                    continue;
+                }
+                // `r#ident` raw identifier (only the single-hash form exists).
+                if c == 'r' && hashes == 1 && j < n && is_ident_start(b[j]) {
+                    let start = j;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    let text: String = b[start..j].iter().collect();
+                    out.toks.push(Tok { kind: TokKind::Ident, text, line });
+                    line_has_code = true;
+                    i = j;
+                    continue;
+                }
+            }
+            // Not a raw form: fall through to string/char/ident handling.
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let tok_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let start = j;
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '"' => break,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let text: String = b[start..j.min(n)].iter().collect();
+            out.toks.push(Tok { kind: TokKind::Str, text, line: tok_line });
+            line_has_code = true;
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Char literals vs lifetimes.
+        if c == '\'' || (c == 'b' && i + 1 < n && b[i + 1] == '\'') {
+            let byte_prefixed = c == 'b';
+            let q = if byte_prefixed { i + 1 } else { i };
+            // Lifetime: `'ident` not closed by a quote (byte chars can't be
+            // lifetimes). `'a'` — closed at distance 2 — is a char literal.
+            if !byte_prefixed && q + 1 < n && is_ident_start(b[q + 1]) {
+                let mut j = q + 2;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    // Char literal like 'a' (or a malformed multi-char one).
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[q + 1..j].iter().collect(),
+                        line,
+                    });
+                    line_has_code = true;
+                    i = j + 1;
+                    continue;
+                }
+                // Lifetime: contributes no token the rules care about.
+                line_has_code = true;
+                i = j;
+                continue;
+            }
+            // Escape or symbol char literal: '\n', '\u{7f}', '+', b'x'.
+            let mut j = q + 1;
+            if j < n && b[j] == '\\' {
+                j += 1;
+                if j < n && b[j] == 'u' {
+                    j += 1;
+                    if j < n && b[j] == '{' {
+                        while j < n && b[j] != '}' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+            } else if j < n {
+                j += 1;
+            }
+            let text: String = b[q + 1..j.min(n)].iter().collect();
+            if j < n && b[j] == '\'' {
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Str, text, line });
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok { kind: TokKind::Number, text: b[start..i].iter().collect(), line });
+            line_has_code = true;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Ident, text: b[start..i].iter().collect(), line });
+            line_has_code = true;
+            continue;
+        }
+        // Punctuation; merge range tokens so `[..]` is recognisable.
+        if c == '.' && i + 1 < n && b[i + 1] == '.' {
+            let text = if i + 2 < n && b[i + 2] == '=' {
+                i += 3;
+                "..="
+            } else {
+                i += 2;
+                ".."
+            };
+            out.toks.push(Tok { kind: TokKind::Punct, text: text.to_owned(), line });
+            line_has_code = true;
+            continue;
+        }
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        line_has_code = true;
+        i += 1;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let src = "a /* x /* HashMap */ still comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+    }
+
+    #[test]
+    fn block_comment_tracks_lines() {
+        let src = "/* one\ntwo\nthree */ tok";
+        let l = lex(src);
+        assert_eq!(l.toks[0].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let src = r####"let x = r#"unwrap() "quoted" HashMap"# ; y"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"y".to_owned()));
+        assert!(!ids.contains(&"unwrap".to_owned()));
+        assert!(!ids.contains(&"HashMap".to_owned()));
+    }
+
+    #[test]
+    fn raw_string_hash_count_must_match() {
+        // The `"#` inside the body does not terminate a `##`-delimited string.
+        let src = r#####"r##"inner "# not the end"## after"#####;
+        let l = lex(src);
+        assert_eq!(l.toks.len(), 2);
+        assert_eq!(l.toks[0].kind, TokKind::Str);
+        assert_eq!(l.toks[1].text, "after");
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { unwrap }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_owned()));
+        // Lifetime names never surface as identifiers.
+        assert!(!ids.contains(&"a".to_owned()));
+        assert!(!ids.contains(&"static".to_owned()));
+    }
+
+    #[test]
+    fn char_literals_are_opaque() {
+        let src = "match c { 'x' => 1, '\\n' => 2, '\\u{7f}' => 3, '\"' => 4 }";
+        let ids = idents(src);
+        assert_eq!(ids, ["match", "c"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "f(b\"HashMap\", b'x', br#\"unwrap\"#); g";
+        let ids = idents(src);
+        assert_eq!(ids, ["f", "g"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert_eq!(idents("let r#type = 1; radius"), ["let", "type", "radius"]);
+    }
+
+    #[test]
+    fn range_tokens_merge() {
+        let texts: Vec<String> = lex("&x[..]").toks.into_iter().map(|t| t.text).collect();
+        assert_eq!(texts, ["&", "x", "[", "..", "]"]);
+    }
+
+    #[test]
+    fn suppression_same_line_and_own_line() {
+        let src = "let x = 1; // analyze: allow(SS-DET-002): test fixture\n\
+                   // analyze: allow(SS-PANIC-001): guarded above\n\
+                   y.unwrap();";
+        let l = lex(src);
+        assert_eq!(l.suppressions.len(), 2);
+        let s0 = &l.suppressions[0];
+        assert!(!s0.own_line && s0.justified && s0.covers("SS-DET-002", 1));
+        let s1 = &l.suppressions[1];
+        assert!(s1.own_line && s1.justified);
+        assert!(s1.covers("SS-PANIC-001", 3), "own-line comment covers the next line");
+        assert!(!s1.covers("SS-PANIC-001", 4));
+    }
+
+    #[test]
+    fn suppression_without_justification_is_recorded_unjustified() {
+        let l = lex("x(); // analyze: allow(SS-CAST-001)");
+        assert_eq!(l.suppressions.len(), 1);
+        assert!(!l.suppressions[0].justified);
+    }
+
+    #[test]
+    fn suppression_multiple_rules() {
+        let l = lex("// analyze: allow(SS-DET-001, SS-DET-002): fixture\nz");
+        assert!(l.suppressions[0].covers("SS-DET-001", 2));
+        assert!(l.suppressions[0].covers("SS-DET-002", 2));
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_suppressions() {
+        let l = lex("// analyze the allow list\n// allow(SS-DET-001)\nx");
+        assert!(l.suppressions.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! `smartsock-analyze` — workspace-local static analysis.
+//!
+//! PR 1's seeded chaos mode promises byte-identical replays per seed. That
+//! promise rests on invariants no compiler checks: no wall-clock reads, no
+//! iteration over hash-ordered containers on the event path, no OS entropy,
+//! no panics in daemon code, no silently-truncating casts in the wire codecs.
+//! This crate is the mechanical check for those invariants: a small hand
+//! rolled Rust lexer (no external dependencies) feeding token-level rule
+//! passes, run as `cargo run -p smartsock-analyze -- check` and wired into CI.
+//!
+//! Rules (stable IDs; see `rules::RULES`):
+//!
+//! | ID | enforced where | invariant |
+//! |----|----------------|-----------|
+//! | SS-DET-001 | everywhere | no `std::time::{Instant,SystemTime}` |
+//! | SS-DET-002 | everywhere | no `HashMap`/`HashSet` |
+//! | SS-DET-003 | everywhere | no `thread_rng`/OS entropy |
+//! | SS-PANIC-001 | probe, monitor, wizard, wire, core (non-test) | no `unwrap()`, undocumented `expect()`, or indexing panics |
+//! | SS-CAST-001 | proto, wire (non-test) | no narrowing `as` casts |
+//! | SS-ALLOW-001 | everywhere | every suppression carries a justification |
+//!
+//! Suppress a finding with `// analyze: allow(RULE-ID): justification`,
+//! either at the end of the offending line or alone on the line above it.
+//! An `allow` without a justification is itself a finding.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{run_check, scan_source, Report};
+pub use rules::{Finding, RuleInfo, RULES};

@@ -1,0 +1,89 @@
+//! CLI for `smartsock-analyze`.
+//!
+//! ```text
+//! cargo run -p smartsock-analyze -- check [--format=human|json] [--root=PATH]
+//! cargo run -p smartsock-analyze -- rules
+//! ```
+//!
+//! `check` exits 0 when the tree is clean and 1 when any finding remains, so
+//! it can gate CI directly.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smartsock_analyze::{run_check, RULES};
+
+const USAGE: &str = "\
+smartsock-analyze — determinism & protocol-safety lints for the smartsock tree
+
+USAGE:
+    smartsock-analyze check [--format=human|json] [--root=PATH]
+    smartsock-analyze rules
+
+COMMANDS:
+    check    walk crates/*/{src,tests}, src/, tests/, examples/ and run all rules
+    rules    list rule IDs and what they enforce
+
+`check` exits 0 on a clean tree, 1 when findings remain, 2 on usage/IO errors.
+Suppress one finding with `// analyze: allow(RULE-ID): justification`.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "rules" => {
+            for r in RULES {
+                println!("{:<13} {}", r.id, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut format = "human".to_owned();
+            let mut root = PathBuf::from(".");
+            for a in &args[1..] {
+                if let Some(v) = a.strip_prefix("--format=") {
+                    format = v.to_owned();
+                } else if let Some(v) = a.strip_prefix("--root=") {
+                    root = PathBuf::from(v);
+                } else {
+                    eprintln!("unknown argument `{a}`\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+            if format != "human" && format != "json" {
+                eprintln!("unknown format `{format}` (expected human or json)");
+                return ExitCode::from(2);
+            }
+            let report = match run_check(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("analyze: cannot scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if format == "json" {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_human());
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

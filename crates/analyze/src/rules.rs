@@ -1,0 +1,383 @@
+//! The rule passes. Each rule walks the token stream of one file and emits
+//! findings; the engine applies suppressions afterwards.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One lint hit, before or after suppression filtering.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Rule identifiers, stable across releases.
+pub const SS_DET_001: &str = "SS-DET-001";
+pub const SS_DET_002: &str = "SS-DET-002";
+pub const SS_DET_003: &str = "SS-DET-003";
+pub const SS_PANIC_001: &str = "SS-PANIC-001";
+pub const SS_CAST_001: &str = "SS-CAST-001";
+/// Meta-rule: an `// analyze: allow(…)` with no justification text.
+pub const SS_ALLOW_001: &str = "SS-ALLOW-001";
+
+/// Static description of one rule, for `--help`-style listings and docs.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: SS_DET_001,
+        summary: "no std::time::Instant/SystemTime wall-clock reads in sim-facing code; \
+                  use simulation time",
+    },
+    RuleInfo {
+        id: SS_DET_002,
+        summary: "no HashMap/HashSet on the event-ordering path; \
+                  use BTreeMap/BTreeSet for deterministic iteration",
+    },
+    RuleInfo {
+        id: SS_DET_003,
+        summary: "no thread_rng/OS entropy outside the vendored shims; \
+                  randomness must come from the run seed",
+    },
+    RuleInfo {
+        id: SS_PANIC_001,
+        summary: "no unwrap()/bare expect()/indexing panics in non-test daemon code \
+                  (probe, monitor, wizard, wire, core); plumb Result or document \
+                  expect(\"invariant: …\")",
+    },
+    RuleInfo {
+        id: SS_CAST_001,
+        summary: "no bare `as` narrowing casts in proto/wire codec code; \
+                  use try_from with a decode error",
+    },
+    RuleInfo {
+        id: SS_ALLOW_001,
+        summary: "every analyze: allow(…) suppression must carry a `: justification`",
+    },
+];
+
+/// Crates whose non-test code must not panic (SS-PANIC-001).
+pub const DAEMON_CRATES: &[&str] = &["probe", "monitor", "wizard", "wire", "core"];
+/// Crates whose encode/decode paths must use checked casts (SS-CAST-001).
+pub const CODEC_CRATES: &[&str] = &["proto", "wire"];
+
+/// Everything the rule passes need to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative display path.
+    pub rel: &'a str,
+    /// Crate short name (`net`, `proto`, …) or `suite` for the facade
+    /// package's `src/`, `tests/` and `examples/`.
+    pub krate: &'a str,
+    /// True for files under a `tests/` or `examples/` directory.
+    pub file_is_test: bool,
+    pub lexed: &'a Lexed,
+    /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: &'a [(usize, usize)],
+}
+
+impl FileCtx<'_> {
+    fn in_test_code(&self, tok_idx: usize) -> bool {
+        self.file_is_test || self.test_ranges.iter().any(|&(s, e)| tok_idx >= s && tok_idx < e)
+    }
+
+    fn finding(&self, line: u32, rule: &'static str, message: String) -> Finding {
+        Finding { file: self.rel.to_owned(), line, rule, message }
+    }
+}
+
+/// Compute the token-index ranges belonging to `#[cfg(test)]` modules and
+/// `#[test]` functions, by pairing test attributes with the `{…}` block that
+/// follows them.
+pub fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct
+            && t.text == "#"
+            && i + 1 < toks.len()
+            && toks[i + 1].text == "["
+        {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut attr: Vec<&str> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 {
+                    attr.push(toks[j].text.as_str());
+                }
+                j += 1;
+            }
+            // Exact matches only: `#[cfg(not(test))]` must NOT count.
+            if attr == ["test"] || attr == ["cfg", "(", "test", ")"] {
+                pending = true;
+            }
+            i = j;
+            continue;
+        }
+        match t.text.as_str() {
+            "{" if pending => {
+                let start = i;
+                let mut depth = 1u32;
+                let mut j = i + 1;
+                while j < toks.len() && depth > 0 {
+                    match toks[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                ranges.push((start, j));
+                pending = false;
+                i = j;
+                continue;
+            }
+            // `#[cfg(test)] use …;` — the attribute guards no block.
+            ";" => pending = false,
+            _ => {}
+        }
+        i += 1;
+    }
+    ranges
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "union",
+    "unsafe", "use", "where", "while",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+const NARROW_INT_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Run every applicable rule over one file.
+pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let toks = &ctx.lexed.toks;
+    let mut out = Vec::new();
+
+    let panic_rule_applies = !ctx.file_is_test && DAEMON_CRATES.contains(&ctx.krate);
+    let cast_rule_applies = !ctx.file_is_test && CODEC_CRATES.contains(&ctx.krate);
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident {
+            // SS-DET-001 — wall-clock reads.
+            if t.text == "Instant" || t.text == "SystemTime" {
+                out.push(ctx.finding(
+                    t.line,
+                    SS_DET_001,
+                    format!(
+                        "wall-clock `{}` breaks deterministic replay; \
+                         use simulation time (`SimTime`)",
+                        t.text
+                    ),
+                ));
+            }
+            // SS-DET-002 — iteration-order-nondeterministic containers.
+            if t.text == "HashMap" || t.text == "HashSet" {
+                let btree = if t.text == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                out.push(ctx.finding(
+                    t.line,
+                    SS_DET_002,
+                    format!(
+                        "`{}` has nondeterministic iteration order; use `{btree}` \
+                         on the event-ordering path",
+                        t.text
+                    ),
+                ));
+            }
+            // SS-DET-003 — OS entropy.
+            if matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng" | "getrandom") {
+                out.push(ctx.finding(
+                    t.line,
+                    SS_DET_003,
+                    format!(
+                        "`{}` draws OS entropy; derive all randomness from the run seed \
+                         (`StdRng::seed_from_u64`)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+
+        // SS-PANIC-001 — unwrap / undocumented expect / indexing.
+        if panic_rule_applies && !ctx.in_test_code(i) {
+            if t.kind == TokKind::Ident && i > 0 && toks[i - 1].text == "." {
+                if t.text == "unwrap" && toks.get(i + 1).map(|t| t.text == "(").unwrap_or(false) {
+                    out.push(
+                        ctx.finding(
+                            t.line,
+                            SS_PANIC_001,
+                            "`.unwrap()` in daemon-path code; plumb a `Result` or use \
+                         `.expect(\"invariant: …\")`"
+                                .to_owned(),
+                        ),
+                    );
+                }
+                if t.text == "expect" && toks.get(i + 1).map(|t| t.text == "(").unwrap_or(false) {
+                    let msg_ok = toks
+                        .get(i + 2)
+                        .map(|m| m.kind == TokKind::Str && m.text.starts_with("invariant:"))
+                        .unwrap_or(false);
+                    if !msg_ok {
+                        out.push(
+                            ctx.finding(
+                                t.line,
+                                SS_PANIC_001,
+                                "`.expect(…)` in daemon-path code must document its invariant: \
+                             use a literal message starting with `invariant: `"
+                                    .to_owned(),
+                            ),
+                        );
+                    }
+                }
+            }
+            // Indexing: `expr[…]` where expr ends in a non-keyword identifier,
+            // `)` or `]`; the infallible full-range form `[..]` is exempt.
+            if t.kind == TokKind::Punct && t.text == "[" && i > 0 {
+                let prev = &toks[i - 1];
+                let indexable = match prev.kind {
+                    TokKind::Ident => !is_keyword(&prev.text),
+                    TokKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                let full_range = toks.get(i + 1).map(|a| a.text == "..").unwrap_or(false)
+                    && toks.get(i + 2).map(|b| b.text == "]").unwrap_or(false);
+                if indexable && !full_range {
+                    out.push(
+                        ctx.finding(
+                            t.line,
+                            SS_PANIC_001,
+                            "indexing can panic in daemon-path code; use `.get(…)` / split \
+                         methods, or document the bound with an allow"
+                                .to_owned(),
+                        ),
+                    );
+                }
+            }
+        }
+
+        // SS-CAST-001 — narrowing `as` casts in codec crates.
+        if cast_rule_applies && !ctx.in_test_code(i) && t.kind == TokKind::Ident && t.text == "as" {
+            if let Some(ty) = toks.get(i + 1) {
+                if ty.kind == TokKind::Ident && NARROW_INT_TYPES.contains(&ty.text.as_str()) {
+                    out.push(ctx.finding(
+                        t.line,
+                        SS_CAST_001,
+                        format!(
+                            "narrowing `as {0}` in codec code silently truncates; \
+                             use `{0}::try_from` with a decode error",
+                            ty.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(krate: &str, is_test: bool, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ranges = test_ranges(&lexed.toks);
+        let ctx = FileCtx {
+            rel: "x.rs",
+            krate,
+            file_is_test: is_test,
+            lexed: &lexed,
+            test_ranges: &ranges,
+        };
+        check_file(&ctx)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn det_rules_fire_in_any_crate() {
+        let f = run("hostsim", false, "use std::time::Instant; let m: HashMap<u8,u8>;");
+        assert_eq!(rules_of(&f), [SS_DET_001, SS_DET_002]);
+    }
+
+    #[test]
+    fn det_rules_fire_even_in_test_files() {
+        let f = run("suite", true, "let s: HashSet<u8> = HashSet::new();");
+        assert_eq!(rules_of(&f), [SS_DET_002, SS_DET_002]);
+    }
+
+    #[test]
+    fn entropy_rule_names_the_call() {
+        let f = run("net", false, "let mut rng = rand::thread_rng();");
+        assert_eq!(rules_of(&f), [SS_DET_003]);
+    }
+
+    #[test]
+    fn panic_rule_only_in_daemon_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(run("sim", false, src).is_empty());
+        assert_eq!(rules_of(&run("monitor", false, src)), [SS_PANIC_001]);
+    }
+
+    #[test]
+    fn panic_rule_skips_cfg_test_modules_and_test_fns() {
+        let src = "fn live(x: Option<u8>) { }\n\
+                   #[cfg(test)]\nmod tests { fn h(x: Option<u8>) -> u8 { x.unwrap() } }\n\
+                   #[test]\nfn t() { v[0]; }";
+        assert!(run("core", false, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nmod live { fn f(x: Option<u8>) -> u8 { x.unwrap() } }";
+        assert_eq!(rules_of(&run("core", false, src)), [SS_PANIC_001]);
+    }
+
+    #[test]
+    fn documented_invariant_expect_passes() {
+        let ok = "fn f(x: Option<u8>) -> u8 { x.expect(\"invariant: set in new()\") }";
+        assert!(run("wire", false, ok).is_empty());
+        let bad = "fn f(x: Option<u8>) -> u8 { x.expect(\"oops\") }";
+        assert_eq!(rules_of(&run("wire", false, bad)), [SS_PANIC_001]);
+    }
+
+    #[test]
+    fn indexing_flags_but_full_range_is_exempt() {
+        let src = "fn f(v: &[u8]) -> u8 { let _ = &v[..]; v[0] }";
+        let f = run("probe", false, src);
+        assert_eq!(rules_of(&f), [SS_PANIC_001]);
+        // Array types, attributes and macro brackets are not indexing.
+        let quiet = "#[derive(Debug)] struct S { a: [u8; 4] }\nfn g() { let v = vec![1]; }";
+        assert!(run("probe", false, quiet).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_only_narrowing_only_codec_crates() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }";
+        assert_eq!(rules_of(&run("proto", false, src)), [SS_CAST_001]);
+        assert!(run("monitor", false, src).is_empty());
+        let widening = "fn f(x: u32) -> u64 { x as u64 }\nfn g(x: u16) -> usize { x as usize }";
+        assert!(run("wire", false, widening).is_empty());
+    }
+}

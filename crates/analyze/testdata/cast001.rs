@@ -1,0 +1,20 @@
+//! Fixture: SS-CAST-001 — narrowing casts in codec code.
+
+fn encode(len: usize, seq: u64) -> (u32, u8) {
+    let header = len as u32; // finding: narrowing
+    let tag = seq as u8; // finding: narrowing
+    (header, tag)
+}
+
+fn widen(x: u8, y: u32) -> (u64, usize, f64) {
+    // Widening and float casts are not flagged.
+    (x as u64, y as usize, y as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(300usize as u8, 44);
+    }
+}

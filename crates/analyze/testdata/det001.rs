@@ -1,0 +1,8 @@
+//! Fixture: SS-DET-001 — wall-clock reads.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let start = Instant::now();
+    let _wall = SystemTime::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,11 @@
+//! Fixture: SS-DET-002 — nondeterministic-iteration containers.
+use std::collections::HashMap;
+
+struct Registry {
+    by_name: HashMap<String, u32>,
+    seen: std::collections::HashSet<u32>,
+}
+
+// A BTreeMap is fine and must not be flagged.
+type Ok1 = std::collections::BTreeMap<String, u32>;
+type Ok2 = std::collections::BTreeSet<u32>;

@@ -1,0 +1,11 @@
+//! Fixture: SS-DET-003 — OS entropy.
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = rand::rngs::OsRng;
+    rng.gen()
+}
+
+// Seeded generators are fine and must not be flagged.
+fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,25 @@
+//! Fixture: SS-PANIC-001 — panics in daemon-path code.
+
+fn bad(xs: &[u32], m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    let a = xs.first().unwrap(); // finding: unwrap
+    let b = m.get(&0).expect("present"); // finding: bare expect
+    let c = xs[0]; // finding: slice indexing
+    let d = m[&1]; // finding: map indexing
+    a + b + c + d
+}
+
+fn good(xs: &[u32]) -> u32 {
+    let a = xs.first().copied().unwrap_or(0);
+    let b = xs.get(1).expect("invariant: caller always passes two elements");
+    let whole = &xs[..]; // full-range borrow is infallible, not flagged
+    a + b + whole.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], xs.first().copied().unwrap());
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: suppression handling.
+
+fn suppressed(xs: &[u32]) -> u32 {
+    // analyze: allow(SS-PANIC-001): fixture invariant — slice checked by caller
+    let a = xs[0];
+    let b = xs[1]; // analyze: allow(SS-PANIC-001): same-line suppression form
+    a + b
+}
+
+fn unjustified(xs: &[u32]) -> u32 {
+    // analyze: allow(SS-PANIC-001)
+    xs[2] // stays a finding AND the bare allow is SS-ALLOW-001
+}

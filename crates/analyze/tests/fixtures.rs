@@ -1,0 +1,105 @@
+//! End-to-end fixture runs: each rule fires on its fixture with the exact
+//! expected count, and suppressions behave as documented.
+//!
+//! The fixtures live under `testdata/`, outside the directories the engine
+//! walks, so they never pollute a real `check` run. Flagged identifiers are
+//! confined to the fixture files — this test only names rules by their
+//! string IDs, because the analyzer scans its own `tests/` directory too.
+
+use smartsock_analyze::scan_source;
+
+/// Run one fixture and return `(lines per rule-id, suppressed count)`.
+fn run(krate: &str, src: &str) -> (Vec<(String, u32)>, usize) {
+    let (findings, suppressed) = scan_source("testdata/fixture.rs", krate, false, src);
+    let mut hits: Vec<(String, u32)> =
+        findings.iter().map(|f| (f.rule.to_owned(), f.line)).collect();
+    hits.sort();
+    (hits, suppressed)
+}
+
+#[test]
+fn det001_flags_wall_clock_reads() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/det001.rs"));
+    let ids: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(ids, ["SS-DET-001"; 4], "use-line + call site for each type: {hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn det002_flags_hashed_containers_but_not_btrees() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/det002.rs"));
+    let ids: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(ids, ["SS-DET-002"; 3], "two map sites + one set site: {hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn det003_flags_os_entropy_but_not_seeded_rngs() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/det003.rs"));
+    assert_eq!(
+        hits,
+        [("SS-DET-003".to_owned(), 3), ("SS-DET-003".to_owned(), 4)],
+        "one per entropy source"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn panic001_flags_daemon_panics_but_not_documented_or_test_code() {
+    let (hits, suppressed) = run("core", include_str!("../testdata/panic001.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-PANIC-001".to_owned(), 4), // .unwrap()
+            ("SS-PANIC-001".to_owned(), 5), // bare .expect("present")
+            ("SS-PANIC-001".to_owned(), 6), // xs[0]
+            ("SS-PANIC-001".to_owned(), 7), // m[&1]
+        ],
+        "good(): invariant-expect, [..] and #[cfg(test)] are exempt"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn panic001_does_not_apply_outside_daemon_crates() {
+    let (hits, _) = run("lang", include_str!("../testdata/panic001.rs"));
+    assert!(hits.is_empty(), "lang is not a daemon crate: {hits:?}");
+}
+
+#[test]
+fn cast001_flags_narrowing_casts_in_codec_code_only() {
+    let (hits, suppressed) = run("proto", include_str!("../testdata/cast001.rs"));
+    assert_eq!(
+        hits,
+        [("SS-CAST-001".to_owned(), 4), ("SS-CAST-001".to_owned(), 5)],
+        "widening/usize/f64 casts and test code are exempt"
+    );
+    assert_eq!(suppressed, 0);
+
+    let (hits, _) = run("monitor", include_str!("../testdata/cast001.rs"));
+    assert!(hits.is_empty(), "monitor is not a codec crate: {hits:?}");
+}
+
+#[test]
+fn justified_allows_suppress_and_bare_allows_are_findings() {
+    let (hits, suppressed) = run("core", include_str!("../testdata/suppress.rs"));
+    assert_eq!(suppressed, 2, "own-line and same-line justified allows both count");
+    assert_eq!(
+        hits,
+        [
+            ("SS-ALLOW-001".to_owned(), 11), // the bare allow itself
+            ("SS-PANIC-001".to_owned(), 12), // which therefore does NOT suppress
+        ]
+    );
+}
+
+#[test]
+fn test_files_keep_determinism_rules_but_drop_panic_rules() {
+    let src = include_str!("../testdata/panic001.rs");
+    let (hits, _) = scan_source("testdata/fixture.rs", "core", true, src);
+    assert!(hits.is_empty(), "is_test drops SS-PANIC-001: {hits:?}");
+
+    let det = include_str!("../testdata/det002.rs");
+    let (hits, _) = scan_source("testdata/fixture.rs", "core", true, det);
+    assert_eq!(hits.len(), 3, "determinism rules still apply in tests: {hits:?}");
+}

@@ -22,6 +22,8 @@
 //! paper's tables, and provide [`massd::FetchMode::Parallel`] (one
 //! outstanding block *per server*) as an ablation, where throughput is
 //! additive. EXPERIMENTS.md discusses the evidence.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod massd;
 pub mod matmul;

@@ -6,6 +6,8 @@
 //! repro table5.3 fig3.6   run specific experiments
 //! repro --seed 42 all     override the seed
 //! ```
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use smartsock_bench::json::reports_to_json;
 use smartsock_bench::{catalog, run, DEFAULT_SEED};

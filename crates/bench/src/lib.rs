@@ -15,6 +15,8 @@
 //! Every experiment is a pure function of a `u64` seed; the printed
 //! "paper" columns quote the thesis so the shapes can be compared line by
 //! line (EXPERIMENTS.md records one full run).
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod json;

@@ -48,10 +48,13 @@ impl RoundRobinSelector {
 
     /// Take the next `n` servers in rotation.
     pub fn select(&mut self, n: usize) -> Vec<Endpoint> {
-        let n = n.min(self.pool.len());
+        let len = self.pool.len();
+        let n = n.min(len);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push(self.pool[self.cursor % self.pool.len()]);
+            if let Some(&ep) = self.pool.get(self.cursor % len) {
+                out.push(ep);
+            }
             self.cursor += 1;
         }
         out

@@ -14,6 +14,8 @@
 //! smartsockd request --wizard 127.0.0.1:1120 --servers 2 [--file REQ | --req "..."]
 //!     Issue a user request; prints the selected endpoints, one per line.
 //! ```
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -24,10 +26,10 @@ use smartsock::proto::{Ip, RequestOption, ServerStatusReport, ServiceMask, UserR
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
+    let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
-    let flags = Flags::parse(&args[1..]);
+    let flags = Flags::parse(rest);
     let result = match cmd.as_str() {
         "wizard" => cmd_wizard(&flags),
         "probe" => cmd_probe(&flags),

@@ -16,7 +16,7 @@
 //! leaves recovery unspecified; we document timeouts as library policy.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rand::Rng;
@@ -145,7 +145,7 @@ struct Pending {
 }
 
 struct ClientState {
-    pending: HashMap<u32, Pending>,
+    pending: BTreeMap<u32, Pending>,
     next_port: u16,
     rng: rand::rngs::StdRng,
 }
@@ -173,7 +173,7 @@ impl SmartClient {
             wizard: Endpoint::new(wizard_ip, ports::WIZARD),
             reply_ep,
             st: Rc::new(RefCell::new(ClientState {
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 next_port: 47100,
                 rng: simrng::derive_indexed(seed, "smart-client", u64::from(ip.0)),
             })),
@@ -328,7 +328,7 @@ impl SmartClient {
             }
         }
         let mut pending =
-            self.st.borrow_mut().pending.remove(&seq).expect("checked under the same borrow");
+            self.st.borrow_mut().pending.remove(&seq).expect("invariant: presence checked above");
         let Some(cb) = CALLBACKS.with(|c| c.borrow_mut().remove(&(self.ip.0, seq))) else {
             return;
         };
@@ -348,7 +348,7 @@ thread_local! {
     /// Result callbacks keyed by (client ip, seq). Thread-local because the
     /// simulation is single-threaded; keeping boxed `FnOnce`s out of
     /// `ClientState` lets `SmartClient` stay `Clone` + borrow-friendly.
-    static CALLBACKS: RefCell<HashMap<(u32, u32), ResultCb>> = RefCell::new(HashMap::new());
+    static CALLBACKS: RefCell<BTreeMap<(u32, u32), ResultCb>> = RefCell::new(BTreeMap::new());
 }
 
 #[cfg(test)]

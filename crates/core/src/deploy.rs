@@ -138,7 +138,11 @@ impl TestbedBuilder {
         let mut nodes = BTreeMap::new();
         for m in &self.machines {
             let node = b.host(m.name, m.ip, HostParams::testbed());
-            let attach = if m.segment == 0 { campus } else { seg_router[&m.segment] };
+            let attach = if m.segment == 0 {
+                campus
+            } else {
+                *seg_router.get(&m.segment).expect("invariant: segments 1..=5 registered above")
+            };
             b.duplex(node, attach, LinkParams::lan_100mbps().with_cross_load(self.link_cross_load));
             nodes.insert(m.name.to_owned(), node);
             hosts.insert(m.name.to_owned(), Host::new(m.host_config()));
@@ -193,7 +197,7 @@ impl TestbedBuilder {
             sysmon.start(s, &net);
             sysmons.push(sysmon);
             let sm = SecurityMonitor::new(secdb.clone(), self.security_log.clone());
-            sm.start(s).expect("security log parses");
+            sm.start(s).expect("invariant: the built-in security log template parses");
             if secmon.is_none() {
                 secmon = Some(sm);
             }
@@ -233,10 +237,13 @@ impl TestbedBuilder {
                 primary_dbs = Some((sysdb, netdb, secdb));
             }
         }
-        let (sysdb, netdb, secdb) = primary_dbs.expect("at least one monitor stack");
-        let sysmon = sysmons[0].clone();
-        let transmitter = transmitters[0].clone();
-        let secmon = secmon.expect("at least one security monitor");
+        let (sysdb, netdb, secdb) =
+            primary_dbs.expect("invariant: stack_ips always holds the monitor machine");
+        let sysmon =
+            sysmons.first().expect("invariant: one stack per stack_ip, never empty").clone();
+        let transmitter =
+            transmitters.first().expect("invariant: one stack per stack_ip, never empty").clone();
+        let secmon = secmon.expect("invariant: set on the first stack iteration");
 
         // ---- probes ----
         let mut probes = Vec::new();
@@ -244,7 +251,9 @@ impl TestbedBuilder {
             // In multi-monitor mode a probe reports to its group's stack
             // (if that machine runs one); otherwise to the monitor machine.
             let report_to = if self.multi_monitor {
-                let g = group_of[&host.ip()];
+                let g = *group_of
+                    .get(&host.ip())
+                    .expect("invariant: every machine ip entered in the group layout above");
                 if stack_ips.contains(&g) {
                     g
                 } else {
@@ -374,7 +383,10 @@ impl Testbed {
     }
 
     pub fn node(&self, name: &str) -> smartsock_net::NodeId {
-        self.nodes[&name.to_ascii_lowercase()]
+        self.nodes
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .unwrap_or_else(|| panic!("unknown host {name:?}"))
     }
 
     pub fn ip(&self, name: &str) -> Ip {

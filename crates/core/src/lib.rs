@@ -33,6 +33,8 @@
 //! * [`deploy`] — [`Testbed`]: one call wires the Fig 5.1 network, the
 //!   Table 5.1 machines and every daemon of Fig 3.1, in centralized or
 //!   distributed mode.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod baseline;
 pub mod client;

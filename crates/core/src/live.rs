@@ -102,7 +102,7 @@ fn serve(
             }
             Err(e) => return Err(e),
         };
-        let datagram = &buf[..n];
+        let Some(datagram) = buf.get(..n) else { continue };
         if datagram.starts_with(ServerStatusReport::ASCII_MAGIC.as_bytes()) {
             // A probe report: upsert by address.
             if let Ok(text) = std::str::from_utf8(datagram) {
@@ -178,9 +178,11 @@ pub fn live_request(
         sock.send_to(&wire, wizard)?;
         match sock.recv_from(&mut buf) {
             Ok((n, _)) => {
-                if let Ok(reply) = WizardReply::decode(&buf[..n]) {
-                    if reply.seq == req.seq {
-                        return Ok(reply);
+                if let Some(datagram) = buf.get(..n) {
+                    if let Ok(reply) = WizardReply::decode(datagram) {
+                        if reply.seq == req.seq {
+                            return Ok(reply);
+                        }
                     }
                 }
             }

@@ -27,6 +27,8 @@
 //!
 //! Every applied fault increments a `faults.*` metric, so two runs with
 //! the same seed can be compared byte-for-byte on the metrics table.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};

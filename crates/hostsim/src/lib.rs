@@ -27,6 +27,8 @@
 //!   deployment glue;
 //! * **workloads** — `SuperPI` (the memory/CPU hog of §5.3.1), plus
 //!   parameterisable CPU/IO hogs for ablations.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod cpu;
 pub mod host;

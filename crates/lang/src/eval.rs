@@ -14,7 +14,7 @@
 //!   and an uninitialised temp in a logical statement "will be considered
 //!   as a false statement".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ast::{BinOp, Expr, Requirement, Stmt};
 use crate::vars::{builtin_fn, constant, is_server_var, is_user_host_var, user_host_polarity};
@@ -31,7 +31,7 @@ pub trait VarProvider {
 /// Simple `VarProvider` backed by a map — for tests and the harness.
 #[derive(Clone, Debug, Default)]
 pub struct MapVars {
-    pub vars: HashMap<String, f64>,
+    pub vars: BTreeMap<String, f64>,
 }
 
 impl MapVars {
@@ -136,7 +136,7 @@ pub struct Evaluator;
 impl Evaluator {
     /// Run `req` against one server's variables.
     pub fn evaluate(req: &Requirement, provider: &dyn VarProvider) -> Decision {
-        let mut temps: HashMap<String, f64> = HashMap::new();
+        let mut temps: BTreeMap<String, f64> = BTreeMap::new();
         let mut decision = Decision {
             qualified: true,
             statements_true: 0,
@@ -179,7 +179,7 @@ impl Evaluator {
 fn eval_expr(
     expr: &Expr,
     provider: &dyn VarProvider,
-    temps: &mut HashMap<String, f64>,
+    temps: &mut BTreeMap<String, f64>,
 ) -> Result<f64, EvalError> {
     match expr {
         Expr::Number(n) => Ok(*n),

@@ -43,6 +43,8 @@
 //!   in §3.6.2 compares against `250*1024*1024`); Tables 5.3–5.6 write
 //!   `host_memory_free > 5` meaning MB, which the harness spells as
 //!   `5*1024*1024`.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod ast;
 pub mod eval;

@@ -101,23 +101,25 @@ pub fn reduce_round(
     if bws.is_empty() {
         return None;
     }
-    bws.sort_by(|a, b| a.partial_cmp(b).expect("no NaN bandwidths"));
+    bws.sort_by(f64::total_cmp);
     let delay_ms = pairs.iter().map(|&(t1, _)| t1.as_millis_f64()).fold(f64::INFINITY, f64::min);
+    let (&min_mbps, &max_mbps) = (bws.first()?, bws.last()?);
     Some(BwEstimate {
         bw_mbps: median_of_sorted(&bws),
-        min_mbps: bws[0],
-        max_mbps: *bws.last().expect("non-empty"),
+        min_mbps,
+        max_mbps,
         delay_ms,
         samples: bws.len(),
     })
 }
 
+/// Median of an ascending slice; NaN for an empty slice. For odd lengths the
+/// two fetched elements coincide, so the average is exact.
 fn median_of_sorted(xs: &[f64]) -> f64 {
     let n = xs.len();
-    if n % 2 == 1 {
-        xs[n / 2]
-    } else {
-        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    match (xs.get(n.saturating_sub(1) / 2), xs.get(n / 2)) {
+        (Some(&lo), Some(&hi)) => (lo + hi) / 2.0,
+        _ => f64::NAN,
     }
 }
 

@@ -20,6 +20,8 @@
 //! (Tables 4.2/4.3); `parking_lot::RwLock` provides the semaphore
 //! discipline. The transmitter (crate `smartsock-wire`) snapshots them for
 //! shipping to the wizard machine.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod db;
 pub mod estimator;

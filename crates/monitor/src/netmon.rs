@@ -147,12 +147,13 @@ impl NetworkMonitor {
     fn round(&self, s: &mut Scheduler) {
         let peer = {
             let mut st = self.st.borrow_mut();
-            if st.peers.is_empty() {
+            let n = st.peers.len();
+            if n == 0 {
                 None
             } else {
-                let p = st.peers[st.next_peer % st.peers.len()];
+                let p = st.peers.get(st.next_peer % n).copied();
                 st.next_peer += 1;
-                Some(p)
+                p
             }
         };
         match peer {

@@ -122,12 +122,11 @@ fn next_stream(
         let send_times = Rc::clone(&send_times);
         net.bind_udp(to, move |s, dgram| {
             // Packet index rides in the first 4 payload bytes.
-            if dgram.payload.data.len() >= 4 {
-                let idx = u32::from_le_bytes(dgram.payload.data[..4].try_into().expect("4 bytes"))
-                    as usize;
-                if let Some(&sent) = send_times.borrow().get(idx) {
-                    delays.borrow_mut().push(s.now().since(sent));
-                }
+            let Some(header) = dgram.payload.data.get(..4) else { return };
+            let idx = u32::from_le_bytes(header.try_into().expect("invariant: slice is 4 bytes"))
+                as usize;
+            if let Some(&sent) = send_times.borrow().get(idx) {
+                delays.borrow_mut().push(s.now().since(sent));
             }
         });
     }
@@ -135,7 +134,9 @@ fn next_stream(
     // Sender: one periodic stream.
     for i in 0..cfg.stream_len {
         let at = s.now() + SimDuration::from_nanos(gap.as_nanos() * i as u64);
-        send_times.borrow_mut()[i] = at;
+        if let Some(slot) = send_times.borrow_mut().get_mut(i) {
+            *slot = at;
+        }
         let net2 = net.clone();
         s.schedule_at(at, move |s| {
             let header = (i as u32).to_le_bytes().to_vec();
@@ -156,9 +157,10 @@ fn next_stream(
             true // heavy loss / nothing arrived: treat as overloaded
         } else {
             let third = ds.len() / 3;
-            let head: f64 = ds[..third].iter().map(|d| d.as_secs_f64()).sum::<f64>() / third as f64;
-            let tail: f64 =
-                ds[ds.len() - third..].iter().map(|d| d.as_secs_f64()).sum::<f64>() / third as f64;
+            let (head_third, _) = ds.split_at(third);
+            let (_, tail_third) = ds.split_at(ds.len() - third);
+            let head: f64 = head_third.iter().map(|d| d.as_secs_f64()).sum::<f64>() / third as f64;
+            let tail: f64 = tail_third.iter().map(|d| d.as_secs_f64()).sum::<f64>() / third as f64;
             tail - head > cfg.trend_threshold.as_secs_f64()
         };
         drop(ds);

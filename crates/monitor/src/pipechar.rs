@@ -80,10 +80,12 @@ pub fn estimate(
                     Payload::zeroes(u64::from(cfg.probe_bytes)),
                     Some(Box::new(move |s, echo| {
                         let mut a = arr2.borrow_mut();
-                        if leg == 0 {
-                            a[pair].0 = Some(echo.received_at);
-                        } else {
-                            a[pair].1 = Some(echo.received_at);
+                        if let Some(times) = a.get_mut(pair) {
+                            if leg == 0 {
+                                times.0 = Some(echo.received_at);
+                            } else {
+                                times.1 = Some(echo.received_at);
+                            }
                         }
                         let _ = s;
                     })),
@@ -107,12 +109,11 @@ pub fn estimate(
                 _ => None,
             })
             .collect();
-        if dispersions_ns.is_empty() {
+        dispersions_ns.sort_unstable();
+        let Some(&median) = dispersions_ns.get(dispersions_ns.len() / 2) else {
             on_done(s, None);
             return;
-        }
-        dispersions_ns.sort_unstable();
-        let median = dispersions_ns[dispersions_ns.len() / 2];
+        };
         let mbps = wire as f64 * 8.0 / (median as f64 / 1e9) / 1e6;
         on_done(s, Some(mbps));
     });

@@ -1,6 +1,6 @@
 //! Topology construction and static routing.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use smartsock_proto::{HostName, Ip};
 use smartsock_sim::{SimDuration, SimTime};
@@ -31,8 +31,8 @@ pub struct NetworkBuilder {
     seed: u64,
     nodes: Vec<Node>,
     links: Vec<Link>,
-    by_ip: HashMap<Ip, NodeId>,
-    by_name: HashMap<String, NodeId>,
+    by_ip: BTreeMap<Ip, NodeId>,
+    by_name: BTreeMap<String, NodeId>,
     loopback_rtt: SimDuration,
 }
 
@@ -42,8 +42,8 @@ impl NetworkBuilder {
             seed,
             nodes: Vec::new(),
             links: Vec::new(),
-            by_ip: HashMap::new(),
-            by_name: HashMap::new(),
+            by_ip: BTreeMap::new(),
+            by_name: BTreeMap::new(),
             // Fig 3.6(f): loopback RTT measured ≈ 0.041 ms.
             loopback_rtt: SimDuration::from_micros(41),
         }
@@ -143,8 +143,8 @@ impl NetworkBuilder {
             next_hop,
             by_ip: self.by_ip,
             by_name: self.by_name,
-            udp_handlers: HashMap::new(),
-            stream_handlers: HashMap::new(),
+            udp_handlers: BTreeMap::new(),
+            stream_handlers: BTreeMap::new(),
             flows: Default::default(),
             rng: derive_rng(self.seed),
             loopback_rtt: self.loopback_rtt,

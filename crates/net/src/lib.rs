@@ -30,6 +30,8 @@
 //!
 //! All state lives behind a cheaply clonable [`Network`] handle; events on
 //! the [`smartsock_sim::Scheduler`] drive every transfer.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod builder;
 pub mod flow;

@@ -1,7 +1,7 @@
 //! The [`Network`] handle: topology, sockets, datagram transit and flows.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -65,10 +65,10 @@ pub(crate) struct State {
     pub links: Vec<Link>,
     /// `next_hop[src][dst]` — first link on the (hop-count) shortest path.
     pub next_hop: Vec<Vec<Option<LinkId>>>,
-    pub by_ip: HashMap<Ip, NodeId>,
-    pub by_name: HashMap<String, NodeId>,
-    pub udp_handlers: HashMap<Endpoint, UdpHandler>,
-    pub stream_handlers: HashMap<Endpoint, StreamHandler>,
+    pub by_ip: BTreeMap<Ip, NodeId>,
+    pub by_name: BTreeMap<String, NodeId>,
+    pub udp_handlers: BTreeMap<Endpoint, UdpHandler>,
+    pub stream_handlers: BTreeMap<Endpoint, StreamHandler>,
     pub flows: FlowTable,
     pub rng: StdRng,
     /// Base round-trip time of the loopback device (Fig 3.6(f) measured

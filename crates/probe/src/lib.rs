@@ -22,6 +22,8 @@
 //! The §6 "UDP vs TCP" future-work item is implemented as
 //! [`ProbeConfig::use_tcp`]: long reports on congested networks may switch
 //! to the reliable stream transport at the cost of connection overhead.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -186,11 +188,16 @@ impl ServerProbe {
         let meminfo_text = procfs::render_meminfo(&sample);
         let netdev_text = procfs::render_net_dev(&sample, "eth0");
 
-        let (l1, l5, l15) = procfs::parse_loadavg(&loadavg_text).expect("loadavg renders sanely");
-        let jiffies = procfs::parse_stat_cpu(&stat_text).expect("stat renders sanely");
-        let disk = procfs::parse_stat_disk(&stat_text).expect("disk_io renders sanely");
-        let mem = procfs::parse_meminfo(&meminfo_text).expect("meminfo renders sanely");
-        let netdev = procfs::parse_net_dev(&netdev_text, "eth0").expect("net/dev renders sanely");
+        let (l1, l5, l15) = procfs::parse_loadavg(&loadavg_text)
+            .expect("invariant: parsing our own rendered loadavg");
+        let jiffies =
+            procfs::parse_stat_cpu(&stat_text).expect("invariant: parsing our own rendered stat");
+        let disk = procfs::parse_stat_disk(&stat_text)
+            .expect("invariant: parsing our own rendered disk_io");
+        let mem = procfs::parse_meminfo(&meminfo_text)
+            .expect("invariant: parsing our own rendered meminfo");
+        let netdev = procfs::parse_net_dev(&netdev_text, "eth0")
+            .expect("invariant: parsing our own rendered net/dev for the iface we rendered");
 
         let mut st = self.st.borrow_mut();
         let window = now.since(st.prev_sample_at).as_secs_f64().max(1e-9);

@@ -28,6 +28,13 @@ pub enum RecordType {
     Security = 3,
 }
 
+impl From<RecordType> for u32 {
+    fn from(t: RecordType) -> u32 {
+        // analyze: allow(SS-CAST-001): lossless read of a fieldless-enum discriminant (0..=3)
+        t as u32
+    }
+}
+
 impl RecordType {
     pub fn from_u32(v: u32) -> Result<Self, ProtoError> {
         match v {
@@ -52,8 +59,8 @@ impl Frame {
 
     /// Serialize header + payload.
     pub fn encode(&self, out: &mut BytesMut) {
-        out.put_u32_le(self.rtype as u32);
-        out.put_u32_le(self.data.len() as u32);
+        out.put_u32_le(u32::from(self.rtype));
+        out.put_u32_le(size_header(self.data.len()));
         out.put_slice(&self.data);
     }
 
@@ -87,7 +94,7 @@ impl Frame {
     /// Build a `System` frame from a database snapshot.
     pub fn system(records: &[ServerStatusReport]) -> Frame {
         let mut data = BytesMut::with_capacity(4 + records.len() * 204);
-        data.put_u32_le(records.len() as u32);
+        data.put_u32_le(size_header(records.len()));
         for r in records {
             r.encode_binary(&mut data);
         }
@@ -97,7 +104,7 @@ impl Frame {
     /// Build a `Network` frame from a database snapshot.
     pub fn network(records: &[NetPathRecord]) -> Frame {
         let mut data = BytesMut::with_capacity(4 + records.len() * NetPathRecord::BINARY_BYTES);
-        data.put_u32_le(records.len() as u32);
+        data.put_u32_le(size_header(records.len()));
         for r in records {
             r.encode_binary(&mut data);
         }
@@ -107,7 +114,7 @@ impl Frame {
     /// Build a `Security` frame from a database snapshot.
     pub fn security(records: &[SecurityRecord]) -> Frame {
         let mut data = BytesMut::with_capacity(4 + records.len() * SecurityRecord::BINARY_BYTES);
-        data.put_u32_le(records.len() as u32);
+        data.put_u32_le(size_header(records.len()));
         for r in records {
             r.encode_binary(&mut data);
         }
@@ -139,6 +146,14 @@ impl Frame {
             Err(ProtoError::Malformed(format!("expected {want:?} frame, got {:?}", self.rtype)))
         }
     }
+}
+
+/// Checked `usize → u32` for header fields. Both the payload length and the
+/// record count are bounded far below `u32::MAX` by construction (snapshots
+/// of small in-memory databases), but a silent `as` truncation here would
+/// desynchronize the stream; panicking loudly is the lesser evil.
+fn size_header(n: usize) -> u32 {
+    u32::try_from(n).expect("invariant: frame payload/record count fits the u32 header")
 }
 
 fn decode_counted<T, B: Buf>(

@@ -19,6 +19,8 @@
 //!   of the deployment;
 //! * network-path records `(delay, bandwidth)` exchanged between network
 //!   monitors (Table 3.4) and security-level records (§3.4).
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod addr;
 pub mod consts;

@@ -49,7 +49,11 @@ impl RequestOption {
     fn from_u16(v: u16) -> RequestOption {
         RequestOption {
             accept_fewer: v & 0x0001 != 0,
-            template: if v & 0x0002 != 0 { Some((v >> 8) as u8) } else { None },
+            template: if v & 0x0002 != 0 {
+                Some(u8::try_from(v >> 8).expect("invariant: u16 >> 8 always fits u8"))
+            } else {
+                None
+            },
         }
     }
 }
@@ -142,7 +146,9 @@ impl WizardReply {
         debug_assert!(self.servers.len() <= MAX_SERVERS_PER_REPLY);
         let mut out = BytesMut::with_capacity(8 + self.servers.len() * 6);
         out.put_u32_le(self.seq);
-        out.put_u16_le(self.servers.len() as u16);
+        let count = u16::try_from(self.servers.len())
+            .expect("invariant: reply capped at MAX_SERVERS_PER_REPLY (60)");
+        out.put_u16_le(count);
         for s in &self.servers {
             out.put_u32_le(s.ip.0);
             out.put_u16_le(s.port);
@@ -176,7 +182,8 @@ impl WizardReply {
 
     /// Classify this reply against the request it answers.
     pub fn status(&self, requested: u16) -> ReplyStatus {
-        let returned = self.servers.len() as u16;
+        let returned = u16::try_from(self.servers.len())
+            .expect("invariant: decode rejects lists over the 60-server cap");
         if returned == 0 {
             ReplyStatus::Empty
         } else if returned < requested {

@@ -26,6 +26,8 @@
 //!   bytes/messages per component (Table 5.2 of the paper).
 //! * [`rng`] — helpers for deriving independent, stable RNG streams from a
 //!   single experiment seed.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod metrics;
 pub mod rng;

@@ -9,7 +9,7 @@
 //! a single-threaded cooperative simulation with a total event order.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
@@ -71,7 +71,7 @@ pub struct Scheduler {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Reverse<Entry>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     /// Named counters shared by all components (bytes sent, messages, ...).
     pub metrics: Metrics,
     /// Hard ceiling on processed events, guarding against runaway loops in
@@ -92,7 +92,7 @@ impl Scheduler {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             metrics: Metrics::new(),
             event_limit: Some(200_000_000),
             processed: 0,

@@ -18,6 +18,8 @@
 //! * **Distributed** — the transmitter listens passively on port 1110 and
 //!   sends a snapshot only when the wizard's receiver requests one,
 //!   avoiding steady background traffic across a sparse wide-area system.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use bytes::BytesMut;
 

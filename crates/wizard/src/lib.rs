@@ -26,12 +26,14 @@
 //! `#!rank <server_var> [asc|desc]` directive line (a comment to the
 //! requirement language, so the grammar is untouched) makes the wizard
 //! sort qualified candidates by that variable before truncating.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod templates;
 pub mod vars;
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use smartsock_lang::{compile, Evaluator, HostLists};
@@ -82,10 +84,10 @@ pub struct Wizard {
     secdb: SharedSecDb,
     cfg: WizardConfig,
     /// host ip → its group's network-monitor ip (for `monitor_*` vars).
-    group_map: Rc<RefCell<HashMap<Ip, Ip>>>,
+    group_map: Rc<RefCell<BTreeMap<Ip, Ip>>>,
     /// Receiver co-located with the wizard (needed for distributed pulls).
     receiver: Option<Receiver>,
-    templates: Rc<RefCell<HashMap<u8, String>>>,
+    templates: Rc<RefCell<BTreeMap<u8, String>>>,
     /// Restart generation for the stale sweep (same epoch scheme as the
     /// probe daemon): a stopped wizard's pending sweep dies quietly.
     epoch: Rc<std::cell::Cell<u64>>,
@@ -107,7 +109,7 @@ impl Wizard {
             netdb,
             secdb,
             cfg,
-            group_map: Rc::new(RefCell::new(HashMap::new())),
+            group_map: Rc::new(RefCell::new(BTreeMap::new())),
             receiver: None,
             templates: Rc::new(RefCell::new(templates::defaults())),
             epoch: Rc::new(std::cell::Cell::new(0)),

@@ -1,7 +1,7 @@
 //! Predefined requirement templates (paper §3.6.1: the option field lets a
 //! user apply "some predefined server requirement templates").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Template ids shipped by default.
 pub mod ids {
@@ -18,8 +18,8 @@ pub mod ids {
 }
 
 /// The default template registry.
-pub fn defaults() -> HashMap<u8, String> {
-    let mut t = HashMap::new();
+pub fn defaults() -> BTreeMap<u8, String> {
+    let mut t = BTreeMap::new();
     t.insert(ids::ANY, String::new());
     t.insert(ids::CPU_BOUND, "host_cpu_free > 0.9\nhost_system_load1 < 0.5\n".to_owned());
     t.insert(ids::MEM_BOUND, "host_memory_free > 100*1024*1024\n".to_owned());

@@ -50,7 +50,7 @@ impl VarProvider for ServerVars<'_> {
             "host_network_tbytesps" => r.net_tbytes_ps,
             "host_security_level" => f64::from(self.security_level?),
             _ if name.starts_with("host_service_") => {
-                let class = &name["host_service_".len()..];
+                let class = name.strip_prefix("host_service_")?;
                 let mask = smartsock_proto::ServiceMask::by_name(class)?;
                 if r.services.contains(mask) {
                     1.0

@@ -2,4 +2,6 @@
 //! `tests/` and the runnable examples under `examples/`. Downstream users
 //! should depend on the individual `smartsock-*` crates (or the `smartsock`
 //! facade) directly.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub use smartsock as core;

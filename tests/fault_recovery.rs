@@ -331,6 +331,51 @@ fn chaos_runs_are_seed_deterministic_and_never_duplicate_delivery() {
     assert_ne!(metrics_a, metrics_c, "different seed, different fault timings");
 }
 
+/// Like [`chaos_run`] but the wizard's template registry is first flooded
+/// with 64 extra templates (inserted in deliberately scrambled order) and
+/// the client forms its group through a templated request. This is the
+/// map-heavy path that regressed determinism when the registry hashed its
+/// keys: iteration order — and hence reply order and every downstream
+/// event — varied between identically-seeded runs.
+fn chaos_run_templated(seed: u64) -> (Vec<String>, Vec<String>, u64) {
+    let (mut s, tb) = with_services(seed);
+    // 37 is odd, so i*37 mod 64 walks all 64 residues: worst-case insertion
+    // order for a hashed map, a no-op for the ordered registry.
+    for i in 0..64u8 {
+        let id = 100 + i.wrapping_mul(37) % 64;
+        tb.wizard.add_template(id, format!("host_system_load1 < {}\n", 50 + u32::from(id)));
+    }
+
+    let client = tb.client("sagit");
+    let got = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&got);
+    let spec = RequestSpec::new(SPREAD, 3).with_template(100);
+    SockGroup::request(&client, &mut s, spec, move |_s, r| {
+        *g.borrow_mut() = Some(r.expect("templated group forms"));
+    });
+    s.run_until(s.now() + SimDuration::from_secs(5));
+    let group = got.borrow_mut().take().expect("request completed");
+
+    let inj = tb.fault_injector();
+    inj.chaos(&mut s, ChaosConfig::gentle(SimTime::from_secs(40)));
+    s.run_until(SimTime::from_secs(60));
+
+    let metrics: Vec<String> = s.metrics.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    (member_names(&tb, &group), metrics, s.events_processed())
+}
+
+/// Regression: template-registry pressure must not break seed determinism.
+#[test]
+fn template_heavy_wizard_stays_seed_deterministic_under_chaos() {
+    let (members_a, metrics_a, events_a) = chaos_run_templated(881);
+    let (members_b, metrics_b, events_b) = chaos_run_templated(881);
+    assert_eq!(members_a, members_b, "same seed, same group membership");
+    assert_eq!(metrics_a, metrics_b, "same seed, byte-identical metrics");
+    assert_eq!(events_a, events_b, "same seed, same event count");
+    assert_eq!(members_a.len(), 3, "templated request filled the group: {members_a:?}");
+    assert!(s_metric(&metrics_a, "faults.applied") > 0, "chaos actually injected faults");
+}
+
 fn s_metric(metrics: &[String], name: &str) -> u64 {
     let prefix = format!("{name}=");
     metrics.iter().find_map(|m| m.strip_prefix(&prefix)).and_then(|v| v.parse().ok()).unwrap_or(0)
