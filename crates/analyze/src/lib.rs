@@ -17,6 +17,7 @@
 //! | SS-DET-003 | everywhere | no `thread_rng`/OS entropy |
 //! | SS-PANIC-001 | probe, monitor, wizard, wire, core (non-test) | no `unwrap()`, undocumented `expect()`, or indexing panics |
 //! | SS-CAST-001 | proto, wire (non-test) | no narrowing `as` casts |
+//! | SS-OBS-001 | everywhere except telemetry | telemetry names are kebab-case `&'static str` literals |
 //! | SS-ALLOW-001 | everywhere | every suppression carries a justification |
 //!
 //! Suppress a finding with `// analyze: allow(RULE-ID): justification`,

@@ -19,6 +19,7 @@ pub const SS_DET_002: &str = "SS-DET-002";
 pub const SS_DET_003: &str = "SS-DET-003";
 pub const SS_PANIC_001: &str = "SS-PANIC-001";
 pub const SS_CAST_001: &str = "SS-CAST-001";
+pub const SS_OBS_001: &str = "SS-OBS-001";
 /// Meta-rule: an `// analyze: allow(…)` with no justification text.
 pub const SS_ALLOW_001: &str = "SS-ALLOW-001";
 
@@ -56,6 +57,12 @@ pub const RULES: &[RuleInfo] = &[
                   use try_from with a decode error",
     },
     RuleInfo {
+        id: SS_OBS_001,
+        summary: "telemetry names (counters, gauges, histograms, spans, events) must be \
+                  kebab-case `&'static str` literals so traces stay greppable and \
+                  allocation-free",
+    },
+    RuleInfo {
         id: SS_ALLOW_001,
         summary: "every analyze: allow(…) suppression must carry a `: justification`",
     },
@@ -65,6 +72,19 @@ pub const RULES: &[RuleInfo] = &[
 pub const DAEMON_CRATES: &[&str] = &["probe", "monitor", "wizard", "wire", "core"];
 /// Crates whose encode/decode paths must use checked casts (SS-CAST-001).
 pub const CODEC_CRATES: &[&str] = &["proto", "wire"];
+/// Telemetry methods whose first argument names the series (SS-OBS-001).
+/// The telemetry crate itself is exempt: it forwards `name` parameters
+/// between its own recording methods.
+pub const TELEMETRY_RECORDERS: &[&str] = &[
+    "counter_add",
+    "counter_incr",
+    "counter_add_labeled",
+    "gauge_set",
+    "observe_ns",
+    "span_start",
+    "span_child",
+    "event",
+];
 
 /// Everything the rule passes need to know about one file.
 pub struct FileCtx<'a> {
@@ -164,6 +184,14 @@ fn is_keyword(s: &str) -> bool {
     KEYWORDS.contains(&s)
 }
 
+/// `[a-z0-9]+(-[a-z0-9]+)*` — the only shape telemetry names may take.
+fn is_kebab(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('-').all(|seg| {
+            !seg.is_empty() && seg.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+        })
+}
+
 const NARROW_INT_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Run every applicable rule over one file.
@@ -173,6 +201,7 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
 
     let panic_rule_applies = !ctx.file_is_test && DAEMON_CRATES.contains(&ctx.krate);
     let cast_rule_applies = !ctx.file_is_test && CODEC_CRATES.contains(&ctx.krate);
+    let obs_rule_applies = ctx.krate != "telemetry";
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Ident {
@@ -268,6 +297,43 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
                                 .to_owned(),
                         ),
                     );
+                }
+            }
+        }
+
+        // SS-OBS-001 — telemetry series names must be kebab-case literals.
+        if obs_rule_applies
+            && t.kind == TokKind::Ident
+            && i > 0
+            && toks[i - 1].text == "."
+            && TELEMETRY_RECORDERS.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|p| p.text == "(").unwrap_or(false)
+        {
+            match toks.get(i + 2) {
+                Some(arg) if arg.kind == TokKind::Str => {
+                    if !is_kebab(&arg.text) {
+                        out.push(ctx.finding(
+                            t.line,
+                            SS_OBS_001,
+                            format!(
+                                "telemetry name {:?} is not kebab-case; \
+                                 use `[a-z0-9]+(-[a-z0-9]+)*`",
+                                arg.text
+                            ),
+                        ));
+                    }
+                }
+                _ => {
+                    out.push(ctx.finding(
+                        t.line,
+                        SS_OBS_001,
+                        format!(
+                            "`.{}(…)` takes a computed name; telemetry names must be \
+                             `&'static str` kebab-case literals (put dynamic parts in a \
+                             label or attribute)",
+                            t.text
+                        ),
+                    ));
                 }
             }
         }
@@ -370,6 +436,23 @@ mod tests {
         // Array types, attributes and macro brackets are not indexing.
         let quiet = "#[derive(Debug)] struct S { a: [u8; 4] }\nfn g() { let v = vec![1]; }";
         assert!(run("probe", false, quiet).is_empty());
+    }
+
+    #[test]
+    fn obs_rule_wants_kebab_literals() {
+        let ok = "fn f(s: &mut S) { s.telemetry.counter_incr(\"net-udp-drops\"); }";
+        assert!(run("net", false, ok).is_empty());
+        let snake = "fn f(s: &mut S) { s.telemetry.counter_incr(\"net_udp_drops\"); }";
+        assert_eq!(rules_of(&run("net", false, snake)), [SS_OBS_001]);
+        let dynamic = "fn f(s: &mut S, n: &str) { s.telemetry.counter_add(n, 1); }";
+        assert_eq!(rules_of(&run("net", false, dynamic)), [SS_OBS_001]);
+    }
+
+    #[test]
+    fn obs_rule_applies_in_test_files_but_not_the_telemetry_crate() {
+        let snake = "fn f(t: &mut T) { t.gauge_set(\"Bad_Name\", \"l\", 1); }";
+        assert_eq!(rules_of(&run("core", true, snake)), [SS_OBS_001]);
+        assert!(run("telemetry", false, snake).is_empty());
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Fixture: SS-OBS-001 — telemetry names must be kebab-case literals.
+
+fn bad(s: &mut Scheduler, name: &'static str) {
+    s.telemetry.counter_incr("net_udp_drops"); // snake_case
+    s.telemetry.counter_add("Fault.Injected", 1); // dots + uppercase
+    s.telemetry.counter_add(name, 1); // computed name
+    s.telemetry.gauge_set("queue-", "l0", 3); // trailing dash
+    s.telemetry.event(&format!("ev-{}", 1), "h", &[]); // formatted name
+}
+
+fn good(s: &mut Scheduler) {
+    s.telemetry.counter_incr("net-udp-drops");
+    s.telemetry.counter_add_labeled("probe-report-bytes", "helene", 42);
+    s.telemetry.observe_ns("wizard-requirement-eval", 2000);
+    let id = s.telemetry.span_start("client-request", "10.0.0.2");
+    s.telemetry.span_end(id); // span_end takes an id, not a name
+    s.telemetry.event("fault-injected", "sim", &[("kind", "link-down")]);
+    // Read-side getters may take computed names; only recorders are checked.
+    let _ = s.telemetry.counter("net-udp-drops");
+}

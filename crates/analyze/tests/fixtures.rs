@@ -81,6 +81,26 @@ fn cast001_flags_narrowing_casts_in_codec_code_only() {
 }
 
 #[test]
+fn obs001_flags_non_kebab_and_computed_names_only() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/obs001.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-OBS-001".to_owned(), 4), // snake_case
+            ("SS-OBS-001".to_owned(), 5), // dots + uppercase
+            ("SS-OBS-001".to_owned(), 6), // computed name
+            ("SS-OBS-001".to_owned(), 7), // trailing dash
+            ("SS-OBS-001".to_owned(), 8), // formatted name
+        ],
+        "good() is all-clear: {hits:?}"
+    );
+    assert_eq!(suppressed, 0);
+
+    let (hits, _) = run("telemetry", include_str!("../testdata/obs001.rs"));
+    assert!(hits.is_empty(), "the telemetry crate itself is exempt: {hits:?}");
+}
+
+#[test]
 fn justified_allows_suppress_and_bare_allows_are_findings() {
     let (hits, suppressed) = run("core", include_str!("../testdata/suppress.rs"));
     assert_eq!(suppressed, 2, "own-line and same-line justified allows both count");

@@ -48,7 +48,7 @@ impl FileServer {
                         Payload::data_with_padding(hdr.freeze(), u64::from(bytes)),
                     );
                 }
-                _ => s.metrics.incr("massd.server_bad_msgs"),
+                _ => s.telemetry.counter_incr("massd-server-bad-msgs"),
             }
         });
     }
@@ -171,10 +171,10 @@ impl Massd {
         let client = self.clone();
         self.net.bind_stream(self.local, move |s, m| match AppMsg::decode(&m.payload.data) {
             Some(AppMsg::BlockData { .. }) => {
-                s.metrics.incr("massd.blocks_received");
+                s.telemetry.counter_incr("massd-blocks-received");
                 client.block_done(s);
             }
-            _ => s.metrics.incr("massd.client_bad_msgs"),
+            _ => s.telemetry.counter_incr("massd-client-bad-msgs"),
         });
     }
 

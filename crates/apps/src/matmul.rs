@@ -162,10 +162,10 @@ impl MatmulWorker {
                         );
                     });
                     if spawned.is_err() {
-                        s.metrics.incr("matmul.worker_oom");
+                        s.telemetry.counter_incr("matmul-worker-oom");
                     }
                 }
-                _ => s.metrics.incr("matmul.worker_bad_msgs"),
+                _ => s.telemetry.counter_incr("matmul-worker-bad-msgs"),
             }
         });
     }
@@ -305,10 +305,10 @@ impl MatmulMaster {
         self.net.bind_stream(self.local, move |s, m| match AppMsg::decode(&m.payload.data) {
             Some(AppMsg::MatInputAck { tag }) => master.dispatch_next(s, tag as usize),
             Some(AppMsg::MatResult { tag }) => {
-                s.metrics.incr("matmul.tiles_done");
+                s.telemetry.counter_incr("matmul-tiles-done");
                 master.tile_done(s, tag as usize);
             }
-            _ => s.metrics.incr("matmul.master_bad_msgs"),
+            _ => s.telemetry.counter_incr("matmul-master-bad-msgs"),
         });
     }
 

@@ -40,12 +40,12 @@ pub fn table5_2(seed: u64) -> Report {
     s.run_until(SimTime::from_secs_f64(horizon));
 
     let kbps = |bytes: u64| bytes as f64 / horizon / 1024.0;
-    let probe_bytes = s.metrics.sum_prefix("probe.");
-    let sysmon_bytes = s.metrics.get("sysmon.bytes");
-    let netmon_bytes = s.metrics.get("netmon.bytes");
-    let tx_bytes = s.metrics.get("transmitter.bytes");
-    let rx_bytes = s.metrics.get("receiver.bytes");
-    let wiz_msgs = s.metrics.get("wizard.requests") + s.metrics.get("wizard.replies");
+    let probe_bytes = s.telemetry.counter_total("probe-report-bytes");
+    let sysmon_bytes = s.telemetry.counter("sysmon-bytes");
+    let netmon_bytes = s.telemetry.counter("netmon-bytes");
+    let tx_bytes = s.telemetry.counter("transmitter-bytes");
+    let rx_bytes = s.telemetry.counter("receiver-bytes");
+    let wiz_msgs = s.telemetry.counter("wizard-requests") + s.telemetry.counter("wizard-replies");
     let wiz_bytes = wiz_msgs * 150; // ~150 B requests/replies in the sample run
 
     // Memory: live data-structure footprints.

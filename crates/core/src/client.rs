@@ -24,7 +24,7 @@ use rand::Rng;
 use smartsock_net::{Network, Payload, StreamMessage};
 use smartsock_proto::consts::ports;
 use smartsock_proto::{Endpoint, Ip, ReplyStatus, RequestOption, UserRequest, WizardReply};
-use smartsock_sim::{rng as simrng, EventId, Scheduler, SimDuration};
+use smartsock_sim::{rng as simrng, EventId, Scheduler, SimDuration, SpanId};
 
 /// Why a request failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,6 +142,9 @@ struct Pending {
     /// never consume the callback.
     attempt: u32,
     timeout_event: EventId,
+    /// End-to-end "client-request" span: opened when the user calls
+    /// `request`, survives retries, closed when the request resolves.
+    span: SpanId,
 }
 
 struct ClientState {
@@ -195,8 +198,8 @@ impl SmartClient {
     ) {
         self.ensure_reply_socket();
         let seq: u32 = self.st.borrow_mut().rng.gen();
-        let attempts_left = spec.retries;
-        self.send_attempt(s, seq, spec, attempts_left, 0, Box::new(on_result));
+        let span = s.telemetry.span_start("client-request", &self.ip.to_string());
+        self.send_attempt(s, seq, spec, 0, span, Box::new(on_result));
     }
 
     fn ensure_reply_socket(&self) {
@@ -205,7 +208,7 @@ impl SmartClient {
         let client = self.clone();
         self.net.bind_udp(self.reply_ep, move |s, dgram| {
             let Ok(reply) = WizardReply::decode(&dgram.payload.data) else {
-                s.metrics.incr("client.bad_replies");
+                s.telemetry.counter_incr("client-bad-replies");
                 return;
             };
             client.on_reply(s, reply);
@@ -222,17 +225,18 @@ impl SmartClient {
         s: &mut Scheduler,
         seq: u32,
         spec: RequestSpec,
-        attempts_left: u32,
         attempt: u32,
+        span: SpanId,
         cb: ResultCb,
     ) {
+        let attempts_left = spec.retries.saturating_sub(attempt);
         let req = UserRequest {
             seq,
             server_num: spec.servers,
             option: spec.option,
             detail: spec.requirement.clone(),
         };
-        s.metrics.incr("client.requests");
+        s.telemetry.counter_incr("client-requests");
         self.net.send_udp(
             s,
             self.reply_ep,
@@ -248,7 +252,12 @@ impl SmartClient {
             let t =
                 SimDuration::from_secs_f64(spec.timeout.as_secs_f64() * factor * (1.0 + jitter));
             let extra_ms = t.as_nanos().saturating_sub(spec.timeout.as_nanos()) / 1_000_000;
-            s.metrics.add("client.backoff_ms_total", extra_ms);
+            s.telemetry.counter_add("client-backoff-ms-total", extra_ms);
+            s.telemetry.event(
+                "client-backoff",
+                &self.ip.to_string(),
+                &[("attempt", &attempt.to_string()), ("extra-ms", &extra_ms.to_string())],
+            );
             t
         };
         let client = self.clone();
@@ -256,7 +265,7 @@ impl SmartClient {
         self.st
             .borrow_mut()
             .pending
-            .insert(seq, Pending { spec, attempts_left, attempt, timeout_event });
+            .insert(seq, Pending { spec, attempts_left, attempt, timeout_event, span });
         // Store the callback alongside (separate map keeps Pending Send-free
         // of the closure's type).
         CALLBACKS.with(|c| c.borrow_mut().insert((self.ip.0, seq), cb));
@@ -264,7 +273,7 @@ impl SmartClient {
 
     fn on_reply(&self, s: &mut Scheduler, reply: WizardReply) {
         let Some(pending) = self.st.borrow_mut().pending.remove(&reply.seq) else {
-            s.metrics.incr("client.unmatched_replies");
+            s.telemetry.counter_incr("client-unmatched-replies");
             return;
         };
         s.cancel(pending.timeout_event);
@@ -283,7 +292,8 @@ impl SmartClient {
             Ok(socks) if socks.is_empty() => Err(ClientError::AllConnectionsFailed),
             other => other,
         };
-        s.metrics.incr("client.responses");
+        s.telemetry.counter_incr("client-responses");
+        s.telemetry.span_end(pending.span);
         cb(s, result);
     }
 
@@ -321,26 +331,30 @@ impl SmartClient {
                 None => return, // already answered
                 Some(p) if p.attempt != attempt => {
                     drop(st);
-                    s.metrics.incr("client.stale_timeouts");
+                    s.telemetry.counter_incr("client-stale-timeouts");
                     return;
                 }
                 Some(_) => {}
             }
         }
-        let mut pending =
+        let pending =
             self.st.borrow_mut().pending.remove(&seq).expect("invariant: presence checked above");
         let Some(cb) = CALLBACKS.with(|c| c.borrow_mut().remove(&(self.ip.0, seq))) else {
             return;
         };
         if pending.attempts_left == 0 {
-            s.metrics.incr("client.timeouts");
+            s.telemetry.counter_incr("client-timeouts");
+            s.telemetry.span_end(pending.span);
             cb(s, Err(ClientError::Timeout { retries: pending.spec.retries }));
             return;
         }
-        pending.attempts_left -= 1;
-        s.metrics.incr("client.retries");
-        let spec = pending.spec;
-        self.send_attempt(s, seq, spec, pending.attempts_left, attempt + 1, cb);
+        s.telemetry.counter_incr("client-retries");
+        s.telemetry.event(
+            "client-retry",
+            &self.ip.to_string(),
+            &[("attempt", &(attempt + 1).to_string())],
+        );
+        self.send_attempt(s, seq, pending.spec, attempt + 1, pending.span, cb);
     }
 }
 
@@ -436,7 +450,7 @@ mod tests {
             got.borrow_mut().take().unwrap().unwrap_err(),
             ClientError::Timeout { retries: 2 }
         );
-        assert_eq!(s.metrics.get("client.retries"), 2);
+        assert_eq!(s.telemetry.counter("client-retries"), 2);
     }
 
     #[test]

@@ -513,7 +513,7 @@ mod tests {
         }
         s.run_until(SimTime::from_secs(6));
         // No periodic pushes in distributed mode.
-        assert_eq!(s.metrics.get("transmitter.snapshots"), 0);
+        assert_eq!(s.telemetry.counter("transmitter-snapshots"), 0);
 
         let client = tb.client("sagit");
         let got = Rc::new(RefCell::new(None));
@@ -524,7 +524,7 @@ mod tests {
         s.run_until(SimTime::from_secs(10));
         let socks = got.borrow_mut().take().unwrap().expect("distributed selection succeeds");
         assert_eq!(socks.len(), 3);
-        assert!(s.metrics.get("transmitter.pulls") >= 1);
+        assert!(s.telemetry.counter("transmitter-pulls") >= 1);
     }
 
     #[test]

@@ -143,7 +143,17 @@ impl SockGroup {
                     added
                 }
             };
-            s.metrics.add("client.group_repaired", replaced as u64);
+            s.telemetry.counter_add("client-group-repaired", replaced as u64);
+            if replaced > 0 {
+                s.telemetry.event(
+                    "group-repaired",
+                    &group.client.ip().to_string(),
+                    &[
+                        ("replaced", &replaced.to_string()),
+                        ("still-missing", &(missing - replaced).to_string()),
+                    ],
+                );
+            }
             on_done(s, RepairOutcome { replaced, still_missing: missing - replaced });
         });
     }
@@ -167,7 +177,7 @@ impl SockGroup {
             if group.at_full_strength() {
                 group.repair_tick(s, interval, active);
             } else {
-                s.metrics.incr("client.auto_repairs");
+                s.telemetry.counter_incr("client-auto-repairs");
                 let g2 = group.clone();
                 group.repair(s, move |s, _outcome| {
                     // Reschedule after the repair settles, healed or not —

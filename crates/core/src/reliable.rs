@@ -92,7 +92,7 @@ impl ReliableSock {
         self.net.bind_stream(local, move |s, m| {
             if let Some((KIND_ACK, seq, _)) = decode_frame(&m.payload) {
                 st.borrow_mut().outbox.remove(&seq);
-                s.metrics.incr("rsock.acks");
+                s.telemetry.counter_incr("rsock-acks");
             }
         });
     }
@@ -117,7 +117,7 @@ impl ReliableSock {
             let st = self.st.borrow();
             (st.local, st.remote)
         };
-        s.metrics.incr("rsock.transmits");
+        s.telemetry.counter_incr("rsock-transmits");
         self.net.send_stream(s, local, remote, encode_frame(KIND_DATA, seq, payload));
     }
 
@@ -145,7 +145,7 @@ impl ReliableSock {
         if pending.is_empty() {
             return;
         }
-        s.metrics.add("rsock.retransmits", pending.len() as u64);
+        s.telemetry.counter_add("rsock-retransmits", pending.len() as u64);
         for (seq, payload) in &pending {
             self.transmit(s, *seq, payload);
         }
@@ -254,7 +254,7 @@ impl ReliableServerHandle {
         let net2 = self.net.clone();
         self.net.bind_stream(self.ep, move |s, m: StreamMessage| {
             let Some((KIND_DATA, seq, inner)) = decode_frame(&m.payload) else {
-                s.metrics.incr("rsock.server_bad_frames");
+                s.telemetry.counter_incr("rsock-server-bad-frames");
                 return;
             };
             // Ack unconditionally — acks for duplicates matter (the
@@ -262,7 +262,7 @@ impl ReliableServerHandle {
             net2.send_stream(s, m.to, m.from, encode_frame(KIND_ACK, seq, &Payload::default()));
             let mut state = st.borrow_mut();
             if seq < state.expected {
-                s.metrics.incr("rsock.server_duplicates");
+                s.telemetry.counter_incr("rsock-server-duplicates");
                 return;
             }
             state.held.insert(seq, (m.from, inner));
@@ -416,6 +416,6 @@ mod tests {
         );
         s.run_until(SimTime::from_secs(2));
         assert_eq!(*delivered.borrow(), vec![7], "exactly-once despite duplication");
-        assert_eq!(s.metrics.get("rsock.server_duplicates"), 1);
+        assert_eq!(s.telemetry.counter("rsock-server-duplicates"), 1);
     }
 }

@@ -250,17 +250,32 @@ impl FaultInjector {
         }
     }
 
-    /// Apply one fault right now.
+    /// Apply one fault right now. Every application lands in the telemetry
+    /// trace as a `fault-injected` or `fault-recovered` event (attrs:
+    /// `kind`, `target`), so failover timelines are reconstructible from
+    /// the exported JSONL without counter archaeology.
     pub fn apply(&self, s: &mut Scheduler, kind: &FaultKind) {
-        s.metrics.incr("faults.applied");
+        s.telemetry.counter_incr("faults-applied");
         match kind {
             FaultKind::LinkDown { a, b } => {
-                s.metrics.incr("faults.link_down");
+                s.telemetry.counter_incr("faults-link-down");
+                let target = format!("{a}<->{b}");
+                s.telemetry.event(
+                    "fault-injected",
+                    a,
+                    &[("kind", "link-down"), ("target", &target)],
+                );
                 let (na, nb) = (self.resolve(a), self.resolve(b));
                 self.net().set_link_up_between(s, na, nb, false);
             }
             FaultKind::LinkUp { a, b } => {
-                s.metrics.incr("faults.link_up");
+                s.telemetry.counter_incr("faults-link-up");
+                let target = format!("{a}<->{b}");
+                s.telemetry.event(
+                    "fault-recovered",
+                    a,
+                    &[("kind", "link-up"), ("target", &target)],
+                );
                 let (na, nb) = (self.resolve(a), self.resolve(b));
                 self.net().set_link_up_between(s, na, nb, true);
             }
@@ -273,20 +288,46 @@ impl FaultInjector {
             FaultKind::DaemonKill { daemon } => self.daemon_kill(s, daemon),
             FaultKind::DaemonRestart { daemon } => self.daemon_restart(s, daemon),
             FaultKind::LossSpike { a, b, prob } => {
-                s.metrics.incr("faults.loss_spikes");
+                s.telemetry.counter_incr("faults-loss-spikes");
+                let target = format!("{a}<->{b}");
+                let prob_text = format!("{prob:.4}");
+                s.telemetry.event(
+                    "fault-injected",
+                    a,
+                    &[("kind", "loss-spike"), ("target", &target), ("prob", &prob_text)],
+                );
                 let (na, nb) = (self.resolve(a), self.resolve(b));
                 self.net().set_link_loss_between(na, nb, Some(*prob));
             }
             FaultKind::LossClear { a, b } => {
+                let target = format!("{a}<->{b}");
+                s.telemetry.event(
+                    "fault-recovered",
+                    a,
+                    &[("kind", "loss-clear"), ("target", &target)],
+                );
                 let (na, nb) = (self.resolve(a), self.resolve(b));
                 self.net().set_link_loss_between(na, nb, None);
             }
             FaultKind::LatencySpike { a, b, extra } => {
-                s.metrics.incr("faults.latency_spikes");
+                s.telemetry.counter_incr("faults-latency-spikes");
+                let target = format!("{a}<->{b}");
+                let extra_ns = extra.as_nanos().to_string();
+                s.telemetry.event(
+                    "fault-injected",
+                    a,
+                    &[("kind", "latency-spike"), ("target", &target), ("extra-ns", &extra_ns)],
+                );
                 let (na, nb) = (self.resolve(a), self.resolve(b));
                 self.net().set_link_extra_delay_between(na, nb, Some(*extra));
             }
             FaultKind::LatencyClear { a, b } => {
+                let target = format!("{a}<->{b}");
+                s.telemetry.event(
+                    "fault-recovered",
+                    a,
+                    &[("kind", "latency-clear"), ("target", &target)],
+                );
                 let (na, nb) = (self.resolve(a), self.resolve(b));
                 self.net().set_link_extra_delay_between(na, nb, None);
             }
@@ -298,7 +339,8 @@ impl FaultInjector {
     // ------------------------------------------------------------------
 
     fn crash_host(&self, s: &mut Scheduler, host: &str) {
-        s.metrics.incr("faults.host_crashes");
+        s.telemetry.counter_incr("faults-host-crashes");
+        s.telemetry.event("fault-injected", host, &[("kind", "host-crash"), ("target", host)]);
         let key = host.to_ascii_lowercase();
         let node = self.resolve(host);
         let (probe, monitor, wizard, sim_host, net) = self.units_on(&key, node);
@@ -319,7 +361,8 @@ impl FaultInjector {
     }
 
     fn reboot_host(&self, s: &mut Scheduler, host: &str) {
-        s.metrics.incr("faults.host_reboots");
+        s.telemetry.counter_incr("faults-host-reboots");
+        s.telemetry.event("fault-recovered", host, &[("kind", "host-reboot"), ("target", host)]);
         let key = host.to_ascii_lowercase();
         let node = self.resolve(host);
         let (probe, monitor, wizard, sim_host, net) = self.units_on(&key, node);
@@ -367,7 +410,8 @@ impl FaultInjector {
     /// but by no intra-group path goes down, and the cut set is remembered
     /// under `name` for [`FaultKind::Heal`].
     fn partition(&self, s: &mut Scheduler, name: &str, side_a: &[String], side_b: &[String]) {
-        s.metrics.incr("faults.partitions");
+        s.telemetry.counter_incr("faults-partitions");
+        s.telemetry.event("fault-injected", name, &[("kind", "partition"), ("target", name)]);
         let a_nodes: Vec<NodeId> = side_a.iter().map(|h| self.resolve(h)).collect();
         let b_nodes: Vec<NodeId> = side_b.iter().map(|h| self.resolve(h)).collect();
         let net = self.net();
@@ -399,15 +443,27 @@ impl FaultInjector {
     }
 
     fn heal(&self, s: &mut Scheduler, name: &str) {
-        s.metrics.incr("faults.heals");
+        s.telemetry.counter_incr("faults-heals");
+        s.telemetry.event("fault-recovered", name, &[("kind", "heal"), ("target", name)]);
         let cut = self.inner.borrow_mut().partitions.remove(name);
         if let Some(cut) = cut {
             self.net().set_links_up(s, &cut, true);
         }
     }
 
+    /// `(host-for-the-timeline, target-description)` of a daemon.
+    fn daemon_label(daemon: &Daemon) -> (String, String) {
+        match daemon {
+            Daemon::Probe(host) => (host.clone(), format!("probe@{host}")),
+            Daemon::Monitor(host) => (host.clone(), format!("monitor@{host}")),
+            Daemon::Wizard => ("wizard".to_owned(), "wizard".to_owned()),
+        }
+    }
+
     fn daemon_kill(&self, s: &mut Scheduler, daemon: &Daemon) {
-        s.metrics.incr("faults.daemon_kills");
+        s.telemetry.counter_incr("faults-daemon-kills");
+        let (host, target) = Self::daemon_label(daemon);
+        s.telemetry.event("fault-injected", &host, &[("kind", "daemon-kill"), ("target", &target)]);
         match daemon {
             Daemon::Probe(host) => {
                 let p = self.inner.borrow().probes.get(&host.to_ascii_lowercase()).cloned();
@@ -434,7 +490,13 @@ impl FaultInjector {
     }
 
     fn daemon_restart(&self, s: &mut Scheduler, daemon: &Daemon) {
-        s.metrics.incr("faults.daemon_restarts");
+        s.telemetry.counter_incr("faults-daemon-restarts");
+        let (host, target) = Self::daemon_label(daemon);
+        s.telemetry.event(
+            "fault-recovered",
+            &host,
+            &[("kind", "daemon-restart"), ("target", &target)],
+        );
         match daemon {
             Daemon::Probe(host) => {
                 let p = self.inner.borrow().probes.get(&host.to_ascii_lowercase()).cloned();
@@ -479,7 +541,7 @@ impl FaultInjector {
         if s.now() > cfg.until {
             return;
         }
-        s.metrics.incr("faults.chaos_ticks");
+        s.telemetry.counter_incr("faults-chaos-ticks");
 
         if self.roll(cfg.host_crash_prob) {
             let up = self.pick_host(|inj, h| {
@@ -654,9 +716,9 @@ mod tests {
         assert!(!net.reachable(h1, h3), "link is down between the plan's events");
         s.run_until(SimTime::from_secs(4));
         assert!(net.reachable(h1, h3), "restored after LinkUp");
-        assert_eq!(s.metrics.get("faults.link_down"), 1);
-        assert_eq!(s.metrics.get("faults.link_up"), 1);
-        assert_eq!(s.metrics.get("faults.applied"), 2);
+        assert_eq!(s.telemetry.counter("faults-link-down"), 1);
+        assert_eq!(s.telemetry.counter("faults-link-up"), 1);
+        assert_eq!(s.telemetry.counter("faults-applied"), 2);
     }
 
     #[test]
@@ -679,8 +741,8 @@ mod tests {
         inj.apply(&mut s, &FaultKind::Heal { name: "split".into() });
         assert!(net.reachable(h1, h3));
         assert!(net.reachable(h4, h2));
-        assert_eq!(s.metrics.get("faults.partitions"), 1);
-        assert_eq!(s.metrics.get("faults.heals"), 1);
+        assert_eq!(s.telemetry.counter("faults-partitions"), 1);
+        assert_eq!(s.telemetry.counter("faults-heals"), 1);
     }
 
     #[test]
@@ -694,10 +756,10 @@ mod tests {
                 let node = net.node_by_name(name).unwrap();
                 assert!(net.node_up(node), "{name} recovered after chaos ended");
             }
-            s.metrics.iter().map(|(k, v)| format!("{k}={v}")).collect()
+            s.telemetry.export_jsonl().lines().map(str::to_owned).collect()
         };
         let a = run(91);
-        assert!(a.iter().any(|m| m.starts_with("faults.applied=")), "chaos injected something");
+        assert!(a.iter().any(|m| m.contains("\"faults-applied\"")), "chaos injected something");
         assert_eq!(a, run(91), "same seed, byte-identical metrics");
         assert_ne!(a, run(92), "different seed, different fault history");
     }

@@ -68,7 +68,7 @@ pub fn estimate(
         // Tear the flood down by letting it run: in the fluid model we
         // cannot abort a flow, so the harness uses short-lived networks;
         // real iperf stops sending. Record and report.
-        s.metrics.incr("iperf.measurements");
+        s.telemetry.counter_incr("iperf-measurements");
         on_done(s, bw);
     });
 }

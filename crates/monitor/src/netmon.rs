@@ -13,7 +13,7 @@ use std::rc::Rc;
 use smartsock_net::{Network, Payload};
 use smartsock_proto::consts::{ports, timing};
 use smartsock_proto::{Endpoint, Ip, NetPathRecord};
-use smartsock_sim::{Scheduler, SimDuration};
+use smartsock_sim::{Scheduler, SimDuration, SpanId};
 
 use crate::db::SharedNetDb;
 use crate::estimator::{reduce_round, ProbePairSpec};
@@ -70,6 +70,8 @@ struct RoundCtx {
     /// Completion callback; owned here so the timeout guards can fire it
     /// even when the echo chain stalls (unreachable peer).
     on_done: Option<DoneCb>,
+    /// The round's "netmon-round" span, closed when the round finalizes.
+    span: SpanId,
 }
 
 impl NetworkMonitor {
@@ -122,12 +124,14 @@ impl NetworkMonitor {
         peer: Ip,
         on_done: impl FnOnce(&mut Scheduler, Option<NetPathRecord>) + 'static,
     ) {
+        let span = s.telemetry.span_start("netmon-round", &self.ip.to_string());
         let ctx = Rc::new(RefCell::new(RoundCtx {
             samples: Vec::new(),
             t1: None,
             resolved: 0,
             finished: false,
             on_done: Some(Box::new(on_done)),
+            span,
         }));
         self.clone().send_pair(s, peer, Rc::clone(&ctx), 0);
         // Round guard: if echoes stop coming back, finalize with whatever
@@ -180,8 +184,11 @@ impl NetworkMonitor {
         }
         let from = Endpoint::new(self.ip, ports::MON_NET);
         let to = Endpoint::new(peer, ports::UDP_PROBE_CLOSED);
-        s.metrics.incr("netmon.probes");
-        s.metrics.add("netmon.bytes", u64::from(self.cfg.spec.s1_bytes + self.cfg.spec.s2_bytes));
+        s.telemetry.counter_incr("netmon-probes");
+        s.telemetry.counter_add(
+            "netmon-bytes",
+            u64::from(self.cfg.spec.s1_bytes + self.cfg.spec.s2_bytes),
+        );
         // Per-pair timeout: if either echo is lost, skip this pair and
         // move on rather than stalling the whole round (§3.3.1: loss is
         // rare but must not wedge the sequential schedule).
@@ -193,7 +200,7 @@ impl NetworkMonitor {
                 !c.finished && c.resolved == pair_index
             };
             if stuck {
-                s.metrics.incr("netmon.pairs_timed_out");
+                s.telemetry.counter_incr("netmon-pairs-timed-out");
                 {
                     let mut c = guard_ctx.borrow_mut();
                     c.resolved = pair_index + 1;
@@ -247,13 +254,13 @@ impl NetworkMonitor {
     }
 
     fn finish_round(&self, s: &mut Scheduler, peer: Ip, ctx: &Rc<RefCell<RoundCtx>>) {
-        let on_done = {
+        let (on_done, span) = {
             let mut c = ctx.borrow_mut();
             if c.finished {
                 return;
             }
             c.finished = true;
-            c.on_done.take()
+            (c.on_done.take(), c.span)
         };
         let record = reduce_round(self.cfg.spec, &ctx.borrow().samples).map(|est| NetPathRecord {
             from_monitor: self.ip,
@@ -264,10 +271,21 @@ impl NetworkMonitor {
         });
         if let Some(rec) = record {
             self.db.write().upsert(rec);
-            s.metrics.incr("netmon.rounds_ok");
+            s.telemetry.counter_incr("netmon-rounds-ok");
+            s.telemetry.event(
+                "netmon-estimate-converged",
+                &self.ip.to_string(),
+                &[
+                    ("peer", &peer.to_string()),
+                    ("bw-mbps", &format!("{:.3}", rec.bw_mbps)),
+                    ("delay-ms", &format!("{:.3}", rec.delay_ms)),
+                    ("samples", &ctx.borrow().samples.len().to_string()),
+                ],
+            );
         } else {
-            s.metrics.incr("netmon.rounds_empty");
+            s.telemetry.counter_incr("netmon-rounds-empty");
         }
+        s.telemetry.span_end(span);
         self.st.borrow_mut().rounds_completed += 1;
         if let Some(cb) = on_done {
             cb(s, record);
@@ -377,7 +395,7 @@ mod tests {
         });
         s.run_until(SimTime::from_secs(60));
         assert!(*got.borrow(), "guard must finalize the round");
-        assert_eq!(s.metrics.get("netmon.rounds_empty"), 1);
+        assert_eq!(s.telemetry.counter("netmon-rounds-empty"), 1);
     }
 
     #[test]

@@ -173,7 +173,7 @@ fn next_stream(
             }
             st.iterations_left -= 1;
         }
-        s.metrics.incr("slops.streams");
+        s.telemetry.counter_incr("slops-streams");
         let net2 = net.clone();
         let resume = s.now() + cfg.stream_gap;
         s.schedule_at(resume, move |s| {
@@ -234,7 +234,7 @@ mod tests {
         });
         s.run();
         assert!(got.borrow().is_some());
-        assert!(s.metrics.get("slops.streams") >= 8, "one stream per iteration");
+        assert!(s.telemetry.counter("slops-streams") >= 8, "one stream per iteration");
         // The receiver port is released afterwards.
         let ep = Endpoint::new(net.ip_of(c), SLOPS_PORT);
         let echoed = Rc::new(RefCell::new(false));

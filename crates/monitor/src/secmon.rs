@@ -45,7 +45,7 @@ impl SecurityMonitor {
 
     fn tick(&self, s: &mut Scheduler) {
         if self.scan().is_err() {
-            s.metrics.incr("secmon.bad_scans");
+            s.telemetry.counter_incr("secmon-bad-scans");
         }
         let mon = self.clone();
         s.schedule_in(self.rescan_interval, move |s| mon.tick(s));

@@ -53,16 +53,16 @@ impl SystemMonitor {
         let mon = self.clone();
         net.bind_udp(self.endpoint(), move |s, dgram| {
             let Ok(text) = std::str::from_utf8(&dgram.payload.data) else {
-                s.metrics.incr("sysmon.bad_reports");
+                s.telemetry.counter_incr("sysmon-bad-reports");
                 return;
             };
             match ServerStatusReport::parse_ascii(text) {
                 Ok(report) => {
-                    s.metrics.incr("sysmon.reports");
-                    s.metrics.add("sysmon.bytes", dgram.payload.len());
+                    s.telemetry.counter_incr("sysmon-reports");
+                    s.telemetry.counter_add("sysmon-bytes", dgram.payload.len());
                     mon.db.write().upsert(report, s.now());
                 }
-                Err(_) => s.metrics.incr("sysmon.bad_reports"),
+                Err(_) => s.telemetry.counter_incr("sysmon-bad-reports"),
             }
         });
         let mon = self.clone();
@@ -82,7 +82,7 @@ impl SystemMonitor {
     /// that expired during the outage is purged at once), resume the loop.
     pub fn restart(&self, s: &mut Scheduler, net: &Network) {
         self.epoch.set(self.epoch.get() + 1);
-        s.metrics.incr("sysmon.restarts");
+        s.telemetry.counter_incr("sysmon-restarts");
         self.start(s, net);
         self.sweep_once(s);
     }
@@ -100,7 +100,14 @@ impl SystemMonitor {
         let max_age = self.cfg.probe_interval.saturating_mul(u64::from(timing::FAILURE_INTERVALS));
         let dropped = self.db.write().expire(s.now(), max_age);
         if !dropped.is_empty() {
-            s.metrics.add("sysmon.expired", dropped.len() as u64);
+            s.telemetry.counter_add("sysmon-expired", dropped.len() as u64);
+            for ip in &dropped {
+                s.telemetry.event(
+                    "status-db-expired",
+                    &self.ip.to_string(),
+                    &[("db", "sysdb"), ("server", &ip.to_string())],
+                );
+            }
         }
     }
 
@@ -149,8 +156,8 @@ mod tests {
         let (mut s, _net, _hosts, mon) = rig(4);
         s.run_until(SimTime::from_secs(5));
         assert_eq!(mon.live_servers(), 4);
-        assert_eq!(s.metrics.get("sysmon.reports"), 8); // t=2 and t=4
-        assert_eq!(s.metrics.get("sysmon.bad_reports"), 0);
+        assert_eq!(s.telemetry.counter("sysmon-reports"), 8); // t=2 and t=4
+        assert_eq!(s.telemetry.counter("sysmon-bad-reports"), 0);
     }
 
     #[test]
@@ -182,7 +189,7 @@ mod tests {
             None,
         );
         s.run_until(SimTime::from_secs(1));
-        assert_eq!(s.metrics.get("sysmon.bad_reports"), 1);
+        assert_eq!(s.telemetry.counter("sysmon-bad-reports"), 1);
         assert_eq!(mon.live_servers(), 0);
     }
 

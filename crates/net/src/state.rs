@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use smartsock_proto::{Endpoint, HostName, Ip};
-use smartsock_sim::{rng as simrng, Scheduler, SimDuration, SimTime};
+use smartsock_sim::{rng as simrng, Scheduler, SimDuration, SimTime, Telemetry};
 
 use crate::flow::{Flow, FlowStats, FlowTable, OnComplete, LOOPBACK_RATE_BPS};
 use crate::packet::{
@@ -235,29 +235,30 @@ impl Network {
             (src, dst)
         };
         let (Some(src), Some(dst)) = (src, dst) else {
-            s.metrics.incr("net.udp_dropped_unroutable");
+            s.telemetry.counter_incr("net-udp-dropped-unroutable");
             return;
         };
-        s.metrics.incr("net.udp_datagrams");
-        s.metrics.add("net.udp_bytes", udp_wire_size(payload.len()));
+        s.telemetry.counter_incr("net-udp-datagrams");
+        s.telemetry.counter_add("net-udp-bytes", udp_wire_size(payload.len()));
 
         let arrival = {
+            let now = s.now();
             let mut st = self.st.borrow_mut();
-            transit_time(&mut st, s.now(), src, dst, payload.len(), true)
+            transit_time(&mut st, &mut s.telemetry, now, src, dst, payload.len(), true)
         };
         let arrival = match arrival {
             Ok(at) => at,
             Err(Blocked::LinkDown) => {
-                s.metrics.incr("net.link_down_drops");
+                s.telemetry.counter_incr("net-link-down-drops");
                 return;
             }
             Err(Blocked::HostDown) => {
-                s.metrics.incr("net.host_down_drops");
+                s.telemetry.counter_incr("net-host-down-drops");
                 return;
             }
             Err(Blocked::Unroutable | Blocked::Loss) => {
                 // Either no route or a loss roll along the path.
-                s.metrics.incr("net.udp_lost");
+                s.telemetry.counter_incr("net-udp-lost");
                 return;
             }
         };
@@ -280,7 +281,7 @@ impl Network {
         // The destination may have gone down while the datagram was in
         // flight: it vanishes without even an ICMP answer.
         if !self.st.borrow().nodes[dst].up {
-            s.metrics.incr("net.host_down_drops");
+            s.telemetry.counter_incr("net-host-down-drops");
             return;
         }
         let handler = self.st.borrow().udp_handlers.get(&datagram.to).cloned();
@@ -295,14 +296,23 @@ impl Network {
                 // probe RTT proportional to datagram size).
                 let Some(cb) = on_icmp else { return };
                 let back = {
+                    let now = s.now();
                     let mut st = self.st.borrow_mut();
                     // ICMP replies are small single-fragment datagrams and
                     // skip the init stage (kernel-generated, no new
                     // socket-to-NIC handoff modelled).
-                    transit_time(&mut st, s.now(), dst, src, ICMP_UNREACHABLE_WIRE, false)
+                    transit_time(
+                        &mut st,
+                        &mut s.telemetry,
+                        now,
+                        dst,
+                        src,
+                        ICMP_UNREACHABLE_WIRE,
+                        false,
+                    )
                 };
                 let Ok(back) = back else { return };
-                s.metrics.incr("net.icmp_echoes");
+                s.telemetry.counter_incr("net-icmp-echoes");
                 let echo = IcmpEcho {
                     sent_at: datagram.sent_at,
                     received_at: back,
@@ -348,11 +358,11 @@ impl Network {
             (src, dst)
         };
         let (Some(src), Some(dst)) = (src, dst) else {
-            s.metrics.incr("net.stream_dropped_unroutable");
+            s.telemetry.counter_incr("net-stream-dropped-unroutable");
             return;
         };
         let Some(rtt) = self.base_rtt(src, dst) else {
-            s.metrics.incr("net.stream_dropped_unroutable");
+            s.telemetry.counter_incr("net-stream-dropped-unroutable");
             return;
         };
         // TCP needs a working duplex path at connect time: a down host or
@@ -362,14 +372,14 @@ impl Network {
         {
             let st = self.st.borrow();
             if !path_up(&st, src, dst) || !path_up(&st, dst, src) {
-                s.metrics.incr("net.stream_blocked");
+                s.telemetry.counter_incr("net-stream-blocked");
                 return;
             }
         }
-        s.metrics.incr("net.stream_messages");
+        s.telemetry.counter_incr("net-stream-messages");
         // ~3% header/ack overhead on the wire.
         let wire_bytes = payload.len() + payload.len() / 32 + 64;
-        s.metrics.add("net.stream_bytes", wire_bytes);
+        s.telemetry.counter_add("net-stream-bytes", wire_bytes);
 
         let start_at = s.now() + SimDuration::from_nanos(rtt.as_nanos() * 3 / 2);
         let net = self.clone();
@@ -381,7 +391,7 @@ impl Network {
                 if let Some(h) = handler {
                     h.borrow_mut()(s, msg);
                 } else {
-                    s.metrics.incr("net.stream_refused");
+                    s.telemetry.counter_incr("net-stream-refused");
                 }
             });
         });
@@ -406,7 +416,7 @@ impl Network {
             let mut st = self.st.borrow_mut();
             let Some(links) = path_links_inner(&st, src, dst) else {
                 drop(st);
-                s.metrics.incr("net.flow_dropped_unroutable");
+                s.telemetry.counter_incr("net-flow-dropped-unroutable");
                 return;
             };
             let flow = Flow {
@@ -422,7 +432,8 @@ impl Network {
             st.flows.insert(flow)
         };
         let _ = inserted;
-        s.metrics.incr("net.flows_started");
+        s.telemetry.counter_incr("net-flows-started");
+        s.telemetry.gauge_set("net-active-flows", "net", self.active_flows() as i64);
         self.recompute_flows(s);
     }
 
@@ -500,7 +511,8 @@ impl Network {
             }
         };
         let Some((stats, cb)) = done else { return };
-        s.metrics.incr("net.flows_completed");
+        s.telemetry.counter_incr("net-flows-completed");
+        s.telemetry.gauge_set("net-active-flows", "net", self.active_flows() as i64);
         self.recompute_flows(s);
         if let Some(cb) = cb {
             cb(s, stats);
@@ -535,7 +547,7 @@ impl Network {
             st.udp_handlers.retain(|ep, _| ep.ip != ip);
             st.stream_handlers.retain(|ep, _| ep.ip != ip);
         }
-        s.metrics.incr("net.node_crashes");
+        s.telemetry.counter_incr("net-node-crashes");
         self.recompute_flows(s);
     }
 
@@ -543,7 +555,7 @@ impl Network {
     /// sockets (the fault layer restarts them explicitly).
     pub fn revive_node(&self, s: &mut Scheduler, node: NodeId) {
         self.st.borrow_mut().nodes[node].up = true;
-        s.metrics.incr("net.node_revivals");
+        s.telemetry.counter_incr("net-node-revivals");
         self.recompute_flows(s);
     }
 
@@ -658,6 +670,7 @@ fn path_links_inner(st: &State, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>>
 /// (disabled for kernel-generated ICMP replies).
 fn transit_time(
     st: &mut State,
+    tel: &mut Telemetry,
     now: SimTime,
     src: NodeId,
     dst: NodeId,
@@ -708,6 +721,10 @@ fn transit_time(
     let wire = udp_wire_size(payload);
     let mtu = src_params.mtu;
     let frags = fragment_sizes(payload, mtu);
+    tel.counter_add("net-fragments", frags.len() as u64);
+    if frags.len() > 1 {
+        tel.counter_incr("net-datagrams-fragmented");
+    }
 
     if with_init_stage {
         if let Some(speed) = src_params.speed_init_bps {
@@ -745,6 +762,13 @@ fn transit_time(
             prev_arrival = arrival;
             ready[i] = arrival;
         }
+    }
+    // Serialization backlog left behind on each traversed link: how far
+    // into the future the link is already committed. This is the per-link
+    // queue-depth signal the ROADMAP's hot-path work reads.
+    for &lid in &links {
+        let backlog_ns = st.links[lid].busy_until.0.saturating_sub(now.0);
+        tel.gauge_set("net-link-backlog-ns", &format!("l{lid}"), backlog_ns as i64);
     }
     let last = ready.into_iter().max().unwrap_or(t);
     Ok(last + st.nodes[dst].params.sys_overhead)

@@ -66,7 +66,7 @@ impl CrossTraffic {
         if !*self.active.borrow() {
             return;
         }
-        s.metrics.incr("net.cross_bursts");
+        s.telemetry.counter_incr("net-cross-bursts");
         self.net.start_flow(s, self.src, self.dst, self.bytes_per_burst, |_s, _stats| {});
         let gen = self.clone();
         s.schedule_in(self.period, move |s| gen.burst(s));
@@ -155,7 +155,7 @@ mod tests {
         s.run_until(SimTime::from_secs(20));
         gen.stop();
         s.run_until(SimTime::from_secs(40));
-        let bursts = s.metrics.get("net.cross_bursts");
+        let bursts = s.telemetry.counter("net-cross-bursts");
         // ~5 bursts per second (200 ms period) for 20 s.
         assert!((80..=120).contains(&(bursts as i64)), "bursts {bursts}");
         assert!(!gen.is_active());

@@ -261,8 +261,8 @@ fn unroutable_traffic_is_counted_not_crashing() {
     net.send_udp(&mut s, from, nowhere, Payload::zeroes(10), None);
     net.send_stream(&mut s, from, nowhere, Payload::zeroes(10));
     s.run();
-    assert_eq!(s.metrics.get("net.udp_dropped_unroutable"), 1);
-    assert_eq!(s.metrics.get("net.stream_dropped_unroutable"), 1);
+    assert_eq!(s.telemetry.counter("net-udp-dropped-unroutable"), 1);
+    assert_eq!(s.telemetry.counter("net-stream-dropped-unroutable"), 1);
 }
 
 #[test]

@@ -142,7 +142,7 @@ impl ServerProbe {
             st.prev_disk = procfs::DiskCounters::default();
             st.prev_sample_at = SimTime::ZERO;
         }
-        s.metrics.incr("probe.restarts");
+        s.telemetry.counter_incr("probe-restarts");
         self.start(s);
     }
 
@@ -251,9 +251,8 @@ impl ServerProbe {
         let bytes = line.len() as u64;
         let from =
             Endpoint::new(self.host.ip(), 40000 + (self.st.borrow().reports_sent % 1000) as u16);
-        let metric = format!("probe.{}.bytes", self.host.name());
-        s.metrics.add(&metric, bytes);
-        s.metrics.incr("probe.reports");
+        s.telemetry.counter_add_labeled("probe-report-bytes", self.host.name().as_str(), bytes);
+        s.telemetry.counter_incr("probe-reports");
         self.host.note_tx(bytes + 28, 1);
         let payload = Payload::data(line.into_bytes());
         if self.cfg.use_tcp {
@@ -387,7 +386,7 @@ mod tests {
         let (mut s, net, host, _got) = rig();
         ServerProbe::new(host, net, ProbeConfig::new(Ip::new(192, 168, 3, 1))).start(&mut s);
         s.run_until(SimTime::from_secs(60));
-        let bytes = s.metrics.get("probe.helene.bytes");
+        let bytes = s.telemetry.counter_labeled("probe-report-bytes", "helene");
         let rate = bytes as f64 / 60.0;
         assert!(rate > 40.0 && rate < 620.0, "probe payload rate {rate} B/s");
     }

@@ -22,8 +22,13 @@
 //!   closures receiving `&mut Scheduler`, so handlers can schedule follow-up
 //!   events. Ties in time break on a monotone sequence number, making runs
 //!   deterministic regardless of heap internals.
-//! * [`metrics`] — lightweight named counters used by the harness to account
-//!   bytes/messages per component (Table 5.2 of the paper).
+//! * [`Scheduler::telemetry`] — the deterministic observability sink
+//!   (spans, events, counters, gauges, histograms) from
+//!   `smartsock-telemetry`, clock-synced to virtual time. The harness uses
+//!   it to account bytes/messages per component (Table 5.2 of the paper)
+//!   and to export JSONL traces.
+//! * [`metrics`] — the deprecated counter facade over the telemetry store,
+//!   kept for pre-telemetry callers.
 //! * [`rng`] — helpers for deriving independent, stable RNG streams from a
 //!   single experiment seed.
 #![forbid(unsafe_code)]
@@ -36,4 +41,5 @@ pub mod time;
 
 pub use metrics::Metrics;
 pub use scheduler::{EventId, Scheduler};
+pub use smartsock_telemetry::{SpanId, Telemetry};
 pub use time::{SimDuration, SimTime};

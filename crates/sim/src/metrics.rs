@@ -1,34 +1,53 @@
-//! Named counters for per-component resource accounting.
+//! Legacy named-counter facade over the telemetry counter store.
 //!
 //! Table 5.2 of the paper reports, for each library component, the CPU,
-//! memory and network bandwidth consumed while eleven probes report. In the
-//! simulation we account the analogous observable quantities — bytes and
-//! messages sent/received per component — and the harness divides by the
-//! observation window to print KB/s figures with the same shape.
+//! memory and network bandwidth consumed while eleven probes report. The
+//! counters behind that accounting now live in `smartsock-telemetry`
+//! (`Scheduler::telemetry`); this module remains as a **deprecated
+//! compatibility facade** so external callers of `Scheduler::metrics` keep
+//! working. Both views share one store: a counter bumped through either API
+//! is visible through the other.
+//!
+//! New code should use `Scheduler::telemetry` directly
+//! (`counter_add` / `counter_incr` / `counter_add_labeled`), which also
+//! enforces static kebab-case metric names via the `SS-OBS-001` analyzer
+//! rule.
 
-use std::collections::BTreeMap;
+use smartsock_telemetry::SharedCounters;
 
 /// A set of monotonically increasing named counters.
 ///
-/// Keys are `&'static str`-free owned strings so components can build
-/// compound names like `"probe.192.168.1.2.udp_bytes"`. A `BTreeMap` keeps
-/// report output deterministically ordered.
-#[derive(Clone, Debug, Default)]
+/// Deprecated facade: see the module docs. A `Metrics` value is a handle to
+/// a shared store — cloning it clones the handle, not the counters.
+#[derive(Clone, Debug)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    store: SharedCounters,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
+    /// A standalone store (not attached to any telemetry sink).
     pub fn new() -> Self {
-        Self::default()
+        Metrics { store: SharedCounters::default() }
+    }
+
+    /// A facade over an existing telemetry counter store.
+    pub fn from_shared(store: SharedCounters) -> Self {
+        Metrics { store }
     }
 
     /// Add `delta` to the counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, delta: u64) {
-        if let Some(v) = self.counters.get_mut(name) {
+        let mut c = self.store.borrow_mut();
+        if let Some(v) = c.get_mut(name) {
             *v += delta;
         } else {
-            self.counters.insert(name.to_owned(), delta);
+            c.insert(name.to_owned(), delta);
         }
     }
 
@@ -39,35 +58,39 @@ impl Metrics {
 
     /// Current value of `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.store.borrow().get(name).copied().unwrap_or(0)
     }
 
     /// Sum of every counter whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.counters
+        self.store
+            .borrow()
             .range(prefix.to_owned()..)
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(_, v)| *v)
             .sum()
     }
 
-    /// Iterate `(name, value)` pairs in lexicographic order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    /// Snapshot of `(name, value)` pairs in lexicographic order.
+    ///
+    /// Historically this returned a borrowing iterator; the shared interior
+    /// store makes that impossible, so it now returns an owned snapshot.
+    pub fn iter(&self) -> Vec<(String, u64)> {
+        self.store.borrow().iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Drop all counters (used between experiment repetitions).
     pub fn clear(&mut self) {
-        self.counters.clear();
+        self.store.borrow_mut().clear();
     }
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.store.borrow().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.store.borrow().is_empty()
     }
 }
 
@@ -102,10 +125,23 @@ mod tests {
         let mut m = Metrics::new();
         m.add("b", 2);
         m.add("a", 1);
-        let names: Vec<_> = m.iter().map(|(k, _)| k.to_owned()).collect();
+        let names: Vec<_> = m.iter().into_iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b"]);
         assert_eq!(m.len(), 2);
         m.clear();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn facade_and_telemetry_share_one_store() {
+        let mut t = smartsock_telemetry::Telemetry::new();
+        let mut m = Metrics::from_shared(t.shared_counters());
+        m.add("legacy.name", 2);
+        t.counter_add("telemetry-name", 3);
+        assert_eq!(t.counter("legacy.name"), 2);
+        assert_eq!(m.get("telemetry-name"), 3);
+        let mut m2 = m.clone();
+        m2.incr("legacy.name");
+        assert_eq!(m.get("legacy.name"), 3, "clone shares the handle");
     }
 }

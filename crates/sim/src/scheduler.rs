@@ -11,6 +11,8 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
+use smartsock_telemetry::Telemetry;
+
 use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
 
@@ -72,8 +74,18 @@ pub struct Scheduler {
     seq: u64,
     heap: BinaryHeap<Reverse<Entry>>,
     cancelled: BTreeSet<u64>,
-    /// Named counters shared by all components (bytes sent, messages, ...).
+    /// The deterministic observability sink: counters, gauges, histograms,
+    /// spans and events, all keyed to virtual time. The scheduler keeps its
+    /// clock in sync before dispatching each event.
+    pub telemetry: Telemetry,
+    /// Deprecated counter facade sharing the telemetry counter store; kept
+    /// so pre-telemetry callers of `s.metrics` continue to work. New code
+    /// should use [`Scheduler::telemetry`].
     pub metrics: Metrics,
+    /// When set, every event dispatch is wrapped in a `sim-event-dispatch`
+    /// span. Off by default: traces stay proportional to what daemons emit,
+    /// not to the raw event count.
+    pub trace_dispatch: bool,
     /// Hard ceiling on processed events, guarding against runaway loops in
     /// experiment scripts. `None` disables the guard.
     pub event_limit: Option<u64>,
@@ -88,14 +100,37 @@ impl Default for Scheduler {
 
 impl Scheduler {
     pub fn new() -> Self {
+        let telemetry = Telemetry::new();
+        let metrics = Metrics::from_shared(telemetry.shared_counters());
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
             cancelled: BTreeSet::new(),
-            metrics: Metrics::new(),
+            telemetry,
+            metrics,
+            trace_dispatch: false,
             event_limit: Some(200_000_000),
             processed: 0,
+        }
+    }
+
+    /// Advance the virtual clock to `at` and mirror it into the telemetry
+    /// sink, so records carry the dispatch timestamp.
+    fn advance_clock(&mut self, at: SimTime) {
+        self.now = at;
+        self.telemetry.set_now(at.0);
+    }
+
+    /// Run one event callback with dispatch accounting.
+    fn dispatch(&mut self, run: EventFn) {
+        self.telemetry.counter_incr("sim-events-dispatched");
+        if self.trace_dispatch {
+            let span = self.telemetry.span_start("sim-event-dispatch", "sim");
+            run(self);
+            self.telemetry.span_end(span);
+        } else {
+            run(self);
         }
     }
 
@@ -157,7 +192,7 @@ impl Scheduler {
     /// bug in the experiment script, and failing loudly beats hanging.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(Reverse(entry)) = self.heap.peek_mut_pop_if(deadline) {
-            self.now = entry.at;
+            self.advance_clock(entry.at);
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
@@ -168,10 +203,10 @@ impl Scheduler {
                     "scheduler event limit exceeded ({limit}); runaway periodic task?"
                 );
             }
-            (entry.run)(self);
+            self.dispatch(entry.run);
         }
         if deadline != SimTime::FAR_FUTURE {
-            self.now = self.now.max(deadline);
+            self.advance_clock(self.now.max(deadline));
         }
     }
 
@@ -203,12 +238,12 @@ impl Scheduler {
             match self.heap.pop() {
                 None => return false,
                 Some(Reverse(entry)) => {
-                    self.now = entry.at;
+                    self.advance_clock(entry.at);
                     if self.cancelled.remove(&entry.seq) {
                         continue;
                     }
                     self.processed += 1;
-                    (entry.run)(self);
+                    self.dispatch(entry.run);
                     return true;
                 }
             }
@@ -356,6 +391,43 @@ mod tests {
         // And the empty queue.
         sim.run_while(SimTime::FAR_FUTURE, || true);
         assert_eq!(*hits.borrow(), 10);
+    }
+
+    #[test]
+    fn telemetry_clock_tracks_dispatch_time() {
+        let mut sim = Scheduler::new();
+        sim.schedule_at(SimTime::from_secs(3), |s| {
+            assert_eq!(s.telemetry.now_ns(), SimTime::from_secs(3).0);
+            s.telemetry.event("tick-event", "sim", &[]);
+        });
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.telemetry.now_ns(), SimTime::from_secs(10).0);
+        assert_eq!(sim.telemetry.event_count("tick-event"), 1);
+        assert_eq!(sim.telemetry.counter("sim-events-dispatched"), 1);
+    }
+
+    #[test]
+    fn metrics_facade_shares_the_telemetry_store() {
+        let mut sim = Scheduler::new();
+        sim.metrics.incr("legacy.counter");
+        sim.telemetry.counter_add("new-counter", 5);
+        assert_eq!(sim.telemetry.counter("legacy.counter"), 1);
+        assert_eq!(sim.metrics.get("new-counter"), 5);
+    }
+
+    #[test]
+    fn dispatch_spans_are_opt_in() {
+        let mut sim = Scheduler::new();
+        sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        sim.run();
+        assert!(sim.telemetry.span_durations_ns("sim-event-dispatch").is_empty());
+
+        let mut sim = Scheduler::new();
+        sim.trace_dispatch = true;
+        sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        sim.schedule_in(SimDuration::from_secs(2), |_| {});
+        sim.run();
+        assert_eq!(sim.telemetry.span_durations_ns("sim-event-dispatch").len(), 2);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! `telemetry` — query a smartsock JSONL trace.
+//!
+//! ```text
+//! telemetry summary <trace.jsonl>          per-span-name count/total/p50/p95/p99 + events
+//! telemetry timeline <host> <trace.jsonl>  ordered record log for one host
+//! telemetry slowest <n> <trace.jsonl>      worst spans with ancestry
+//! ```
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::io::{ErrorKind, Write};
+use std::process::ExitCode;
+
+use smartsock_telemetry::trace::Trace;
+
+const USAGE: &str = "usage:\n  telemetry summary <trace.jsonl>\n  telemetry timeline <host> <trace.jsonl>\n  telemetry slowest <n> <trace.jsonl>\n";
+
+enum CmdError {
+    /// User-facing failure: print to stderr, exit non-zero.
+    Msg(String),
+    /// Downstream pipe closed (e.g. `telemetry slowest 100 t.jsonl | head`):
+    /// stop writing, exit clean.
+    Pipe,
+}
+
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == ErrorKind::BrokenPipe {
+            CmdError::Pipe
+        } else {
+            CmdError::Msg(format!("telemetry: write failed: {e}"))
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Trace, CmdError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CmdError::Msg(format!("telemetry: cannot read {path}: {e}")))?;
+    let trace = Trace::parse(&src);
+    if trace.skipped > 0 {
+        eprintln!("telemetry: warning: skipped {} malformed line(s)", trace.skipped);
+    }
+    Ok(trace)
+}
+
+fn cmd_summary(out: &mut impl Write, path: &str) -> Result<(), CmdError> {
+    let tr = load(path)?;
+    let spans = tr.span_summary();
+    writeln!(out, "spans:")?;
+    writeln!(
+        out,
+        "  {:<32} {:>8} {:>14} {:>12} {:>12} {:>12}",
+        "name", "count", "total-ns", "p50-ns", "p95-ns", "p99-ns"
+    )?;
+    for (name, count, total, p50, p95, p99) in &spans {
+        writeln!(out, "  {name:<32} {count:>8} {total:>14} {p50:>12} {p95:>12} {p99:>12}")?;
+    }
+    let events = tr.event_summary();
+    writeln!(out, "events:")?;
+    for (name, count) in &events {
+        writeln!(out, "  {name:<32} {count:>8}")?;
+    }
+    let span_total: u64 = spans.iter().map(|s| s.1).sum();
+    let event_total: u64 = events.iter().map(|e| e.1).sum();
+    writeln!(
+        out,
+        "total: {span_total} spans across {} names, {event_total} events, {} counters",
+        spans.len(),
+        tr.counters.len()
+    )?;
+    Ok(())
+}
+
+fn cmd_timeline(out: &mut impl Write, host: &str, path: &str) -> Result<(), CmdError> {
+    let tr = load(path)?;
+    let rows = tr.timeline(host);
+    for (ns, line) in &rows {
+        writeln!(out, "{ns:>16} {line}")?;
+    }
+    writeln!(out, "total: {} records for host {host}", rows.len())?;
+    Ok(())
+}
+
+fn cmd_slowest(out: &mut impl Write, n: &str, path: &str) -> Result<(), CmdError> {
+    let n: usize = n.parse().map_err(|_| CmdError::Msg(format!("telemetry: not a count: {n}")))?;
+    let tr = load(path)?;
+    for (span, ancestry) in tr.slowest(n) {
+        writeln!(
+            out,
+            "{:>14} ns  [{} .. {}] host={} {ancestry}",
+            span.dur_ns, span.start_ns, span.end_ns, span.host
+        )?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["summary", path] => cmd_summary(&mut out, path),
+        ["timeline", host, path] => cmd_timeline(&mut out, host, path),
+        ["slowest", n, path] => cmd_slowest(&mut out, n, path),
+        _ => Err(CmdError::Msg(USAGE.to_owned())),
+    };
+    let result = result.and_then(|()| out.flush().map_err(CmdError::from));
+    match result {
+        Ok(()) | Err(CmdError::Pipe) => ExitCode::SUCCESS,
+        Err(CmdError::Msg(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -97,10 +97,10 @@ impl Transmitter {
                 let tx = self.clone();
                 self.net.bind_stream(self.endpoint(), move |s, msg| {
                     if &msg.payload.data[..] == PULL_REQUEST {
-                        s.metrics.incr("transmitter.pulls");
+                        s.telemetry.counter_incr("transmitter-pulls");
                         tx.push_snapshot(s);
                     } else {
-                        s.metrics.incr("transmitter.bad_requests");
+                        s.telemetry.counter_incr("transmitter-bad-requests");
                     }
                 });
             }
@@ -133,8 +133,8 @@ impl Transmitter {
         sys.encode(&mut wire);
         net_frame.encode(&mut wire);
         sec.encode(&mut wire);
-        s.metrics.incr("transmitter.snapshots");
-        s.metrics.add("transmitter.bytes", wire.len() as u64);
+        s.telemetry.counter_incr("transmitter-snapshots");
+        s.telemetry.counter_add("transmitter-bytes", wire.len() as u64);
         let from = Endpoint::new(self.ip, ports::TRANSMITTER);
         self.net.send_stream(s, from, self.receiver, Payload::data(wire.freeze()));
     }
@@ -178,7 +178,7 @@ impl Receiver {
                     Ok(Some(frame)) => rx.apply(s, frame),
                     Ok(None) => break,
                     Err(_) => {
-                        s.metrics.incr("receiver.bad_frames");
+                        s.telemetry.counter_incr("receiver-bad-frames");
                         break;
                     }
                 }
@@ -187,8 +187,8 @@ impl Receiver {
     }
 
     fn apply(&self, s: &mut Scheduler, frame: Frame) {
-        s.metrics.incr("receiver.frames");
-        s.metrics.add("receiver.bytes", frame.wire_len() as u64);
+        s.telemetry.counter_incr("receiver-frames");
+        s.telemetry.counter_add("receiver-bytes", frame.wire_len() as u64);
         match frame.rtype {
             smartsock_proto::RecordType::System => match frame.decode_system() {
                 Ok(reports) => {
@@ -198,7 +198,7 @@ impl Receiver {
                         db.upsert(r, now);
                     }
                 }
-                Err(_) => s.metrics.incr("receiver.bad_frames"),
+                Err(_) => s.telemetry.counter_incr("receiver-bad-frames"),
             },
             smartsock_proto::RecordType::Network => match frame.decode_network() {
                 Ok(recs) => {
@@ -207,7 +207,7 @@ impl Receiver {
                         db.upsert(r);
                     }
                 }
-                Err(_) => s.metrics.incr("receiver.bad_frames"),
+                Err(_) => s.telemetry.counter_incr("receiver-bad-frames"),
             },
             smartsock_proto::RecordType::Security => match frame.decode_security() {
                 Ok(recs) => {
@@ -216,7 +216,7 @@ impl Receiver {
                         db.upsert(r);
                     }
                 }
-                Err(_) => s.metrics.incr("receiver.bad_frames"),
+                Err(_) => s.telemetry.counter_incr("receiver-bad-frames"),
             },
         }
     }
@@ -228,7 +228,7 @@ impl Receiver {
         for &tx in transmitters {
             let from = self.endpoint();
             let to = Endpoint::new(tx, ports::TRANSMITTER);
-            s.metrics.incr("receiver.pull_requests");
+            s.telemetry.counter_incr("receiver-pull-requests");
             self.net.send_stream(s, from, to, Payload::data(PULL_REQUEST));
         }
     }
@@ -311,7 +311,7 @@ mod tests {
         .start(&mut r.s);
 
         r.s.run_until(SimTime::from_secs(5));
-        assert!(r.s.metrics.get("transmitter.snapshots") >= 2);
+        assert!(r.s.telemetry.counter("transmitter-snapshots") >= 2);
         let wiz_sys = r.wiz_dbs.0.read().snapshot();
         assert_eq!(wiz_sys.len(), 1);
         assert_eq!(wiz_sys[0].host.as_str(), "helene");
@@ -347,13 +347,13 @@ mod tests {
         .start(&mut r.s);
 
         r.s.run_until(SimTime::from_secs(10));
-        assert_eq!(r.s.metrics.get("transmitter.snapshots"), 0, "no unsolicited pushes");
+        assert_eq!(r.s.telemetry.counter("transmitter-snapshots"), 0, "no unsolicited pushes");
         assert!(r.wiz_dbs.0.read().is_empty());
 
         rx.request_update(&mut r.s, &[r.mon_ip]);
         r.s.run_until(SimTime::from_secs(12));
-        assert_eq!(r.s.metrics.get("transmitter.pulls"), 1);
-        assert_eq!(r.s.metrics.get("transmitter.snapshots"), 1);
+        assert_eq!(r.s.telemetry.counter("transmitter-pulls"), 1);
+        assert_eq!(r.s.telemetry.counter("transmitter-snapshots"), 1);
         assert_eq!(r.wiz_dbs.0.read().len(), 1);
     }
 
@@ -427,8 +427,8 @@ mod tests {
             Payload::data(vec![9u8, 9, 9, 9, 4, 0, 0, 0, 1, 2, 3, 4]),
         );
         r.s.run_until(SimTime::from_secs(2));
-        assert_eq!(r.s.metrics.get("transmitter.bad_requests"), 1);
-        assert_eq!(r.s.metrics.get("receiver.bad_frames"), 1);
+        assert_eq!(r.s.telemetry.counter("transmitter-bad-requests"), 1);
+        assert_eq!(r.s.telemetry.counter("receiver-bad-frames"), 1);
     }
 
     #[test]

@@ -74,6 +74,10 @@ impl Default for WizardConfig {
     }
 }
 
+/// Modeled cost of evaluating one server record against a requirement,
+/// charged to the "wizard-requirement-eval" histogram per match pass.
+const EVAL_NS_PER_RECORD: u64 = 2_000;
+
 /// The wizard daemon.
 #[derive(Clone)]
 pub struct Wizard {
@@ -143,10 +147,10 @@ impl Wizard {
         let wiz = self.clone();
         self.net.bind_udp(self.endpoint(), move |s, dgram| {
             let Ok(req) = UserRequest::decode(&dgram.payload.data) else {
-                s.metrics.incr("wizard.bad_requests");
+                s.telemetry.counter_incr("wizard-bad-requests");
                 return;
             };
-            s.metrics.incr("wizard.requests");
+            s.telemetry.counter_incr("wizard-requests");
             wiz.handle(s, req, dgram.from);
         });
         if let Some(age) = self.cfg.stale_max_age {
@@ -168,7 +172,7 @@ impl Wizard {
     /// Restart a stopped wizard: rebind and resume sweeping.
     pub fn restart(&self, s: &mut Scheduler) {
         self.epoch.set(self.epoch.get() + 1);
-        s.metrics.incr("wizard.restarts");
+        s.telemetry.counter_incr("wizard-restarts");
         self.start(s);
     }
 
@@ -182,7 +186,14 @@ impl Wizard {
         if let Some(age) = self.cfg.stale_max_age {
             let evicted = self.sysdb.write().expire(s.now(), age);
             if !evicted.is_empty() {
-                s.metrics.add("wizard.stale_evictions", evicted.len() as u64);
+                s.telemetry.counter_add("wizard-stale-evictions", evicted.len() as u64);
+                for ip in &evicted {
+                    s.telemetry.event(
+                        "status-db-expired",
+                        &self.ip.to_string(),
+                        &[("db", "wizard-sysdb"), ("server", &ip.to_string())],
+                    );
+                }
             }
         }
         let wiz = self.clone();
@@ -206,12 +217,20 @@ impl Wizard {
     /// §3.6.1 steps 3–4: evaluate and reply. Public so the harness can
     /// drive matching synchronously.
     pub fn match_and_reply(&self, s: &mut Scheduler, req: UserRequest, client: Endpoint) {
+        let span = s.telemetry.span_start("wizard-match", &self.ip.to_string());
+        // Modeled requirement-evaluation cost: the wizard walks every live
+        // record once (§3.6.1 step 3), so charge a fixed per-record price.
+        // Recorded as an observation, NOT as simulated time — matching is
+        // instantaneous in the event model.
+        let records = self.sysdb.read().len() as u64;
+        s.telemetry.observe_ns("wizard-requirement-eval", records * EVAL_NS_PER_RECORD);
         let servers = self.select(s.now(), &req, client.ip);
         let reply = WizardReply { seq: req.seq, servers };
         let payload = Payload::data(reply.encode().freeze());
-        s.metrics.incr("wizard.replies");
-        s.metrics.add("wizard.reply_servers", reply.servers.len() as u64);
+        s.telemetry.counter_incr("wizard-replies");
+        s.telemetry.counter_add("wizard-reply-servers", reply.servers.len() as u64);
         self.net.send_udp(s, self.endpoint(), client, payload, None);
+        s.telemetry.span_end(span);
     }
 
     /// The selection core, independent of the transport: returns the
@@ -595,7 +614,7 @@ mod tests {
         let reply = got.borrow_mut().take().expect("wizard replied");
         assert_eq!(reply.seq, 7);
         assert_eq!(reply.servers.len(), 1);
-        assert_eq!(s.metrics.get("wizard.requests"), 1);
-        assert_eq!(s.metrics.get("wizard.replies"), 1);
+        assert_eq!(s.telemetry.counter("wizard-requests"), 1);
+        assert_eq!(s.telemetry.counter("wizard-replies"), 1);
     }
 }

@@ -4,12 +4,14 @@
 //! then a seeded chaos burst shows the run is reproducible.
 //!
 //! ```text
-//! cargo run --example fault_drill [seed]
+//! cargo run --example fault_drill [seed] [--trace <path>]
 //! ```
 //!
-//! Run it twice with the same seed: the output (including the final
-//! metrics table) is byte-identical. Change the seed and the fault
-//! timings change with it.
+//! Run it twice with the same seed: the output (including the exported
+//! telemetry trace) is byte-identical. Change the seed and the fault
+//! timings change with it. The trace lands in `target/fault_drill.jsonl`
+//! by default; query it with
+//! `cargo run -p smartsock-telemetry -- summary target/fault_drill.jsonl`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -23,7 +25,16 @@ use smartsock::sim::{SimDuration, SimTime};
 use smartsock::Testbed;
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(909);
+    let mut seed = 909u64;
+    let mut trace_path = "target/fault_drill.jsonl".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = args.next().expect("--trace needs a path");
+        } else if let Ok(n) = arg.parse() {
+            seed = n;
+        }
+    }
     let (mut s, tb) = Testbed::paper(seed);
     println!("== fault drill, seed {seed} ==\n");
 
@@ -104,10 +115,35 @@ fn main() {
     s.run_until(s.now() + SimDuration::from_secs(25));
     println!("after chaos: members {:?} (healthy: {})\n", names(&group), group.all_healthy());
 
-    println!("fault & recovery metrics:");
-    for (k, v) in s.metrics.iter() {
-        if k.starts_with("faults.") || k.starts_with("client.") || k.starts_with("net.node") {
-            println!("  {k:<28} {v}");
+    // Recovery is asserted from the emitted telemetry events — the same
+    // records an operator would query from the trace — not from counter
+    // peeks.
+    let injected = s.telemetry.event_count("fault-injected");
+    let recovered = s.telemetry.event_count("fault-recovered");
+    assert!(injected >= 4, "scripted plan + chaos injected faults (got {injected})");
+    assert!(recovered >= 2, "scripted heal/reboot recoveries recorded (got {recovered})");
+    assert!(
+        s.telemetry.event_count("group-repaired") >= 1,
+        "auto-repair replaced at least one dead member"
+    );
+    assert!(
+        s.telemetry.histogram("client-request").is_some(),
+        "client request spans landed in the latency histogram"
+    );
+
+    println!("fault & recovery events:");
+    for name in ["fault-injected", "fault-recovered", "group-repaired"] {
+        for ev in s.telemetry.events_named(name) {
+            let detail = ev.attr("kind").or(ev.attr("replaced")).unwrap_or("-");
+            let target = ev.attr("target").unwrap_or(ev.host.as_str());
+            println!("  {:>8.3}s  {name:<16} {detail:<14} {target}", ev.at_ns as f64 / 1e9);
         }
     }
+
+    if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&trace_path, s.telemetry.export_jsonl()).expect("write trace");
+    println!("\ntrace written to {trace_path}; query it with:");
+    println!("  cargo run -p smartsock-telemetry -- summary {trace_path}");
 }

@@ -100,10 +100,10 @@ fn link_flap_is_survived_by_auto_repair() {
     s.run_until(t0 + SimDuration::from_secs(60));
     assert_eq!(group.len(), 3, "group back to full strength: {:?}", member_names(&tb, &group));
     assert!(group.all_healthy(), "all members reachable after the heal");
-    assert_eq!(s.metrics.get("faults.link_down"), 1);
-    assert_eq!(s.metrics.get("faults.link_up"), 1);
-    assert!(s.metrics.get("net.link_down_drops") > 0, "down link dropped traffic");
-    assert!(s.metrics.get("client.auto_repairs") >= 1, "repair loop fired");
+    assert_eq!(s.telemetry.event_count_where("fault-injected", "kind", "link-down"), 1);
+    assert_eq!(s.telemetry.event_count_where("fault-recovered", "kind", "link-up"), 1);
+    assert!(s.telemetry.counter("net-link-down-drops") > 0, "down link dropped traffic");
+    assert!(s.telemetry.event_count("group-repaired") >= 1, "repair replaced the dead member");
 }
 
 /// Scenario 2: a group member's machine crashes outright (sockets wiped,
@@ -142,11 +142,12 @@ fn host_crash_and_reboot_recover_end_to_end() {
     assert_eq!(group.len(), 3);
     assert!(group.all_healthy());
     assert_eq!(tb.sysmon.live_servers(), 11, "rebooted {victim} reports again");
-    assert_eq!(s.metrics.get("faults.host_crashes"), 1);
-    assert_eq!(s.metrics.get("faults.host_reboots"), 1);
-    assert_eq!(s.metrics.get("net.node_crashes"), 1);
-    assert_eq!(s.metrics.get("net.node_revivals"), 1);
-    assert!(s.metrics.get("probe.restarts") >= 1, "probe came back after reboot");
+    assert_eq!(s.telemetry.event_count_where("fault-injected", "kind", "host-crash"), 1);
+    assert_eq!(s.telemetry.event_count_where("fault-recovered", "kind", "host-reboot"), 1);
+    assert_eq!(s.telemetry.counter("net-node-crashes"), 1);
+    assert_eq!(s.telemetry.counter("net-node-revivals"), 1);
+    assert!(s.telemetry.event_count("group-repaired") >= 1, "repair replaced the crashed member");
+    assert!(s.telemetry.counter("probe-restarts") >= 1, "probe came back after reboot");
 }
 
 /// Scenario 3: a partition isolates segment 2 (telesto, lhost) from the
@@ -192,8 +193,12 @@ fn partition_isolating_a_server_group_heals_cleanly() {
     assert!(group.all_healthy());
     assert_eq!(group.len(), 3);
     assert_eq!(tb.sysmon.live_servers(), 11, "healed segment reports again");
-    assert_eq!(s.metrics.get("faults.partitions"), 1);
-    assert_eq!(s.metrics.get("faults.heals"), 1);
+    assert_eq!(s.telemetry.event_count_where("fault-injected", "kind", "partition"), 1);
+    assert_eq!(s.telemetry.event_count_where("fault-recovered", "kind", "heal"), 1);
+    assert!(
+        s.telemetry.event_count_where("status-db-expired", "db", "sysdb") >= 2,
+        "both isolated servers expired from the status database"
+    );
 }
 
 /// Scenario 4: the wizard daemon dies just before a request. The client's
@@ -221,9 +226,11 @@ fn wizard_daemon_restart_is_ridden_out_by_client_backoff() {
     let socks = got.borrow_mut().take().expect("callback fired").expect("request succeeded");
     assert_eq!(socks.len(), 3);
     assert!(socks.iter().all(|k| k.is_connected()), "all connections live");
-    assert!(s.metrics.get("client.retries") >= 1, "first attempt hit the dead wizard");
-    assert!(s.metrics.get("client.backoff_ms_total") > 0, "backoff applied");
-    assert_eq!(s.metrics.get("wizard.restarts"), 1);
+    assert!(s.telemetry.event_count("client-retry") >= 1, "first attempt hit the dead wizard");
+    assert!(s.telemetry.event_count("client-backoff") >= 1, "backoff applied");
+    assert_eq!(s.telemetry.event_count_where("fault-injected", "kind", "daemon-kill"), 1);
+    assert_eq!(s.telemetry.event_count_where("fault-recovered", "kind", "daemon-restart"), 1);
+    assert_eq!(s.telemetry.counter("wizard-restarts"), 1);
     for k in socks {
         k.close();
     }
@@ -270,15 +277,17 @@ fn monitor_machine_crash_mid_experiment_recovers_the_stack() {
     let fresh = form_group(&mut s, &tb, SPREAD, 3);
     assert_eq!(fresh.len(), 3);
     assert!(fresh.all_healthy());
-    assert_eq!(s.metrics.get("sysmon.restarts"), 1);
-    assert_eq!(s.metrics.get("wizard.restarts"), 1);
-    assert!(s.metrics.get("net.host_down_drops") > 0, "reports dropped during the crash");
+    assert_eq!(s.telemetry.event_count_where("fault-injected", "kind", "host-crash"), 1);
+    assert_eq!(s.telemetry.event_count_where("fault-recovered", "kind", "host-reboot"), 1);
+    assert_eq!(s.telemetry.counter("sysmon-restarts"), 1);
+    assert_eq!(s.telemetry.counter("wizard-restarts"), 1);
+    assert!(s.telemetry.counter("net-host-down-drops") > 0, "reports dropped during the crash");
 }
 
 /// One full chaos run: random faults sampled from the seed for 40 sim
 /// seconds while a reliable conversation runs across the testbed. Returns
-/// the delivered bytes, the full metrics table and the event count.
-fn chaos_run(seed: u64) -> (Vec<u8>, Vec<String>, u64) {
+/// the delivered bytes, the exported telemetry trace and the event count.
+fn chaos_run(seed: u64) -> (Vec<u8>, String, u64) {
     let (mut s, tb) = with_services(seed);
     let inj = tb.fault_injector();
 
@@ -305,9 +314,9 @@ fn chaos_run(seed: u64) -> (Vec<u8>, Vec<String>, u64) {
     inj.chaos(&mut s, ChaosConfig::gentle(SimTime::from_secs(40)));
     s.run_until(SimTime::from_secs(80));
 
-    let metrics: Vec<String> = s.metrics.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let trace = s.telemetry.export_jsonl();
     let bytes = delivered.borrow().clone();
-    (bytes, metrics, s.events_processed())
+    (bytes, trace, s.events_processed())
 }
 
 /// ChaosRng mode: the same seed reproduces the run byte-for-byte; a
@@ -318,17 +327,20 @@ fn chaos_run(seed: u64) -> (Vec<u8>, Vec<String>, u64) {
 fn chaos_runs_are_seed_deterministic_and_never_duplicate_delivery() {
     let expected: Vec<u8> = (0..30u8).collect();
 
-    let (bytes_a, metrics_a, events_a) = chaos_run(777);
-    let (bytes_b, metrics_b, events_b) = chaos_run(777);
-    assert_eq!(metrics_a, metrics_b, "same seed, byte-identical metrics");
+    let (bytes_a, trace_a, events_a) = chaos_run(777);
+    let (bytes_b, trace_b, events_b) = chaos_run(777);
+    assert_eq!(trace_a, trace_b, "same seed, byte-identical telemetry trace");
     assert_eq!(events_a, events_b, "same seed, same event count");
     assert_eq!(bytes_a, expected, "exactly-once, in-order through the chaos");
     assert_eq!(bytes_b, expected);
-    assert!(s_metric(&metrics_a, "faults.applied") > 0, "chaos actually injected faults");
+    assert!(
+        trace_a.lines().any(|l| l.contains("\"fault-injected\"")),
+        "chaos actually injected faults"
+    );
 
-    let (bytes_c, metrics_c, _events_c) = chaos_run(778);
+    let (bytes_c, trace_c, _events_c) = chaos_run(778);
     assert_eq!(bytes_c, expected, "different seed still delivers exactly once");
-    assert_ne!(metrics_a, metrics_c, "different seed, different fault timings");
+    assert_ne!(trace_a, trace_c, "different seed, different fault timings");
 }
 
 /// Like [`chaos_run`] but the wizard's template registry is first flooded
@@ -337,7 +349,7 @@ fn chaos_runs_are_seed_deterministic_and_never_duplicate_delivery() {
 /// map-heavy path that regressed determinism when the registry hashed its
 /// keys: iteration order — and hence reply order and every downstream
 /// event — varied between identically-seeded runs.
-fn chaos_run_templated(seed: u64) -> (Vec<String>, Vec<String>, u64) {
+fn chaos_run_templated(seed: u64) -> (Vec<String>, String, u64) {
     let (mut s, tb) = with_services(seed);
     // 37 is odd, so i*37 mod 64 walks all 64 residues: worst-case insertion
     // order for a hashed map, a no-op for the ordered registry.
@@ -360,25 +372,22 @@ fn chaos_run_templated(seed: u64) -> (Vec<String>, Vec<String>, u64) {
     inj.chaos(&mut s, ChaosConfig::gentle(SimTime::from_secs(40)));
     s.run_until(SimTime::from_secs(60));
 
-    let metrics: Vec<String> = s.metrics.iter().map(|(k, v)| format!("{k}={v}")).collect();
-    (member_names(&tb, &group), metrics, s.events_processed())
+    (member_names(&tb, &group), s.telemetry.export_jsonl(), s.events_processed())
 }
 
 /// Regression: template-registry pressure must not break seed determinism.
 #[test]
 fn template_heavy_wizard_stays_seed_deterministic_under_chaos() {
-    let (members_a, metrics_a, events_a) = chaos_run_templated(881);
-    let (members_b, metrics_b, events_b) = chaos_run_templated(881);
+    let (members_a, trace_a, events_a) = chaos_run_templated(881);
+    let (members_b, trace_b, events_b) = chaos_run_templated(881);
     assert_eq!(members_a, members_b, "same seed, same group membership");
-    assert_eq!(metrics_a, metrics_b, "same seed, byte-identical metrics");
+    assert_eq!(trace_a, trace_b, "same seed, byte-identical telemetry trace");
     assert_eq!(events_a, events_b, "same seed, same event count");
     assert_eq!(members_a.len(), 3, "templated request filled the group: {members_a:?}");
-    assert!(s_metric(&metrics_a, "faults.applied") > 0, "chaos actually injected faults");
-}
-
-fn s_metric(metrics: &[String], name: &str) -> u64 {
-    let prefix = format!("{name}=");
-    metrics.iter().find_map(|m| m.strip_prefix(&prefix)).and_then(|v| v.parse().ok()).unwrap_or(0)
+    assert!(
+        trace_a.lines().any(|l| l.contains("\"fault-injected\"")),
+        "chaos actually injected faults"
+    );
 }
 
 proptest! {

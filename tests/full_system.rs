@@ -117,7 +117,7 @@ fn distributed_mode_serves_requests_after_pulling() {
     assert!(tb.wiz_sys.read().is_empty(), "no data shipped before the first pull");
     let names = request_names(&mut s, &tb, "host_cpu_free > 0.5\n", 4).unwrap();
     assert_eq!(names.len(), 4);
-    assert!(s.metrics.get("transmitter.pulls") >= 1);
+    assert!(s.telemetry.counter("transmitter-pulls") >= 1);
 }
 
 #[test]
@@ -268,5 +268,5 @@ fn multi_monitor_distributed_pulls_every_group() {
     assert!(tb.wiz_sys.read().is_empty(), "nothing shipped before a pull");
     let names = request_names(&mut s, &tb, "", 60).unwrap();
     assert_eq!(names.len(), 11, "one request pulls all groups: {names:?}");
-    assert_eq!(s.metrics.get("transmitter.pulls"), 2, "both transmitters pulled");
+    assert_eq!(s.telemetry.counter("transmitter-pulls"), 2, "both transmitters pulled");
 }

@@ -36,7 +36,7 @@ fn lossless_links_drop_nothing() {
     }
     s.run();
     assert_eq!(*hits.borrow(), 200);
-    assert_eq!(s.metrics.get("net.udp_lost"), 0);
+    assert_eq!(s.telemetry.counter("net-udp-lost"), 0);
 }
 
 #[test]
@@ -57,7 +57,7 @@ fn loss_rate_is_roughly_the_configured_probability() {
     let delivered = *hits.borrow();
     let rate = 1.0 - f64::from(delivered) / f64::from(n);
     assert!((rate - 0.0975).abs() < 0.03, "observed loss {rate:.3}");
-    assert_eq!(u64::from(n - delivered), s.metrics.get("net.udp_lost"));
+    assert_eq!(u64::from(n - delivered), s.telemetry.counter("net-udp-lost"));
 }
 
 #[test]
@@ -110,7 +110,7 @@ fn system_monitor_keeps_fresh_state_despite_report_loss() {
     // record stays live essentially always (back-to-back double loss is
     // rare), so the server is present at the end.
     assert_eq!(mon.live_servers(), 1);
-    assert!(s.metrics.get("sysmon.reports") > 40);
+    assert!(s.telemetry.counter("sysmon-reports") > 40);
 }
 
 #[test]
@@ -163,5 +163,5 @@ fn client_retries_recover_lost_requests() {
     s.run();
     let res = got.borrow_mut().take().expect("callback fired");
     assert!(res.is_ok(), "retries should eventually win: {res:?}");
-    assert!(s.metrics.get("client.retries") >= 1, "at least one retry happened");
+    assert!(s.telemetry.counter("client-retries") >= 1, "at least one retry happened");
 }

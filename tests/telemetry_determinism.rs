@@ -1,0 +1,96 @@
+//! The telemetry subsystem's determinism contract, end to end: two runs of
+//! the same seeded scenario — including scripted fault injection — export
+//! byte-identical JSONL traces, and the histogram edge cases behave at the
+//! public API.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smartsock::client::RequestSpec;
+use smartsock::{SockGroup, Testbed};
+use smartsock_faults::{Daemon, FaultKind, FaultPlan};
+use smartsock_proto::consts::ports;
+use smartsock_proto::Endpoint;
+use smartsock_sim::{SimDuration, SimTime, Telemetry};
+
+/// One full scripted run: testbed up, a repairing socket group, a fault
+/// plan that crashes a server and kills the wizard, everything traced.
+fn traced_run(seed: u64) -> String {
+    let (mut s, tb) = Testbed::paper(seed);
+    for host in tb.hosts.values() {
+        tb.net.bind_stream(Endpoint::new(host.ip(), ports::SERVICE), |_s, _m| {});
+    }
+    s.run_until(SimTime::from_secs(10));
+
+    let client = tb.client("sagit");
+    let slot = Rc::new(RefCell::new(None));
+    let g = Rc::clone(&slot);
+    SockGroup::request(
+        &client,
+        &mut s,
+        RequestSpec::new("host_cpu_free > 0.9\nuser_denied_host1 = sagit\n", 3),
+        move |_s, r| *g.borrow_mut() = Some(r.expect("group forms")),
+    );
+    s.run_until(s.now() + SimDuration::from_secs(3));
+    let group = slot.borrow_mut().take().expect("request completed");
+    let _guard = group.auto_repair(&mut s, SimDuration::from_secs(2));
+
+    let inj = tb.fault_injector();
+    let ep = tb.service_endpoint("telesto");
+    let net = tb.net.clone();
+    inj.on_reboot("telesto", move |_s| net.bind_stream(ep, |_s, _m| {}));
+    let t0 = s.now();
+    let plan = FaultPlan::new()
+        .at(t0 + SimDuration::from_secs(2), FaultKind::HostCrash { host: "telesto".to_owned() })
+        .at(t0 + SimDuration::from_secs(20), FaultKind::HostReboot { host: "telesto".to_owned() })
+        .at(t0 + SimDuration::from_secs(5), FaultKind::DaemonKill { daemon: Daemon::Wizard })
+        .at(t0 + SimDuration::from_secs(9), FaultKind::DaemonRestart { daemon: Daemon::Wizard });
+    inj.schedule(&mut s, &plan);
+    s.run_until(t0 + SimDuration::from_secs(40));
+    s.telemetry.export_jsonl()
+}
+
+#[test]
+fn same_seed_exports_byte_identical_traces_under_faults() {
+    let a = traced_run(424242);
+    let b = traced_run(424242);
+    assert_eq!(a, b, "same seed must reproduce the trace byte for byte");
+    assert!(a.lines().any(|l| l.contains("\"fault-injected\"")), "faults were traced");
+    assert!(a.lines().any(|l| l.contains("\"fault-recovered\"")), "recoveries were traced");
+    assert!(a.lines().any(|l| l.contains("\"client-request\"")), "request spans were traced");
+
+    let c = traced_run(424243);
+    assert_ne!(a, c, "a different seed perturbs the trace");
+}
+
+#[test]
+fn empty_histograms_do_not_exist() {
+    let t = Telemetry::new();
+    assert!(t.histogram("never-observed").is_none());
+    let mut t = Telemetry::new();
+    t.counter_incr("some-counter");
+    assert!(t.histogram("some-counter").is_none(), "counters are not histograms");
+}
+
+#[test]
+fn single_sample_histograms_report_that_sample_at_every_quantile() {
+    let mut t = Telemetry::new();
+    t.observe_ns("lone-sample", 12_345);
+    let h = t.histogram("lone-sample").expect("summary exists");
+    assert_eq!(h.count, 1);
+    assert_eq!(h.sum, 12_345);
+    assert_eq!((h.min, h.max), (12_345, 12_345));
+    assert_eq!((h.p50, h.p95, h.p99), (12_345, 12_345, 12_345));
+}
+
+#[test]
+fn saturated_top_bucket_clamps_to_the_observed_max() {
+    let mut t = Telemetry::new();
+    t.observe_ns("huge", u64::MAX);
+    t.observe_ns("huge", u64::MAX - 1);
+    let h = t.histogram("huge").expect("summary exists");
+    assert_eq!(h.count, 2);
+    assert_eq!(h.max, u64::MAX);
+    assert!(h.p50 >= h.min && h.p99 <= h.max, "quantiles stay within [min, max]");
+    assert_eq!(h.p99, u64::MAX, "top-rank quantile clamps to max, not past it");
+}
