@@ -6,8 +6,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::lexer;
+use crate::lexer::{self, TokKind};
 use crate::rules::{self, Finding};
+
+/// Where the span-name registry lives, relative to the workspace root.
+pub const SPAN_REGISTRY_PATH: &str = "crates/telemetry/src/names.rs";
 
 /// The result of one `check` run.
 #[derive(Debug, Default)]
@@ -71,12 +74,48 @@ fn targets(root: &Path) -> Vec<Target> {
     out
 }
 
-/// Scan one already-loaded file. Exposed for the fixture tests.
-pub fn scan_source(rel: &str, krate: &str, is_test: bool, src: &str) -> (Vec<Finding>, usize) {
+/// Pull the `SPAN_NAMES` string literals out of registry source text
+/// (`crates/telemetry/src/names.rs`). Lexing the real file instead of
+/// keeping a copy here means registering a span stays a one-file change.
+/// Returns the names in declaration order; empty if the const is absent.
+pub fn span_registry_from_source(src: &str) -> Vec<String> {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.toks;
+    let Some(start) = toks.iter().position(|t| t.kind == TokKind::Ident && t.text == "SPAN_NAMES")
+    else {
+        return Vec::new();
+    };
+    // Every string literal between the const's name and its closing `;`
+    // is a span name — comments are not tokens, and the initializer is a
+    // flat `&[…]` of literals by construction (names.rs's own tests check
+    // the shape).
+    toks[start..]
+        .iter()
+        .take_while(|t| t.text != ";")
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Scan one already-loaded file. Exposed for the fixture tests. An empty
+/// `span_registry` disables SS-OBS-002.
+pub fn scan_source(
+    rel: &str,
+    krate: &str,
+    is_test: bool,
+    src: &str,
+    span_registry: &[String],
+) -> (Vec<Finding>, usize) {
     let lexed = lexer::lex(src);
     let ranges = rules::test_ranges(&lexed.toks);
-    let ctx =
-        rules::FileCtx { rel, krate, file_is_test: is_test, lexed: &lexed, test_ranges: &ranges };
+    let ctx = rules::FileCtx {
+        rel,
+        krate,
+        file_is_test: is_test,
+        lexed: &lexed,
+        test_ranges: &ranges,
+        span_registry,
+    };
     let raw = rules::check_file(&ctx);
 
     let mut kept = Vec::new();
@@ -111,10 +150,13 @@ pub fn scan_source(rel: &str, krate: &str, is_test: bool, src: &str) -> (Vec<Fin
 
 /// Walk the tree under `root` and run every rule.
 pub fn run_check(root: &Path) -> io::Result<Report> {
+    let registry = fs::read_to_string(root.join(SPAN_REGISTRY_PATH))
+        .map(|src| span_registry_from_source(&src))
+        .unwrap_or_default();
     let mut report = Report::default();
     for t in targets(root) {
         let src = fs::read_to_string(&t.path)?;
-        let (findings, suppressed) = scan_source(&t.rel, &t.krate, t.is_test, &src);
+        let (findings, suppressed) = scan_source(&t.rel, &t.krate, t.is_test, &src, &registry);
         report.findings.extend(findings);
         report.suppressed += suppressed;
         report.files_scanned += 1;
@@ -193,7 +235,7 @@ mod tests {
     #[test]
     fn justified_allow_suppresses_and_counts() {
         let src = "let m: HashMap<u8, u8>; // analyze: allow(SS-DET-002): lookup-only cache\n";
-        let (kept, suppressed) = scan_source("f.rs", "net", false, src);
+        let (kept, suppressed) = scan_source("f.rs", "net", false, src, &[]);
         assert!(kept.is_empty(), "{kept:?}");
         assert_eq!(suppressed, 1);
     }
@@ -201,7 +243,7 @@ mod tests {
     #[test]
     fn unjustified_allow_is_its_own_finding() {
         let src = "let m: HashMap<u8, u8>; // analyze: allow(SS-DET-002)\n";
-        let (kept, _) = scan_source("f.rs", "net", false, src);
+        let (kept, _) = scan_source("f.rs", "net", false, src, &[]);
         // The HashMap stays suppressed? No: an unjustified allow does not
         // suppress, so both the DET finding and the ALLOW finding surface.
         let rules: Vec<_> = kept.iter().map(|f| f.rule).collect();
@@ -212,7 +254,7 @@ mod tests {
     fn own_line_allow_covers_next_line() {
         let src = "// analyze: allow(SS-DET-002): fixture table, never iterated\n\
                    let m: HashMap<u8, u8>;\n";
-        let (kept, suppressed) = scan_source("f.rs", "net", false, src);
+        let (kept, suppressed) = scan_source("f.rs", "net", false, src, &[]);
         assert!(kept.is_empty());
         assert_eq!(suppressed, 1);
     }
@@ -220,10 +262,34 @@ mod tests {
     #[test]
     fn json_report_is_valid_shape() {
         let src = "let m: HashMap<u8, u8>;\n";
-        let (kept, _) = scan_source("f.rs", "net", false, src);
+        let (kept, _) = scan_source("f.rs", "net", false, src, &[]);
         let report = Report { findings: kept, suppressed: 0, files_scanned: 1 };
         let json = report.to_json();
         assert!(json.contains("\"rule\": \"SS-DET-002\""));
         assert!(json.contains("\"total\": 1"));
+    }
+
+    #[test]
+    fn registry_extraction_reads_only_the_span_names_const() {
+        let src = "//! Registry docs mention \"not-a-name\" in prose.\n\
+                   pub const SPAN_NAMES: &[&str] = &[\n\
+                       // core: request lifetime.\n\
+                       \"client-request\",\n\
+                       \"probe-report\",\n\
+                   ];\n\
+                   pub fn is_registered(name: &str) -> bool { name == \"also-not-a-name\" }\n";
+        assert_eq!(span_registry_from_source(src), ["client-request", "probe-report"]);
+        assert!(span_registry_from_source("pub fn nothing() {}").is_empty());
+    }
+
+    #[test]
+    fn registry_extraction_matches_the_real_file() {
+        let src = include_str!("../../telemetry/src/names.rs");
+        let names = span_registry_from_source(src);
+        assert!(names.contains(&"sim-event-dispatch".to_owned()), "{names:?}");
+        assert!(names.len() >= 6, "{names:?}");
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "names.rs keeps SPAN_NAMES sorted");
     }
 }

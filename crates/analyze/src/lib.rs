@@ -18,6 +18,7 @@
 //! | SS-PANIC-001 | probe, monitor, wizard, wire, core (non-test) | no `unwrap()`, undocumented `expect()`, or indexing panics |
 //! | SS-CAST-001 | proto, wire (non-test) | no narrowing `as` casts |
 //! | SS-OBS-001 | everywhere except telemetry | telemetry names are kebab-case `&'static str` literals |
+//! | SS-OBS-002 | everywhere except telemetry (non-test) | `span_start`/`span_child` names appear in `SPAN_NAMES` (crates/telemetry/src/names.rs) |
 //! | SS-ALLOW-001 | everywhere | every suppression carries a justification |
 //!
 //! Suppress a finding with `// analyze: allow(RULE-ID): justification`,
@@ -31,5 +32,5 @@ pub mod engine;
 pub mod lexer;
 pub mod rules;
 
-pub use engine::{run_check, scan_source, Report};
+pub use engine::{run_check, scan_source, span_registry_from_source, Report};
 pub use rules::{Finding, RuleInfo, RULES};

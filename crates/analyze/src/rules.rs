@@ -20,6 +20,7 @@ pub const SS_DET_003: &str = "SS-DET-003";
 pub const SS_PANIC_001: &str = "SS-PANIC-001";
 pub const SS_CAST_001: &str = "SS-CAST-001";
 pub const SS_OBS_001: &str = "SS-OBS-001";
+pub const SS_OBS_002: &str = "SS-OBS-002";
 /// Meta-rule: an `// analyze: allow(…)` with no justification text.
 pub const SS_ALLOW_001: &str = "SS-ALLOW-001";
 
@@ -63,6 +64,13 @@ pub const RULES: &[RuleInfo] = &[
                   allocation-free",
     },
     RuleInfo {
+        id: SS_OBS_002,
+        summary: "span names opened outside the telemetry crate (non-test code) must be \
+                  registered in SPAN_NAMES (crates/telemetry/src/names.rs); profiles are \
+                  keyed by span name, so an ad-hoc span turns a perf regression into a \
+                  baseline-diff disappearance",
+    },
+    RuleInfo {
         id: SS_ALLOW_001,
         summary: "every analyze: allow(…) suppression must carry a `: justification`",
     },
@@ -98,6 +106,9 @@ pub struct FileCtx<'a> {
     pub lexed: &'a Lexed,
     /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
     pub test_ranges: &'a [(usize, usize)],
+    /// The span-name registry (`SPAN_NAMES` from `crates/telemetry/src/names.rs`).
+    /// Empty disables SS-OBS-002 — the caller could not load the registry.
+    pub span_registry: &'a [String],
 }
 
 impl FileCtx<'_> {
@@ -338,6 +349,36 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
             }
         }
 
+        // SS-OBS-002 — span names must come from the registry. Only fires on
+        // kebab-case literals: dynamic or malformed names are SS-OBS-001's
+        // job, and double-flagging one call site helps nobody.
+        if obs_rule_applies
+            && !ctx.span_registry.is_empty()
+            && !ctx.in_test_code(i)
+            && t.kind == TokKind::Ident
+            && i > 0
+            && toks[i - 1].text == "."
+            && (t.text == "span_start" || t.text == "span_child")
+            && toks.get(i + 1).map(|p| p.text == "(").unwrap_or(false)
+        {
+            if let Some(arg) = toks.get(i + 2) {
+                if arg.kind == TokKind::Str
+                    && is_kebab(&arg.text)
+                    && !ctx.span_registry.iter().any(|n| n == &arg.text)
+                {
+                    out.push(ctx.finding(
+                        t.line,
+                        SS_OBS_002,
+                        format!(
+                            "span name {:?} is not registered; add it to SPAN_NAMES in \
+                             crates/telemetry/src/names.rs so profile baselines track it",
+                            arg.text
+                        ),
+                    ));
+                }
+            }
+        }
+
         // SS-CAST-001 — narrowing `as` casts in codec crates.
         if cast_rule_applies && !ctx.in_test_code(i) && t.kind == TokKind::Ident && t.text == "as" {
             if let Some(ty) = toks.get(i + 1) {
@@ -365,6 +406,7 @@ mod tests {
     use crate::lexer::lex;
 
     fn run(krate: &str, is_test: bool, src: &str) -> Vec<Finding> {
+        let registry = ["client-request".to_owned(), "probe-report".to_owned()];
         let lexed = lex(src);
         let ranges = test_ranges(&lexed.toks);
         let ctx = FileCtx {
@@ -373,6 +415,7 @@ mod tests {
             file_is_test: is_test,
             lexed: &lexed,
             test_ranges: &ranges,
+            span_registry: &registry,
         };
         check_file(&ctx)
     }
@@ -453,6 +496,43 @@ mod tests {
         let snake = "fn f(t: &mut T) { t.gauge_set(\"Bad_Name\", \"l\", 1); }";
         assert_eq!(rules_of(&run("core", true, snake)), [SS_OBS_001]);
         assert!(run("telemetry", false, snake).is_empty());
+    }
+
+    #[test]
+    fn obs002_wants_registered_span_names() {
+        let ok = "fn f(s: &mut S) { let id = s.telemetry.span_start(\"client-request\", \"h\"); \
+                  s.telemetry.span_child(\"probe-report\", \"h\", id); }";
+        assert!(run("net", false, ok).is_empty());
+        let rogue = "fn f(s: &mut S) { s.telemetry.span_start(\"rogue-span\", \"h\"); }";
+        assert_eq!(rules_of(&run("net", false, rogue)), [SS_OBS_002]);
+        // Non-span recorders take free-form (kebab) names.
+        let counter = "fn f(s: &mut S) { s.telemetry.counter_incr(\"any-counter-name\"); }";
+        assert!(run("net", false, counter).is_empty());
+    }
+
+    #[test]
+    fn obs002_exempts_tests_telemetry_and_nonkebab_sites() {
+        let rogue = "fn f(s: &mut S) { s.telemetry.span_start(\"rogue-span\", \"h\"); }";
+        assert!(run("net", true, rogue).is_empty(), "test files are exempt");
+        assert!(run("telemetry", false, rogue).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests { fn t(s: &mut S) { \
+                           s.telemetry.span_start(\"rogue-span\", \"h\"); } }";
+        assert!(run("net", false, in_test_mod).is_empty());
+        // A non-kebab or dynamic name is SS-OBS-001's finding, not a double.
+        let snake = "fn f(s: &mut S) { s.telemetry.span_start(\"Rogue_Span\", \"h\"); }";
+        assert_eq!(rules_of(&run("net", false, snake)), [SS_OBS_001]);
+        // An empty registry disables the rule rather than flagging everything.
+        let lexed = lex(rogue);
+        let ranges = test_ranges(&lexed.toks);
+        let ctx = FileCtx {
+            rel: "x.rs",
+            krate: "net",
+            file_is_test: false,
+            lexed: &lexed,
+            test_ranges: &ranges,
+            span_registry: &[],
+        };
+        assert!(check_file(&ctx).is_empty());
     }
 
     #[test]

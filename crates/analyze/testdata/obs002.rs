@@ -1,0 +1,20 @@
+//! Fixture: SS-OBS-002 — span names must come from the registry.
+
+fn flows(s: &mut Scheduler) {
+    let root = s.telemetry.span_start("client-request", "10.0.0.2"); // registered
+    let _ = s.telemetry.span_child("made-up-span", "10.0.0.2", root); // unregistered
+    s.telemetry.span_start("rogue-span", "helene"); // unregistered
+    // analyze: allow(SS-OBS-002): prototype span, registration tracked in review
+    s.telemetry.span_start("prototype-span", "helene");
+    // Non-span recorders are outside the registry's scope.
+    s.telemetry.counter_incr("any-counter-name");
+    // Dynamic and malformed names are SS-OBS-001's findings, not doubles.
+    s.telemetry.span_start("Not_Kebab", "helene");
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(s: &mut super::Scheduler) {
+        s.telemetry.span_start("test-only-span", "h"); // test code is exempt
+    }
+}

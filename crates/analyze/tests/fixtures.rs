@@ -6,11 +6,16 @@
 //! confined to the fixture files — this test only names rules by their
 //! string IDs, because the analyzer scans its own `tests/` directory too.
 
-use smartsock_analyze::scan_source;
+use smartsock_analyze::{scan_source, span_registry_from_source};
+
+/// The real span registry, loaded the same way `check` loads it.
+fn registry() -> Vec<String> {
+    span_registry_from_source(include_str!("../../telemetry/src/names.rs"))
+}
 
 /// Run one fixture and return `(lines per rule-id, suppressed count)`.
 fn run(krate: &str, src: &str) -> (Vec<(String, u32)>, usize) {
-    let (findings, suppressed) = scan_source("testdata/fixture.rs", krate, false, src);
+    let (findings, suppressed) = scan_source("testdata/fixture.rs", krate, false, src, &registry());
     let mut hits: Vec<(String, u32)> =
         findings.iter().map(|f| (f.rule.to_owned(), f.line)).collect();
     hits.sort();
@@ -101,6 +106,24 @@ fn obs001_flags_non_kebab_and_computed_names_only() {
 }
 
 #[test]
+fn obs002_flags_unregistered_span_names_only() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/obs002.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-OBS-001".to_owned(), 12), // Not_Kebab is OBS-001's, not a double
+            ("SS-OBS-002".to_owned(), 5),  // made-up-span via span_child
+            ("SS-OBS-002".to_owned(), 6),  // rogue-span via span_start
+        ],
+        "registered names, counters and test code are all-clear: {hits:?}"
+    );
+    assert_eq!(suppressed, 1, "the justified allow covers prototype-span");
+
+    let (hits, _) = run("telemetry", include_str!("../testdata/obs002.rs"));
+    assert!(hits.is_empty(), "the telemetry crate itself is exempt: {hits:?}");
+}
+
+#[test]
 fn justified_allows_suppress_and_bare_allows_are_findings() {
     let (hits, suppressed) = run("core", include_str!("../testdata/suppress.rs"));
     assert_eq!(suppressed, 2, "own-line and same-line justified allows both count");
@@ -116,10 +139,10 @@ fn justified_allows_suppress_and_bare_allows_are_findings() {
 #[test]
 fn test_files_keep_determinism_rules_but_drop_panic_rules() {
     let src = include_str!("../testdata/panic001.rs");
-    let (hits, _) = scan_source("testdata/fixture.rs", "core", true, src);
+    let (hits, _) = scan_source("testdata/fixture.rs", "core", true, src, &registry());
     assert!(hits.is_empty(), "is_test drops SS-PANIC-001: {hits:?}");
 
     let det = include_str!("../testdata/det002.rs");
-    let (hits, _) = scan_source("testdata/fixture.rs", "core", true, det);
+    let (hits, _) = scan_source("testdata/fixture.rs", "core", true, det, &registry());
     assert_eq!(hits.len(), 3, "determinism rules still apply in tests: {hits:?}");
 }

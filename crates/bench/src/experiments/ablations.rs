@@ -8,7 +8,7 @@ use smartsock::client::RequestSpec;
 use smartsock::Testbed;
 use smartsock_apps::massd::{FileServer, Massd, MassdParams};
 use smartsock_hostsim::Workload;
-use smartsock_sim::{Scheduler, SimDuration, SimTime};
+use smartsock_sim::{SimDuration, SimTime};
 
 use crate::experiments::rig;
 use crate::report::{colf, Report};
@@ -30,7 +30,7 @@ pub fn fetch_mode(seed: u64) -> Report {
     ] {
         let mut results = Vec::new();
         for parallel in [false, true] {
-            let mut s = Scheduler::new();
+            let mut s = rig::sim();
             let tb = Testbed::builder(seed).start(&mut s);
             let servers = ["mimas", "telesto", "lhost"];
             let mut eps = Vec::new();
@@ -81,7 +81,7 @@ pub fn staleness(seed: u64) -> Report {
     ));
     for interval_s in [1u64, 2, 5, 10] {
         for delay_s in [1u64, 3, 12] {
-            let mut s = Scheduler::new();
+            let mut s = rig::sim();
             let tb = Testbed::builder(seed)
                 .probe_interval(SimDuration::from_secs(interval_s))
                 .start(&mut s);
@@ -107,7 +107,8 @@ pub fn staleness(seed: u64) -> Report {
                 move |_s, res| *g.borrow_mut() = Some(res),
             );
             let watch = Rc::clone(&got);
-            s.run_while(s.now() + SimDuration::from_secs(40), move || watch.borrow().is_none());
+            let deadline = s.now() + SimDuration::from_secs(40);
+            s.run_while(deadline, move || watch.borrow().is_none());
             let res = got.borrow_mut().take().expect("reply");
             let picked_busy = match &res {
                 Ok(socks) => socks.iter().any(|k| k.remote.ip == tb.ip("dalmatian")),
@@ -131,7 +132,7 @@ pub fn staleness(seed: u64) -> Report {
 pub fn probe_size_rules(seed: u64) -> Report {
     let (net, from, to) = rig::campus_pair(seed, 1500);
     let truth = net.path_available_bw(from, to).unwrap() / 1e6;
-    let mut s = Scheduler::new();
+    let mut s = rig::sim();
     let mut r = Report::new("ablation.probesize", "probe-size rules at equal delta-S = 1300 bytes");
     r.row(format!("{:<28} | {:>9} | {:>10}", "pair (property)", "est Mbps", "err vs 95"));
     let cases: [(&str, u64, u64); 3] = [
@@ -199,7 +200,7 @@ pub fn estimators(seed: u64) -> Report {
     ] {
         let (net, a, c) = build(rate_mbps, cross);
         let truth = net.path_available_bw(a, c).unwrap() / 1e6;
-        let mut s = Scheduler::new();
+        let mut s = rig::sim();
 
         // One-way UDP stream (the paper's method), 10 pairs.
         let one_way = {
@@ -239,7 +240,7 @@ pub fn estimators(seed: u64) -> Report {
         // iperf: the flood cannot be stopped mid-flow, so it gets a fresh
         // copy of the path (intrusiveness demonstrated in the iperf tests).
         let (net2, a2, c2) = build(rate_mbps, cross);
-        let mut s2 = Scheduler::new();
+        let mut s2 = rig::sim();
         let ipf = Rc::new(RefCell::new(None));
         let g = Rc::clone(&ipf);
         iperf::estimate(&mut s2, &net2, a2, c2, iperf::IperfConfig::default(), move |_s, e| {
@@ -285,7 +286,7 @@ pub fn schedule(seed: u64) -> Report {
     ] {
         let mut times = Vec::new();
         for sched in [Schedule::RoundRobinStatic, Schedule::OnDemand] {
-            let mut s = Scheduler::new();
+            let mut s = rig::sim();
             let tb = Testbed::builder(seed).start(&mut s);
             let eps: Vec<Endpoint> = set
                 .iter()
@@ -341,7 +342,7 @@ pub fn scaling(seed: u64) -> Report {
     let params = MatmulParams::new(1500, 200);
     let mut t1 = None;
     for k in [1usize, 2, 4, 6, 8] {
-        let mut s = Scheduler::new();
+        let mut s = rig::sim();
         let tb = Testbed::builder(seed).start(&mut s);
         // Use only the P4-1.7 class machines plus clones? The testbed has
         // five P4-1.7s; for k > 5 include the 1.6/1.8 ones (close enough

@@ -5,8 +5,6 @@
 //! of Formula 3.7); super-MTU groups land in the 80s; the 1600~2900 pair —
 //! equal fragment counts — is the most accurate.
 
-use smartsock_sim::Scheduler;
-
 use crate::experiments::rig;
 use crate::report::{colf, Report};
 
@@ -25,7 +23,7 @@ pub const GROUPS: [(u64, u64, f64); 7] = [
 fn run(id: &'static str, seed: u64, as_chart: bool) -> Report {
     let (net, from, to) = rig::campus_pair(seed, 1500);
     let truth = net.path_available_bw(from, to).unwrap() / 1e6;
-    let mut s = Scheduler::new();
+    let mut s = rig::sim();
     let title = if as_chart {
         "Bandwidth measurements using various packet size (bar-chart series)"
     } else {

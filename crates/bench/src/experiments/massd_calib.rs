@@ -28,7 +28,7 @@ pub fn fig5_3(seed: u64) -> Report {
         let bw_kbps = bw_mbps * 1e6 / 8.0 / 1024.0;
         let data_kb = (bw_kbps * 8.0) as u64;
 
-        let mut s = smartsock_sim::Scheduler::new();
+        let mut s = crate::experiments::rig::sim();
         let tb = Testbed::builder(seed ^ run).start(&mut s);
         let server = "lhost";
         FileServer::install(&tb.net, tb.host(server), tb.service_endpoint(server));

@@ -16,6 +16,7 @@ use smartsock_apps::massd::{FileServer, Massd, MassdParams};
 use smartsock_proto::Endpoint;
 use smartsock_sim::{Scheduler, SimDuration, SimTime};
 
+use crate::experiments::rig;
 use crate::report::{colf, Report};
 
 const GROUP1: [&str; 3] = ["mimas", "telesto", "lhost"];
@@ -41,8 +42,8 @@ struct Exp {
 
 /// Bring up the two-group deployment with shaping applied and the network
 /// monitors warmed up.
-fn deployment(seed: u64, g1_mbps: f64, g2_mbps: f64) -> (Scheduler, Testbed) {
-    let mut s = Scheduler::new();
+fn deployment(seed: u64, g1_mbps: f64, g2_mbps: f64) -> (rig::Sim, Testbed) {
+    let mut s = rig::sim();
     let tb = Testbed::builder(seed)
         .group("sagit", &["sagit"])
         .group("mimas", &GROUP1)

@@ -10,8 +10,8 @@ use std::rc::Rc;
 
 use smartsock_apps::matmul::{run_local, MatmulParams};
 use smartsock_hostsim::{machine_specs, Host};
-use smartsock_sim::Scheduler;
 
+use crate::experiments::rig;
 use crate::report::{colf, Report};
 
 pub fn fig5_2(seed: u64) -> Report {
@@ -22,7 +22,7 @@ pub fn fig5_2(seed: u64) -> Report {
     let mut rows = Vec::new();
     for spec in machine_specs() {
         let host = Host::new(spec.host_config());
-        let mut s = Scheduler::new();
+        let mut s = rig::sim();
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
         run_local(&mut s, &host, params, move |_s, t| *g.borrow_mut() = Some(t));

@@ -17,6 +17,7 @@ use smartsock_hostsim::Workload;
 use smartsock_proto::Endpoint;
 use smartsock_sim::{Scheduler, SimTime};
 
+use crate::experiments::rig;
 use crate::report::{colf, Report};
 
 /// Paper row for one experiment.
@@ -36,8 +37,8 @@ struct Exp {
     extra_denials: &'static [&'static str],
 }
 
-fn deployment(seed: u64, busy: &[&str], warmup_secs: u64) -> (Scheduler, Testbed) {
-    let mut s = Scheduler::new();
+fn deployment(seed: u64, busy: &[&str], warmup_secs: u64) -> (rig::Sim, Testbed) {
+    let mut s = rig::sim();
     let tb = Testbed::builder(seed).start(&mut s);
     for (name, host) in &tb.hosts {
         MatmulWorker::install(

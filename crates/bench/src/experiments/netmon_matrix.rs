@@ -8,8 +8,9 @@ use smartsock_monitor::db::shared_dbs;
 use smartsock_monitor::{NetMonConfig, NetworkMonitor};
 use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
 use smartsock_proto::Ip;
-use smartsock_sim::{Scheduler, SimDuration, SimTime};
+use smartsock_sim::{SimDuration, SimTime};
 
+use crate::experiments::rig;
 use crate::report::{colf, Report};
 
 pub fn table3_4(seed: u64) -> Report {
@@ -29,7 +30,7 @@ pub fn table3_4(seed: u64) -> Report {
     }
     let net = b.build();
 
-    let mut s = Scheduler::new();
+    let mut s = rig::sim();
     let mut monitors = Vec::new();
     for &ip in &mons {
         let (_, netdb, _) = shared_dbs();

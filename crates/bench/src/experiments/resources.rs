@@ -17,7 +17,7 @@ use crate::report::{colf, Report};
 pub fn table5_2(seed: u64) -> Report {
     // A second monitor group (sagit's) gives the monitor-machine network
     // monitor a peer to probe, as in the paper's deployment.
-    let mut s = smartsock_sim::Scheduler::new();
+    let mut s = crate::experiments::rig::sim();
     let tb = Testbed::builder(seed)
         .group("sagit", &["sagit"])
         // §5.2's deployment sends ONE 1600/2900 pair every two seconds

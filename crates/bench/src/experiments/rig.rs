@@ -9,6 +9,8 @@ use smartsock_proto::consts::ports;
 use smartsock_proto::{Endpoint, Ip};
 use smartsock_sim::{Scheduler, SimDuration};
 
+pub use crate::profiled::{sim, Sim};
+
 /// The `sagit → suna` campus path of §3.3.2: two 100 Mbps hops with light
 /// cross traffic (≈95 Mbps available, matching the paper's pathload
 /// reference of 96.1–101.3 Mbps).
@@ -174,7 +176,7 @@ mod tests {
     #[test]
     fn six_paths_ping_rtts_land_near_table_3_2() {
         let (net, paths) = six_paths(2);
-        let mut s = Scheduler::new();
+        let mut s = sim();
         for (from, to, label, paper_ms) in paths {
             let measured = avg_rtt_ms(&net, &mut s, from, to, 56, 8);
             // WAN paths within 20%, local paths within a factor of ~3
@@ -196,7 +198,7 @@ mod tests {
     #[test]
     fn bw_stats_recover_the_campus_path() {
         let (net, a, c) = campus_pair(3, 1500);
-        let mut s = Scheduler::new();
+        let mut s = sim();
         let (min, max, avg) = bw_stats_mbps(&net, &mut s, a, c, 1600, 2900, 20).unwrap();
         assert!(min <= avg && avg <= max);
         assert!((avg - 95.0).abs() < 20.0, "avg {avg}");

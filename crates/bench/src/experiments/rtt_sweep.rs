@@ -1,15 +1,14 @@
 //! Figures 3.3–3.6 and Table 3.2: RTT versus probe size, the MTU knee.
 
-use smartsock_sim::Scheduler;
-
 use crate::experiments::rig;
 use crate::report::{colf, Report};
+use smartsock_sim::Scheduler;
 
 /// Sweep RTT over payload sizes on the campus pair with the given MTU and
 /// report the series plus below/above-knee slopes.
 fn rtt_figure(id: &'static str, seed: u64, mtu: u32) -> Report {
     let (net, from, to) = rig::campus_pair(seed, mtu);
-    let mut s = Scheduler::new();
+    let mut s = rig::sim();
     let mut r =
         Report::new(id, format!("RTT from sagit to suna over UDP payload size, MTU={mtu} bytes"));
     r.row(format!("{:>8} | {:>10}", "size(B)", "rtt(ms)"));
@@ -64,7 +63,7 @@ pub fn fig3_5(seed: u64) -> Report {
 /// Table 3.2: ping RTTs of the six sample paths.
 pub fn table3_2(seed: u64) -> Report {
     let (net, paths) = rig::six_paths(seed);
-    let mut s = Scheduler::new();
+    let mut s = rig::sim();
     let mut r = Report::new("table3.2", "Network paths for RTT measurements (ping RTTs)");
     r.row(format!("{:<24} | {:>12} | {:>12}", "path", "paper(ms)", "measured(ms)"));
     for (i, (from, to, label, paper_ms)) in paths.iter().enumerate() {
@@ -84,7 +83,7 @@ pub fn table3_2(seed: u64) -> Report {
 /// (observation 1).
 pub fn fig3_6(seed: u64) -> Report {
     let (net, paths) = rig::six_paths(seed);
-    let mut s = Scheduler::new();
+    let mut s = rig::sim();
     let mut r = Report::new("fig3.6", "RTT-vs-size slope ratio across 6 sample paths");
     r.row(format!(
         "{:<24} | {:>11} | {:>11} | {:>7} | {}",

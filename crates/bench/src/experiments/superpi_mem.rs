@@ -2,8 +2,9 @@
 
 use smartsock_hostsim::{CpuModel, Host, HostConfig, Workload};
 use smartsock_proto::Ip;
-use smartsock_sim::{Scheduler, SimTime};
+use smartsock_sim::SimTime;
 
+use crate::experiments::rig;
 use crate::report::Report;
 
 pub fn table4_1(seed: u64) -> Report {
@@ -11,7 +12,7 @@ pub fn table4_1(seed: u64) -> Report {
                   // The Table 4.1 machine has 262_213_632 B ≈ 250 MB of RAM.
     let host =
         Host::new(HostConfig::new("dalmatian", Ip::new(192, 168, 1, 10), CpuModel::P4_2400, 250));
-    let mut s = Scheduler::new();
+    let mut s = rig::sim();
     let before = host.sample(s.now());
     host.spawn_workload(&mut s, &Workload::super_pi(25)).expect("superpi fits");
     s.run_until(SimTime::from_secs(60));

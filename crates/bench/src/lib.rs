@@ -20,8 +20,10 @@
 
 pub mod experiments;
 pub mod json;
+pub mod profiled;
 pub mod report;
 
+pub use profiled::{profile_run, RunProfile};
 pub use report::Report;
 
 /// Default experiment seed (any value works; EXPERIMENTS.md uses this one).

@@ -1,0 +1,152 @@
+//! Profiling collector around repro experiments.
+//!
+//! `smartsock-profile` needs two kinds of cost data per experiment: what
+//! the *simulation* spent (virtual time, dispatched events, queue depth,
+//! telemetry volume — all deterministic) and what the *host* spent running
+//! it (wall-clock — inherently noisy, reported but gated separately).
+//!
+//! The experiments are pure `fn(u64) -> Report` functions that build their
+//! own `Scheduler`s internally, so the collector cannot be passed down.
+//! Instead [`profile_run`] installs a thread-local accumulator, and every
+//! scheduler the experiment builds through [`sim`] reports into it when
+//! dropped. Experiments construct schedulers via `rig::sim()` — the
+//! returned [`Sim`] handle derefs to `Scheduler`, so experiment code is
+//! untouched beyond the constructor — and unprofiled callers (tests, the
+//! criterion harness) pay nothing but an empty thread-local check.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+use smartsock_sim::Scheduler;
+
+use crate::report::Report;
+
+/// Raw cost data captured while one experiment ran. Everything except
+/// `wall_ns` is a pure function of the seed.
+#[derive(Clone, Debug, Default)]
+pub struct RunProfile {
+    pub experiment_id: String,
+    pub seed: u64,
+    /// Events dispatched, summed over every scheduler the experiment built.
+    pub sim_events: u64,
+    /// Final virtual clock, summed over schedulers, nanoseconds.
+    pub sim_time_ns: u64,
+    /// Largest event-queue high-water mark across schedulers.
+    pub peak_pending: usize,
+    /// Telemetry lines exported (spans, events, counters, gauges,
+    /// histograms) — the allocations proxy: every line is at least one
+    /// heap-backed record or map entry.
+    pub records: u64,
+    /// How many schedulers the experiment created.
+    pub schedulers: u64,
+    /// Exported JSONL trace of each scheduler, in creation order.
+    pub traces: Vec<String>,
+    /// Host wall-clock for the whole experiment, nanoseconds.
+    pub wall_ns: u64,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<RunProfile>> = const { RefCell::new(None) };
+}
+
+/// A scheduler that reports its final cost figures to the active
+/// [`profile_run`] collector (if any) when dropped.
+pub struct Sim {
+    inner: Scheduler,
+}
+
+/// Construct a scheduler for an experiment. Re-exported as `rig::sim()`;
+/// this is the only way experiment code should build one.
+pub fn sim() -> Sim {
+    Sim { inner: Scheduler::new() }
+}
+
+impl Deref for Sim {
+    type Target = Scheduler;
+    fn deref(&self) -> &Scheduler {
+        &self.inner
+    }
+}
+
+impl DerefMut for Sim {
+    fn deref_mut(&mut self) -> &mut Scheduler {
+        &mut self.inner
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        COLLECTOR.with(|c| {
+            let mut c = c.borrow_mut();
+            let Some(p) = c.as_mut() else { return };
+            p.schedulers += 1;
+            p.sim_events += self.inner.events_processed();
+            p.sim_time_ns += self.inner.now().0;
+            p.peak_pending = p.peak_pending.max(self.inner.peak_pending());
+            let trace = self.inner.telemetry.export_jsonl();
+            p.records += trace.lines().count() as u64;
+            p.traces.push(trace);
+        });
+    }
+}
+
+/// Run one experiment by id with the collector installed, returning its
+/// report plus the captured profile. `None` for unknown ids.
+pub fn profile_run(id: &str, seed: u64) -> Option<(Report, RunProfile)> {
+    let (_, f) = crate::catalog().into_iter().find(|(eid, _)| *eid == id)?;
+    COLLECTOR.with(|c| {
+        *c.borrow_mut() =
+            Some(RunProfile { experiment_id: id.to_owned(), seed, ..RunProfile::default() });
+    });
+    // This wall-clock read measures the host's cost of running the
+    // simulation for BENCH_profile.json; nothing inside the simulation
+    // observes it, so determinism of the runs is unaffected.
+    // analyze: allow(SS-DET-001): host-side wall cost metric, never read by sim code
+    let t0 = std::time::Instant::now();
+    let report = f(seed);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut p = COLLECTOR
+        .with(|c| c.borrow_mut().take())
+        .expect("invariant: collector installed at the top of profile_run");
+    p.wall_ns = wall_ns;
+    Some((report, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprofiled_sim_reports_nowhere() {
+        let mut s = sim();
+        s.schedule_in(smartsock_sim::SimDuration::from_secs(1), |_| {});
+        s.run();
+        drop(s);
+        COLLECTOR.with(|c| assert!(c.borrow().is_none()));
+    }
+
+    #[test]
+    fn profile_run_captures_deterministic_cost_figures() {
+        let (_, a) = profile_run("fig3.3", 7).expect("fig3.3 is in the catalog");
+        let (_, b) = profile_run("fig3.3", 7).expect("fig3.3 is in the catalog");
+        assert_eq!(a.experiment_id, "fig3.3");
+        assert!(a.schedulers >= 1);
+        assert!(a.sim_events > 0);
+        assert!(a.sim_time_ns > 0);
+        assert!(a.peak_pending > 0);
+        assert!(a.records > 0);
+        assert!(!a.traces.is_empty());
+        // Same seed, same simulation: identical everywhere but wall time.
+        assert_eq!(a.sim_events, b.sim_events);
+        assert_eq!(a.sim_time_ns, b.sim_time_ns);
+        assert_eq!(a.peak_pending, b.peak_pending);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn unknown_experiment_yields_none_and_clears_nothing() {
+        assert!(profile_run("table9.9", 1).is_none());
+        COLLECTOR.with(|c| assert!(c.borrow().is_none()));
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use smartsock_sim::{EventId, Scheduler, SimTime};
+use smartsock_sim::{EventId, Scheduler, SimTime, SpanId};
 
 use crate::types::LinkId;
 
@@ -56,6 +56,8 @@ pub(crate) struct Flow {
     pub started_at: SimTime,
     pub completion_event: Option<EventId>,
     pub on_complete: Option<OnComplete>,
+    /// Open `net-flow-transfer` telemetry span, closed on completion.
+    pub span: Option<SpanId>,
 }
 
 /// The set of active fluid flows.
@@ -156,6 +158,7 @@ mod tests {
             started_at: SimTime::ZERO,
             completion_event: None,
             on_complete: None,
+            span: None,
         }
     }
 

@@ -412,26 +412,32 @@ impl Network {
         on_complete: impl FnOnce(&mut Scheduler, FlowStats) + 'static,
     ) {
         let now = s.now();
-        let inserted = {
-            let mut st = self.st.borrow_mut();
-            let Some(links) = path_links_inner(&st, src, dst) else {
-                drop(st);
-                s.telemetry.counter_incr("net-flow-dropped-unroutable");
-                return;
-            };
-            let flow = Flow {
-                links,
-                remaining_bits: bytes as f64 * 8.0,
-                total_bytes: bytes,
-                rate_bps: 0.0,
-                last_update: now,
-                started_at: now,
-                completion_event: None,
-                on_complete: Some(Box::new(on_complete) as OnComplete),
-            };
-            st.flows.insert(flow)
+        let (links, src_host) = {
+            let st = self.st.borrow();
+            match path_links_inner(&st, src, dst) {
+                Some(links) => (links, st.nodes[src].name.clone()),
+                None => {
+                    drop(st);
+                    s.telemetry.counter_incr("net-flow-dropped-unroutable");
+                    return;
+                }
+            }
         };
-        let _ = inserted;
+        // One span per transfer, start to last byte; stalls under faults
+        // show up as inflated durations in the profile.
+        let span = s.telemetry.span_start("net-flow-transfer", src_host.as_str());
+        let flow = Flow {
+            links,
+            remaining_bits: bytes as f64 * 8.0,
+            total_bytes: bytes,
+            rate_bps: 0.0,
+            last_update: now,
+            started_at: now,
+            completion_event: None,
+            on_complete: Some(Box::new(on_complete) as OnComplete),
+            span: Some(span),
+        };
+        self.st.borrow_mut().flows.insert(flow);
         s.telemetry.counter_incr("net-flows-started");
         s.telemetry.gauge_set("net-active-flows", "net", self.active_flows() as i64);
         self.recompute_flows(s);
@@ -507,10 +513,14 @@ impl Network {
                 Some(f) => Some((
                     FlowStats { bytes: f.total_bytes, started_at: f.started_at, finished_at: now },
                     f.on_complete,
+                    f.span,
                 )),
             }
         };
-        let Some((stats, cb)) = done else { return };
+        let Some((stats, cb, span)) = done else { return };
+        if let Some(span) = span {
+            s.telemetry.span_end(span);
+        }
         s.telemetry.counter_incr("net-flows-completed");
         s.telemetry.gauge_set("net-active-flows", "net", self.active_flows() as i64);
         self.recompute_flows(s);

@@ -169,8 +169,10 @@ impl ServerProbe {
             }
         }
         if !self.host.is_failed() {
+            let span = s.telemetry.span_start("probe-report", self.host.name().as_str());
             let report = self.scan(s.now());
             self.send(s, report);
+            s.telemetry.span_end(span);
         }
         let probe = self.clone();
         s.schedule_in(self.cfg.interval, move |s| probe.tick(s, epoch));

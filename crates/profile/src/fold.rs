@@ -1,0 +1,222 @@
+//! Folding span trees into profiles on simulated time.
+//!
+//! Self-time is the classic profiler attribution: a span's duration minus
+//! the durations of its *direct* children, so time shows up exactly once —
+//! at the innermost span that was open when it passed. Totals keep the
+//! inclusive view. Folded stacks use the `flamegraph.pl` collapsed format
+//! (`root;child;leaf weight`), weighted by self-time in nanoseconds, so
+//! standard tooling can render them directly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use smartsock_telemetry::trace::Trace;
+
+/// Aggregate cost of one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    pub calls: u64,
+    pub self_ns: u64,
+    pub total_ns: u64,
+}
+
+/// A folded profile: per-name aggregates plus collapsed stacks.
+#[derive(Clone, Debug, Default)]
+pub struct Folded {
+    /// Per-span-name totals, keyed by name (sorted).
+    pub spans: BTreeMap<String, SpanStat>,
+    /// `root;child;leaf -> self-time ns`, summed over occurrences.
+    pub stacks: BTreeMap<String, u64>,
+}
+
+impl Folded {
+    fn absorb(&mut self, tr: &Trace) {
+        // Direct-children time per closed parent id. Children of spans
+        // that never closed accumulate too, but such parents produce no
+        // SpanRow, so the entry is simply never read.
+        let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in &tr.spans {
+            if let Some(p) = s.parent {
+                *child_ns.entry(p).or_default() += s.dur_ns;
+            }
+        }
+        for s in &tr.spans {
+            let kids = child_ns.get(&s.id).copied().unwrap_or(0);
+            let self_ns = s.dur_ns.saturating_sub(kids);
+            let e = self.spans.entry(s.name.clone()).or_default();
+            e.calls += 1;
+            e.self_ns += self_ns;
+            e.total_ns += s.dur_ns;
+
+            // Ancestry path from the start records (works even when an
+            // ancestor never closed). Hop cap guards against a malformed
+            // trace with a parent cycle.
+            let mut path = vec![s.name.as_str()];
+            let mut cur = s.parent;
+            let mut hops = 0;
+            while let Some(p) = cur {
+                let Some((name, _, parent, _)) = tr.starts.get(&p) else { break };
+                path.push(name);
+                cur = *parent;
+                hops += 1;
+                if hops > 64 {
+                    break;
+                }
+            }
+            path.reverse();
+            *self.stacks.entry(path.join(";")).or_default() += self_ns;
+        }
+    }
+}
+
+/// Fold one parsed trace.
+pub fn fold(tr: &Trace) -> Folded {
+    let mut f = Folded::default();
+    f.absorb(tr);
+    f
+}
+
+/// Fold several traces (one per scheduler of a profiled experiment) into
+/// one merged profile.
+pub fn fold_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Folded {
+    let mut f = Folded::default();
+    for tr in traces {
+        f.absorb(tr);
+    }
+    f
+}
+
+/// The hot-path report: top `n` span names by self-time, with call counts
+/// and inclusive totals. Byte-deterministic: ties break by name.
+pub fn render_report(f: &Folded, n: usize) -> String {
+    let mut rows: Vec<(&String, &SpanStat)> = f.spans.iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then_with(|| a.0.cmp(b.0)));
+    let grand: u64 = f.spans.values().map(|s| s.self_ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>8} {:>14} {:>14} {:>6}",
+        "span", "calls", "self-ms", "total-ms", "self%"
+    );
+    for (name, st) in rows.iter().take(n) {
+        let pct = if grand == 0 { 0.0 } else { st.self_ns as f64 * 100.0 / grand as f64 };
+        let _ = writeln!(
+            out,
+            "{:<32} {:>8} {:>14} {:>14} {:>5.1}%",
+            name,
+            st.calls,
+            ms(st.self_ns),
+            ms(st.total_ns),
+            pct
+        );
+    }
+    let _ = writeln!(out, "total: {} span names, {} ms self time", f.spans.len(), ms(grand));
+    out
+}
+
+/// The collapsed-stack export, one `path weight` line per stack, sorted by
+/// path. Weights are self-time nanoseconds.
+pub fn render_flame(f: &Folded) -> String {
+    let mut out = String::new();
+    for (path, w) in &f.stacks {
+        let _ = writeln!(out, "{path} {w}");
+    }
+    out
+}
+
+/// Exact fixed-point millisecond rendering of a nanosecond count: always
+/// six decimals, so the text is reversible to the integer and stable.
+pub fn ms(ns: u64) -> String {
+    format!("{}.{:06}", ns / 1_000_000, ns % 1_000_000)
+}
+
+/// Parse [`ms`]'s output (or any `<int>.<6 digits>` millisecond text)
+/// back to nanoseconds. `None` on any other shape.
+pub fn parse_ms(text: &str) -> Option<u64> {
+    let (int, frac) = text.split_once('.')?;
+    if frac.len() != 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let int: u64 = int.parse().ok()?;
+    let frac: u64 = frac.parse().ok()?;
+    int.checked_mul(1_000_000)?.checked_add(frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_telemetry::Telemetry;
+
+    fn trace() -> Trace {
+        let mut t = Telemetry::new();
+        t.set_now(0);
+        let root = t.span_start("netmon-round", "sagit");
+        t.set_now(100);
+        let c1 = t.span_child("probe-report", "sagit", root);
+        t.set_now(400);
+        t.span_end(c1);
+        let c2 = t.span_child("probe-report", "sagit", root);
+        t.set_now(600);
+        t.span_end(c2);
+        t.set_now(1000);
+        t.span_end(root);
+        Trace::parse(&t.export_jsonl())
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let f = fold(&trace());
+        let root = &f.spans["netmon-round"];
+        assert_eq!(root.calls, 1);
+        assert_eq!(root.total_ns, 1000);
+        assert_eq!(root.self_ns, 1000 - 300 - 200);
+        let kids = &f.spans["probe-report"];
+        assert_eq!(kids.calls, 2);
+        assert_eq!(kids.total_ns, 500);
+        assert_eq!(kids.self_ns, 500);
+    }
+
+    #[test]
+    fn folded_stacks_use_collapsed_format() {
+        let f = fold(&trace());
+        assert_eq!(f.stacks["netmon-round"], 500);
+        assert_eq!(f.stacks["netmon-round;probe-report"], 500);
+        let flame = render_flame(&f);
+        assert_eq!(flame, "netmon-round 500\nnetmon-round;probe-report 500\n");
+    }
+
+    #[test]
+    fn unclosed_parents_still_anchor_their_children_in_stacks() {
+        let mut t = Telemetry::new();
+        let root = t.span_start("wizard-match", "suna");
+        let child = t.span_child("client-request", "suna", root);
+        t.set_now(50);
+        t.span_end(child);
+        // root never closes.
+        let f = fold(&Trace::parse(&t.export_jsonl()));
+        assert!(!f.spans.contains_key("wizard-match"));
+        assert_eq!(f.spans["client-request"].self_ns, 50);
+        assert_eq!(f.stacks["wizard-match;client-request"], 50);
+    }
+
+    #[test]
+    fn report_ranks_by_self_time_and_is_stable() {
+        let f = fold(&trace());
+        let a = render_report(&f, 10);
+        let b = render_report(&fold(&trace()), 10);
+        assert_eq!(a, b);
+        let first_data_line = a.lines().nth(1).expect("header + rows");
+        assert!(first_data_line.starts_with("netmon-round"), "{a}");
+        assert!(a.contains("0.000500"), "{a}");
+    }
+
+    #[test]
+    fn ms_rendering_round_trips() {
+        for ns in [0u64, 1, 999_999, 1_000_000, 123_456_789_012] {
+            assert_eq!(parse_ms(&ms(ns)), Some(ns));
+        }
+        assert_eq!(ms(1_500_000), "1.500000");
+        assert_eq!(parse_ms("1.5"), None);
+        assert_eq!(parse_ms("x.000000"), None);
+    }
+}

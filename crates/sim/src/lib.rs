@@ -27,19 +27,20 @@
 //!   `smartsock-telemetry`, clock-synced to virtual time. The harness uses
 //!   it to account bytes/messages per component (Table 5.2 of the paper)
 //!   and to export JSONL traces.
-//! * [`metrics`] — the deprecated counter facade over the telemetry store,
-//!   kept for pre-telemetry callers.
 //! * [`rng`] — helpers for deriving independent, stable RNG streams from a
 //!   single experiment seed.
+//!
+//! The pre-telemetry `Metrics` counter facade is gone: `Telemetry` counters
+//! (shared through `Scheduler::telemetry`) are the single source of truth,
+//! which is what lets `smartsock-profile` attribute cost without
+//! double-counting.
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-pub mod metrics;
 pub mod rng;
 pub mod scheduler;
 pub mod time;
 
-pub use metrics::Metrics;
 pub use scheduler::{EventId, Scheduler};
 pub use smartsock_telemetry::{SpanId, Telemetry};
 pub use time::{SimDuration, SimTime};

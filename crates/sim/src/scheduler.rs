@@ -13,7 +13,6 @@ use std::collections::{BTreeSet, BinaryHeap};
 
 use smartsock_telemetry::Telemetry;
 
-use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled event; used for cancellation.
@@ -78,10 +77,6 @@ pub struct Scheduler {
     /// spans and events, all keyed to virtual time. The scheduler keeps its
     /// clock in sync before dispatching each event.
     pub telemetry: Telemetry,
-    /// Deprecated counter facade sharing the telemetry counter store; kept
-    /// so pre-telemetry callers of `s.metrics` continue to work. New code
-    /// should use [`Scheduler::telemetry`].
-    pub metrics: Metrics,
     /// When set, every event dispatch is wrapped in a `sim-event-dispatch`
     /// span. Off by default: traces stay proportional to what daemons emit,
     /// not to the raw event count.
@@ -90,6 +85,7 @@ pub struct Scheduler {
     /// experiment scripts. `None` disables the guard.
     pub event_limit: Option<u64>,
     processed: u64,
+    peak_pending: usize,
 }
 
 impl Default for Scheduler {
@@ -100,18 +96,16 @@ impl Default for Scheduler {
 
 impl Scheduler {
     pub fn new() -> Self {
-        let telemetry = Telemetry::new();
-        let metrics = Metrics::from_shared(telemetry.shared_counters());
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
             cancelled: BTreeSet::new(),
-            telemetry,
-            metrics,
+            telemetry: Telemetry::new(),
             trace_dispatch: false,
             event_limit: Some(200_000_000),
             processed: 0,
+            peak_pending: 0,
         }
     }
 
@@ -149,6 +143,13 @@ impl Scheduler {
         self.heap.len()
     }
 
+    /// High-water mark of the event queue over the scheduler's lifetime
+    /// (including cancelled tombstones). The profiler reports this as a
+    /// proxy for the simulation's working-set pressure.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Schedule `f` to run at absolute time `at`.
     ///
     /// Scheduling in the past is clamped to "now": the event runs at the
@@ -162,6 +163,7 @@ impl Scheduler {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, run: Box::new(f) }));
+        self.peak_pending = self.peak_pending.max(self.heap.len());
         EventId(seq)
     }
 
@@ -407,12 +409,21 @@ mod tests {
     }
 
     #[test]
-    fn metrics_facade_shares_the_telemetry_store() {
+    fn peak_pending_tracks_the_queue_high_water_mark() {
         let mut sim = Scheduler::new();
-        sim.metrics.incr("legacy.counter");
-        sim.telemetry.counter_add("new-counter", 5);
-        assert_eq!(sim.telemetry.counter("legacy.counter"), 1);
-        assert_eq!(sim.metrics.get("new-counter"), 5);
+        assert_eq!(sim.peak_pending(), 0);
+        for t in 1..=5u64 {
+            sim.schedule_at(SimTime::from_secs(t), |_| {});
+        }
+        assert_eq!(sim.peak_pending(), 5);
+        sim.run();
+        // Draining the queue never lowers the high-water mark.
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.peak_pending(), 5);
+        // Cancelled tombstones still occupied a slot at their peak.
+        let id = sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        sim.cancel(id);
+        assert_eq!(sim.peak_pending(), 5);
     }
 
     #[test]

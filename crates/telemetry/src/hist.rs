@@ -3,9 +3,10 @@
 //! The buckets are powers of two over the full `u64` nanosecond range, so
 //! recording is a constant-time bit-length computation with no allocation
 //! and no configuration to get wrong. Quantiles interpolate linearly inside
-//! the selected bucket and clamp to the exact observed `[min, max]`, which
-//! keeps single-sample histograms exact and the top (saturated) bucket from
-//! inventing values beyond anything recorded.
+//! the selected bucket over bounds tightened to the observed `[min, max]`,
+//! with a single-sample bucket pinned to its lower bound — so a one-sample
+//! histogram reports that sample at every quantile and a lone outlier
+//! bucket never reports its raw upper edge.
 
 /// Number of buckets: one for zero plus one per possible bit length.
 const BUCKETS: usize = 65;
@@ -100,23 +101,39 @@ impl Histogram {
     /// The `q`-quantile (`0.0 ..= 1.0`), or `None` for an empty histogram.
     ///
     /// Rank selection is "nearest rank with interpolation": the returned
-    /// value lies inside the bucket holding the `ceil(q * count)`-th sample,
-    /// linearly interpolated by the rank's position within that bucket, then
-    /// clamped to the observed `[min, max]`.
+    /// value lies inside the bucket holding the `ceil(q * count)`-th sample.
+    /// Within a bucket of `n` samples the rank interpolates over the
+    /// *effective* bucket range — the bucket bounds tightened to the
+    /// observed global `[min, max]` — with the first in-bucket rank pinned
+    /// to the effective lower bound. A bucket holding one sample therefore
+    /// reports that bound rather than the bucket's upper edge, so a
+    /// single-sample histogram (or a lone outlier bucket) never invents a
+    /// value larger than anything recorded near it.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are known exactly: the first-ranked sample is
+        // the observed minimum and the last-ranked the observed maximum.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
                 continue;
             }
             if seen + n >= rank {
-                let lo = Self::bucket_lo(i) as f64;
-                let hi = Self::bucket_hi(i) as f64;
-                let frac = (rank - seen) as f64 / n as f64;
+                let lo = Self::bucket_lo(i).max(self.min) as f64;
+                let hi = Self::bucket_hi(i).min(self.max) as f64;
+                // Rank 1 of n sits at the lower bound, rank n at the upper:
+                // frac = (rank_in_bucket - 1) / (n - 1), degenerate n = 1
+                // pinned to the lower bound.
+                let frac = if n <= 1 { 0.0 } else { (rank - seen - 1) as f64 / (n - 1) as f64 };
                 let v = lo + (hi - lo) * frac;
                 // f64 can overshoot u64::MAX for the top bucket; saturate
                 // before the min/max clamp.
@@ -209,6 +226,61 @@ mod tests {
         // With log2 buckets the error is at most the width of one bucket.
         assert!((384..=1000).contains(&p50), "p50 = {p50}");
         assert!(p99 >= 512, "p99 = {p99}");
+    }
+
+    #[test]
+    fn single_sample_bucket_reports_its_bound_not_the_bucket_edge() {
+        // Two samples in *different* buckets: 5 lands in [4, 7], 100 in
+        // [64, 127]. The p50 rank selects the bucket holding only 5; the
+        // old interpolation returned the bucket's upper edge (7), a value
+        // that was never recorded.
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(100);
+        assert_eq!(h.quantile(0.50), Some(5));
+        assert_eq!(h.quantile(0.99), Some(100));
+    }
+
+    #[test]
+    fn two_samples_in_one_bucket_interpolate_between_them() {
+        // 5 and 6 share bucket [4, 7]: rank 1 pins to the observed min,
+        // rank 2 to the observed max — never 4 or 7.
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        assert_eq!(h.quantile(0.25), Some(5));
+        assert_eq!(h.quantile(0.99), Some(6));
+    }
+
+    #[test]
+    fn samples_exactly_on_bucket_boundaries_stay_exact() {
+        // Powers of two sit on bucket lower bounds; each bucket holds one
+        // sample, so every quantile must return a recorded power of two.
+        let mut h = Histogram::new();
+        for exp in 0..=10u32 {
+            h.record(1u64 << exp);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = h.quantile(q).unwrap();
+            assert!(v.is_power_of_two(), "q={q} gave {v}");
+        }
+        assert_eq!(h.quantile(0.01), Some(1));
+        assert_eq!(h.quantile(0.99), Some(1024));
+    }
+
+    #[test]
+    fn p99_of_single_sample_equals_the_sample_without_min_max_rescue() {
+        // The regression this guards: 1000 lands in bucket [512, 1023] and
+        // the interpolation itself (not just the global [min, max] clamp)
+        // must pin a lone sample to its bound. Pair it with a smaller
+        // cohabitant of a lower bucket so the clamp cannot mask a bad edge.
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.quantile(0.99), Some(1000));
+        assert_eq!(h.quantile(0.5), Some(3));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   iteration;
 //! * span and event names are `&'static str` kebab-case literals (enforced
 //!   by the `SS-OBS-001` analyzer rule), so name cardinality is bounded at
-//!   compile time; per-entity dimensions go in labels/attributes.
+//!   compile time; per-entity dimensions go in labels/attributes. Span
+//!   names additionally come from the closed registry in [`names`]
+//!   (enforced by `SS-OBS-002`), so per-name profiles stay comparable
+//!   across versions.
 //!
 //! ## Model
 //!
@@ -43,6 +46,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod names;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -52,8 +56,9 @@ use std::rc::Rc;
 
 use hist::Histogram;
 
-/// The counter store, shared between [`Telemetry`] and any legacy facade
-/// (`smartsock_sim::Metrics`) so both views see the same numbers.
+/// The counter store. Held behind a shared handle so embedders that need a
+/// second view of the same counters (historically the `sim::Metrics`
+/// facade, now removed) can observe without copying.
 pub type SharedCounters = Rc<RefCell<BTreeMap<String, u64>>>;
 
 /// Identifier of an open (or finished) span.
@@ -133,8 +138,8 @@ impl Telemetry {
         self.now_ns
     }
 
-    /// Handle to the counter store, for facades that must observe the same
-    /// counters (see `smartsock_sim::Metrics`).
+    /// Handle to the counter store, for embedders that must observe the
+    /// same counters through a second view.
     pub fn shared_counters(&self) -> SharedCounters {
         Rc::clone(&self.counters)
     }

@@ -1,19 +1,25 @@
 //! `telemetry` — query a smartsock JSONL trace.
 //!
 //! ```text
-//! telemetry summary <trace.jsonl>          per-span-name count/total/p50/p95/p99 + events
-//! telemetry timeline <host> <trace.jsonl>  ordered record log for one host
-//! telemetry slowest <n> <trace.jsonl>      worst spans with ancestry
+//! telemetry summary [--json] <trace.jsonl>     per-span-name count/total/p50/p95/p99 + events
+//! telemetry timeline <host> <trace.jsonl>      ordered record log for one host
+//! telemetry slowest [--json] <n> <trace.jsonl> worst spans with ancestry
 //! ```
+//!
+//! `--json` renders the same aggregates as a single machine-readable JSON
+//! document (stable field order, sorted maps) so `smartsock-profile` and
+//! scripts can consume them without scraping the human tables.
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+use std::fmt::Write as _;
 use std::io::{ErrorKind, Write};
 use std::process::ExitCode;
 
+use smartsock_telemetry::json;
 use smartsock_telemetry::trace::Trace;
 
-const USAGE: &str = "usage:\n  telemetry summary <trace.jsonl>\n  telemetry timeline <host> <trace.jsonl>\n  telemetry slowest <n> <trace.jsonl>\n";
+const USAGE: &str = "usage:\n  telemetry summary [--json] <trace.jsonl>\n  telemetry timeline <host> <trace.jsonl>\n  telemetry slowest [--json] <n> <trace.jsonl>\n";
 
 enum CmdError {
     /// User-facing failure: print to stderr, exit non-zero.
@@ -43,8 +49,12 @@ fn load(path: &str) -> Result<Trace, CmdError> {
     Ok(trace)
 }
 
-fn cmd_summary(out: &mut impl Write, path: &str) -> Result<(), CmdError> {
+fn cmd_summary(out: &mut impl Write, path: &str, as_json: bool) -> Result<(), CmdError> {
     let tr = load(path)?;
+    if as_json {
+        writeln!(out, "{}", summary_json(&tr))?;
+        return Ok(());
+    }
     let spans = tr.span_summary();
     writeln!(out, "spans:")?;
     writeln!(
@@ -81,9 +91,13 @@ fn cmd_timeline(out: &mut impl Write, host: &str, path: &str) -> Result<(), CmdE
     Ok(())
 }
 
-fn cmd_slowest(out: &mut impl Write, n: &str, path: &str) -> Result<(), CmdError> {
+fn cmd_slowest(out: &mut impl Write, n: &str, path: &str, as_json: bool) -> Result<(), CmdError> {
     let n: usize = n.parse().map_err(|_| CmdError::Msg(format!("telemetry: not a count: {n}")))?;
     let tr = load(path)?;
+    if as_json {
+        writeln!(out, "{}", slowest_json(&tr, n))?;
+        return Ok(());
+    }
     for (span, ancestry) in tr.slowest(n) {
         writeln!(
             out,
@@ -94,14 +108,87 @@ fn cmd_slowest(out: &mut impl Write, n: &str, path: &str) -> Result<(), CmdError
     Ok(())
 }
 
+/// `summary --json`: one object with sorted span/event aggregates, the
+/// counter map, and the human footer's totals.
+fn summary_json(tr: &Trace) -> String {
+    let spans = tr.span_summary();
+    let events = tr.event_summary();
+    let mut s = String::from("{\"spans\":[");
+    for (i, (name, count, total, p50, p95, p99)) in spans.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"count\":{count},\"total_ns\":{total},\
+             \"p50_ns\":{p50},\"p95_ns\":{p95},\"p99_ns\":{p99}}}",
+            json::escape(name),
+        );
+    }
+    s.push_str("],\"events\":[");
+    for (i, (name, count)) in events.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"name\":\"{}\",\"count\":{count}}}", json::escape(name));
+    }
+    s.push_str("],\"counters\":{");
+    for (i, (name, value)) in tr.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\":{value}", json::escape(name));
+    }
+    let span_total: u64 = spans.iter().map(|s| s.1).sum();
+    let event_total: u64 = events.iter().map(|e| e.1).sum();
+    let _ = write!(
+        s,
+        "}},\"totals\":{{\"spans\":{span_total},\"span_names\":{},\"events\":{event_total},\
+         \"counters\":{}}}}}",
+        spans.len(),
+        tr.counters.len(),
+    );
+    s
+}
+
+/// `slowest --json`: an array of the worst spans, worst first.
+fn slowest_json(tr: &Trace, n: usize) -> String {
+    let mut s = String::from("[");
+    for (i, (span, ancestry)) in tr.slowest(n).iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"host\":\"{}\",\"dur_ns\":{},\"start_ns\":{},\
+             \"end_ns\":{},\"ancestry\":\"{}\"}}",
+            json::escape(&span.name),
+            json::escape(&span.host),
+            span.dur_ns,
+            span.start_ns,
+            span.end_ns,
+            json::escape(ancestry),
+        );
+    }
+    s.push(']');
+    s
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let as_json = match args.iter().position(|a| a == "--json") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
-        ["summary", path] => cmd_summary(&mut out, path),
-        ["timeline", host, path] => cmd_timeline(&mut out, host, path),
-        ["slowest", n, path] => cmd_slowest(&mut out, n, path),
+        ["summary", path] => cmd_summary(&mut out, path, as_json),
+        ["timeline", host, path] if !as_json => cmd_timeline(&mut out, host, path),
+        ["slowest", n, path] => cmd_slowest(&mut out, n, path, as_json),
         _ => Err(CmdError::Msg(USAGE.to_owned())),
     };
     let result = result.and_then(|()| out.flush().map_err(CmdError::from));
@@ -111,5 +198,64 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_telemetry::Telemetry;
+
+    fn sample() -> Trace {
+        let mut t = Telemetry::new();
+        t.set_now(100);
+        let root = t.span_start("client-request", "alice");
+        t.set_now(150);
+        let child = t.span_child("client-connect", "alice", root);
+        t.set_now(400);
+        t.span_end(child);
+        t.set_now(900);
+        t.span_end(root);
+        t.event("fault-injected", "helene", &[("kind", "host-crash")]);
+        t.counter_add("sysmon-reports", 12);
+        Trace::parse(&t.export_jsonl())
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_complete() {
+        let tr = sample();
+        let doc = summary_json(&tr);
+        let v = json::parse(&doc).expect("summary --json must emit valid JSON");
+        let spans = match v.get("spans") {
+            Some(json::Value::Arr(xs)) => xs,
+            other => panic!("spans: {other:?}"),
+        };
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("client-connect"));
+        assert_eq!(spans[0].get("p99_ns").unwrap().as_u64(), Some(250));
+        assert_eq!(v.get("counters").unwrap().get("sysmon-reports").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("totals").unwrap().get("spans").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("totals").unwrap().get("events").unwrap().as_u64(), Some(1));
+        // Deterministic: same trace, same bytes.
+        assert_eq!(doc, summary_json(&sample()));
+    }
+
+    #[test]
+    fn slowest_json_is_valid_and_ordered() {
+        let tr = sample();
+        let doc = slowest_json(&tr, 10);
+        let v = json::parse(&doc).expect("slowest --json must emit valid JSON");
+        let rows = match v {
+            json::Value::Arr(xs) => xs,
+            other => panic!("expected array: {other:?}"),
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("client-request"));
+        assert_eq!(rows[0].get("dur_ns").unwrap().as_u64(), Some(800));
+        assert_eq!(
+            rows[1].get("ancestry").unwrap().as_str(),
+            Some("client-connect <- client-request")
+        );
+        assert_eq!(slowest_json(&tr, 1).matches("{").count(), 1);
     }
 }

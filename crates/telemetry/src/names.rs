@@ -1,0 +1,74 @@
+//! The span-name registry: the closed set of span names any smartsock
+//! component may open.
+//!
+//! Profiles are keyed by span name (`smartsock-profile` folds traces into
+//! per-name self-time/total-time tables and diffs them against a committed
+//! baseline), so a renamed or ad-hoc span silently breaks the perf
+//! trajectory: the old series ends, a new one starts, and `profile diff`
+//! sees a disappearance instead of a regression. Registering names here
+//! keeps them stable and greppable.
+//!
+//! The `SS-OBS-002` analyzer rule enforces the registry: every literal
+//! passed to `span_start` / `span_child` outside this crate (and outside
+//! test code) must appear in [`SPAN_NAMES`]. The analyzer reads the string
+//! literals out of this file, so adding a span is a one-line change here
+//! plus the call site.
+//!
+//! Keep the list sorted; kebab-case is enforced separately by
+//! `SS-OBS-001`.
+
+/// Every registered span name, sorted.
+pub const SPAN_NAMES: &[&str] = &[
+    // core: one client request from send to reply/ timeout, surviving
+    // retries (crates/core/src/client.rs).
+    "client-request",
+    // net: lifetime of one fluid bulk transfer, start to last byte
+    // (crates/net/src/state.rs).
+    "net-flow-transfer",
+    // monitor: one sequential probing round over every monitored path
+    // (crates/monitor/src/netmon.rs).
+    "netmon-round",
+    // probe: one status-report tick — scan /proc, differentiate, encode,
+    // send (crates/probe/src/lib.rs).
+    "probe-report",
+    // sim: one event dispatch, opt-in via `Scheduler::trace_dispatch`
+    // (crates/sim/src/scheduler.rs).
+    "sim-event-dispatch",
+    // wizard: matching one user request against the status databases
+    // (crates/wizard/src/lib.rs).
+    "wizard-match",
+];
+
+/// Whether `name` is a registered span name.
+pub fn is_registered(name: &str) -> bool {
+    SPAN_NAMES.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_deduped_kebab_case() {
+        for w in SPAN_NAMES.windows(2) {
+            assert!(w[0] < w[1], "registry must stay sorted/deduped: {:?} vs {:?}", w[0], w[1]);
+        }
+        for name in SPAN_NAMES {
+            assert!(
+                name.split('-').all(|seg| {
+                    !seg.is_empty()
+                        && seg.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+                }),
+                "{name:?} is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        assert!(is_registered("client-request"));
+        assert!(is_registered("wizard-match"));
+        assert!(!is_registered("client-Request"));
+        assert!(!is_registered("made-up-span"));
+    }
+}
