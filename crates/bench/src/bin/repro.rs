@@ -1,36 +1,63 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro --list            list experiment ids
-//! repro all               run everything (paper order)
-//! repro table5.3 fig3.6   run specific experiments
-//! repro --seed 42 all     override the seed
+//! repro --list                    list experiment ids
+//! repro all                       run everything (paper order)
+//! repro table5.3 fig3.6           run specific experiments
+//! repro --seed 42 all             override the seed
+//! repro --jobs 8 all              shard cells across 8 workers
+//! repro --seeds 100..120 all      seed-sweep matrix with shape checks
+//! repro --trace-out t.jsonl all   export the merged telemetry trace
 //! ```
+//!
+//! Output is byte-identical whatever `--jobs` is: cells run in parallel
+//! but merge in stable (experiment, seed) order, and all harness
+//! accounting (worker count, wall-clock) goes to stderr only.
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+use smartsock_bench::executor::{cells_for, run_cells};
 use smartsock_bench::json::reports_to_json;
-use smartsock_bench::{catalog, run, DEFAULT_SEED};
+use smartsock_bench::{catalog, matrix, Experiment, DEFAULT_SEED};
+
+const USAGE: &str = "usage: repro [--seed N | --seeds A..B] [--jobs N] [--json] \
+                     [--trace-out PATH] (--list | all | <experiment-id>...)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// Pull `--flag VALUE` out of `args`, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos >= args.len() {
+        fail(&format!("{flag} needs a value"));
+    }
+    Some(args.remove(pos))
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = DEFAULT_SEED;
-    let mut as_json = false;
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        args.remove(pos);
-        as_json = true;
-    }
-    if let Some(pos) = args.iter().position(|a| a == "--seed") {
-        args.remove(pos);
-        if pos < args.len() {
-            seed = args.remove(pos).parse().unwrap_or_else(|_| {
-                eprintln!("bad --seed value");
-                std::process::exit(2);
-            });
-        }
-    }
+    let as_json = args.iter().position(|a| a == "--json").map(|p| args.remove(p)).is_some();
+    let seed: u64 = match take_value(&mut args, "--seed") {
+        Some(v) => v.parse().unwrap_or_else(|_| fail("bad --seed value")),
+        None => DEFAULT_SEED,
+    };
+    let jobs: usize = match take_value(&mut args, "--jobs") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => fail("bad --jobs value (want an integer >= 1)"),
+        },
+        None => 1,
+    };
+    let sweep: Option<Vec<u64>> = take_value(&mut args, "--seeds")
+        .map(|v| matrix::parse_seed_range(&v).unwrap_or_else(|e| fail(&e)));
+    let trace_out = take_value(&mut args, "--trace-out");
+
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--seed N] [--json] (--list | all | <experiment-id>...)");
+        eprintln!("{USAGE}");
         eprintln!("experiments:");
         for (id, _) in catalog() {
             eprintln!("  {id}");
@@ -43,28 +70,90 @@ fn main() {
         }
         return;
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        catalog().into_iter().map(|(id, _)| id).collect()
+
+    let ids: Vec<(&'static str, Experiment)> =
+        if args.iter().any(|a| a == "all") {
+            catalog()
+        } else {
+            let catalog = catalog();
+            args.iter()
+                .map(|want| {
+                    catalog.iter().find(|(id, _)| id == want).copied().unwrap_or_else(|| {
+                        fail(&format!("unknown experiment {want:?} (try --list)"))
+                    })
+                })
+                .collect()
+        };
+
+    // Wall-clock here measures the harness (printed to stderr only, so
+    // stdout stays byte-identical across --jobs); nothing inside any
+    // simulation can observe it.
+    // analyze: allow(SS-DET-001): harness wall report on stderr, never read by sim code
+    let t0 = std::time::Instant::now();
+
+    let seeds: Vec<u64> = sweep.clone().unwrap_or_else(|| vec![seed]);
+    let results = run_cells(cells_for(&ids, &seeds), jobs);
+    let exit = if sweep.is_some() {
+        if as_json {
+            fail("--json is not supported in --seeds matrix mode");
+        }
+        let outcome = matrix::render_matrix(&ids, &seeds, &results);
+        print!("{}", outcome.text);
+        i32::from(outcome.violations > 0)
     } else {
-        args.iter().map(String::as_str).collect()
-    };
-    let mut reports = Vec::new();
-    for id in ids {
-        match run(id, seed) {
-            Some(report) => {
-                if as_json {
-                    reports.push(report);
-                } else {
-                    println!("{report}");
+        let mut reports = Vec::new();
+        let mut failures = Vec::new();
+        for r in &results {
+            match &r.outcome {
+                Ok((report, _)) => {
+                    if as_json {
+                        reports.push(report.clone());
+                    } else {
+                        println!("{report}");
+                    }
                 }
+                Err(panic) => failures.push(format!("{} @ {}: PANIC: {panic}", r.id, r.seed)),
             }
-            None => {
-                eprintln!("unknown experiment {id:?} (try --list)");
-                std::process::exit(2);
+        }
+        if as_json {
+            println!("{}", reports_to_json(&reports));
+        }
+        for f in &failures {
+            eprintln!("repro: {f}");
+        }
+        i32::from(!failures.is_empty())
+    };
+    // Every (experiment, seed) cell contributes its scheduler traces as
+    // shards, in stable cell order, in both modes.
+    cell_trace_export(trace_out.as_deref(), &results);
+
+    let wall = t0.elapsed();
+    let cells = ids.len() * seeds.len();
+    eprintln!(
+        "repro: {cells} cell(s), jobs={jobs}, harness wall {:.1} ms",
+        wall.as_secs_f64() * 1e3,
+    );
+    std::process::exit(exit);
+}
+
+/// Write the merged per-cell telemetry traces: one shard per scheduler,
+/// labeled `experiment#seed/k`, in stable cell order.
+fn cell_trace_export(path: Option<&str>, results: &[smartsock_bench::CellResult]) {
+    let Some(path) = path else { return };
+    let mut shards: Vec<(String, &str)> = Vec::new();
+    for r in results {
+        if let Ok((_, profile)) = &r.outcome {
+            for (k, trace) in profile.traces.iter().enumerate() {
+                shards.push((format!("{}#{}/{k}", r.id, r.seed), trace.as_str()));
             }
         }
     }
-    if as_json {
-        println!("{}", reports_to_json(&reports));
+    let merged =
+        smartsock_telemetry::merge::merge_jsonl(shards.iter().map(|(l, t)| (l.as_str(), *t)));
+    if merged.dropped > 0 {
+        eprintln!("repro: warning: merge dropped {} malformed trace line(s)", merged.dropped);
+    }
+    if let Err(e) = std::fs::write(path, merged.jsonl) {
+        fail(&format!("cannot write {path}: {e}"));
     }
 }

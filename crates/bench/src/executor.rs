@@ -1,0 +1,239 @@
+//! Work-stealing parallel executor for (experiment, seed) cells.
+//!
+//! The catalog's experiments are pure `fn(u64) -> Report` functions, each
+//! building its own schedulers internally — per-seed-deterministic `Sim`
+//! instances with no shared state, so the (experiment, seed) grid is
+//! embarrassingly parallel. This module shards that grid across N worker
+//! threads and merges the results back in the **input order** of the
+//! cells (the stable (experiment, seed) key order), so downstream
+//! rendering is byte-identical whatever `--jobs` was.
+//!
+//! Design notes:
+//!
+//! * **Scoped std threads, zero deps.** `std::thread::scope` lets workers
+//!   borrow the shared queues and result slots without `Arc` or channels.
+//! * **Work stealing.** Cells are dealt round-robin into one FIFO deque
+//!   per worker; a worker drains its own deque from the front and, when
+//!   empty, steals from the *back* of its peers' deques. Experiment costs
+//!   vary by two orders of magnitude (`fig5.2` vs `table3.2`), so static
+//!   sharding alone would leave workers idle behind one hot shard.
+//! * **Cell isolation.** Each cell runs under [`crate::profiled::profile_call`],
+//!   whose collector is a thread-local: concurrent cells cannot observe
+//!   each other's schedulers or telemetry. Only `Send` data (the report,
+//!   the cost snapshot, the exported trace strings) crosses back.
+//! * **Panic isolation.** A panicking cell is caught (`catch_unwind`) and
+//!   reported as that cell's error without poisoning its worker or the
+//!   other cells. `AssertUnwindSafe` is sound here because the only state
+//!   a torn cell could leave behind is the thread-local collector, and
+//!   `profile_call` reinstalls it at the top of every run.
+//! * **Determinism.** Nothing in the simulation can observe wall-clock
+//!   concurrency: virtual time lives inside each cell's own schedulers.
+//!   Thread interleaving only changes *when* a result slot is filled,
+//!   never its contents or the merged order.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::profiled::{profile_call, RunProfile};
+use crate::report::Report;
+use crate::Experiment;
+
+/// One schedulable unit: an experiment entry point at one seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    pub id: &'static str,
+    pub run: Experiment,
+    pub seed: u64,
+}
+
+/// The outcome of one cell, in the cell's input position.
+#[derive(Debug)]
+pub struct CellResult {
+    pub id: &'static str,
+    pub seed: u64,
+    /// The report and captured profile, or the panic message if the cell
+    /// blew up.
+    pub outcome: Result<(Report, RunProfile), String>,
+}
+
+/// Build the (experiment, seed) grid in stable key order: experiments in
+/// the given (catalog) order, seeds ascending within each experiment.
+pub fn cells_for(ids: &[(&'static str, Experiment)], seeds: &[u64]) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(ids.len() * seeds.len());
+    for &(id, run) in ids {
+        for &seed in seeds {
+            cells.push(Cell { id, run, seed });
+        }
+    }
+    cells
+}
+
+/// Run every cell on up to `jobs` workers; results come back in cell
+/// input order regardless of worker count or scheduling interleavings.
+pub fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<CellResult> {
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.max(1).min(n);
+    if workers == 1 {
+        return cells.into_iter().map(run_one).collect();
+    }
+
+    // Round-robin deal into per-worker FIFO deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..n {
+        queues[i % workers]
+            .lock()
+            .expect("queue lock poisoned: a worker panicked outside catch_unwind")
+            .push_back(i);
+    }
+    let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let cells = &cells;
+            scope.spawn(move || {
+                while let Some(i) = next_cell(w, queues) {
+                    let result = run_one(cells[i]);
+                    *slots[i]
+                        .lock()
+                        .expect("slot lock poisoned: a worker panicked outside catch_unwind") =
+                        Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock poisoned: a worker panicked outside catch_unwind")
+                .expect("invariant: queues drained, so every slot was filled")
+        })
+        .collect()
+}
+
+/// Pop the next cell index for worker `w`: own queue first (front, FIFO),
+/// then steal from peers' backs. `None` once every queue is empty — cells
+/// never spawn new cells, so an empty sweep is a stable termination state.
+fn next_cell(w: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    fn lock(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        q.lock().expect("queue lock poisoned: a worker panicked outside catch_unwind")
+    }
+    if let Some(i) = lock(&queues[w]).pop_front() {
+        return Some(i);
+    }
+    for off in 1..queues.len() {
+        let victim = (w + off) % queues.len();
+        if let Some(i) = lock(&queues[victim]).pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Run one cell under the profiler with panic isolation.
+fn run_one(cell: Cell) -> CellResult {
+    let Cell { id, run, seed } = cell;
+    let outcome = catch_unwind(AssertUnwindSafe(|| profile_call(id, run, seed)))
+        .map_err(|payload| panic_message(payload.as_ref()));
+    CellResult { id, seed, outcome }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_echo(seed: u64) -> Report {
+        let mut r = Report::new("echo", "echoes its seed");
+        r.figure("seed", seed as f64);
+        r
+    }
+
+    fn boom_on_even(seed: u64) -> Report {
+        assert!(seed % 2 != 0, "boom at seed {seed}");
+        seed_echo(seed)
+    }
+
+    #[test]
+    fn empty_catalog_yields_no_results_at_any_width() {
+        for jobs in [1, 4] {
+            assert!(run_cells(Vec::new(), jobs).is_empty());
+        }
+    }
+
+    #[test]
+    fn one_cell_runs_even_with_many_workers() {
+        let cells = vec![Cell { id: "echo", run: seed_echo, seed: 7 }];
+        let out = run_cells(cells, 8);
+        assert_eq!(out.len(), 1);
+        let (report, profile) = out[0].outcome.as_ref().expect("cell succeeded");
+        assert_eq!(report.get("seed"), 7.0);
+        assert_eq!(profile.experiment_id, "echo");
+        assert_eq!(profile.seed, 7);
+    }
+
+    #[test]
+    fn more_workers_than_cells_preserves_input_order() {
+        let cells: Vec<Cell> =
+            (0..3).map(|s| Cell { id: "echo", run: seed_echo, seed: s }).collect();
+        let out = run_cells(cells, 16);
+        let seeds: Vec<u64> = out.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![0, 1, 2], "merge order is the input order");
+    }
+
+    #[test]
+    fn results_merge_in_input_order_whatever_the_worker_count() {
+        let cells: Vec<Cell> =
+            (0..17).map(|s| Cell { id: "echo", run: seed_echo, seed: s }).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = run_cells(cells.clone(), jobs);
+            for (i, r) in out.iter().enumerate() {
+                assert_eq!(r.seed, i as u64);
+                let (report, _) = r.outcome.as_ref().expect("cell succeeded");
+                assert_eq!(report.get("seed"), i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_cells_are_isolated_from_their_neighbours() {
+        let cells: Vec<Cell> =
+            (1..=6).map(|s| Cell { id: "boom", run: boom_on_even, seed: s }).collect();
+        let out = run_cells(cells, 3);
+        assert_eq!(out.len(), 6);
+        for r in &out {
+            if r.seed % 2 == 0 {
+                let err = r.outcome.as_ref().expect_err("even seeds panic");
+                assert!(err.contains("boom at seed"), "panic message surfaced: {err}");
+            } else {
+                let (report, _) = r.outcome.as_ref().expect("odd seeds succeed");
+                assert_eq!(report.get("seed"), r.seed as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_for_walks_experiment_major_seed_minor() {
+        let ids: [(&'static str, Experiment); 2] = [("a", seed_echo), ("b", seed_echo)];
+        let cells = cells_for(&ids, &[10, 11]);
+        let keys: Vec<(&str, u64)> = cells.iter().map(|c| (c.id, c.seed)).collect();
+        assert_eq!(keys, vec![("a", 10), ("a", 11), ("b", 10), ("b", 11)]);
+    }
+}

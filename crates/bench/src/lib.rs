@@ -18,12 +18,16 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod executor;
 pub mod experiments;
 pub mod json;
+pub mod matrix;
 pub mod profiled;
 pub mod report;
+pub mod shapes;
 
-pub use profiled::{profile_run, RunProfile};
+pub use executor::{run_cells, Cell, CellResult};
+pub use profiled::{profile_call, profile_run, RunProfile};
 pub use report::Report;
 
 /// Default experiment seed (any value works; EXPERIMENTS.md uses this one).

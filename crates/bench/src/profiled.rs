@@ -79,10 +79,15 @@ impl Drop for Sim {
         COLLECTOR.with(|c| {
             let mut c = c.borrow_mut();
             let Some(p) = c.as_mut() else { return };
+            // `CostSnapshot` + the exported trace `String` are the
+            // `Send`-safe handoff surface the parallel executor moves
+            // across worker threads; nothing of the scheduler itself
+            // (queue, closures) escapes the thread that built it.
+            let cost = self.inner.cost();
             p.schedulers += 1;
-            p.sim_events += self.inner.events_processed();
-            p.sim_time_ns += self.inner.now().0;
-            p.peak_pending = p.peak_pending.max(self.inner.peak_pending());
+            p.sim_events += cost.events_processed;
+            p.sim_time_ns += cost.sim_time_ns;
+            p.peak_pending = p.peak_pending.max(cost.peak_pending);
             let trace = self.inner.telemetry.export_jsonl();
             p.records += trace.lines().count() as u64;
             p.traces.push(trace);
@@ -94,6 +99,18 @@ impl Drop for Sim {
 /// report plus the captured profile. `None` for unknown ids.
 pub fn profile_run(id: &str, seed: u64) -> Option<(Report, RunProfile)> {
     let (_, f) = crate::catalog().into_iter().find(|(eid, _)| *eid == id)?;
+    Some(profile_call(id, f, seed))
+}
+
+/// Run one experiment entry point under the collector. The direct-call
+/// variant of [`profile_run`] used by the parallel executor, which already
+/// holds the `(id, fn)` pair and must not pay a catalog scan per cell.
+///
+/// The collector is a thread-local, so concurrent calls on different
+/// worker threads each capture exactly their own cell's schedulers.
+/// Installing it overwrites any stale collector a panicking previous cell
+/// on this thread may have left behind.
+pub fn profile_call(id: &str, f: crate::Experiment, seed: u64) -> (Report, RunProfile) {
     COLLECTOR.with(|c| {
         *c.borrow_mut() =
             Some(RunProfile { experiment_id: id.to_owned(), seed, ..RunProfile::default() });
@@ -107,9 +124,9 @@ pub fn profile_run(id: &str, seed: u64) -> Option<(Report, RunProfile)> {
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let mut p = COLLECTOR
         .with(|c| c.borrow_mut().take())
-        .expect("invariant: collector installed at the top of profile_run");
+        .expect("invariant: collector installed at the top of profile_call");
     p.wall_ns = wall_ns;
-    Some((report, p))
+    (report, p)
 }
 
 #[cfg(test)]

@@ -1,0 +1,321 @@
+//! Runtime shape assertions over experiment reports.
+//!
+//! Each experiment's `#[cfg(test)]` module pins the paper's qualitative
+//! claims at `DEFAULT_SEED`. The seed-sweep matrix (`repro --seeds A..B`)
+//! needs the same claims as *runtime* checks so they can be validated as
+//! distributions across a seed range rather than a single lucky seed.
+//! This registry restates them as pure functions of a [`Report`]: a knee
+//! ratio above the visibility threshold, bandwidth estimators tracking the
+//! configured truth, the smart socket beating random selection, and so on.
+//!
+//! A violation is a human-readable sentence, not a panic: the matrix
+//! renderer aggregates them per (experiment, seed) cell and the nightly CI
+//! job fails if any cell reports one. Bounds are the test bounds widened
+//! where a quantity legitimately spreads across seeds (jitter-driven RTTs,
+//! sampled bandwidth estimates); equality claims (server counts, paper
+//! match flags) stay exact.
+
+use crate::report::Report;
+
+/// Collects violations while tolerating missing figures (a missing key is
+/// itself a violation, recorded once, and poisons dependent comparisons
+/// with NaN so they also read as violations rather than silent passes).
+struct Checker<'a> {
+    report: &'a Report,
+    violations: Vec<String>,
+}
+
+impl Checker<'_> {
+    fn get(&mut self, key: &str) -> f64 {
+        match self.report.figures.get(key) {
+            Some(v) => *v,
+            None => {
+                self.violations.push(format!("missing figure {key:?}"));
+                f64::NAN
+            }
+        }
+    }
+
+    fn ensure(&mut self, cond: bool, msg: String) {
+        if !cond {
+            self.violations.push(msg);
+        }
+    }
+
+    /// |value - target| <= tol
+    fn near(&mut self, key: &str, target: f64, tol: f64) {
+        let v = self.get(key);
+        self.ensure((v - target).abs() <= tol, format!("{key} = {v:.3}, expected {target}±{tol}"));
+    }
+
+    fn eq(&mut self, key: &str, want: f64) {
+        let v = self.get(key);
+        self.ensure(v == want, format!("{key} = {v}, expected exactly {want}"));
+    }
+
+    fn in_range(&mut self, key: &str, lo: f64, hi: f64) {
+        let v = self.get(key);
+        self.ensure(v > lo && v < hi, format!("{key} = {v:.3}, expected in ({lo}, {hi})"));
+    }
+}
+
+fn knee_slopes(c: &mut Checker<'_>) {
+    let below = c.get("slope_below_ms_per_kb");
+    let ratio = c.get("slope_ratio");
+    c.ensure(below > 0.0, format!("below-knee slope {below:.4} not positive"));
+    c.ensure(ratio > 2.0, format!("knee ratio {ratio:.2} <= 2.0: MTU knee washed out"));
+}
+
+fn six_path_knees(c: &mut Checker<'_>) {
+    // Paths: 0/1 WAN, 2 local segment, 3 remote LAN, 4 same switch,
+    // 5 loopback (rig::six_paths order). The WAN paths' knees are
+    // *statistically* shadowed by jitter — at some seeds the draw still
+    // clears the ratio threshold — so only the seed-invariant claims are
+    // sweep-checked (the default-seed WAN claim lives in the module test).
+    c.eq("path2_knee", 1.0);
+    c.eq("path4_knee", 1.0);
+    c.eq("path5_knee", 0.0);
+}
+
+fn six_path_rtts(c: &mut Checker<'_>) {
+    c.near("path0_rtt_ms", 126.0, 45.0);
+    c.near("path1_rtt_ms", 238.0, 75.0);
+    let local = c.get("path5_rtt_ms");
+    c.ensure(local < 0.3, format!("loopback rtt {local:.3} ms not sub-0.3ms"));
+}
+
+fn bandwidth_groups(c: &mut Checker<'_>) {
+    // Sub-MTU pairs collapse below speed_init; super-MTU pairs track the
+    // configured truth (~95 Mbps available on the campus pair).
+    let truth = c.get("truth_mbps");
+    for i in 0..3 {
+        let v = c.get(&format!("group{i}_avg_mbps"));
+        c.ensure(v < 26.0, format!("group{i} = {v:.1} Mbps, sub-MTU pair must underestimate"));
+    }
+    for i in 3..7 {
+        let v = c.get(&format!("group{i}_avg_mbps"));
+        c.ensure(
+            (v - truth).abs() / truth < 0.35,
+            format!("group{i} = {v:.1} Mbps, >35% from truth {truth:.1}"),
+        );
+    }
+    let g4 = c.get("group4_avg_mbps");
+    let g6 = c.get("group6_avg_mbps");
+    c.ensure(g4 < g6, format!("unequal fragment counts must bias down: {g4:.1} !< {g6:.1}"));
+}
+
+fn netmon_matrix(c: &mut Checker<'_>) {
+    for (a, b) in [(1, 2), (1, 3), (2, 1), (2, 3), (3, 1), (3, 2)] {
+        let bw = c.get(&format!("m{a}to{b}_bw"));
+        c.ensure(bw > 1.0, format!("m{a}->m{b} bandwidth {bw:.2} Mbps not positive-ish"));
+    }
+    let direct = c.get("m1to2_bw");
+    let far = c.get("m1to3_bw");
+    c.ensure(far < direct * 0.7, format!("bottleneck path {far:.1} !< 0.7×{direct:.1}"));
+    let d12 = c.get("m1to2_delay");
+    let d13 = c.get("m1to3_delay");
+    c.ensure(d13 > d12 * 2.0, format!("far delay {d13:.2} !> 2×{d12:.2}"));
+}
+
+fn superpi_mem(c: &mut Checker<'_>) {
+    let mb = 1024.0 * 1024.0;
+    let before_free = c.get("before_free") / mb;
+    let after_free = c.get("after_free") / mb;
+    let after_used = c.get("after_used") / mb;
+    c.ensure(before_free > 100.0, format!("before_free {before_free:.0} MB, expected > 100"));
+    c.ensure(after_free < 16.0, format!("after_free {after_free:.0} MB, expected < 16"));
+    c.ensure(after_used > 230.0, format!("after_used {after_used:.0} MB, expected > 230"));
+    let (b, a) = (c.get("before_cached"), c.get("after_cached"));
+    c.ensure(a > b, format!("cache must grow: {a:.0} !> {b:.0}"));
+}
+
+fn resources(c: &mut Checker<'_>) {
+    c.eq("live_servers", 11.0);
+    let p = c.get("probe_kbps_each");
+    c.in_range("probe_kbps_each", 0.03, 1.0);
+    let m = c.get("sysmon_kbps");
+    c.ensure((m - 11.0 * p).abs() / m < 0.2, format!("sysmon {m:.2} vs 11×probe {p:.2}"));
+    c.in_range("transmitter_kbps", 0.6, 3.0);
+    c.in_range("netmon_kbps", 0.5, 8.0);
+}
+
+fn matmul_times(c: &mut Checker<'_>) {
+    let fast = c.get("time_dalmatian");
+    let mid = c.get("time_sagit");
+    c.ensure(fast < mid, format!("P4-2.4 {fast:.0}s must beat P3-866 {mid:.0}s"));
+    c.in_range("time_dalmatian", 100.0, 160.0);
+}
+
+fn matmul_exp(c: &mut Checker<'_>, count: f64, imp_lo: f64, imp_hi: f64) {
+    c.eq("smart_count", count);
+    c.in_range("improvement_pct", imp_lo, imp_hi);
+    let (smart, random) = (c.get("smart_secs"), c.get("random_secs"));
+    c.ensure(smart < random, format!("smart {smart:.1}s must beat random {random:.1}s"));
+}
+
+fn massd_exp(c: &mut Checker<'_>, count: f64, kbps: f64, tol: f64) {
+    c.eq("smart_count", count);
+    c.eq("smart_all_fast", 1.0);
+    c.near("smart_kbps", kbps, tol);
+    let smart = c.get("smart_kbps");
+    let mut prev = 0.0;
+    for i in 0..count as usize {
+        let r = c.get(&format!("random{i}_kbps"));
+        c.ensure(
+            r >= prev && r < smart,
+            format!("random{i} {r:.0} must stay below smart {smart:.0} and be non-decreasing"),
+        );
+        prev = r;
+    }
+}
+
+fn massd_calib(c: &mut Checker<'_>) {
+    let worst = c.get("worst_ratio");
+    c.ensure(worst > 0.88, format!("worst goodput/cap ratio {worst:.3} <= 0.88"));
+    for run in 0..10 {
+        let set = c.get(&format!("run{run}_set_kbps"));
+        let got = c.get(&format!("run{run}_measured_kbps"));
+        c.ensure(got <= set * 1.02, format!("run{run} goodput {got:.0} above cap {set:.0}"));
+    }
+}
+
+fn worked_example(c: &mut Checker<'_>) {
+    c.eq("selected_count", 3.0);
+    c.eq("matches_paper", 1.0);
+}
+
+fn ablation_fetch(c: &mut Checker<'_>) {
+    let (seq, par) = (c.get("seq_2_2"), c.get("par_2_2"));
+    c.ensure(par / seq > 1.6, format!("parallel fetch {par:.0} !> 1.6×sequential {seq:.0}"));
+}
+
+fn ablation_staleness(c: &mut Checker<'_>) {
+    c.eq("avoided_i1_d3", 1.0);
+    c.eq("avoided_i10_d1", 0.0);
+    c.eq("avoided_i1_d12", 1.0);
+    c.eq("avoided_i2_d12", 1.0);
+}
+
+fn ablation_probesize(c: &mut Checker<'_>) {
+    let v = c.get("case0_err_pct");
+    c.ensure(v > 40.0, format!("sub-MTU S1 error {v:.1}% should be catastrophic (>40%)"));
+    let v = c.get("case2_err_pct");
+    c.ensure(v < 20.0, format!("equal-fragment error {v:.1}% should stay small (<20%)"));
+}
+
+fn ablation_estimators(c: &mut Checker<'_>) {
+    let truth = c.get("truth_30_0");
+    for tool in ["oneway", "pipechar", "slops", "iperf"] {
+        let est = c.get(&format!("{tool}_30_0"));
+        c.ensure(
+            (est - truth).abs() / truth < 0.35,
+            format!("{tool} quiet-path estimate {est:.1} >35% from truth {truth:.1}"),
+        );
+    }
+    let truth = c.get("truth_100_30");
+    for tool in ["oneway", "slops"] {
+        let est = c.get(&format!("{tool}_100_30"));
+        c.ensure(
+            (est - truth).abs() / truth < 0.4,
+            format!("{tool} loaded-path estimate {est:.1} >40% from truth {truth:.1}"),
+        );
+    }
+}
+
+fn ablation_scaling(c: &mut Checker<'_>) {
+    let (t1, t2) = (c.get("time_1"), c.get("time_2"));
+    c.ensure(t2 < t1, format!("2 workers {t2:.0} !< 1 worker {t1:.0}"));
+    let (t4, t8) = (c.get("time_4"), c.get("time_8"));
+    c.ensure(t8 < t4, format!("8 workers {t8:.0} !< 4 workers {t4:.0}"));
+    let e1 = c.get("efficiency_1");
+    c.ensure(e1 >= 0.99, format!("1-worker efficiency {e1:.3} < 0.99"));
+    let (e2, e8) = (c.get("efficiency_2"), c.get("efficiency_8"));
+    c.ensure(e8 < e2, format!("efficiency must decay: e8 {e8:.3} !< e2 {e2:.3}"));
+}
+
+fn ablation_schedule(c: &mut Checker<'_>) {
+    let ratio = c.get("dynamic_homogeneous") / c.get("static_homogeneous");
+    c.ensure(ratio < 1.25, format!("homogeneous dynamic/static ratio {ratio:.2} >= 1.25"));
+    let (dy, st) = (c.get("dynamic_heterogeneous"), c.get("static_heterogeneous"));
+    c.ensure(dy < st * 0.95, format!("heterogeneous dynamic {dy:.0} !< 0.95×static {st:.0}"));
+}
+
+/// Run the registered shape checks for experiment `id` against its
+/// report. `None` when the experiment has no registered shapes (it still
+/// contributes figure distributions to the matrix, just no gate).
+pub fn check(id: &str, report: &Report) -> Option<Vec<String>> {
+    let f: fn(&mut Checker<'_>) = match id {
+        "fig3.3" | "fig3.4" | "fig3.5" => knee_slopes,
+        "table3.2" => six_path_rtts,
+        "fig3.6" => six_path_knees,
+        "table3.3" | "fig3.7" => bandwidth_groups,
+        "table3.4" => netmon_matrix,
+        "table4.1" => superpi_mem,
+        "table5.2" => resources,
+        "fig5.2" => matmul_times,
+        "table5.3" => |c| matmul_exp(c, 2.0, 20.0, 55.0),
+        "table5.4" => |c| matmul_exp(c, 4.0, 8.0, 40.0),
+        "table5.5" => |c| matmul_exp(c, 6.0, 0.0, 25.0),
+        "table5.6" => |c| matmul_exp(c, 4.0, 15.0, 60.0),
+        "fig5.3" => massd_calib,
+        "table5.7" => |c| massd_exp(c, 1.0, 860.0, 170.0),
+        "table5.8" => |c| massd_exp(c, 2.0, 994.0, 210.0),
+        "table5.9" => |c| massd_exp(c, 3.0, 796.0, 180.0),
+        "fig1.4" => worked_example,
+        "ablation.fetch" => ablation_fetch,
+        "ablation.staleness" => ablation_staleness,
+        "ablation.probesize" => ablation_probesize,
+        "ablation.estimators" => ablation_estimators,
+        "ablation.scaling" => ablation_scaling,
+        "ablation.schedule" => ablation_schedule,
+        _ => return None,
+    };
+    let mut c = Checker { report, violations: Vec::new() };
+    f(&mut c);
+    Some(c.violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, DEFAULT_SEED};
+
+    #[test]
+    fn every_catalog_experiment_passes_its_shapes_at_the_default_seed() {
+        for (id, f) in catalog() {
+            let report = f(DEFAULT_SEED);
+            if let Some(violations) = check(id, &report) {
+                assert!(violations.is_empty(), "{id} @ {DEFAULT_SEED}: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_figures_surface_as_violations_not_panics() {
+        let empty = Report::new("fig3.3", "empty");
+        let violations = check("fig3.3", &empty).expect("fig3.3 has registered shapes");
+        assert!(violations.iter().any(|v| v.contains("missing figure")));
+        assert!(
+            violations.iter().any(|v| v.contains("knee ratio")),
+            "NaN comparisons read as violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_experiments_have_no_registered_shapes() {
+        assert!(check("table9.9", &Report::new("table9.9", "x")).is_none());
+    }
+
+    #[test]
+    fn most_of_the_catalog_is_shape_checked() {
+        let covered = catalog().iter().filter(|(id, _)| check(id, &dummy(id)).is_some()).count();
+        assert!(covered >= 20, "only {covered} experiments have shape checks");
+    }
+
+    fn dummy(id: &str) -> Report {
+        // `check` only consults the id for registry lookup before running,
+        // and Checker tolerates missing figures.
+        let _ = id;
+        Report::new("dummy", "dummy")
+    }
+}

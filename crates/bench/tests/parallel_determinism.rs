@@ -1,0 +1,72 @@
+//! Property: the parallel executor is invisible in the output. Running
+//! the full catalog with `--jobs 8` must produce byte-identical rendered
+//! reports AND a byte-identical merged telemetry export compared to
+//! `--jobs 1`. This is the contract that lets CI shard the catalog
+//! without a determinism caveat.
+
+use smartsock_bench::executor::cells_for;
+use smartsock_bench::{catalog, run_cells, CellResult, DEFAULT_SEED};
+
+/// Render what `repro all` prints: every report in merge order.
+fn rendered_reports(results: &[CellResult]) -> String {
+    let mut s = String::new();
+    for r in results {
+        let (report, _) = r.outcome.as_ref().expect("catalog experiments must not panic");
+        s.push_str(&format!("{report}\n"));
+    }
+    s
+}
+
+/// Merge every cell's exported traces the way `repro --trace-out` does.
+fn merged_trace(results: &[CellResult]) -> String {
+    let mut shards: Vec<(String, String)> = Vec::new();
+    for r in results {
+        let (_, profile) = r.outcome.as_ref().expect("catalog experiments must not panic");
+        for (k, trace) in profile.traces.iter().enumerate() {
+            shards.push((format!("{}#{}/{k}", r.id, r.seed), trace.clone()));
+        }
+    }
+    smartsock_telemetry::merge::merge_jsonl(shards.iter().map(|(l, t)| (l.as_str(), t.as_str())))
+        .jsonl
+}
+
+#[test]
+fn full_catalog_is_byte_identical_across_jobs_1_and_8() {
+    let ids = catalog();
+    let serial = run_cells(cells_for(&ids, &[DEFAULT_SEED]), 1);
+    let parallel = run_cells(cells_for(&ids, &[DEFAULT_SEED]), 8);
+
+    assert_eq!(
+        rendered_reports(&serial),
+        rendered_reports(&parallel),
+        "rendered report bytes must not depend on --jobs"
+    );
+    let t1 = merged_trace(&serial);
+    let t8 = merged_trace(&parallel);
+    assert!(!t1.is_empty(), "the catalog must export telemetry traces");
+    assert_eq!(t1, t8, "merged telemetry JSONL bytes must not depend on --jobs");
+}
+
+#[test]
+fn multi_seed_grid_is_byte_identical_across_jobs() {
+    // A smaller grid, but two seeds: exercises the (experiment, seed)
+    // merge key rather than just the experiment axis.
+    let ids: Vec<_> =
+        catalog().into_iter().filter(|(id, _)| matches!(*id, "fig3.3" | "table5.2")).collect();
+    let seeds = [DEFAULT_SEED, DEFAULT_SEED + 1];
+    let serial = run_cells(cells_for(&ids, &seeds), 1);
+    let parallel = run_cells(cells_for(&ids, &seeds), 8);
+    assert_eq!(rendered_reports(&serial), rendered_reports(&parallel));
+    assert_eq!(merged_trace(&serial), merged_trace(&parallel));
+    let keys: Vec<(&str, u64)> = serial.iter().map(|r| (r.id, r.seed)).collect();
+    assert_eq!(
+        keys,
+        vec![
+            ("fig3.3", DEFAULT_SEED),
+            ("fig3.3", DEFAULT_SEED + 1),
+            ("table5.2", DEFAULT_SEED),
+            ("table5.2", DEFAULT_SEED + 1),
+        ],
+        "results must merge in stable (experiment, seed) order"
+    );
+}

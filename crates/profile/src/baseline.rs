@@ -68,10 +68,15 @@ impl ExperimentProfile {
 }
 
 /// Render profiles as the canonical `BENCH_profile.json` document:
-/// sorted by experiment id, one experiment per line, fixed field order.
+/// sorted by (experiment id, seed) — the same stable key order the
+/// parallel executor merges on, so the document's bytes are independent
+/// of how many workers captured the shards — one experiment per line,
+/// fixed field order.
 pub fn render_profiles(profiles: &[ExperimentProfile]) -> String {
     let mut sorted: Vec<&ExperimentProfile> = profiles.iter().collect();
-    sorted.sort_by(|a, b| a.experiment_id.cmp(&b.experiment_id));
+    sorted.sort_by(|a, b| {
+        (a.experiment_id.as_str(), a.seed).cmp(&(b.experiment_id.as_str(), b.seed))
+    });
     let mut s = String::from("{\"version\":1,\"profiles\":[\n");
     for (i, p) in sorted.iter().enumerate() {
         if i > 0 {

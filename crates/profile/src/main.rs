@@ -3,9 +3,10 @@
 //! ```text
 //! profile report [--top N] <trace.jsonl>   hot-path table by self-time
 //! profile flame <trace.jsonl>              flamegraph collapsed stacks
-//! profile bench [--seed N] [--out PATH] [id ...]
+//! profile bench [--seed N] [--jobs N] [--zero-wall] [--out PATH] (all | id ...)
 //!                                          run repro experiments under the
-//!                                          profiler, write BENCH_profile.json
+//!                                          profiler (sharded across --jobs
+//!                                          workers), write BENCH_profile.json
 //! profile diff [--threshold-pct P] [--gate-wall] [--wall-threshold-pct P]
 //!              <old.json> <new.json>       classify vs baseline; exit 1 on
 //!                                          regression
@@ -24,7 +25,7 @@ use std::process::ExitCode;
 use smartsock_profile::{baseline, fold};
 use smartsock_telemetry::trace::Trace;
 
-const USAGE: &str = "usage:\n  profile report [--top N] <trace.jsonl>\n  profile flame <trace.jsonl>\n  profile bench [--seed N] [--out PATH] [experiment-id ...]\n  profile diff [--threshold-pct P] [--gate-wall] [--wall-threshold-pct P] <old.json> <new.json>\n";
+const USAGE: &str = "usage:\n  profile report [--top N] <trace.jsonl>\n  profile flame <trace.jsonl>\n  profile bench [--seed N] [--jobs N] [--zero-wall] [--out PATH] (all | experiment-id ...)\n  profile diff [--threshold-pct P] [--gate-wall] [--wall-threshold-pct P] <old.json> <new.json>\n";
 
 /// The CI gating subset: the two cheapest catalog experiments that drive
 /// full scheduler runs (fig1.4 never builds one).
@@ -56,6 +57,8 @@ fn cmd_flame(args: &[&str]) -> Result<String, String> {
 fn cmd_bench(args: &[&str]) -> Result<String, String> {
     let mut seed = smartsock_bench::DEFAULT_SEED;
     let mut out_path: Option<String> = None;
+    let mut jobs: usize = 1;
+    let mut zero_wall = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -64,6 +67,14 @@ fn cmd_bench(args: &[&str]) -> Result<String, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("not a seed: {v}"))?;
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("bad --jobs value (want an integer >= 1): {v}")),
+                };
+            }
+            "--zero-wall" => zero_wall = true,
             "--out" => out_path = Some(it.next().ok_or("--out needs a path")?.to_string()),
             id => ids.push(id.to_owned()),
         }
@@ -71,17 +82,43 @@ fn cmd_bench(args: &[&str]) -> Result<String, String> {
     if ids.is_empty() {
         ids = DEFAULT_BENCH_IDS.iter().map(|s| (*s).to_owned()).collect();
     }
+    let catalog = smartsock_bench::catalog();
+    let selected: Vec<(&'static str, smartsock_bench::Experiment)> =
+        if ids.iter().any(|i| i == "all") {
+            catalog
+        } else {
+            ids.iter()
+                .map(|want| {
+                    catalog
+                        .iter()
+                        .find(|(id, _)| id == want)
+                        .copied()
+                        .ok_or_else(|| format!("unknown experiment id: {want}"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+    let results =
+        smartsock_bench::run_cells(smartsock_bench::executor::cells_for(&selected, &[seed]), jobs);
     let mut profiles = Vec::new();
-    for id in &ids {
-        let (_, run) = smartsock_bench::profile_run(id, seed)
-            .ok_or_else(|| format!("unknown experiment id: {id}"))?;
+    for r in &results {
+        let (_, run) = r
+            .outcome
+            .as_ref()
+            .map_err(|panic| format!("{} @ seed {}: PANIC: {panic}", r.id, r.seed))?;
         eprintln!(
-            "profile: {id}: {} sim events, {} trace(s), wall {} ms",
+            "profile: {}: {} sim events, {} trace(s), wall {} ms",
+            r.id,
             run.sim_events,
             run.traces.len(),
             fold::ms(run.wall_ns)
         );
-        profiles.push(baseline::ExperimentProfile::from_run(&run));
+        let mut p = baseline::ExperimentProfile::from_run(run);
+        if zero_wall {
+            // For byte-comparing documents across runs/--jobs widths:
+            // wall-clock is the one nondeterministic field in the schema.
+            p.wall_ns = 0;
+        }
+        profiles.push(p);
     }
     let doc = baseline::render_profiles(&profiles);
     match out_path {

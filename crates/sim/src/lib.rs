@@ -41,6 +41,6 @@ pub mod rng;
 pub mod scheduler;
 pub mod time;
 
-pub use scheduler::{EventId, Scheduler};
+pub use scheduler::{CostSnapshot, EventId, Scheduler};
 pub use smartsock_telemetry::{SpanId, Telemetry};
 pub use time::{SimDuration, SimTime};

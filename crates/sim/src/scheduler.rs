@@ -19,6 +19,32 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
+/// Snapshot of a scheduler's cost counters, detached from the event queue.
+///
+/// The queue itself holds `Box<dyn FnOnce(&mut Scheduler)>` closures and is
+/// deliberately **not** `Send`: a simulation lives and dies on one thread.
+/// Parallel harnesses (the sharded `repro --jobs` executor) instead run one
+/// scheduler per worker thread and hand *this* snapshot — plus the exported
+/// JSONL trace, a plain `String` — back across the thread boundary. A
+/// compile-time assertion below keeps the handoff types `Send + Sync`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Events executed over the scheduler's lifetime.
+    pub events_processed: u64,
+    /// Final virtual clock, nanoseconds.
+    pub sim_time_ns: u64,
+    /// High-water mark of the event queue (including cancelled tombstones).
+    pub peak_pending: usize,
+}
+
+// The cross-thread handoff contract: cost snapshots and exported traces
+// must remain safe to move between worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CostSnapshot>();
+    assert_send_sync::<String>();
+};
+
 type EventFn = Box<dyn FnOnce(&mut Scheduler)>;
 
 struct Entry {
@@ -148,6 +174,16 @@ impl Scheduler {
     /// proxy for the simulation's working-set pressure.
     pub fn peak_pending(&self) -> usize {
         self.peak_pending
+    }
+
+    /// The `Send`-safe cost summary handed across worker threads by
+    /// parallel harnesses (see [`CostSnapshot`]).
+    pub fn cost(&self) -> CostSnapshot {
+        CostSnapshot {
+            events_processed: self.processed,
+            sim_time_ns: self.now.0,
+            peak_pending: self.peak_pending,
+        }
     }
 
     /// Schedule `f` to run at absolute time `at`.
@@ -439,6 +475,23 @@ mod tests {
         sim.schedule_in(SimDuration::from_secs(2), |_| {});
         sim.run();
         assert_eq!(sim.telemetry.span_durations_ns("sim-event-dispatch").len(), 2);
+    }
+
+    #[test]
+    fn cost_snapshot_mirrors_the_live_counters() {
+        let mut sim = Scheduler::new();
+        for t in 1..=3u64 {
+            sim.schedule_at(SimTime::from_secs(t), |_| {});
+        }
+        sim.run();
+        let cost = sim.cost();
+        assert_eq!(cost.events_processed, sim.events_processed());
+        assert_eq!(cost.sim_time_ns, sim.now().0);
+        assert_eq!(cost.peak_pending, sim.peak_pending());
+        // The snapshot is a value type: it can outlive the scheduler and
+        // cross threads.
+        drop(sim);
+        assert_eq!(cost.events_processed, 3);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod merge;
 pub mod names;
 pub mod trace;
 

@@ -4,6 +4,9 @@
 //! telemetry summary [--json] <trace.jsonl>     per-span-name count/total/p50/p95/p99 + events
 //! telemetry timeline <host> <trace.jsonl>      ordered record log for one host
 //! telemetry slowest [--json] <n> <trace.jsonl> worst spans with ancestry
+//! telemetry merge <out.jsonl> <label=trace.jsonl>...
+//!                                              merge shard exports into one
+//!                                              trace (global seq, offset ids)
 //! ```
 //!
 //! `--json` renders the same aggregates as a single machine-readable JSON
@@ -19,7 +22,7 @@ use std::process::ExitCode;
 use smartsock_telemetry::json;
 use smartsock_telemetry::trace::Trace;
 
-const USAGE: &str = "usage:\n  telemetry summary [--json] <trace.jsonl>\n  telemetry timeline <host> <trace.jsonl>\n  telemetry slowest [--json] <n> <trace.jsonl>\n";
+const USAGE: &str = "usage:\n  telemetry summary [--json] <trace.jsonl>\n  telemetry timeline <host> <trace.jsonl>\n  telemetry slowest [--json] <n> <trace.jsonl>\n  telemetry merge <out.jsonl> <label=trace.jsonl>...\n";
 
 enum CmdError {
     /// User-facing failure: print to stderr, exit non-zero.
@@ -108,6 +111,35 @@ fn cmd_slowest(out: &mut impl Write, n: &str, path: &str, as_json: bool) -> Resu
     Ok(())
 }
 
+/// `merge out.jsonl label=a.jsonl label2=b.jsonl ...`: read the shard
+/// exports, merge them preserving the export invariants (one global
+/// strictly-increasing `seq`, span ids offset per shard), write the
+/// merged JSONL. Deterministic in the given shard order.
+fn cmd_merge(out_path: &str, shard_args: &[&str]) -> Result<(), CmdError> {
+    if shard_args.is_empty() {
+        return Err(CmdError::Msg(USAGE.to_owned()));
+    }
+    let mut shards: Vec<(String, String)> = Vec::new();
+    for arg in shard_args {
+        let (label, path) = arg
+            .split_once('=')
+            .ok_or_else(|| CmdError::Msg(format!("telemetry: shard {arg:?} is not label=path")))?;
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| CmdError::Msg(format!("telemetry: cannot read {path}: {e}")))?;
+        shards.push((label.to_owned(), src));
+    }
+    let merged = smartsock_telemetry::merge::merge_jsonl(
+        shards.iter().map(|(l, s)| (l.as_str(), s.as_str())),
+    );
+    if merged.dropped > 0 {
+        eprintln!("telemetry: warning: merge dropped {} malformed line(s)", merged.dropped);
+    }
+    std::fs::write(out_path, merged.jsonl)
+        .map_err(|e| CmdError::Msg(format!("telemetry: cannot write {out_path}: {e}")))?;
+    eprintln!("telemetry: merged {} shard(s) into {out_path}", shards.len());
+    Ok(())
+}
+
 /// `summary --json`: one object with sorted span/event aggregates, the
 /// counter map, and the human footer's totals.
 fn summary_json(tr: &Trace) -> String {
@@ -189,6 +221,7 @@ fn main() -> ExitCode {
         ["summary", path] => cmd_summary(&mut out, path, as_json),
         ["timeline", host, path] if !as_json => cmd_timeline(&mut out, host, path),
         ["slowest", n, path] => cmd_slowest(&mut out, n, path, as_json),
+        ["merge", out_path, ref shards @ ..] if !as_json => cmd_merge(out_path, shards),
         _ => Err(CmdError::Msg(USAGE.to_owned())),
     };
     let result = result.and_then(|()| out.flush().map_err(CmdError::from));

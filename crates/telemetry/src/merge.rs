@@ -1,0 +1,382 @@
+//! Deterministic merge of per-shard JSONL trace exports.
+//!
+//! The parallel experiment runner (`repro --jobs N`) runs every
+//! (experiment, seed) cell on its own scheduler with its own [`crate::Telemetry`]
+//! sink, then needs the per-cell [`crate::Telemetry::export_jsonl`] documents
+//! combined into one artifact. Concatenating them naively would violate the
+//! two invariants consumers rely on:
+//!
+//! * `seq` is strictly increasing over all record lines of a document, and
+//! * span `id`s are unique, so parent pointers join unambiguously.
+//!
+//! [`merge_jsonl`] restores both: shards are emitted in the caller's order
+//! (the caller sorts by the stable (experiment, seed) key), each prefixed
+//! with a `{"t":"shard",...}` header line, record `seq` numbers are
+//! rewritten to one global sequence and span `id`/`parent` fields are
+//! offset per shard past every id of the shards before it. Summary lines
+//! are merged across shards and appended once, sorted by name, mirroring
+//! the single-sink export layout:
+//!
+//! * **counters** sum (they are monotone totals);
+//! * **gauges** are last-write-wins in shard order, matching the in-process
+//!   semantics of a gauge;
+//! * **histograms** sum `count`/`sum` and combine `min`/`max`; the
+//!   `p50`/`p95`/`p99` quantiles are *omitted* when a name occurs in more
+//!   than one shard — quantiles of a distribution cannot be recovered from
+//!   per-shard summaries, and a wrong number is worse than a missing field
+//!   (the parser treats them as optional).
+//!
+//! The output is a pure function of the input sequence, so two runs that
+//! produce the same shards in the same order merge to byte-identical
+//! documents regardless of how many worker threads raced to produce them.
+//! Malformed or unknown lines are dropped (counted per the returned
+//! [`Merged::dropped`]), keeping the artifact schema-clean.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+
+/// Result of a merge: the combined document plus drop accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Merged {
+    /// The merged JSONL document.
+    pub jsonl: String,
+    /// Lines dropped because they failed to parse or carried an unknown
+    /// record type.
+    pub dropped: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct HistAcc {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Quantiles of the single shard that defined this name, kept only
+    /// while exactly one shard has contributed.
+    quantiles: Option<(u64, u64, u64)>,
+    shards: u32,
+}
+
+/// Merge per-shard JSONL exports into one document. Shards are `(label,
+/// jsonl)` pairs in the caller's (stable) order; the label lands in the
+/// shard header line so queries can attribute records to their cell.
+pub fn merge_jsonl<'a, I>(shards: I) -> Merged
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut out = String::new();
+    let mut dropped = 0usize;
+    let mut seq = 0u64;
+    let mut id_base = 0u64;
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, String> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+
+    for (index, (label, src)) in shards.into_iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"shard\",\"seq\":{seq},\"index\":{index},\"label\":\"{}\"}}",
+            json::escape(label),
+        );
+        seq += 1;
+        let mut max_id = 0u64;
+        for line in src.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(v) = json::parse(line) else {
+                dropped += 1;
+                continue;
+            };
+            if merge_line(
+                &v,
+                &mut out,
+                &mut seq,
+                id_base,
+                &mut max_id,
+                &mut counters,
+                &mut gauges,
+                &mut hists,
+            )
+            .is_none()
+            {
+                dropped += 1;
+            }
+        }
+        id_base += max_id;
+    }
+
+    for (name, value) in &counters {
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json::escape(name)
+        );
+    }
+    for (name, raw) in &gauges {
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"gauge\",\"name\":\"{}\",\"value\":{raw}}}",
+            json::escape(name)
+        );
+    }
+    for (name, h) in &hists {
+        let _ = write!(
+            out,
+            "{{\"t\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+            json::escape(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+        );
+        if let (1, Some((p50, p95, p99))) = (h.shards, h.quantiles) {
+            let _ = write!(out, ",\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}");
+        }
+        out.push_str("}\n");
+    }
+    Merged { jsonl: out, dropped }
+}
+
+/// Re-serialize one record line with the rewritten `seq`/`id`, or fold a
+/// summary line into the cross-shard accumulators. `None` = unknown type
+/// or missing fields: the line is dropped.
+#[allow(clippy::too_many_arguments)]
+fn merge_line(
+    v: &Value,
+    out: &mut String,
+    seq: &mut u64,
+    id_base: u64,
+    max_id: &mut u64,
+    counters: &mut BTreeMap<String, u64>,
+    gauges: &mut BTreeMap<String, String>,
+    hists: &mut BTreeMap<String, HistAcc>,
+) -> Option<()> {
+    let esc = |key: &str| v.get(key).and_then(Value::as_str).map(json::escape);
+    match v.get("t")?.as_str()? {
+        "span-start" => {
+            let id = v.get("id")?.as_u64()?;
+            *max_id = (*max_id).max(id);
+            let parent = match v.get("parent").and_then(Value::as_u64) {
+                Some(p) => (p + id_base).to_string(),
+                None => "null".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"t\":\"span-start\",\"seq\":{seq},\"ns\":{},\"id\":{},\
+                 \"parent\":{parent},\"name\":\"{}\",\"host\":\"{}\"}}",
+                v.get("ns")?.as_u64()?,
+                id + id_base,
+                esc("name")?,
+                esc("host")?,
+            );
+            *seq += 1;
+        }
+        "span-end" => {
+            let id = v.get("id")?.as_u64()?;
+            *max_id = (*max_id).max(id);
+            let _ = writeln!(
+                out,
+                "{{\"t\":\"span-end\",\"seq\":{seq},\"ns\":{},\"id\":{},\
+                 \"name\":\"{}\",\"host\":\"{}\",\"dur_ns\":{}}}",
+                v.get("ns")?.as_u64()?,
+                id + id_base,
+                esc("name")?,
+                esc("host")?,
+                v.get("dur_ns")?.as_u64()?,
+            );
+            *seq += 1;
+        }
+        "event" => {
+            let mut attrs = String::new();
+            if let Some(Value::Obj(m)) = v.get("attrs") {
+                for (i, (k, val)) in m.iter().enumerate() {
+                    if i > 0 {
+                        attrs.push(',');
+                    }
+                    let _ = write!(
+                        attrs,
+                        "\"{}\":\"{}\"",
+                        json::escape(k),
+                        json::escape(val.as_str().unwrap_or_default()),
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{{\"t\":\"event\",\"seq\":{seq},\"ns\":{},\"name\":\"{}\",\
+                 \"host\":\"{}\",\"attrs\":{{{attrs}}}}}",
+                v.get("ns")?.as_u64()?,
+                esc("name")?,
+                esc("host")?,
+            );
+            *seq += 1;
+        }
+        "counter" => {
+            let name = v.get("name")?.as_str()?.to_owned();
+            *counters.entry(name).or_insert(0) += v.get("value")?.as_u64()?;
+        }
+        "gauge" => {
+            // Keep the raw number text (gauges are i64; re-parsing through
+            // a float could perturb it). Later shards overwrite: gauges are
+            // last-write-wins in process, so they are in the merge too.
+            let name = v.get("name")?.as_str()?.to_owned();
+            let raw = match v.get("value")? {
+                Value::Num(s) => s.clone(),
+                _ => return None,
+            };
+            gauges.insert(name, raw);
+        }
+        "hist" => {
+            let name = v.get("name")?.as_str()?.to_owned();
+            let count = v.get("count")?.as_u64()?;
+            let sum = v.get("sum")?.as_u64()?;
+            let min = v.get("min")?.as_u64()?;
+            let max = v.get("max")?.as_u64()?;
+            let q = match (
+                v.get("p50").and_then(Value::as_u64),
+                v.get("p95").and_then(Value::as_u64),
+                v.get("p99").and_then(Value::as_u64),
+            ) {
+                (Some(a), Some(b), Some(c)) => Some((a, b, c)),
+                _ => None,
+            };
+            let h = hists.entry(name).or_default();
+            if h.shards == 0 {
+                h.min = min;
+                h.max = max;
+                h.quantiles = q;
+            } else {
+                h.min = h.min.min(min);
+                h.max = h.max.max(max);
+                h.quantiles = None;
+            }
+            h.count += count;
+            h.sum += sum;
+            h.shards += 1;
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use crate::Telemetry;
+
+    fn shard_a() -> String {
+        let mut t = Telemetry::new();
+        t.set_now(10);
+        let root = t.span_start("client-request", "sagit");
+        let child = t.span_child("probe-report", "sagit", root);
+        t.set_now(25);
+        t.span_end(child);
+        t.set_now(40);
+        t.span_end(root);
+        t.event("fault-injected", "sagit", &[("kind", "link-down")]);
+        t.counter_add("net-udp-bytes", 100);
+        t.gauge_set("wizard-live-servers", "wiz", 7);
+        t.export_jsonl()
+    }
+
+    fn shard_b() -> String {
+        let mut t = Telemetry::new();
+        t.set_now(5);
+        let s = t.span_start("client-request", "suna");
+        t.set_now(9);
+        t.span_end(s);
+        t.counter_add("net-udp-bytes", 11);
+        t.gauge_set("wizard-live-servers", "wiz", 9);
+        t.export_jsonl()
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_labels_shards() {
+        let (a, b) = (shard_a(), shard_b());
+        let m1 = merge_jsonl([("fig3.3#1/0", a.as_str()), ("fig3.3#2/0", b.as_str())]);
+        let m2 = merge_jsonl([("fig3.3#1/0", a.as_str()), ("fig3.3#2/0", b.as_str())]);
+        assert_eq!(m1, m2, "same shards, same bytes");
+        assert_eq!(m1.dropped, 0);
+        assert!(m1.jsonl.contains("\"t\":\"shard\""));
+        assert!(m1.jsonl.contains("fig3.3#1/0"));
+        assert!(m1.jsonl.contains("fig3.3#2/0"));
+    }
+
+    #[test]
+    fn seq_is_strictly_increasing_across_the_merged_document() {
+        let (a, b) = (shard_a(), shard_b());
+        let m = merge_jsonl([("a", a.as_str()), ("b", b.as_str())]);
+        let mut last: Option<u64> = None;
+        let mut seen = 0;
+        for line in m.jsonl.lines() {
+            let v = crate::json::parse(line).expect("merged lines parse");
+            if let Some(s) = v.get("seq").and_then(Value::as_u64) {
+                assert!(last.is_none_or(|p| s > p), "seq {s} after {last:?}");
+                last = Some(s);
+                seen += 1;
+            }
+        }
+        assert!(seen > 4, "record lines carried seq numbers");
+    }
+
+    #[test]
+    fn span_ids_are_offset_so_parents_join_unambiguously() {
+        let (a, b) = (shard_a(), shard_b());
+        let m = merge_jsonl([("a", a.as_str()), ("b", b.as_str())]);
+        let tr = Trace::parse(&m.jsonl);
+        // 3 spans total; every id unique; the child still points at its
+        // own shard's root.
+        assert_eq!(tr.spans.len(), 3);
+        let mut ids: Vec<u64> = tr.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "span ids must not collide across shards");
+        let probe = tr.spans.iter().find(|s| s.name == "probe-report").unwrap();
+        let parent = probe.parent.expect("child keeps a parent");
+        let root = tr.spans.iter().find(|s| s.id == parent).unwrap();
+        assert_eq!(root.name, "client-request");
+        assert_eq!(root.host, "sagit", "parent resolves into the same shard");
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_take_the_last_shard() {
+        let (a, b) = (shard_a(), shard_b());
+        let m = merge_jsonl([("a", a.as_str()), ("b", b.as_str())]);
+        let tr = Trace::parse(&m.jsonl);
+        assert_eq!(tr.counters.get("net-udp-bytes"), Some(&111));
+        assert!(m
+            .jsonl
+            .contains("{\"t\":\"gauge\",\"name\":\"wizard-live-servers/wiz\",\"value\":9}"));
+    }
+
+    #[test]
+    fn hist_quantiles_survive_single_shard_but_not_multi_shard_merges() {
+        let mut t = Telemetry::new();
+        t.observe_ns("client-request", 100);
+        t.observe_ns("client-request", 200);
+        let a = t.export_jsonl();
+        let single = merge_jsonl([("a", a.as_str())]);
+        assert!(single.jsonl.contains("\"p50\":"), "single shard keeps quantiles");
+        let multi = merge_jsonl([("a", a.as_str()), ("b", a.as_str())]);
+        let hist_line = multi
+            .jsonl
+            .lines()
+            .find(|l| l.contains("\"t\":\"hist\""))
+            .expect("merged hist line present");
+        assert!(hist_line.contains("\"count\":4"));
+        assert!(!hist_line.contains("p50"), "cross-shard quantiles are unrecoverable");
+    }
+
+    #[test]
+    fn empty_input_and_malformed_lines() {
+        assert_eq!(merge_jsonl([]).jsonl, "");
+        let m = merge_jsonl([("a", "this is not json\n{\"t\":\"mystery\"}\n")]);
+        assert_eq!(m.dropped, 2);
+        // Only the shard header survives.
+        assert_eq!(m.jsonl.lines().count(), 1);
+    }
+}

@@ -118,8 +118,10 @@ impl Trace {
                 self.counters
                     .insert(v.get("name")?.as_str()?.to_owned(), v.get("value")?.as_u64()?);
             }
-            // gauge / hist summary lines carry no extra query surface yet.
-            "gauge" | "hist" => {}
+            // gauge / hist summary lines carry no extra query surface yet;
+            // shard lines are the headers [`crate::merge`] inserts between
+            // merged exports.
+            "gauge" | "hist" | "shard" => {}
             _ => return None,
         }
         Some(())
