@@ -66,6 +66,10 @@ pub fn catalog() -> Vec<(&'static str, Experiment)> {
         ("ablation.estimators", ablations::estimators),
         ("ablation.scaling", ablations::scaling),
         ("ablation.schedule", ablations::schedule),
+        ("hostile.straggler", hostile::straggler),
+        ("hostile.flashcrowd", hostile::flashcrowd),
+        ("hostile.flapping", hostile::flapping),
+        ("hostile.staleness", hostile::staleness),
     ]
 }
 

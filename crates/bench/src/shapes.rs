@@ -240,6 +240,47 @@ fn ablation_schedule(c: &mut Checker<'_>) {
     c.ensure(dy < st * 0.95, format!("heterogeneous dynamic {dy:.0} !< 0.95×static {st:.0}"));
 }
 
+fn hostile_straggler(c: &mut Checker<'_>) {
+    let (hp99, up99) = (c.get("p99_hedged_ms"), c.get("p99_unhedged_ms"));
+    c.ensure(up99 >= 1.5 * hp99, format!("unhedged p99 {up99:.0} !>= 1.5×hedged {hp99:.0}"));
+    c.ensure(hp99 < 1500.0, format!("hedged p99 {hp99:.0} must undercut the 2 s retry"));
+    c.eq("hedges_fired_hedged", 5.0);
+    let won = c.get("hedges_won_hedged");
+    c.ensure(won >= 1.0, format!("hedges won {won} — hedging never paid off"));
+    c.eq("hedges_fired_unhedged", 0.0);
+}
+
+fn hostile_flashcrowd(c: &mut Checker<'_>) {
+    c.eq("resolved", 40.0);
+    // The deadline invariant: no request resolves later than its deadline
+    // plus one RTT of slack (the reply already in flight when it fired).
+    let (max, dl) = (c.get("max_latency_ms"), c.get("deadline_ms"));
+    c.ensure(max <= dl + 50.0, format!("latency {max:.0} ms breaches deadline {dl:.0}+50 ms"));
+    let df = c.get("deadline_failures");
+    c.ensure(df >= 10.0, format!("only {df} deadline failures — the cut never bit"));
+    let ok = c.get("served");
+    c.ensure(ok >= 10.0, format!("only {ok} served — the burst failed outright"));
+    c.eq("post_heal_ok", 1.0);
+}
+
+fn hostile_flapping(c: &mut Checker<'_>) {
+    // The quarantine invariant: zero assignments while quarantined.
+    c.eq("quarantined_assignments", 0.0);
+    let q = c.get("quarantines");
+    c.ensure(q >= 2.0, format!("{q} quarantines — both flappers must trip the state machine"));
+    c.eq("clean_quarantines", 0.0);
+    c.eq("ok_clean", 24.0);
+    let g = c.get("goodput_ratio");
+    c.ensure(g >= 0.6, format!("goodput ratio {g:.2} below the 60% floor"));
+    c.eq("mimas_selectable_end", 1.0);
+    c.eq("telesto_selectable_end", 1.0);
+}
+
+fn hostile_staleness(c: &mut Checker<'_>) {
+    c.eq("discount_stale_picks", 0.0);
+    c.eq("legacy_stale_picks", 3.0);
+}
+
 /// Run the registered shape checks for experiment `id` against its
 /// report. `None` when the experiment has no registered shapes (it still
 /// contributes figure distributions to the matrix, just no gate).
@@ -268,6 +309,10 @@ pub fn check(id: &str, report: &Report) -> Option<Vec<String>> {
         "ablation.estimators" => ablation_estimators,
         "ablation.scaling" => ablation_scaling,
         "ablation.schedule" => ablation_schedule,
+        "hostile.straggler" => hostile_straggler,
+        "hostile.flashcrowd" => hostile_flashcrowd,
+        "hostile.flapping" => hostile_flapping,
+        "hostile.staleness" => hostile_staleness,
         _ => return None,
     };
     let mut c = Checker { report, violations: Vec::new() };
@@ -309,7 +354,7 @@ mod tests {
     #[test]
     fn most_of_the_catalog_is_shape_checked() {
         let covered = catalog().iter().filter(|(id, _)| check(id, &dummy(id)).is_some()).count();
-        assert!(covered >= 20, "only {covered} experiments have shape checks");
+        assert!(covered >= 28, "only {covered} experiments have shape checks");
     }
 
     fn dummy(id: &str) -> Report {

@@ -53,6 +53,7 @@ pub struct TestbedBuilder {
     netmon_cfg: NetMonConfig,
     link_cross_load: f64,
     multi_monitor: bool,
+    wizard_age_discount: bool,
 }
 
 impl TestbedBuilder {
@@ -69,7 +70,15 @@ impl TestbedBuilder {
             netmon_cfg: NetMonConfig::default(),
             link_cross_load: 0.02,
             multi_monitor: false,
+            wizard_age_discount: true,
         }
+    }
+
+    /// Disable the wizard's staleness-aware selection discount (the
+    /// `hostile.staleness` experiment's control arm).
+    pub fn no_age_discount(mut self) -> TestbedBuilder {
+        self.wizard_age_discount = false;
+        self
     }
 
     /// Use the distributed transmitter/receiver mode (§3.5.1).
@@ -299,6 +308,8 @@ impl TestbedBuilder {
             WizardConfig {
                 mode: wizard_mode,
                 stale_max_age: Some(self.probe_interval.saturating_mul(4)),
+                age_discount: self.wizard_age_discount,
+                ..Default::default()
             },
         )
         .with_receiver(receiver.clone());

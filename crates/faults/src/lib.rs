@@ -112,12 +112,64 @@ impl FaultPlan {
         self.at(SimTime::from_secs(secs), kind)
     }
 
+    /// The scheduled `(when, what)` pairs, in insertion order. Two faults
+    /// at the *same* time apply in this order (the scheduler is FIFO at
+    /// equal timestamps), so overlapping same-host faults are
+    /// deterministic: last inserted wins the final state.
+    pub fn events(&self) -> &[(SimTime, FaultKind)] {
+        &self.events
+    }
+
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Hostile-workload generators
+    // ------------------------------------------------------------------
+
+    /// A flapping link: cut `a<->b` every `period` starting at `from`,
+    /// restore after `down_for`, until `until`. The classic grey-failure
+    /// shape — short enough that naive retry loops keep slamming the same
+    /// path, long enough to kill in-flight requests.
+    pub fn flapping_link(
+        mut self,
+        a: &str,
+        b: &str,
+        from: SimTime,
+        until: SimTime,
+        period: SimDuration,
+        down_for: SimDuration,
+    ) -> FaultPlan {
+        assert!(down_for < period, "flapping_link: link must come back up within each period");
+        let mut t = from;
+        while t < until {
+            self = self
+                .at(t, FaultKind::LinkDown { a: a.into(), b: b.into() })
+                .at(t + down_for, FaultKind::LinkUp { a: a.into(), b: b.into() });
+            t += period;
+        }
+        self
+    }
+
+    /// A straggler server: inflate the latency of `host`'s access link to
+    /// `peer` by `extra` over `[from, until)`. The host stays up and keeps
+    /// reporting healthy status — only its data path is slow, which is
+    /// exactly the case hedged requests exist for.
+    pub fn straggler(
+        self,
+        host: &str,
+        peer: &str,
+        from: SimTime,
+        until: SimTime,
+        extra: SimDuration,
+    ) -> FaultPlan {
+        self.at(from, FaultKind::LatencySpike { a: host.into(), b: peer.into(), extra })
+            .at(until, FaultKind::LatencyClear { a: host.into(), b: peer.into() })
     }
 }
 
@@ -157,6 +209,47 @@ impl ChaosConfig {
             loss_spike_prob: 0.05,
             outage: (SimDuration::from_secs(2), SimDuration::from_secs(6)),
         }
+    }
+
+    /// Reject configurations that silently do nothing (zero tick, window
+    /// narrower than one tick, all rates zero) or that sample garbage
+    /// (rates outside `[0, 1]`, zero or inverted outage range). A config
+    /// that passes is guaranteed to take at least one sampling tick with a
+    /// chance of injecting something.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tick.as_nanos() == 0 {
+            return Err("chaos tick must be positive".into());
+        }
+        if self.until.since(SimTime::ZERO) < self.tick {
+            return Err(format!(
+                "chaos window ends at {:?} before the first tick at {:?}: no fault can ever fire",
+                self.until, self.tick
+            ));
+        }
+        let rates = [
+            ("link_down_prob", self.link_down_prob),
+            ("host_crash_prob", self.host_crash_prob),
+            ("daemon_kill_prob", self.daemon_kill_prob),
+            ("loss_spike_prob", self.loss_spike_prob),
+        ];
+        for (name, p) in rates {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} is not a probability in [0, 1]"));
+            }
+        }
+        if rates.iter().all(|&(_, p)| p == 0.0) {
+            return Err("every fault rate is zero: chaos would be a silent no-op".into());
+        }
+        let (lo, hi) = self.outage;
+        if lo.as_nanos() == 0 {
+            return Err(
+                "outage lower bound must be positive (zero-length outages are no-ops)".into()
+            );
+        }
+        if lo > hi {
+            return Err(format!("outage range is inverted: {lo:?} > {hi:?}"));
+        }
+        Ok(())
     }
 }
 
@@ -531,7 +624,16 @@ impl FaultInjector {
     /// `cfg.until + cfg.outage.1` the system is fault-free again.
     /// Reproducible from the injector's seed; different seeds produce
     /// different timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ChaosConfig::validate`] — a config that
+    /// could never inject anything is a bug at the call site, not a run to
+    /// quietly report clean.
     pub fn chaos(&self, s: &mut Scheduler, cfg: ChaosConfig) {
+        if let Err(why) = cfg.validate() {
+            panic!("invalid ChaosConfig: {why}");
+        }
         let inj = self.clone();
         let tick = cfg.tick;
         s.schedule_in(tick, move |s| inj.chaos_tick(s, cfg));
@@ -743,6 +845,127 @@ mod tests {
         assert!(net.reachable(h4, h2));
         assert_eq!(s.telemetry.counter("faults-partitions"), 1);
         assert_eq!(s.telemetry.counter("faults-heals"), 1);
+    }
+
+    #[test]
+    fn overlapping_same_host_faults_apply_in_insertion_order() {
+        // Two contradictory faults on the same link at the same instant:
+        // the scheduler is FIFO at equal timestamps, so the last one
+        // inserted into the plan decides the final state. Reversing the
+        // insertion order flips the outcome — insertion order is part of
+        // the deterministic contract, not an accident.
+        let outcome = |down_first: bool| -> bool {
+            let (mut s, net, inj) = rig(7);
+            let down = FaultKind::LinkDown { a: "h1".into(), b: "sw1".into() };
+            let up = FaultKind::LinkUp { a: "h1".into(), b: "sw1".into() };
+            let plan = if down_first {
+                FaultPlan::new().at_secs(2, down).at_secs(2, up)
+            } else {
+                FaultPlan::new().at_secs(2, up).at_secs(2, down)
+            };
+            assert_eq!(plan.events().len(), 2);
+            inj.schedule(&mut s, &plan);
+            s.run_until(SimTime::from_secs(3));
+            net.reachable(ip_of(&net, "h1"), ip_of(&net, "h3"))
+        };
+        assert!(outcome(true), "down-then-up at the same tick leaves the link up");
+        assert!(!outcome(false), "up-then-down at the same tick leaves the link down");
+    }
+
+    #[test]
+    fn flapping_link_generator_emits_paired_cut_and_restore_events() {
+        let plan = FaultPlan::new().flapping_link(
+            "h1",
+            "sw1",
+            SimTime::from_secs(5),
+            SimTime::from_secs(11),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+        );
+        // Flaps at t=5 and t=8 (t=11 is excluded): two down/up pairs.
+        assert_eq!(plan.len(), 4);
+        let downs: Vec<SimTime> = plan
+            .events()
+            .iter()
+            .filter(|(_, k)| matches!(k, FaultKind::LinkDown { .. }))
+            .map(|&(t, _)| t)
+            .collect();
+        assert_eq!(downs, vec![SimTime::from_secs(5), SimTime::from_secs(8)]);
+        let (mut s, net, inj) = rig(11);
+        inj.schedule(&mut s, &plan);
+        let (h1, h3) = (ip_of(&net, "h1"), ip_of(&net, "h3"));
+        s.run_until(SimTime::from_secs(5) + SimDuration::from_millis(500));
+        assert!(!net.reachable(h1, h3), "down during the first flap");
+        s.run_until(SimTime::from_secs(7));
+        assert!(net.reachable(h1, h3), "restored between flaps");
+        s.run_until(SimTime::from_secs(12));
+        assert!(net.reachable(h1, h3), "healthy after the flap window");
+    }
+
+    #[test]
+    fn straggler_generator_inflates_then_clears_latency() {
+        let plan = FaultPlan::new().straggler(
+            "h1",
+            "sw1",
+            SimTime::from_secs(2),
+            SimTime::from_secs(6),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(plan.len(), 2);
+        let (mut s, _net, inj) = rig(13);
+        inj.schedule(&mut s, &plan);
+        s.run_until(SimTime::from_secs(7));
+        assert_eq!(s.telemetry.counter("faults-latency-spikes"), 1);
+        assert_eq!(s.telemetry.counter("faults-applied"), 2);
+    }
+
+    #[test]
+    fn chaos_config_validation_rejects_silent_no_ops() {
+        let ok = ChaosConfig::gentle(SimTime::from_secs(30));
+        assert!(ok.validate().is_ok());
+
+        let mut zero_tick = ok.clone();
+        zero_tick.tick = SimDuration::from_nanos(0);
+        assert!(zero_tick.validate().unwrap_err().contains("tick"));
+
+        let mut narrow = ok.clone();
+        narrow.until = SimTime::from_secs_f64(0.5);
+        assert!(narrow.validate().unwrap_err().contains("no fault can ever fire"));
+
+        let mut bad_prob = ok.clone();
+        bad_prob.host_crash_prob = 1.5;
+        assert!(bad_prob.validate().unwrap_err().contains("host_crash_prob"));
+
+        let mut negative = ok.clone();
+        negative.loss_spike_prob = -0.1;
+        assert!(negative.validate().unwrap_err().contains("loss_spike_prob"));
+
+        let mut all_zero = ok.clone();
+        all_zero.link_down_prob = 0.0;
+        all_zero.host_crash_prob = 0.0;
+        all_zero.daemon_kill_prob = 0.0;
+        all_zero.loss_spike_prob = 0.0;
+        assert!(all_zero.validate().unwrap_err().contains("silent no-op"));
+
+        let mut zero_outage = ok.clone();
+        zero_outage.outage.0 = SimDuration::from_nanos(0);
+        assert!(zero_outage.validate().unwrap_err().contains("lower bound"));
+
+        let mut inverted = ok;
+        inverted.outage = (SimDuration::from_secs(6), SimDuration::from_secs(2));
+        assert!(inverted.validate().unwrap_err().contains("inverted"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ChaosConfig")]
+    fn chaos_panics_on_an_invalid_config() {
+        let (mut s, _net, inj) = rig(17);
+        let mut cfg = ChaosConfig::gentle(SimTime::from_secs(10));
+        cfg.link_down_prob = 0.0;
+        cfg.host_crash_prob = 0.0;
+        cfg.daemon_kill_prob = 0.0;
+        cfg.loss_spike_prob = 0.0;
+        inj.chaos(&mut s, cfg);
     }
 
     #[test]

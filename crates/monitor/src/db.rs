@@ -39,6 +39,13 @@ impl SysDb {
     /// interval policy of §4.1, `max_age = 3 * probe_interval`). Returns
     /// the evicted server addresses, in address order, so callers can log
     /// and account for exactly *which* servers went dark.
+    ///
+    /// Boundary semantics: the comparison is `age <= max_age`, so a record
+    /// aged *exactly* `max_age` is **kept** — eviction requires strictly
+    /// more than `max_age` of silence. With the §4.1 policy this means a
+    /// probe whose report lands on the very tick of its third missed
+    /// interval still counts as alive; the sweep one interval later evicts
+    /// it. Pinned by `expiry_keeps_a_record_aged_exactly_max_age`.
     pub fn expire(&mut self, now: SimTime, max_age: SimDuration) -> Vec<Ip> {
         let mut evicted = Vec::new();
         self.records.retain(|&ip, r| {
@@ -59,6 +66,18 @@ impl SysDb {
     /// wizard scans candidates in.
     pub fn snapshot(&self) -> Vec<ServerStatusReport> {
         self.records.values().map(|t| t.report.clone()).collect()
+    }
+
+    /// Live records plus each one's age (in nanoseconds) at `now`, in
+    /// address order — the transmitter's snapshot shape. Shipping the age
+    /// instead of the raw timestamp keeps the wire format clock-free: the
+    /// receiver reconstructs `recorded_at = arrival - age` in its own
+    /// timeline, so the wizard's staleness discount sees true row ages.
+    pub fn aged_snapshot(&self, now: SimTime) -> Vec<(ServerStatusReport, u64)> {
+        self.records
+            .values()
+            .map(|t| (t.report.clone(), now.since(t.recorded_at).as_nanos()))
+            .collect()
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&Ip, &TimedReport)> {
@@ -198,6 +217,54 @@ mod tests {
         assert_eq!(dropped, vec![Ip::new(10, 0, 0, 1)]);
         assert!(db.get(Ip::new(10, 0, 0, 1)).is_none());
         assert!(db.get(Ip::new(10, 0, 0, 2)).is_some());
+    }
+
+    #[test]
+    fn expiry_keeps_a_record_aged_exactly_max_age() {
+        let mut db = SysDb::default();
+        let ip = Ip::new(10, 0, 0, 3);
+        db.upsert(report(ip, 0.0), SimTime::from_secs(4));
+        // Aged exactly max_age: kept (eviction is strictly-older-than).
+        let dropped = db.expire(SimTime::from_secs(10), SimDuration::from_secs(6));
+        assert!(dropped.is_empty());
+        assert!(db.get(ip).is_some());
+        // One nanosecond past the boundary: evicted.
+        let just_past = SimTime::from_secs(10) + SimDuration::from_nanos(1);
+        let dropped = db.expire(just_past, SimDuration::from_secs(6));
+        assert_eq!(dropped, vec![ip]);
+        assert!(db.get(ip).is_none());
+    }
+
+    proptest::proptest! {
+        /// Eviction accounting: `expire` returns exactly the addresses it
+        /// removed — `len(before) == len(after) + evicted.len()` — the
+        /// evicted list is address-ordered, and every survivor is at most
+        /// `max_age` old.
+        #[test]
+        fn expire_accounts_for_every_eviction(
+            ages in proptest::collection::vec(0u64..30, 0..20),
+            max_age in 1u64..25,
+        ) {
+            let now = SimTime::from_secs(40);
+            let mut db = SysDb::default();
+            for (i, &age) in ages.iter().enumerate() {
+                let ip = Ip::new(10, 0, (i / 256) as u8, (i % 256) as u8);
+                db.upsert(report(ip, 0.0), SimTime::from_secs(40 - age));
+            }
+            let before = db.len();
+            let max_age = SimDuration::from_secs(max_age);
+            let evicted = db.expire(now, max_age);
+            proptest::prop_assert_eq!(before, db.len() + evicted.len());
+            let mut sorted = evicted.clone();
+            sorted.sort();
+            proptest::prop_assert_eq!(&evicted, &sorted);
+            for (_, r) in db.iter() {
+                proptest::prop_assert!(now.since(r.recorded_at) <= max_age);
+            }
+            for ip in evicted {
+                proptest::prop_assert!(db.get(ip).is_none());
+            }
+        }
     }
 
     #[test]

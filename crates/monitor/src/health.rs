@@ -1,0 +1,410 @@
+//! Server health scores and the quarantine state machine (DESIGN.md §11).
+//!
+//! The status databases say what a server *claims* about itself; this
+//! table says how assignments to it actually *went*. Client outcome
+//! reports ([`smartsock_proto::OutcomeReport`]) feed a per-server score in
+//! `[0, 1]` with exponential decay on simulation time, and the score
+//! drives a four-state machine:
+//!
+//! ```text
+//!              failure (score < suspect)            score/streak low
+//!   Healthy ───────────────────────────▶ Suspect ───────────────────▶ Quarantined
+//!      ▲                                   │  ▲                            │
+//!      │ score recovers                    │  │ failure while              │ quarantine
+//!      │                                   │  │ on probation               │ expires
+//!      │         K successes, or the       ▼  │ (duration doubles)         ▼
+//!      └────── probation window ends ── Probation ◀──────────────────────┘
+//! ```
+//!
+//! Quarantined servers are excluded from `Wizard::select` outright;
+//! probation servers are selectable again (ordered last by their low
+//! score) so the system re-learns whether they recovered. Everything is a
+//! pure function of the reported outcomes and simulation time — no RNG, no
+//! wall clock — so runs stay byte-reproducible.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use smartsock_proto::{Ip, OutcomeKind};
+use smartsock_sim::{SimDuration, SimTime};
+
+/// Tunables for the health table. The defaults make one failure suspect a
+/// server and two consecutive failures quarantine it, with quarantine
+/// doubling on re-offence up to a cap.
+#[derive(Clone, Debug)]
+pub struct HealthConfig {
+    /// Half-life of the score's relaxation toward 1.0 (forgiveness) and of
+    /// the history weight in updates.
+    pub half_life: SimDuration,
+    /// Gain of one observation: `score += gain * (sample - score)`.
+    pub gain: f64,
+    /// Below this (after a failure) a healthy server becomes suspect.
+    pub suspect_threshold: f64,
+    /// Below this a server is quarantined outright.
+    pub quarantine_threshold: f64,
+    /// This many consecutive failures quarantine regardless of score.
+    pub failure_streak: u32,
+    /// First quarantine duration; doubles on each re-offence.
+    pub quarantine_base: SimDuration,
+    /// Cap on the doubled quarantine duration.
+    pub quarantine_max: SimDuration,
+    /// How long a server stays on probation with no verdict before it is
+    /// considered healthy again.
+    pub probation_window: SimDuration,
+    /// Successes on probation that clear it early.
+    pub probation_successes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            half_life: SimDuration::from_secs(16),
+            gain: 0.5,
+            suspect_threshold: 0.6,
+            quarantine_threshold: 0.3,
+            failure_streak: 3,
+            quarantine_base: SimDuration::from_secs(8),
+            quarantine_max: SimDuration::from_secs(64),
+            probation_window: SimDuration::from_secs(10),
+            probation_successes: 2,
+        }
+    }
+}
+
+/// The four observable states (time parameters resolved away).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateKind {
+    Healthy,
+    Suspect,
+    Quarantined,
+    Probation,
+}
+
+impl StateKind {
+    /// Stable kebab-case label for telemetry attrs.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateKind::Healthy => "healthy",
+            StateKind::Suspect => "suspect",
+            StateKind::Quarantined => "quarantined",
+            StateKind::Probation => "probation",
+        }
+    }
+}
+
+/// Internal state with its clocks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum State {
+    Healthy,
+    Suspect,
+    Quarantined { until: SimTime },
+    Probation { until: SimTime, successes: u32 },
+}
+
+impl State {
+    fn kind(self) -> StateKind {
+        match self {
+            State::Healthy => StateKind::Healthy,
+            State::Suspect => StateKind::Suspect,
+            State::Quarantined { .. } => StateKind::Quarantined,
+            State::Probation { .. } => StateKind::Probation,
+        }
+    }
+}
+
+/// One observed state-machine transition, for telemetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    pub ip: Ip,
+    pub from: StateKind,
+    pub to: StateKind,
+}
+
+#[derive(Clone, Debug)]
+struct HostHealth {
+    score: f64,
+    updated_at: SimTime,
+    state: State,
+    streak: u32,
+    /// Next quarantine duration (doubles on re-offence).
+    next_quarantine: SimDuration,
+}
+
+/// The health-score table: one entry per server that ever had an outcome
+/// reported. Unknown servers read as healthy with score 1.0.
+#[derive(Clone, Debug, Default)]
+pub struct HealthTable {
+    cfg: HealthConfig,
+    hosts: BTreeMap<Ip, HostHealth>,
+}
+
+impl HealthTable {
+    pub fn new(cfg: HealthConfig) -> HealthTable {
+        HealthTable { cfg, hosts: BTreeMap::new() }
+    }
+
+    /// Number of servers with recorded history.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// The decayed score at `now`: relaxes toward 1.0 with the configured
+    /// half-life, so old sins are forgiven even without fresh evidence.
+    pub fn score(&self, ip: Ip, now: SimTime) -> f64 {
+        match self.hosts.get(&ip) {
+            Some(h) => relax(h.score, h.updated_at, now, self.cfg.half_life),
+            None => 1.0,
+        }
+    }
+
+    /// The state the machine would be in at `now`, resolving time-based
+    /// transitions (quarantine expiry → probation, probation window end →
+    /// healthy) *without* mutating. Selection uses this so a read path
+    /// never changes state behind the telemetry's back.
+    pub fn effective_state(&self, ip: Ip, now: SimTime) -> StateKind {
+        match self.hosts.get(&ip) {
+            None => StateKind::Healthy,
+            Some(h) => resolve(h.state, now, self.cfg.probation_window).kind(),
+        }
+    }
+
+    /// Whether selection may offer this server at `now`.
+    pub fn selectable(&self, ip: Ip, now: SimTime) -> bool {
+        self.effective_state(ip, now) != StateKind::Quarantined
+    }
+
+    /// Materialize every pending time-based transition up to `now`.
+    /// Returns them in address order; the caller (the wizard's sweep)
+    /// turns them into telemetry events.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Transition> {
+        let window = self.cfg.probation_window;
+        let mut out = Vec::new();
+        for (&ip, h) in self.hosts.iter_mut() {
+            let resolved = resolve(h.state, now, window);
+            if resolved.kind() != h.state.kind() {
+                out.push(Transition { ip, from: h.state.kind(), to: resolved.kind() });
+            }
+            h.state = resolved;
+        }
+        out
+    }
+
+    /// Feed one outcome. Returns the transitions it caused (a pending
+    /// time-based one first, then the observation's own, if any).
+    pub fn record(&mut self, ip: Ip, outcome: OutcomeKind, now: SimTime) -> Vec<Transition> {
+        let cfg = self.cfg.clone();
+        let h = self.hosts.entry(ip).or_insert_with(|| HostHealth {
+            score: 1.0,
+            updated_at: now,
+            state: State::Healthy,
+            streak: 0,
+            next_quarantine: cfg.quarantine_base,
+        });
+        let mut transitions = Vec::new();
+        let resolved = resolve(h.state, now, cfg.probation_window);
+        if resolved.kind() != h.state.kind() {
+            transitions.push(Transition { ip, from: h.state.kind(), to: resolved.kind() });
+        }
+        h.state = resolved;
+
+        // Score update: relax history toward 1.0, then pull toward the
+        // sample with the observation gain.
+        let sample = if outcome.is_failure() { 0.0 } else { 1.0 };
+        let relaxed = relax(h.score, h.updated_at, now, cfg.half_life);
+        h.score = relaxed + cfg.gain * (sample - relaxed);
+        h.updated_at = now;
+
+        let before = h.state;
+        if outcome.is_failure() {
+            h.streak = h.streak.saturating_add(1);
+            let quarantine = |h: &mut HostHealth| {
+                let until = now + h.next_quarantine;
+                h.next_quarantine =
+                    SimDuration::from_nanos(h.next_quarantine.as_nanos().saturating_mul(2))
+                        .min(cfg.quarantine_max);
+                State::Quarantined { until }
+            };
+            h.state = match h.state {
+                // A failure on probation re-quarantines immediately, for
+                // twice as long as before.
+                State::Probation { .. } => quarantine(h),
+                State::Quarantined { until } => State::Quarantined { until },
+                _ if h.score < cfg.quarantine_threshold || h.streak >= cfg.failure_streak => {
+                    quarantine(h)
+                }
+                _ if h.score < cfg.suspect_threshold => State::Suspect,
+                other => other,
+            };
+        } else {
+            h.streak = 0;
+            h.state = match h.state {
+                State::Probation { until, successes } => {
+                    let successes = successes + 1;
+                    if successes >= cfg.probation_successes {
+                        h.next_quarantine = cfg.quarantine_base;
+                        State::Healthy
+                    } else {
+                        State::Probation { until, successes }
+                    }
+                }
+                State::Suspect if h.score >= cfg.suspect_threshold => State::Healthy,
+                other => other,
+            };
+        }
+        if h.state.kind() != before.kind() {
+            transitions.push(Transition { ip, from: before.kind(), to: h.state.kind() });
+        }
+        transitions
+    }
+
+    /// Servers currently quarantined at `now`, in address order.
+    pub fn quarantined(&self, now: SimTime) -> Vec<Ip> {
+        self.hosts
+            .keys()
+            .copied()
+            .filter(|&ip| self.effective_state(ip, now) == StateKind::Quarantined)
+            .collect()
+    }
+}
+
+/// Relaxation toward 1.0: `1 - (1 - score) * 0.5^(Δt / half_life)`.
+fn relax(score: f64, updated_at: SimTime, now: SimTime, half_life: SimDuration) -> f64 {
+    let dt = now.since(updated_at).as_secs_f64();
+    let hl = half_life.as_secs_f64();
+    if hl <= 0.0 || dt <= 0.0 {
+        return score;
+    }
+    1.0 - (1.0 - score) * 0.5f64.powf(dt / hl)
+}
+
+/// Resolve time-based transitions: quarantine expiry opens a probation
+/// window; an uneventful probation window ends healthy.
+fn resolve(state: State, now: SimTime, probation_window: SimDuration) -> State {
+    match state {
+        State::Quarantined { until } if now >= until => {
+            let probation_until = until + probation_window;
+            if now >= probation_until {
+                State::Healthy
+            } else {
+                State::Probation { until: probation_until, successes: 0 }
+            }
+        }
+        State::Probation { until, .. } if now >= until => State::Healthy,
+        other => other,
+    }
+}
+
+/// Shared handle, same discipline as the status databases.
+pub type SharedHealthDb = Arc<RwLock<HealthTable>>;
+
+/// Allocate a fresh shared health table.
+pub fn shared_health(cfg: HealthConfig) -> SharedHealthDb {
+    Arc::new(RwLock::new(HealthTable::new(cfg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip() -> Ip {
+        Ip::new(192, 168, 4, 11)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn unknown_servers_read_healthy_with_full_score() {
+        let table = HealthTable::default();
+        assert_eq!(table.score(ip(), t(5)), 1.0);
+        assert_eq!(table.effective_state(ip(), t(5)), StateKind::Healthy);
+        assert!(table.selectable(ip(), t(5)));
+    }
+
+    #[test]
+    fn one_failure_suspects_two_quarantine() {
+        let mut table = HealthTable::default();
+        let tr = table.record(ip(), OutcomeKind::Timeout, t(1));
+        assert_eq!(tr.len(), 1);
+        assert_eq!((tr[0].from, tr[0].to), (StateKind::Healthy, StateKind::Suspect));
+        let tr = table.record(ip(), OutcomeKind::ConnectFailed, t(2));
+        assert_eq!((tr[0].from, tr[0].to), (StateKind::Suspect, StateKind::Quarantined));
+        assert!(!table.selectable(ip(), t(3)));
+    }
+
+    #[test]
+    fn successes_keep_a_server_healthy_and_scores_decay_up() {
+        let mut table = HealthTable::default();
+        for k in 0..5 {
+            assert!(table.record(ip(), OutcomeKind::Completed, t(k)).is_empty());
+        }
+        assert_eq!(table.effective_state(ip(), t(5)), StateKind::Healthy);
+        // One failure halves the score; it then relaxes back toward 1.0.
+        table.record(ip(), OutcomeKind::Timeout, t(6));
+        let just_after = table.score(ip(), t(6));
+        let much_later = table.score(ip(), t(6 + 64));
+        assert!(just_after < 0.6, "post-failure score {just_after}");
+        assert!(much_later > 0.9, "decayed score {much_later}");
+    }
+
+    #[test]
+    fn quarantine_expires_into_probation_then_healthy() {
+        let mut table = HealthTable::default();
+        table.record(ip(), OutcomeKind::Timeout, t(1));
+        table.record(ip(), OutcomeKind::Timeout, t(2));
+        assert_eq!(table.effective_state(ip(), t(3)), StateKind::Quarantined);
+        // quarantine_base = 8 s: released at t=10 into a 10 s window.
+        assert_eq!(table.effective_state(ip(), t(11)), StateKind::Probation);
+        assert!(table.selectable(ip(), t(11)), "probation servers are selectable");
+        // The window ends with no verdict: healthy again.
+        assert_eq!(table.effective_state(ip(), t(25)), StateKind::Healthy);
+        // poll() materializes the same answer and reports the transition.
+        let tr = table.poll(t(25));
+        assert_eq!(tr.len(), 1);
+        assert_eq!((tr[0].from, tr[0].to), (StateKind::Quarantined, StateKind::Healthy));
+    }
+
+    #[test]
+    fn probation_failure_requarantines_for_twice_as_long() {
+        let mut table = HealthTable::default();
+        table.record(ip(), OutcomeKind::Timeout, t(1));
+        table.record(ip(), OutcomeKind::Timeout, t(2)); // quarantined until t=10
+        let tr = table.record(ip(), OutcomeKind::ConnectFailed, t(11)); // on probation
+        assert!(tr
+            .iter()
+            .any(|x| x.from == StateKind::Probation && x.to == StateKind::Quarantined));
+        // Doubled: 16 s from t=11.
+        assert_eq!(table.effective_state(ip(), t(26)), StateKind::Quarantined);
+        assert_eq!(table.effective_state(ip(), t(27)), StateKind::Probation);
+    }
+
+    #[test]
+    fn probation_successes_clear_early_and_reset_the_doubling() {
+        let mut table = HealthTable::default();
+        table.record(ip(), OutcomeKind::Timeout, t(1));
+        table.record(ip(), OutcomeKind::Timeout, t(2)); // until t=10
+        table.record(ip(), OutcomeKind::Completed, t(11));
+        let tr = table.record(ip(), OutcomeKind::Completed, t(12));
+        assert!(tr.iter().any(|x| x.to == StateKind::Healthy));
+        assert_eq!(table.effective_state(ip(), t(12)), StateKind::Healthy);
+    }
+
+    #[test]
+    fn quarantined_listing_is_address_ordered() {
+        let mut table = HealthTable::default();
+        for last in [9u8, 3, 6] {
+            let ip = Ip::new(10, 0, 0, last);
+            table.record(ip, OutcomeKind::Timeout, t(1));
+            table.record(ip, OutcomeKind::Timeout, t(2));
+        }
+        let q = table.quarantined(t(3));
+        assert_eq!(q, vec![Ip::new(10, 0, 0, 3), Ip::new(10, 0, 0, 6), Ip::new(10, 0, 0, 9)]);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod db;
 pub mod estimator;
+pub mod health;
 pub mod iperf;
 pub mod netmon;
 pub mod pathload;
@@ -34,6 +35,7 @@ pub mod sysmon;
 
 pub use db::{NetDb, SecDb, SharedNetDb, SharedSecDb, SharedSysDb, SysDb, TimedReport};
 pub use estimator::{bandwidth_mbps_from_pair, BwEstimate, ProbePairSpec};
+pub use health::{shared_health, HealthConfig, HealthTable, SharedHealthDb, StateKind, Transition};
 pub use netmon::{NetMonConfig, NetworkMonitor};
 pub use secmon::SecurityMonitor;
 pub use sysmon::{SysMonConfig, SystemMonitor};

@@ -26,6 +26,9 @@ pub enum RecordType {
     Network = 2,
     /// Security records (`secdb`).
     Security = 3,
+    /// Server status reports with per-record age (`sysdb` with staleness
+    /// preserved across the transmitter→receiver hop).
+    SystemAged = 4,
 }
 
 impl From<RecordType> for u32 {
@@ -41,6 +44,7 @@ impl RecordType {
             1 => Ok(RecordType::System),
             2 => Ok(RecordType::Network),
             3 => Ok(RecordType::Security),
+            4 => Ok(RecordType::SystemAged),
             other => Err(ProtoError::UnknownType(other)),
         }
     }
@@ -101,6 +105,21 @@ impl Frame {
         Frame { rtype: RecordType::System, data: data.freeze() }
     }
 
+    /// Build a `SystemAged` frame: each report plus its age in nanoseconds
+    /// at snapshot time. Plain `System` frames lose row staleness in
+    /// transit (the receiver can only stamp the arrival time); this
+    /// variant lets the wizard machine reconstruct each record's original
+    /// report time, so its staleness-aware selection sees true ages.
+    pub fn system_aged(records: &[(ServerStatusReport, u64)]) -> Frame {
+        let mut data = BytesMut::with_capacity(4 + records.len() * 212);
+        data.put_u32_le(size_header(records.len()));
+        for (r, age_ns) in records {
+            r.encode_binary(&mut data);
+            data.put_u64_le(*age_ns);
+        }
+        Frame { rtype: RecordType::SystemAged, data: data.freeze() }
+    }
+
     /// Build a `Network` frame from a database snapshot.
     pub fn network(records: &[NetPathRecord]) -> Frame {
         let mut data = BytesMut::with_capacity(4 + records.len() * NetPathRecord::BINARY_BYTES);
@@ -125,6 +144,18 @@ impl Frame {
     pub fn decode_system(&self) -> Result<Vec<ServerStatusReport>, ProtoError> {
         self.expect(RecordType::System)?;
         decode_counted(&self.data[..], ServerStatusReport::decode_binary)
+    }
+
+    /// Decode a `SystemAged` payload into `(report, age_ns)` pairs.
+    pub fn decode_system_aged(&self) -> Result<Vec<(ServerStatusReport, u64)>, ProtoError> {
+        self.expect(RecordType::SystemAged)?;
+        decode_counted(&self.data[..], |cursor| {
+            let report = ServerStatusReport::decode_binary(cursor)?;
+            if cursor.remaining() < 8 {
+                return Err(ProtoError::Truncated { expected: 8, got: cursor.remaining() });
+            }
+            Ok((report, cursor.get_u64_le()))
+        })
     }
 
     /// Decode a `Network` payload.
@@ -203,6 +234,21 @@ mod tests {
         let records = got.decode_system().unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[1].host.as_str(), "host2");
+    }
+
+    #[test]
+    fn aged_system_frames_carry_per_record_ages() {
+        let frame = Frame::system_aged(&[(sys_report(1), 0), (sys_report(2), 4_500_000_000)]);
+        let mut wire = BytesMut::new();
+        frame.encode(&mut wire);
+        let got = Frame::decode(&mut wire).unwrap().unwrap();
+        let records = got.decode_system_aged().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].1, 0);
+        assert_eq!(records[1].0.host.as_str(), "host2");
+        assert_eq!(records[1].1, 4_500_000_000);
+        // Type confusion against the un-aged decoder is rejected.
+        assert!(got.decode_system().is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod addr;
 pub mod consts;
 pub mod framing;
 pub mod netstatus;
+pub mod outcome;
 pub mod request;
 pub mod security;
 pub mod services;
@@ -34,6 +35,7 @@ pub mod status;
 pub use addr::{Endpoint, HostName, Ip};
 pub use framing::{Frame, RecordType};
 pub use netstatus::NetPathRecord;
+pub use outcome::{OutcomeKind, OutcomeReport};
 pub use request::{ReplyStatus, RequestOption, UserRequest, WizardReply, MAX_SERVERS_PER_REPLY};
 pub use security::SecurityRecord;
 pub use services::ServiceMask;

@@ -42,6 +42,23 @@ impl From<std::io::Error> for CmdError {
     }
 }
 
+/// The self-healing request-layer counters surfaced by `summary` even
+/// when zero: a healthy run should *show* zero deadline busts and zero
+/// quarantined assignments, not omit the row.
+const RELIABILITY_COUNTERS: &[&str] = &[
+    "client-deadline-exceeded",
+    "client-hedges-fired",
+    "client-hedges-won",
+    "client-hedge-timeouts",
+    "client-timeouts",
+    "client-unreachable",
+    "client-outcome-reports",
+    "wizard-outcome-reports",
+    "wizard-quarantined-assignments",
+    "health-quarantines",
+    "health-probations",
+];
+
 fn load(path: &str) -> Result<Trace, CmdError> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| CmdError::Msg(format!("telemetry: cannot read {path}: {e}")))?;
@@ -72,6 +89,11 @@ fn cmd_summary(out: &mut impl Write, path: &str, as_json: bool) -> Result<(), Cm
     writeln!(out, "events:")?;
     for (name, count) in &events {
         writeln!(out, "  {name:<32} {count:>8}")?;
+    }
+    writeln!(out, "reliability:")?;
+    for name in RELIABILITY_COUNTERS {
+        let value = tr.counters.get(*name).copied().unwrap_or(0);
+        writeln!(out, "  {name:<32} {value:>8}")?;
     }
     let span_total: u64 = spans.iter().map(|s| s.1).sum();
     let event_total: u64 = events.iter().map(|e| e.1).sum();
@@ -271,6 +293,31 @@ mod tests {
         assert_eq!(v.get("totals").unwrap().get("events").unwrap().as_u64(), Some(1));
         // Deterministic: same trace, same bytes.
         assert_eq!(doc, summary_json(&sample()));
+    }
+
+    #[test]
+    fn summary_surfaces_the_reliability_counters() {
+        let mut t = Telemetry::new();
+        t.counter_add("client-hedges-fired", 5);
+        t.counter_add("client-hedges-won", 4);
+        t.counter_add("health-quarantines", 2);
+        let path = std::env::temp_dir().join("smartsock-telemetry-reliability-test.jsonl");
+        std::fs::write(&path, t.export_jsonl()).unwrap();
+        let mut out = Vec::new();
+        cmd_summary(&mut out, path.to_str().unwrap(), false)
+            .unwrap_or_else(|_| panic!("summary fails"));
+        let _ = std::fs::remove_file(&path);
+        let text = String::from_utf8(out).unwrap();
+        let reliability = text.split("reliability:").nth(1).expect("has a reliability section");
+        assert!(reliability.contains("client-hedges-fired"));
+        assert!(reliability.lines().any(|l| l.contains("client-hedges-won") && l.ends_with("4")));
+        // Counters the trace never touched still render, at zero.
+        assert!(
+            reliability
+                .lines()
+                .any(|l| l.contains("wizard-quarantined-assignments") && l.ends_with("0")),
+            "zero counters must be shown, not omitted: {reliability}"
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 
 /// Every registered span name, sorted.
 pub const SPAN_NAMES: &[&str] = &[
+    // core: one speculative hedge attempt, child of the client-request it
+    // duplicates (crates/core/src/client.rs).
+    "client-hedge",
     // core: one client request from send to reply/ timeout, surviving
     // retries (crates/core/src/client.rs).
     "client-request",

@@ -124,8 +124,11 @@ impl Transmitter {
     }
 
     /// Snapshot all three databases and ship them as one framed message.
+    /// System rows travel as `SystemAged` frames so the receiver can
+    /// reconstruct each record's original report time — without the age a
+    /// monitor-side stale row would look freshly minted to the wizard.
     pub fn push_snapshot(&self, s: &mut Scheduler) {
-        let sys = Frame::system(&self.sysdb.read().snapshot());
+        let sys = Frame::system_aged(&self.sysdb.read().aged_snapshot(s.now()));
         let net_frame = Frame::network(&self.netdb.read().snapshot());
         let sec = Frame::security(&self.secdb.read().snapshot());
         let mut wire =
@@ -196,6 +199,19 @@ impl Receiver {
                     let mut db = self.sysdb.write();
                     for r in reports {
                         db.upsert(r, now);
+                    }
+                }
+                Err(_) => s.telemetry.counter_incr("receiver-bad-frames"),
+            },
+            smartsock_proto::RecordType::SystemAged => match frame.decode_system_aged() {
+                Ok(reports) => {
+                    let now = s.now();
+                    let mut db = self.sysdb.write();
+                    for (r, age_ns) in reports {
+                        // Rebuild the original report time in this
+                        // machine's timeline (clamped at the origin).
+                        let recorded = smartsock_sim::SimTime(now.0.saturating_sub(age_ns));
+                        db.upsert(r, recorded);
                     }
                 }
                 Err(_) => s.telemetry.counter_incr("receiver-bad-frames"),
@@ -388,6 +404,44 @@ mod tests {
         r.mon_dbs.0.write().upsert(newer, r.s.now());
         r.s.run_until(SimTime::from_secs(6));
         assert_eq!(r.wiz_dbs.0.read().snapshot()[0].load1, 2.5);
+    }
+
+    #[test]
+    fn row_staleness_survives_the_transmitter_receiver_hop() {
+        let mut r = rig();
+        // One row recorded at t=0; the transmitter pushes at t=2,4,...
+        // Without age transport the wizard copy would read recorded_at as
+        // the arrival time; with it, the copy tracks the true report time.
+        seed_monitor_dbs(&r);
+        Receiver::new(
+            r.wiz_ip,
+            r.net.clone(),
+            r.wiz_dbs.0.clone(),
+            r.wiz_dbs.1.clone(),
+            r.wiz_dbs.2.clone(),
+        )
+        .start(&mut r.s);
+        Transmitter::new(
+            r.mon_ip,
+            r.net.clone(),
+            Mode::Centralized,
+            r.wiz_ip,
+            r.mon_dbs.0.clone(),
+            r.mon_dbs.1.clone(),
+            r.mon_dbs.2.clone(),
+        )
+        .start(&mut r.s);
+        r.s.run_until(SimTime::from_secs(9));
+        let db = r.wiz_dbs.0.read();
+        let row = db.get(Ip::new(192, 168, 3, 10)).expect("row arrived");
+        // Recorded at t=0 on the monitor; the copy's timestamp lands
+        // within transit delay of the origin, nowhere near the ~8 s of
+        // pushes that have happened since.
+        assert!(
+            row.recorded_at < SimTime::from_secs_f64(0.1),
+            "staleness lost in transit: recorded_at = {:?}",
+            row.recorded_at
+        );
     }
 
     #[test]

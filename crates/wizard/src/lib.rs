@@ -37,10 +37,15 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use smartsock_lang::{compile, Evaluator, HostLists};
+use smartsock_monitor::health::{
+    shared_health, HealthConfig, SharedHealthDb, StateKind, Transition,
+};
 use smartsock_monitor::{SharedNetDb, SharedSecDb, SharedSysDb};
 use smartsock_net::{Network, Payload};
 use smartsock_proto::consts::ports;
-use smartsock_proto::{Endpoint, Ip, UserRequest, WizardReply, MAX_SERVERS_PER_REPLY};
+use smartsock_proto::{
+    Endpoint, Ip, OutcomeReport, UserRequest, WizardReply, MAX_SERVERS_PER_REPLY,
+};
 use smartsock_sim::{Scheduler, SimDuration, SimTime};
 use smartsock_wire::Receiver;
 
@@ -63,6 +68,12 @@ pub struct WizardConfig {
     /// Records older than this are treated as expired even if the sweep
     /// has not caught them yet. `None` disables the check.
     pub stale_max_age: Option<SimDuration>,
+    /// Health-score / quarantine tunables (DESIGN.md §11).
+    pub health: HealthConfig,
+    /// Discount status rows by age during selection (freshness tiers)
+    /// instead of the binary fresh/expired cutoff alone. On by default;
+    /// the `hostile.staleness` experiment A/Bs it.
+    pub age_discount: bool,
 }
 
 impl Default for WizardConfig {
@@ -70,6 +81,8 @@ impl Default for WizardConfig {
         WizardConfig {
             mode: WizardMode::Centralized,
             stale_max_age: Some(SimDuration::from_secs(6)),
+            health: HealthConfig::default(),
+            age_discount: true,
         }
     }
 }
@@ -87,6 +100,8 @@ pub struct Wizard {
     netdb: SharedNetDb,
     secdb: SharedSecDb,
     cfg: WizardConfig,
+    /// Server health scores fed by client outcome reports (DESIGN.md §11).
+    health: SharedHealthDb,
     /// host ip → its group's network-monitor ip (for `monitor_*` vars).
     group_map: Rc<RefCell<BTreeMap<Ip, Ip>>>,
     /// Receiver co-located with the wizard (needed for distributed pulls).
@@ -106,6 +121,7 @@ impl Wizard {
         secdb: SharedSecDb,
         cfg: WizardConfig,
     ) -> Wizard {
+        let health = shared_health(cfg.health.clone());
         Wizard {
             ip,
             net,
@@ -113,6 +129,7 @@ impl Wizard {
             netdb,
             secdb,
             cfg,
+            health,
             group_map: Rc::new(RefCell::new(BTreeMap::new())),
             receiver: None,
             templates: Rc::new(RefCell::new(templates::defaults())),
@@ -141,6 +158,16 @@ impl Wizard {
         Endpoint::new(self.ip, ports::WIZARD)
     }
 
+    /// The health-feedback endpoint (port 1122; not in the thesis).
+    pub fn health_endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, ports::WIZARD_HEALTH)
+    }
+
+    /// The health-score table, for harnesses and experiments.
+    pub fn health(&self) -> &SharedHealthDb {
+        &self.health
+    }
+
     /// Bind the request socket and start the wizard's own stale sweep
     /// (skipped when `stale_max_age` is disabled).
     pub fn start(&self, s: &mut Scheduler) {
@@ -152,6 +179,16 @@ impl Wizard {
             };
             s.telemetry.counter_incr("wizard-requests");
             wiz.handle(s, req, dgram.from);
+        });
+        let wiz = self.clone();
+        self.net.bind_udp(self.health_endpoint(), move |s, dgram| {
+            let Ok(rep) = OutcomeReport::decode(&dgram.payload.data) else {
+                s.telemetry.counter_incr("wizard-bad-outcome-reports");
+                return;
+            };
+            s.telemetry.counter_incr("wizard-outcome-reports");
+            let transitions = wiz.health.write().record(rep.server, rep.outcome, s.now());
+            wiz.emit_transitions(s, &transitions);
         });
         if let Some(age) = self.cfg.stale_max_age {
             let interval = SimDuration::from_nanos((age.as_nanos() / 2).max(1));
@@ -167,6 +204,7 @@ impl Wizard {
     pub fn stop(&self) {
         self.epoch.set(self.epoch.get() + 1);
         self.net.unbind_udp(self.endpoint());
+        self.net.unbind_udp(self.health_endpoint());
     }
 
     /// Restart a stopped wizard: rebind and resume sweeping.
@@ -183,6 +221,11 @@ impl Wizard {
         if self.epoch.get() != epoch {
             return;
         }
+        // Materialize time-based health transitions (quarantine expiry →
+        // probation → healthy) so they show up in telemetry even when no
+        // fresh outcome report arrives for the host.
+        let transitions = self.health.write().poll(s.now());
+        self.emit_transitions(s, &transitions);
         if let Some(age) = self.cfg.stale_max_age {
             let evicted = self.sysdb.write().expire(s.now(), age);
             if !evicted.is_empty() {
@@ -198,6 +241,22 @@ impl Wizard {
         }
         let wiz = self.clone();
         s.schedule_in(interval, move |s| wiz.sweep(s, epoch, interval));
+    }
+
+    /// Emit telemetry for a batch of quarantine state-machine transitions.
+    fn emit_transitions(&self, s: &mut Scheduler, transitions: &[Transition]) {
+        for t in transitions {
+            s.telemetry.event(
+                "health-transition",
+                &self.ip.to_string(),
+                &[("server", &t.ip.to_string()), ("from", t.from.label()), ("to", t.to.label())],
+            );
+            match t.to {
+                StateKind::Quarantined => s.telemetry.counter_incr("health-quarantines"),
+                StateKind::Probation => s.telemetry.counter_incr("health-probations"),
+                _ => {}
+            }
+        }
     }
 
     fn handle(&self, s: &mut Scheduler, req: UserRequest, client: Endpoint) {
@@ -225,6 +284,22 @@ impl Wizard {
         let records = self.sysdb.read().len() as u64;
         s.telemetry.observe_ns("wizard-requirement-eval", records * EVAL_NS_PER_RECORD);
         let servers = self.select(s.now(), &req, client.ip);
+        // Invariant accounting: select() must never hand out a quarantined
+        // server. The counter exists so the hostile.* shapes can assert it
+        // stays at zero rather than trusting the exclusion by inspection.
+        {
+            let health = self.health.read();
+            let quarantined = servers
+                .iter()
+                .filter(|ep| health.effective_state(ep.ip, s.now()) == StateKind::Quarantined)
+                .count();
+            if quarantined > 0 {
+                s.telemetry.counter_add(
+                    "wizard-quarantined-assignments",
+                    u64::try_from(quarantined).expect("invariant: count fits u64"),
+                );
+            }
+        }
         let reply = WizardReply { seq: req.seq, servers };
         let payload = Payload::data(reply.encode().freeze());
         s.telemetry.counter_incr("wizard-replies");
@@ -256,6 +331,9 @@ impl Wizard {
         struct Candidate {
             ip: Ip,
             preferred_rank: Option<usize>,
+            /// Health score × freshness tier, quantized to ‰ so float noise
+            /// cannot perturb the sort (higher is better).
+            score_bucket: i64,
             rank_value: f64,
         }
         let mut qualified: Vec<Candidate> = Vec::new();
@@ -263,11 +341,18 @@ impl Wizard {
             let sysdb = self.sysdb.read();
             let netdb = self.netdb.read();
             let secdb = self.secdb.read();
+            let health = self.health.read();
             for (&ip, timed) in sysdb.iter() {
                 if let Some(max_age) = self.cfg.stale_max_age {
                     if now.since(timed.recorded_at) > max_age {
                         continue;
                     }
+                }
+                // Quarantined servers are never offered; probation servers
+                // stay eligible (their low score orders them last) so the
+                // system re-learns whether they recovered.
+                if !health.selectable(ip, now) {
+                    continue;
                 }
                 let report = &timed.report;
                 if lists.denied.iter().any(|d| designates(d, report)) {
@@ -292,16 +377,39 @@ impl Wizard {
                 let preferred_rank = lists.preferred.iter().position(|p| designates(p, report));
                 let rank_value =
                     rank.as_ref().and_then(|(var, _)| view_lookup(&view, var)).unwrap_or(0.0);
-                qualified.push(Candidate { ip, preferred_rank, rank_value });
+                // Staleness-aware discount: a row half-way to expiry is
+                // worth less than one recorded this tick. Tiers (rather
+                // than a continuous factor) keep steady-state testbeds —
+                // where every row is at most one probe interval old — in
+                // the same bucket, so the legacy ordering is unchanged
+                // unless rows actually go stale.
+                let freshness_tier = match self.cfg.stale_max_age {
+                    Some(max) if self.cfg.age_discount => {
+                        let age = now.since(timed.recorded_at).as_nanos();
+                        let max = max.as_nanos();
+                        if age.saturating_mul(2) <= max {
+                            1.0
+                        } else if age.saturating_mul(4) <= max.saturating_mul(3) {
+                            0.5
+                        } else {
+                            0.25
+                        }
+                    }
+                    _ => 1.0,
+                };
+                let score_bucket = (health.score(ip, now) * freshness_tier * 1000.0).round() as i64;
+                qualified.push(Candidate { ip, preferred_rank, score_bucket, rank_value });
             }
         }
 
-        // Ordering: preferred first (by preference index), then the rank
+        // Ordering: preferred first (by preference index), then healthier
+        // and fresher servers (score bucket, descending), then the rank
         // directive, then address order for determinism.
         qualified.sort_by(|a, b| {
             let pa = a.preferred_rank.map_or(usize::MAX, |i| i);
             let pb = b.preferred_rank.map_or(usize::MAX, |i| i);
             pa.cmp(&pb)
+                .then_with(|| b.score_bucket.cmp(&a.score_bucket))
                 .then_with(|| match &rank {
                     Some((_, descending)) => {
                         let ord = a
@@ -473,6 +581,83 @@ mod tests {
         let got = wiz.select(SimTime::from_secs(12), &request("", 5), Ip::new(10, 0, 0, 2));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].ip, Ip::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn quarantined_servers_are_excluded_until_probation() {
+        use smartsock_proto::OutcomeKind;
+        let (wiz, sysdb, ..) = wizard_rig();
+        let good = Ip::new(10, 0, 1, 1);
+        let flaky = Ip::new(10, 0, 1, 2);
+        sysdb.write().upsert(report("good", good), SimTime::ZERO);
+        sysdb.write().upsert(report("flaky", flaky), SimTime::ZERO);
+        {
+            let mut h = wiz.health().write();
+            h.record(flaky, OutcomeKind::Timeout, SimTime::from_secs(1));
+            h.record(flaky, OutcomeKind::Timeout, SimTime::from_secs(2));
+        }
+        // While quarantined: never offered, even though its record is live.
+        let got = wiz.select(SimTime::from_secs(3), &request("", 5), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.iter().map(|e| e.ip).collect::<Vec<_>>(), vec![good]);
+        // Quarantine (8 s from t=2) expires into probation: selectable
+        // again, but its low score orders it after the clean server.
+        let got = wiz.select(SimTime::from_secs(11), &request("", 5), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.iter().map(|e| e.ip).collect::<Vec<_>>(), vec![good, flaky]);
+    }
+
+    #[test]
+    fn fresher_rows_outrank_staler_rows_unless_discount_disabled() {
+        let (wiz, sysdb, ..) = wizard_rig();
+        let stale = Ip::new(10, 0, 1, 1);
+        let fresh = Ip::new(10, 0, 1, 2);
+        sysdb.write().upsert(report("stale", stale), SimTime::from_secs(6));
+        sysdb.write().upsert(report("fresh", fresh), SimTime::from_secs(10));
+        // With the 6 s staleness window, a 4 s old row lands in a lower
+        // freshness tier than a just-recorded one, overriding address order.
+        let on = Wizard { cfg: WizardConfig::default(), ..wiz.clone() };
+        let got = on.select(SimTime::from_secs(10), &request("", 5), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.iter().map(|e| e.ip).collect::<Vec<_>>(), vec![fresh, stale]);
+        // Discount disabled: both rows are "live" and address order rules.
+        let off = Wizard { cfg: WizardConfig { age_discount: false, ..Default::default() }, ..wiz };
+        let got = off.select(SimTime::from_secs(10), &request("", 5), Ip::new(10, 0, 0, 2));
+        assert_eq!(got.iter().map(|e| e.ip).collect::<Vec<_>>(), vec![stale, fresh]);
+    }
+
+    #[test]
+    fn outcome_reports_feed_the_health_table_over_udp() {
+        use smartsock_proto::{OutcomeKind, OutcomeReport};
+        let mut b = NetworkBuilder::new(5);
+        let w = b.host("wiz", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let c = b.host("client", Ip::new(10, 0, 0, 2), HostParams::testbed());
+        b.duplex(w, c, LinkParams::lan_100mbps());
+        let net = b.build();
+        let (sysdb, netdb, secdb) = shared_dbs();
+        let wiz = Wizard::new(
+            Ip::new(10, 0, 0, 1),
+            net.clone(),
+            sysdb,
+            netdb,
+            secdb,
+            WizardConfig { stale_max_age: None, ..Default::default() },
+        );
+        let mut s = Scheduler::new();
+        wiz.start(&mut s);
+        let client_ep = Endpoint::new(Ip::new(10, 0, 0, 2), 50001);
+        let srv = Ip::new(10, 0, 0, 9);
+        for _ in 0..2 {
+            let rep = OutcomeReport { server: srv, outcome: OutcomeKind::ConnectFailed };
+            net.send_udp(
+                &mut s,
+                client_ep,
+                wiz.health_endpoint(),
+                Payload::data(rep.encode().freeze()),
+                None,
+            );
+        }
+        s.run();
+        assert_eq!(s.telemetry.counter("wizard-outcome-reports"), 2);
+        assert_eq!(s.telemetry.counter("health-quarantines"), 1);
+        assert_eq!(wiz.health().read().effective_state(srv, s.now()), StateKind::Quarantined);
     }
 
     #[test]
