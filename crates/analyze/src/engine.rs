@@ -1,5 +1,6 @@
-//! Orchestration: walk the workspace, lex each file, run the rules, apply
-//! suppressions, and render the report.
+//! Orchestration: walk the workspace, lex each file, extract the phase-1
+//! model, run per-file and cross-file rules, apply suppressions, and render
+//! the report.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -7,6 +8,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{self, TokKind};
+use crate::model::{self, SourceUnit, WorkspaceModel};
 use crate::rules::{self, Finding};
 
 /// Where the span-name registry lives, relative to the workspace root.
@@ -21,6 +23,38 @@ pub struct Report {
     pub suppressed: usize,
     /// Number of files scanned.
     pub files_scanned: usize,
+}
+
+/// One file handed to [`analyze_files`].
+pub struct FileInput<'a> {
+    /// Workspace-relative display path.
+    pub rel: &'a str,
+    /// Crate short name (`proto`, `wire`, …) or `suite`.
+    pub krate: &'a str,
+    /// True for files under `tests/` or `examples/`.
+    pub is_test: bool,
+    pub src: &'a str,
+}
+
+/// One `// analyze: allow(…)` comment, audited: where it is, what it
+/// suppresses, and whether it still earns its keep.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    pub file: String,
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub justified: bool,
+    pub justification: String,
+    /// How many findings this allow silenced in the current run.
+    pub suppressed: usize,
+}
+
+/// Everything one full run produces: the findings report, the allow audit,
+/// and the extracted workspace model.
+pub struct Analysis {
+    pub report: Report,
+    pub allows: Vec<AllowRecord>,
+    pub model: WorkspaceModel,
 }
 
 /// One file to scan, with the crate it belongs to.
@@ -97,6 +131,103 @@ pub fn span_registry_from_source(src: &str) -> Vec<String> {
         .collect()
 }
 
+/// Run the full two-phase analysis over a set of already-loaded files:
+/// lex everything, extract the workspace model, run per-file rules and
+/// cross-file model rules, then apply suppressions with usage accounting.
+/// An empty `span_registry` disables SS-OBS-002.
+pub fn analyze_files(files: &[FileInput<'_>], span_registry: &[String]) -> Analysis {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|f| lexer::lex(f.src)).collect();
+    let ranges: Vec<Vec<(usize, usize)>> =
+        lexed.iter().map(|l| rules::test_ranges(&l.toks)).collect();
+
+    // Phase 1: the workspace model.
+    let units: Vec<SourceUnit<'_>> = files
+        .iter()
+        .zip(lexed.iter().zip(ranges.iter()))
+        .map(|(f, (l, r))| SourceUnit {
+            rel: f.rel,
+            krate: f.krate,
+            file_is_test: f.is_test,
+            lexed: l,
+            test_ranges: r,
+        })
+        .collect();
+    let model = model::extract(&units);
+
+    // Phase 2: cross-file rules, attributed back to their files.
+    let mut cross = rules::check_model(&model);
+
+    let mut report = Report::default();
+    let mut allows = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        let ctx = rules::FileCtx {
+            rel: f.rel,
+            krate: f.krate,
+            file_is_test: f.is_test,
+            lexed: &lexed[idx],
+            test_ranges: &ranges[idx],
+            span_registry,
+        };
+        let mut raw = rules::check_file(&ctx);
+        let (mine, rest): (Vec<Finding>, Vec<Finding>) =
+            cross.into_iter().partition(|c| c.file == f.rel);
+        cross = rest;
+        raw.extend(mine);
+        raw.sort_by_key(|f| f.line);
+
+        let suppressions = &lexed[idx].suppressions;
+        let mut used = vec![0usize; suppressions.len()];
+        for fnd in raw {
+            match suppressions.iter().position(|s| s.justified && s.covers(fnd.rule, fnd.line)) {
+                Some(si) => {
+                    used[si] += 1;
+                    report.suppressed += 1;
+                }
+                None => report.findings.push(fnd),
+            }
+        }
+        for (si, s) in suppressions.iter().enumerate() {
+            // A suppression without a justification is itself a finding —
+            // the whole point of `allow` is to leave a paper trail. One
+            // that silences nothing is stale and must be deleted.
+            if !s.justified {
+                report.findings.push(Finding {
+                    file: f.rel.to_owned(),
+                    line: s.line,
+                    rule: rules::SS_ALLOW_001,
+                    message: format!(
+                        "allow({}) has no justification; write \
+                         `// analyze: allow({}): <why this is sound>`",
+                        s.rules.join(", "),
+                        s.rules.join(", "),
+                    ),
+                });
+            } else if used[si] == 0 {
+                report.findings.push(Finding {
+                    file: f.rel.to_owned(),
+                    line: s.line,
+                    rule: rules::SS_ALLOW_001,
+                    message: format!(
+                        "allow({}) suppresses nothing: the rule no longer fires here — \
+                         delete the stale suppression",
+                        s.rules.join(", "),
+                    ),
+                });
+            }
+            allows.push(AllowRecord {
+                file: f.rel.to_owned(),
+                line: s.line,
+                rules: s.rules.clone(),
+                justified: s.justified,
+                justification: s.justification.clone(),
+                suppressed: used[si],
+            });
+        }
+        report.files_scanned += 1;
+    }
+    Analysis { report, allows, model }
+}
+
 /// Scan one already-loaded file. Exposed for the fixture tests. An empty
 /// `span_registry` disables SS-OBS-002.
 pub fn scan_source(
@@ -106,65 +237,35 @@ pub fn scan_source(
     src: &str,
     span_registry: &[String],
 ) -> (Vec<Finding>, usize) {
-    let lexed = lexer::lex(src);
-    let ranges = rules::test_ranges(&lexed.toks);
-    let ctx = rules::FileCtx {
-        rel,
-        krate,
-        file_is_test: is_test,
-        lexed: &lexed,
-        test_ranges: &ranges,
-        span_registry,
-    };
-    let raw = rules::check_file(&ctx);
+    let a = analyze_files(&[FileInput { rel, krate, is_test, src }], span_registry);
+    (a.report.findings, a.report.suppressed)
+}
 
-    let mut kept = Vec::new();
-    let mut suppressed = 0usize;
-    for f in raw {
-        let covered = lexed.suppressions.iter().any(|s| s.justified && s.covers(f.rule, f.line));
-        if covered {
-            suppressed += 1;
-        } else {
-            kept.push(f);
-        }
-    }
-    // A suppression without a justification is itself a finding — the whole
-    // point of `allow` is to leave a paper trail.
-    for s in &lexed.suppressions {
-        if !s.justified {
-            kept.push(Finding {
-                file: rel.to_owned(),
-                line: s.line,
-                rule: rules::SS_ALLOW_001,
-                message: format!(
-                    "allow({}) has no justification; write \
-                     `// analyze: allow({}): <why this is sound>`",
-                    s.rules.join(", "),
-                    s.rules.join(", "),
-                ),
-            });
-        }
-    }
-    (kept, suppressed)
+/// Walk the tree under `root` and run the full analysis.
+pub fn run_analysis(root: &Path) -> io::Result<Analysis> {
+    let registry = fs::read_to_string(root.join(SPAN_REGISTRY_PATH))
+        .map(|src| span_registry_from_source(&src))
+        .unwrap_or_default();
+    let loaded: Vec<(Target, String)> = targets(root)
+        .into_iter()
+        .map(|t| {
+            let src = fs::read_to_string(&t.path)?;
+            Ok((t, src))
+        })
+        .collect::<io::Result<_>>()?;
+    let files: Vec<FileInput<'_>> = loaded
+        .iter()
+        .map(|(t, src)| FileInput { rel: &t.rel, krate: &t.krate, is_test: t.is_test, src })
+        .collect();
+    Ok(analyze_files(&files, &registry))
 }
 
 /// Walk the tree under `root` and run every rule.
 pub fn run_check(root: &Path) -> io::Result<Report> {
-    let registry = fs::read_to_string(root.join(SPAN_REGISTRY_PATH))
-        .map(|src| span_registry_from_source(&src))
-        .unwrap_or_default();
-    let mut report = Report::default();
-    for t in targets(root) {
-        let src = fs::read_to_string(&t.path)?;
-        let (findings, suppressed) = scan_source(&t.rel, &t.krate, t.is_test, &src, &registry);
-        report.findings.extend(findings);
-        report.suppressed += suppressed;
-        report.files_scanned += 1;
-    }
-    Ok(report)
+    run_analysis(root).map(|a| a.report)
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -180,6 +281,12 @@ fn json_escape(s: &str) -> String {
 }
 
 impl Report {
+    /// The one true finding count — both renderings quote exactly this, so
+    /// human and JSON output can never drift apart.
+    pub fn total(&self) -> usize {
+        self.findings.len()
+    }
+
     /// Machine-readable rendering: a single JSON object, stable field order.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n  \"findings\": [\n");
@@ -197,7 +304,7 @@ impl Report {
             "  ],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"total\": {}\n}}",
             self.files_scanned,
             self.suppressed,
-            self.findings.len()
+            self.total()
         ));
         s
     }
@@ -218,13 +325,48 @@ impl Report {
         } else {
             s.push_str(&format!(
                 "analyze: {} finding(s) across {} rule(s) in {} files ({} suppressed)\n",
-                self.findings.len(),
+                self.total(),
                 rules_hit.len(),
                 self.files_scanned,
                 self.suppressed
             ));
         }
         s
+    }
+}
+
+impl Analysis {
+    /// Render the allow audit: every suppression with its status and
+    /// justification. Returns `(text, clean)` — not clean when any allow is
+    /// unjustified or no longer suppresses anything.
+    pub fn allows_report(&self) -> (String, bool) {
+        let mut s = String::new();
+        let mut stale = 0usize;
+        for a in &self.allows {
+            let status = if !a.justified {
+                stale += 1;
+                "UNJUSTIFIED"
+            } else if a.suppressed == 0 {
+                stale += 1;
+                "UNUSED"
+            } else {
+                "ok"
+            };
+            s.push_str(&format!(
+                "{}:{}: allow({}) [{status}, suppresses {}] {}\n",
+                a.file,
+                a.line,
+                a.rules.join(", "),
+                a.suppressed,
+                if a.justification.is_empty() { "<no justification>" } else { &a.justification },
+            ));
+        }
+        s.push_str(&format!(
+            "analyze: {} allow(s) audited, {} stale or unjustified\n",
+            self.allows.len(),
+            stale
+        ));
+        (s, stale == 0)
     }
 }
 

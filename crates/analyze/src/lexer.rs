@@ -35,6 +35,9 @@ pub struct Suppression {
     pub rules: Vec<String>,
     /// True when a non-empty justification follows the closing paren.
     pub justified: bool,
+    /// The justification text after the `:` (empty when absent) — surfaced
+    /// verbatim by the `allows` audit.
+    pub justification: String,
     /// True when the comment is alone on its line, in which case it also
     /// covers the line below it.
     pub own_line: bool,
@@ -76,8 +79,9 @@ fn parse_suppression(comment: &str, line: u32, own_line: bool) -> Option<Suppres
         return None;
     }
     let after = rest[close + 1..].trim_start();
-    let justified = after.strip_prefix(':').map(|j| !j.trim().is_empty()).unwrap_or(false);
-    Some(Suppression { line, rules, justified, own_line })
+    let justification = after.strip_prefix(':').map(|j| j.trim().to_owned()).unwrap_or_default();
+    let justified = !justification.is_empty();
+    Some(Suppression { line, rules, justified, justification, own_line })
 }
 
 /// Lex `src` into tokens and suppression records.
@@ -404,6 +408,7 @@ mod tests {
         assert_eq!(l.suppressions.len(), 2);
         let s0 = &l.suppressions[0];
         assert!(!s0.own_line && s0.justified && s0.covers("SS-DET-002", 1));
+        assert_eq!(s0.justification, "test fixture");
         let s1 = &l.suppressions[1];
         assert!(s1.own_line && s1.justified);
         assert!(s1.covers("SS-PANIC-001", 3), "own-line comment covers the next line");

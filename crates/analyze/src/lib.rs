@@ -5,8 +5,14 @@
 //! iteration over hash-ordered containers on the event path, no OS entropy,
 //! no panics in daemon code, no silently-truncating casts in the wire codecs.
 //! This crate is the mechanical check for those invariants: a small hand
-//! rolled Rust lexer (no external dependencies) feeding token-level rule
-//! passes, run as `cargo run -p smartsock-analyze -- check` and wired into CI.
+//! rolled Rust lexer (no external dependencies) feeding a **two-phase
+//! analysis**. Phase 1 extracts a workspace model from the lexed sources
+//! (frame tags and their encode/decode sites, codec op sequences, lock
+//! names and guard-overlap pairs, wall-clock and endianness call sites,
+//! span usage — see [`model`]). Phase 2 runs per-file token rules plus
+//! cross-file rules over that model. Run as
+//! `cargo run -p smartsock-analyze -- check` and wired into CI; `model
+//! --json` dumps the extracted model, `allows` audits every suppression.
 //!
 //! Rules (stable IDs; see `rules::RULES`):
 //!
@@ -15,22 +21,34 @@
 //! | SS-DET-001 | everywhere | no `std::time::{Instant,SystemTime}` |
 //! | SS-DET-002 | everywhere | no `HashMap`/`HashSet` |
 //! | SS-DET-003 | everywhere | no `thread_rng`/OS entropy |
+//! | SS-DET-004 | everywhere (non-test) | no blocking wall-clock calls (`thread::sleep`, `Instant::now`, `SystemTime::now`) |
 //! | SS-PANIC-001 | probe, monitor, wizard, wire, core (non-test) | no `unwrap()`, undocumented `expect()`, or indexing panics |
 //! | SS-CAST-001 | proto, wire (non-test) | no narrowing `as` casts |
+//! | SS-PROTO-001 | workspace-wide | every frame tag has an encoder site and a `from_u32` decoder arm, and the arm literal equals the declared discriminant |
+//! | SS-PROTO-002 | proto, wire (non-test) | `encode*`/`decode*` pairs read and write the same collapsed field-width sequence |
+//! | SS-PROTO-003 | proto, wire (non-test) | no big- or native-endian byte calls; the wire layout is pinned little-endian |
+//! | SS-LOCK-001 | workspace-wide (non-test) | no double-lock under a live guard; no cross-file lock-order inversion |
+//! | SS-LOCK-002 | workspace-wide (non-test) | no scheduler call while a lock guard is live |
 //! | SS-OBS-001 | everywhere except telemetry | telemetry names are kebab-case `&'static str` literals |
 //! | SS-OBS-002 | everywhere except telemetry (non-test) | `span_start`/`span_child` names appear in `SPAN_NAMES` (crates/telemetry/src/names.rs) |
-//! | SS-ALLOW-001 | everywhere | every suppression carries a justification |
+//! | SS-ALLOW-001 | everywhere | every suppression carries a justification and still suppresses something |
 //!
 //! Suppress a finding with `// analyze: allow(RULE-ID): justification`,
 //! either at the end of the offending line or alone on the line above it.
-//! An `allow` without a justification is itself a finding.
+//! An `allow` without a justification is itself a finding, and so is one
+//! whose rule no longer fires (stale suppressions rot the audit trail).
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 pub mod engine;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
-pub use engine::{run_check, scan_source, span_registry_from_source, Report};
+pub use engine::{
+    analyze_files, run_analysis, run_check, scan_source, span_registry_from_source, AllowRecord,
+    Analysis, FileInput, Report,
+};
+pub use model::WorkspaceModel;
 pub use rules::{Finding, RuleInfo, RULES};

@@ -1,0 +1,1067 @@
+//! Phase 1 of the two-phase analyzer: extract a *workspace model* from the
+//! lexed sources. Phase 2 (`rules::check_model`) runs cross-file rules over
+//! this model; `analyze model --json` dumps it for inspection.
+//!
+//! The model records, per workspace:
+//!
+//! * **Frame tags** — every variant of the `RecordType` framing enum
+//!   (paper §3.5.1), with its declared discriminant, its encoder
+//!   construction sites (`rtype: RecordType::X`), its decoder match arms
+//!   inside `RecordType::from_u32`, and its receiver-side handler arms
+//!   (`RecordType::X =>` elsewhere).
+//! * **Codec pairs** — `encode*`/`decode*` functions paired by enclosing
+//!   `impl` type and name suffix, each reduced to its *collapsed op
+//!   sequence*: every `put_*`/`get_*`/slice call mapped to a width symbol
+//!   (`u8`, `u32`, `f64`, `bytes`, …) with consecutive repeats collapsed, so
+//!   a loop that writes N records compares equal to an unrolled reader.
+//! * **Lock discipline** — a cross-file registry of lock names (bindings and
+//!   fields whose declared type mentions `Mutex`/`RwLock` or an alias of
+//!   one), every acquisition site, every ordered *pair* (lock B acquired
+//!   while a guard on lock A is lexically live), and every scheduler call
+//!   made while a guard is live.
+//! * **Wall-clock and endianness call sites** — `thread::sleep` /
+//!   `Instant::now` / `SystemTime::now`, and big- or native-endian byte
+//!   calls, each tagged with crate and test-ness so phase 2 can scope them.
+//! * **Span usage** — which registered telemetry span names are opened
+//!   where (non-test code), complementing SS-OBS-002.
+//!
+//! The guard tracking is deliberately *lexical*, not flow-sensitive: a
+//! `let`-bound guard lives until its enclosing block closes (or an explicit
+//! `drop(guard)`), a temporary guard lives until the end of the current
+//! statement segment (`;`, `,`, `{`, `}`). Guards returned from helper
+//! functions and match-scrutinee temporaries are out of scope — the point
+//! is to catch ordering regressions in the executor and the `Shared*Db`
+//! handles mechanically, not to re-prove the borrow checker.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One file as the extractor sees it: lexed, with its test ranges.
+pub struct SourceUnit<'a> {
+    /// Workspace-relative display path.
+    pub rel: &'a str,
+    /// Crate short name (`proto`, `wire`, …) or `suite`.
+    pub krate: &'a str,
+    /// True for files under `tests/` or `examples/`.
+    pub file_is_test: bool,
+    pub lexed: &'a Lexed,
+    /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: &'a [(usize, usize)],
+}
+
+impl SourceUnit<'_> {
+    fn in_test_code(&self, tok_idx: usize) -> bool {
+        self.file_is_test || self.test_ranges.iter().any(|&(s, e)| tok_idx >= s && tok_idx < e)
+    }
+}
+
+/// A `file:line` location in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Site {
+    pub file: String,
+    pub line: u32,
+}
+
+/// One variant of the frame-tag enum, with everywhere it is produced and
+/// consumed.
+#[derive(Debug, Clone)]
+pub struct FrameTag {
+    pub name: String,
+    /// The declared discriminant (`System = 1`), if explicit.
+    pub discriminant: Option<u64>,
+    pub decl: Site,
+    /// `rtype: RecordType::X` construction sites (non-test).
+    pub encoders: Vec<Site>,
+    /// Match arms inside `from_u32`, with the literal each arm matches.
+    pub decoders: Vec<(Site, Option<u64>)>,
+    /// `RecordType::X =>` receiver-side dispatch arms outside `from_u32`.
+    pub handlers: Vec<Site>,
+}
+
+/// One `encode*` or `decode*` function reduced to its collapsed op sequence.
+#[derive(Debug, Clone)]
+pub struct CodecFn {
+    pub name: String,
+    pub line: u32,
+    /// Collapsed width symbols, e.g. `["u32", "u16", "bytes"]`.
+    pub ops: Vec<String>,
+}
+
+/// An `encode*`/`decode*` pair from the same `impl` block.
+#[derive(Debug, Clone)]
+pub struct CodecPair {
+    pub file: String,
+    pub krate: String,
+    /// The enclosing `impl` type (`Frame`, `ServerStatusReport`, …).
+    pub owner: String,
+    pub encode: CodecFn,
+    pub decode: CodecFn,
+}
+
+/// Lock B acquired at `site` while a guard on lock A (`held`, taken at
+/// `held_line`) is lexically live. `held == acquired` is a double-lock.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockPair {
+    pub held: String,
+    pub held_line: u32,
+    pub acquired: String,
+    pub site: Site,
+}
+
+/// A scheduler call made while a guard is live.
+#[derive(Debug, Clone)]
+pub struct SchedUnderGuard {
+    pub method: String,
+    pub guard: String,
+    pub site: Site,
+}
+
+/// A wall-clock call site (`thread::sleep`, `Instant::now`, …).
+#[derive(Debug, Clone)]
+pub struct WallClockSite {
+    pub call: String,
+    pub krate: String,
+    pub in_test: bool,
+    pub site: Site,
+}
+
+/// A big- or native-endian byte-order call site.
+#[derive(Debug, Clone)]
+pub struct EndianSite {
+    pub call: String,
+    pub krate: String,
+    pub in_test: bool,
+    pub site: Site,
+}
+
+/// The phase-1 output: everything phase 2 needs, dumpable as JSON.
+#[derive(Debug, Default)]
+pub struct WorkspaceModel {
+    pub frame_tags: Vec<FrameTag>,
+    pub codec_pairs: Vec<CodecPair>,
+    /// Bindings/fields whose declared type mentions a lock.
+    pub lock_names: BTreeSet<String>,
+    /// Every acquisition site of a registered lock (non-test).
+    pub lock_acquisitions: Vec<(String, Site)>,
+    pub lock_pairs: Vec<LockPair>,
+    pub sched_under_guard: Vec<SchedUnderGuard>,
+    pub wallclock: Vec<WallClockSite>,
+    pub big_endian: Vec<EndianSite>,
+    /// Registered span name → non-test open sites.
+    pub span_uses: BTreeMap<String, Vec<Site>>,
+}
+
+/// The frame-tag enum the protocol rules track (paper §3.5.1).
+pub const FRAME_TAG_ENUM: &str = "RecordType";
+/// The decoder function whose match arms map wire tags back to variants.
+pub const FRAME_TAG_DECODER: &str = "from_u32";
+/// Scheduler entry points that must never be called under a lock guard:
+/// they can re-enter monitor/wizard callbacks that take the same locks.
+pub const SCHED_METHODS: &[&str] = &["schedule_in", "schedule_at", "run_until"];
+
+/// Extract the full model from a set of lexed files.
+pub fn extract(units: &[SourceUnit<'_>]) -> WorkspaceModel {
+    let mut model = WorkspaceModel::default();
+    extract_frame_tags(units, &mut model);
+    extract_codec_pairs(units, &mut model);
+    extract_locks(units, &mut model);
+    extract_call_sites(units, &mut model);
+    model
+}
+
+fn site(unit: &SourceUnit<'_>, line: u32) -> Site {
+    Site { file: unit.rel.to_owned(), line }
+}
+
+/// `toks[i..]` matches `texts` exactly (by token text).
+fn toks_match(toks: &[Tok], i: usize, texts: &[&str]) -> bool {
+    texts.len() <= toks.len() - i.min(toks.len())
+        && texts
+            .iter()
+            .enumerate()
+            .all(|(k, t)| toks.get(i + k).map(|x| x.text == *t) == Some(true))
+}
+
+/// Index just past the matching close bracket for the opener at `open`.
+fn skip_balanced(toks: &[Tok], open: usize, open_t: &str, close_t: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].text == open_t {
+            depth += 1;
+        } else if toks[j].text == close_t {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+// ---------------------------------------------------------------------------
+// Frame tags (SS-PROTO-001)
+// ---------------------------------------------------------------------------
+
+fn extract_frame_tags(units: &[SourceUnit<'_>], model: &mut WorkspaceModel) {
+    // Pass 1: find the enum declaration and collect variants.
+    for unit in units {
+        let toks = &unit.lexed.toks;
+        for i in 0..toks.len() {
+            if !(toks[i].text == "enum" && toks_match(toks, i + 1, &[FRAME_TAG_ENUM, "{"])) {
+                continue;
+            }
+            let body_end = skip_balanced(toks, i + 2, "{", "}");
+            let mut j = i + 3;
+            while j + 1 < body_end {
+                // Variant: `Name [= literal]` then `,` or `}`.
+                if toks[j].kind == TokKind::Ident {
+                    let name = toks[j].text.clone();
+                    let decl = site(unit, toks[j].line);
+                    let mut discriminant = None;
+                    if toks_match(toks, j + 1, &["="]) && toks[j + 2].kind == TokKind::Number {
+                        discriminant = toks[j + 2].text.parse::<u64>().ok();
+                        j += 2;
+                    }
+                    model.frame_tags.push(FrameTag {
+                        name,
+                        discriminant,
+                        decl,
+                        encoders: Vec::new(),
+                        decoders: Vec::new(),
+                        handlers: Vec::new(),
+                    });
+                }
+                // Advance to the token after the next `,` at this depth.
+                while j < body_end && toks[j].text != "," {
+                    j += 1;
+                }
+                j += 1;
+            }
+        }
+    }
+    if model.frame_tags.is_empty() {
+        return;
+    }
+
+    // Pass 2: encoder, decoder-arm and handler sites.
+    for unit in units {
+        let toks = &unit.lexed.toks;
+        let decoder_ranges =
+            fn_ranges(toks).into_iter().filter(|r| r.name == FRAME_TAG_DECODER).collect::<Vec<_>>();
+        let in_decoder = |idx: usize| decoder_ranges.iter().any(|r| idx >= r.start && idx < r.end);
+
+        for i in 0..toks.len() {
+            if unit.in_test_code(i) {
+                continue;
+            }
+            // Encoder: `rtype : RecordType :: Variant`.
+            if toks[i].text == "rtype" && toks_match(toks, i + 1, &[":", FRAME_TAG_ENUM, ":", ":"])
+            {
+                if let Some(v) = toks.get(i + 5) {
+                    let s = site(unit, v.line);
+                    if let Some(tag) = model.frame_tags.iter_mut().find(|t| t.name == v.text) {
+                        tag.encoders.push(s);
+                    }
+                }
+                continue;
+            }
+            // Decoder arm / handler arm: `RecordType :: Variant`.
+            if toks[i].text == FRAME_TAG_ENUM && toks_match(toks, i + 1, &[":", ":"]) {
+                let Some(v) = toks.get(i + 3) else { continue };
+                let Some(tag) = model.frame_tags.iter_mut().find(|t| t.name == v.text) else {
+                    continue;
+                };
+                // `=>` lexes as two punct tokens (`=`, `>`).
+                let arrow_at = |k: usize| {
+                    toks.get(k).map(|t| t.text == "=").unwrap_or(false)
+                        && toks.get(k + 1).map(|t| t.text == ">").unwrap_or(false)
+                };
+                if in_decoder(i) {
+                    // The literal this arm matches: the Number before the
+                    // nearest preceding `=>`.
+                    let lit = (0..i)
+                        .rev()
+                        .find(|&k| arrow_at(k))
+                        .and_then(|arrow| toks[..arrow].last())
+                        .filter(|t| t.kind == TokKind::Number)
+                        .and_then(|t| t.text.parse::<u64>().ok());
+                    tag.decoders.push((site(unit, v.line), lit));
+                } else if arrow_at(i + 4) {
+                    tag.handlers.push(site(unit, v.line));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function and impl ranges
+// ---------------------------------------------------------------------------
+
+/// A function's name and the token range of its body (exclusive of braces'
+/// outside).
+pub struct FnRange {
+    pub name: String,
+    pub line: u32,
+    /// Body token range, `[start, end)`, including the outer braces.
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Every `fn name … { body }` in the stream, including nested functions.
+pub fn fn_ranges(toks: &[Tok]) -> Vec<FnRange> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "fn" || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Scan to the body `{`, skipping the parameter list; a `;` first
+        // means a bodyless trait/extern declaration.
+        let mut j = i + 2;
+        let mut found = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => j = skip_balanced(toks, j, "(", ")"),
+                "{" => {
+                    found = Some(j);
+                    break;
+                }
+                ";" => break,
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = found {
+            out.push(FnRange {
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                start: open,
+                end: skip_balanced(toks, open, "{", "}"),
+            });
+        }
+    }
+    out
+}
+
+/// Every `impl [Trait for] Type { … }` block: `(type name, body range)`.
+fn impl_ranges(toks: &[Tok]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "impl" || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // Item position only: `impl Trait` in argument/return position
+        // (`&mut impl BufMut`) is preceded by expression punctuation, a real
+        // impl block by an item boundary (file start, `}`, `;`, `{`, or the
+        // `]` closing an attribute).
+        if i > 0 && !matches!(toks[i - 1].text.as_str(), "}" | ";" | "{" | "]") {
+            continue;
+        }
+        // Walk to the body `{`, remembering the last identifier seen at
+        // angle-depth 0 — that is the implemented-on type (`for` target when
+        // present, the head type otherwise).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut owner = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => break,
+                "where" if angle <= 0 => break,
+                _ => {
+                    if angle <= 0 && toks[j].kind == TokKind::Ident && toks[j].text != "for" {
+                        owner = Some(toks[j].text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        // Advance to the actual `{` (past any where-clause).
+        while j < toks.len() && toks[j].text != "{" {
+            j += 1;
+        }
+        if let (Some(owner), true) = (owner, j < toks.len()) {
+            out.push((owner, j, skip_balanced(toks, j, "{", "}")));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codec pairs (SS-PROTO-002)
+// ---------------------------------------------------------------------------
+
+/// Map a `.method(` name to a width symbol, if it is a buffer op.
+fn op_symbol(name: &str) -> Option<&'static str> {
+    const WIDTHS: &[&str] =
+        &["u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32", "f64"];
+    if let Some(rest) = name.strip_prefix("put_").or_else(|| name.strip_prefix("get_")) {
+        let base = rest.strip_suffix("_le").or_else(|| rest.strip_suffix("_ne")).unwrap_or(rest);
+        if let Some(w) = WIDTHS.iter().find(|w| **w == base) {
+            return Some(w);
+        }
+        if rest == "slice" {
+            return Some("bytes");
+        }
+    }
+    match name {
+        "copy_to_slice" | "split_to" | "advance" | "extend_from_slice" => Some("bytes"),
+        _ => None,
+    }
+}
+
+/// Collapse consecutive repeats so loops and unrolled bodies compare equal.
+fn collapse(ops: Vec<&'static str>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for op in ops {
+        if out.last().map(|l| l != op).unwrap_or(true) {
+            out.push(op.to_owned());
+        }
+    }
+    out
+}
+
+fn extract_codec_pairs(units: &[SourceUnit<'_>], model: &mut WorkspaceModel) {
+    for unit in units {
+        if unit.file_is_test || !crate::rules::CODEC_CRATES.contains(&unit.krate) {
+            continue;
+        }
+        let toks = &unit.lexed.toks;
+        let impls = impl_ranges(toks);
+        // (owner, suffix) → per-direction function.
+        let mut encoders: BTreeMap<(String, String), CodecFn> = BTreeMap::new();
+        let mut decoders: BTreeMap<(String, String), CodecFn> = BTreeMap::new();
+        for f in fn_ranges(toks) {
+            if unit.in_test_code(f.start) {
+                continue;
+            }
+            let (map, suffix) = if let Some(s) = f.name.strip_prefix("encode") {
+                (&mut encoders, s.to_owned())
+            } else if let Some(s) = f.name.strip_prefix("decode") {
+                (&mut decoders, s.to_owned())
+            } else {
+                continue;
+            };
+            // Innermost enclosing impl owns the method.
+            let owner = impls
+                .iter()
+                .filter(|(_, s, e)| f.start >= *s && f.end <= *e)
+                .min_by_key(|(_, s, e)| e - s)
+                .map(|(o, _, _)| o.clone())
+                .unwrap_or_default();
+            let mut ops = Vec::new();
+            for k in f.start..f.end.min(toks.len()) {
+                if toks[k].kind == TokKind::Ident
+                    && k > 0
+                    && toks[k - 1].text == "."
+                    && toks.get(k + 1).map(|t| t.text == "(").unwrap_or(false)
+                {
+                    if let Some(sym) = op_symbol(&toks[k].text) {
+                        ops.push(sym);
+                    }
+                }
+            }
+            let codec = CodecFn { name: f.name.clone(), line: f.line, ops: collapse(ops) };
+            // First definition wins; a same-named helper nested inside
+            // another fn would otherwise shadow the method.
+            map.entry((owner, suffix)).or_insert(codec);
+        }
+        for (key, enc) in encoders {
+            if let Some(dec) = decoders.get(&key) {
+                model.codec_pairs.push(CodecPair {
+                    file: unit.rel.to_owned(),
+                    krate: unit.krate.to_owned(),
+                    owner: key.0,
+                    encode: enc,
+                    decode: dec.clone(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock discipline (SS-LOCK-001/002)
+// ---------------------------------------------------------------------------
+
+/// Identifiers that acquire a guard when called with no arguments.
+const ACQUIRERS: &[&str] = &["lock", "read", "write"];
+
+/// The receiver component nearest the acquiring call: `self.sysdb.read()` →
+/// `sysdb`, `queues[i % n].lock()` → `queues`, `wiz.health().write()` →
+/// `health`.
+fn receiver_of(toks: &[Tok], before_dot: usize) -> Option<String> {
+    let mut j = before_dot;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "]" => {
+                // Walk back over the index group to the token before `[`.
+                let mut depth = 0i32;
+                while j > 0 {
+                    match toks[j].text.as_str() {
+                        "]" => depth += 1,
+                        "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j = j.checked_sub(1)?;
+            }
+            ")" => {
+                // Accessor call: walk back over the argument group.
+                let mut depth = 0i32;
+                while j > 0 {
+                    match toks[j].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j = j.checked_sub(1)?;
+            }
+            _ if t.kind == TokKind::Ident || t.kind == TokKind::Number => {
+                return Some(t.text.clone());
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LiveGuard {
+    /// Binding name for `let` guards (empty for temporaries).
+    binding: String,
+    recv: String,
+    line: u32,
+    /// Brace depth at declaration; killed when the block closes.
+    depth: u32,
+    /// Temporaries die at the next statement boundary.
+    temp: bool,
+}
+
+fn extract_locks(units: &[SourceUnit<'_>], model: &mut WorkspaceModel) {
+    // Pass A: type aliases whose right-hand side mentions a lock.
+    let mut lockish: BTreeSet<String> = ["Mutex", "RwLock"].iter().map(|s| s.to_string()).collect();
+    for unit in units {
+        let toks = &unit.lexed.toks;
+        for i in 0..toks.len() {
+            if toks[i].text != "type" || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else { continue };
+            if !toks_match(toks, i + 2, &["="]) {
+                continue;
+            }
+            let rhs_is_lock = toks[i + 3..]
+                .iter()
+                .take_while(|t| t.text != ";")
+                .any(|t| t.kind == TokKind::Ident && lockish.contains(&t.text));
+            if rhs_is_lock {
+                lockish.insert(name.text.clone());
+            }
+        }
+    }
+
+    // Pass B: declarations `name: …Lockish…` register `name` as a lock.
+    for unit in units {
+        let toks = &unit.lexed.toks;
+        for i in 0..toks.len() {
+            if toks[i].kind != TokKind::Ident
+                || is_keywordish(&toks[i].text)
+                || !toks_match(toks, i + 1, &[":"])
+                || toks.get(i + 2).map(|t| t.text == ":").unwrap_or(false)
+            {
+                continue;
+            }
+            let mut angle = 0i32;
+            for t in toks[i + 2..].iter().take(40) {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    ";" | "=" | "{" | ")" => break,
+                    "," if angle <= 0 => break,
+                    _ => {
+                        if t.kind == TokKind::Ident && lockish.contains(&t.text) {
+                            model.lock_names.insert(toks[i].text.clone());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if model.lock_names.is_empty() {
+        return;
+    }
+
+    // Pass C: lexical guard tracking over non-test code.
+    for unit in units {
+        if unit.file_is_test {
+            continue;
+        }
+        let toks = &unit.lexed.toks;
+        let mut depth = 0u32;
+        let mut guards: Vec<LiveGuard> = Vec::new();
+        // The binding of the current `let` statement, if any.
+        let mut stmt_let: Option<String> = None;
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            if unit.in_test_code(i) {
+                i += 1;
+                continue;
+            }
+            let t = &toks[i];
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    guards.retain(|g| !g.temp);
+                    stmt_let = None;
+                }
+                "}" => {
+                    guards.retain(|g| !g.temp && g.depth < depth);
+                    depth = depth.saturating_sub(1);
+                    stmt_let = None;
+                }
+                ";" | "," => {
+                    guards.retain(|g| !g.temp);
+                    stmt_let = None;
+                }
+                "let" if t.kind == TokKind::Ident => {
+                    let mut j = i + 1;
+                    if toks.get(j).map(|t| t.text == "mut").unwrap_or(false) {
+                        j += 1;
+                    }
+                    stmt_let =
+                        toks.get(j).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+                }
+                "drop" if t.kind == TokKind::Ident && toks_match(toks, i + 1, &["("]) => {
+                    if let Some(arg) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                        if toks.get(i + 3).map(|t| t.text == ")").unwrap_or(false) {
+                            guards.retain(|g| g.binding != arg.text);
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            // Scheduler call while any guard is live.
+            if t.kind == TokKind::Ident
+                && SCHED_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+            {
+                if let Some(g) = guards.first() {
+                    model.sched_under_guard.push(SchedUnderGuard {
+                        method: t.text.clone(),
+                        guard: g.recv.clone(),
+                        site: site(unit, t.line),
+                    });
+                }
+            }
+
+            // Acquisition: `recv.lock()` / `.read()` / `.write()` with no args.
+            if t.kind == TokKind::Ident
+                && ACQUIRERS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks_match(toks, i + 1, &["(", ")"])
+            {
+                if let Some(recv) =
+                    receiver_of(toks, i - 2).filter(|r| model.lock_names.contains(r))
+                {
+                    let acq_site = site(unit, t.line);
+                    for g in &guards {
+                        model.lock_pairs.push(LockPair {
+                            held: g.recv.clone(),
+                            held_line: g.line,
+                            acquired: recv.clone(),
+                            site: acq_site.clone(),
+                        });
+                    }
+                    model.lock_acquisitions.push((recv.clone(), acq_site));
+                    // Bound iff the statement is `let g = …;` and nothing but
+                    // `.expect(…)`/`.unwrap()` follows before the `;`.
+                    let mut j = i + 3;
+                    loop {
+                        if toks_match(toks, j, &[".", "expect", "("]) {
+                            j = skip_balanced(toks, j + 2, "(", ")");
+                        } else if toks_match(toks, j, &[".", "unwrap", "(", ")"]) {
+                            j += 4;
+                        } else {
+                            break;
+                        }
+                    }
+                    let bound =
+                        stmt_let.is_some() && toks.get(j).map(|t| t.text == ";").unwrap_or(false);
+                    guards.push(LiveGuard {
+                        binding: if bound {
+                            stmt_let.clone().unwrap_or_default()
+                        } else {
+                            String::new()
+                        },
+                        recv,
+                        line: t.line,
+                        depth,
+                        temp: !bound,
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn is_keywordish(s: &str) -> bool {
+    matches!(s, "if" | "else" | "match" | "return" | "break" | "continue" | "loop" | "while")
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock, endianness and span call sites
+// ---------------------------------------------------------------------------
+
+/// Big- or native-endian byte calls: bare-width `put_*`/`get_*` (the bytes
+/// API is big-endian without a suffix), explicit `_be`/`_ne` variants, and
+/// the primitive `to_be*`/`from_be*` conversions.
+fn endian_call(name: &str) -> bool {
+    if let Some(rest) = name.strip_prefix("put_").or_else(|| name.strip_prefix("get_")) {
+        const WIDTHS: &[&str] =
+            &["u16", "u32", "u64", "u128", "i16", "i32", "i64", "i128", "f32", "f64"];
+        return WIDTHS.contains(&rest)
+            || WIDTHS
+                .iter()
+                .any(|w| rest.strip_suffix("_be").or_else(|| rest.strip_suffix("_ne")) == Some(w));
+    }
+    matches!(
+        name,
+        "to_be_bytes" | "from_be_bytes" | "to_be" | "from_be" | "to_ne_bytes" | "from_ne_bytes"
+    )
+}
+
+fn extract_call_sites(units: &[SourceUnit<'_>], model: &mut WorkspaceModel) {
+    for unit in units {
+        let toks = &unit.lexed.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let called = toks.get(i + 1).map(|t| t.text == "(").unwrap_or(false);
+            let after_path = i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":";
+            let after_dot = i >= 1 && toks[i - 1].text == ".";
+
+            // Wall-clock calls.
+            if called {
+                let path_head = |k: usize| toks.get(i.wrapping_sub(k)).map(|t| t.text.as_str());
+                let wall = match t.text.as_str() {
+                    "sleep" if after_path && path_head(3) == Some("thread") => {
+                        Some("thread::sleep")
+                    }
+                    "now" if after_path && path_head(3) == Some("Instant") => Some("Instant::now"),
+                    "now" if after_path && path_head(3) == Some("SystemTime") => {
+                        Some("SystemTime::now")
+                    }
+                    _ => None,
+                };
+                if let Some(call) = wall {
+                    model.wallclock.push(WallClockSite {
+                        call: call.to_owned(),
+                        krate: unit.krate.to_owned(),
+                        in_test: unit.in_test_code(i),
+                        site: site(unit, t.line),
+                    });
+                }
+            }
+
+            // Endianness calls.
+            if called && (after_dot || after_path) && endian_call(&t.text) {
+                model.big_endian.push(EndianSite {
+                    call: t.text.clone(),
+                    krate: unit.krate.to_owned(),
+                    in_test: unit.in_test_code(i),
+                    site: site(unit, t.line),
+                });
+            }
+
+            // Span usage (literal names only; SS-OBS-001/002 police shape).
+            if (t.text == "span_start" || t.text == "span_child")
+                && after_dot
+                && called
+                && !unit.in_test_code(i)
+            {
+                if let Some(arg) = toks.get(i + 2).filter(|a| a.kind == TokKind::Str) {
+                    model.span_uses.entry(arg.text.clone()).or_default().push(site(unit, t.line));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    crate::engine::json_escape(s)
+}
+
+fn site_json(s: &Site) -> String {
+    format!("{{\"file\": \"{}\", \"line\": {}}}", esc(&s.file), s.line)
+}
+
+impl WorkspaceModel {
+    /// Stable, hand-rolled JSON for `analyze model --json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"frame_tags\": [\n");
+        for (i, t) in self.frame_tags.iter().enumerate() {
+            let disc = t.discriminant.map(|d| d.to_string()).unwrap_or_else(|| "null".to_owned());
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"discriminant\": {}, \"decl\": {}, \
+                 \"encoders\": [{}], \"decoders\": [{}], \"handlers\": [{}]}}{}\n",
+                esc(&t.name),
+                disc,
+                site_json(&t.decl),
+                t.encoders.iter().map(site_json).collect::<Vec<_>>().join(", "),
+                t.decoders
+                    .iter()
+                    .map(|(st, lit)| format!(
+                        "{{\"site\": {}, \"matches\": {}}}",
+                        site_json(st),
+                        lit.map(|l| l.to_string()).unwrap_or_else(|| "null".to_owned())
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                t.handlers.iter().map(site_json).collect::<Vec<_>>().join(", "),
+                if i + 1 < self.frame_tags.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"codec_pairs\": [\n");
+        for (i, p) in self.codec_pairs.iter().enumerate() {
+            let ops = |f: &CodecFn| {
+                f.ops.iter().map(|o| format!("\"{}\"", esc(o))).collect::<Vec<_>>().join(", ")
+            };
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"owner\": \"{}\", \
+                 \"encode\": {{\"fn\": \"{}\", \"line\": {}, \"ops\": [{}]}}, \
+                 \"decode\": {{\"fn\": \"{}\", \"line\": {}, \"ops\": [{}]}}}}{}\n",
+                esc(&p.file),
+                esc(&p.owner),
+                esc(&p.encode.name),
+                p.encode.line,
+                ops(&p.encode),
+                esc(&p.decode.name),
+                p.decode.line,
+                ops(&p.decode),
+                if i + 1 < self.codec_pairs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"lock_names\": [");
+        s.push_str(
+            &self
+                .lock_names
+                .iter()
+                .map(|n| format!("\"{}\"", esc(n)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push_str("],\n  \"lock_acquisitions\": [\n");
+        for (i, (recv, st)) in self.lock_acquisitions.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"lock\": \"{}\", \"site\": {}}}{}\n",
+                esc(recv),
+                site_json(st),
+                if i + 1 < self.lock_acquisitions.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"lock_pairs\": [\n");
+        for (i, p) in self.lock_pairs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"held\": \"{}\", \"held_line\": {}, \"acquired\": \"{}\", \
+                 \"site\": {}}}{}\n",
+                esc(&p.held),
+                p.held_line,
+                esc(&p.acquired),
+                site_json(&p.site),
+                if i + 1 < self.lock_pairs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"sched_under_guard\": [\n");
+        for (i, c) in self.sched_under_guard.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"method\": \"{}\", \"guard\": \"{}\", \"site\": {}}}{}\n",
+                esc(&c.method),
+                esc(&c.guard),
+                site_json(&c.site),
+                if i + 1 < self.sched_under_guard.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"wallclock\": [\n");
+        for (i, w) in self.wallclock.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"call\": \"{}\", \"crate\": \"{}\", \"in_test\": {}, \"site\": {}}}{}\n",
+                esc(&w.call),
+                esc(&w.krate),
+                w.in_test,
+                site_json(&w.site),
+                if i + 1 < self.wallclock.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"big_endian\": [\n");
+        for (i, e) in self.big_endian.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"call\": \"{}\", \"crate\": \"{}\", \"in_test\": {}, \"site\": {}}}{}\n",
+                esc(&e.call),
+                esc(&e.krate),
+                e.in_test,
+                site_json(&e.site),
+                if i + 1 < self.big_endian.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"span_uses\": {\n");
+        let n = self.span_uses.len();
+        for (i, (name, sites)) in self.span_uses.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": [{}]{}\n",
+                esc(name),
+                sites.iter().map(site_json).collect::<Vec<_>>().join(", "),
+                if i + 1 < n { "," } else { "" },
+            ));
+        }
+        s.push_str("  }\n}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_ranges;
+
+    fn unit<'a>(
+        rel: &'a str,
+        krate: &'a str,
+        lexed: &'a Lexed,
+        ranges: &'a [(usize, usize)],
+    ) -> SourceUnit<'a> {
+        SourceUnit { rel, krate, file_is_test: false, lexed, test_ranges: ranges }
+    }
+
+    fn model_of(krate: &str, src: &str) -> (WorkspaceModel, Lexed) {
+        let lexed = lex(src);
+        let ranges = test_ranges(&lexed.toks);
+        let m = extract(&[unit("m.rs", krate, &lexed, &ranges)]);
+        (m, lex(src))
+    }
+
+    #[test]
+    fn fn_ranges_find_nested_and_skip_declarations() {
+        let lexed = lex("trait T { fn decl(&self); }\n\
+                         fn outer() { fn inner() { x(); } inner(); }");
+        let names: Vec<String> = fn_ranges(&lexed.toks).into_iter().map(|f| f.name).collect();
+        assert_eq!(names, ["outer", "inner"]);
+    }
+
+    #[test]
+    fn collapsed_ops_equate_loops_and_unrolled_bodies() {
+        let src = "impl R {\n\
+                   fn encode(&self, b: &mut BytesMut) { b.put_u32_le(self.n); \
+                   for v in &self.vs { b.put_u16_le(*v); } }\n\
+                   fn decode(b: &mut Bytes) -> R { let n = b.get_u32_le(); \
+                   let a = b.get_u16_le(); let c = b.get_u16_le(); R }\n\
+                   }";
+        let (m, _) = model_of("proto", src);
+        assert_eq!(m.codec_pairs.len(), 1);
+        let p = &m.codec_pairs[0];
+        assert_eq!(p.owner, "R");
+        assert_eq!(p.encode.ops, ["u32", "u16"]);
+        assert_eq!(p.decode.ops, ["u32", "u16"]);
+    }
+
+    #[test]
+    fn frame_tag_sites_are_attributed() {
+        let src = "enum RecordType { A = 1, B = 2 }\n\
+                   impl RecordType { fn from_u32(v: u32) -> R { match v { \
+                   1 => Ok(RecordType::A), 2 => Ok(RecordType::B), _ => Err(()) } } }\n\
+                   fn mk() -> F { F { rtype: RecordType::A, data } }\n\
+                   fn handle(t: RecordType) { match t { RecordType::A => {} RecordType::B => {} } }";
+        let (m, _) = model_of("proto", src);
+        assert_eq!(m.frame_tags.len(), 2);
+        let a = &m.frame_tags[0];
+        assert_eq!((a.name.as_str(), a.discriminant), ("A", Some(1)));
+        assert_eq!(a.encoders.len(), 1);
+        assert_eq!(a.decoders.len(), 1);
+        assert_eq!(a.decoders[0].1, Some(1));
+        assert_eq!(a.handlers.len(), 1);
+        let b = &m.frame_tags[1];
+        assert_eq!(b.encoders.len(), 0);
+        assert_eq!(b.decoders[0].1, Some(2));
+    }
+
+    #[test]
+    fn lock_registry_and_pairs_track_lexical_guards() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S {\n\
+                   fn two(&self) { let g = self.a.lock(); self.b.lock(); }\n\
+                   fn dropped(&self) { let g = self.a.lock(); drop(g); self.b.lock(); }\n\
+                   fn scoped(&self) { { let g = self.a.lock(); } self.b.lock(); }\n\
+                   }";
+        let (m, _) = model_of("bench", src);
+        assert!(m.lock_names.contains("a") && m.lock_names.contains("b"));
+        assert_eq!(m.lock_pairs.len(), 1, "{:?}", m.lock_pairs);
+        assert_eq!((m.lock_pairs[0].held.as_str(), m.lock_pairs[0].acquired.as_str()), ("a", "b"));
+        assert_eq!(m.lock_acquisitions.len(), 6);
+    }
+
+    #[test]
+    fn temp_guards_die_at_statement_boundaries() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S { fn f(&self) { self.a.lock().push(1); self.b.lock().push(2); } }";
+        let (m, _) = model_of("bench", src);
+        assert!(m.lock_pairs.is_empty(), "{:?}", m.lock_pairs);
+    }
+
+    #[test]
+    fn sched_calls_under_guard_are_recorded() {
+        let src = "struct S { q: Mutex<u8> }\n\
+                   impl S { fn f(&self, s: &mut Scheduler) { let g = self.q.lock(); \
+                   s.schedule_in(1, cb); } \n\
+                   fn ok(&self, s: &mut Scheduler) { let g = self.q.lock(); drop(g); \
+                   s.schedule_in(1, cb); } }";
+        let (m, _) = model_of("bench", src);
+        assert_eq!(m.sched_under_guard.len(), 1);
+        assert_eq!(m.sched_under_guard[0].guard, "q");
+        assert_eq!(m.sched_under_guard[0].method, "schedule_in");
+    }
+
+    #[test]
+    fn wallclock_and_endian_sites_carry_testness() {
+        let src = "fn f() { std::thread::sleep(d); }\n\
+                   fn g(b: &mut B) { b.put_u32(1); b.put_u32_le(2); b.put_u8(3); }\n\
+                   #[cfg(test)] mod t { fn h() { std::thread::sleep(d); } }";
+        let (m, _) = model_of("core", src);
+        assert_eq!(m.wallclock.len(), 2);
+        assert!(!m.wallclock[0].in_test && m.wallclock[1].in_test);
+        let calls: Vec<&str> = m.big_endian.iter().map(|e| e.call.as_str()).collect();
+        assert_eq!(calls, ["put_u32"], "only the bare-width call is big-endian");
+    }
+}

@@ -1,7 +1,9 @@
-//! The rule passes. Each rule walks the token stream of one file and emits
-//! findings; the engine applies suppressions afterwards.
+//! The rule passes. Per-file rules walk the token stream of one file;
+//! cross-file rules (`check_model`) run over the phase-1 workspace model.
+//! The engine applies suppressions afterwards.
 
 use crate::lexer::{Lexed, Tok, TokKind};
+use crate::model::WorkspaceModel;
 
 /// One lint hit, before or after suppression filtering.
 #[derive(Debug, Clone)]
@@ -17,11 +19,18 @@ pub struct Finding {
 pub const SS_DET_001: &str = "SS-DET-001";
 pub const SS_DET_002: &str = "SS-DET-002";
 pub const SS_DET_003: &str = "SS-DET-003";
+pub const SS_DET_004: &str = "SS-DET-004";
 pub const SS_PANIC_001: &str = "SS-PANIC-001";
 pub const SS_CAST_001: &str = "SS-CAST-001";
 pub const SS_OBS_001: &str = "SS-OBS-001";
 pub const SS_OBS_002: &str = "SS-OBS-002";
-/// Meta-rule: an `// analyze: allow(…)` with no justification text.
+pub const SS_PROTO_001: &str = "SS-PROTO-001";
+pub const SS_PROTO_002: &str = "SS-PROTO-002";
+pub const SS_PROTO_003: &str = "SS-PROTO-003";
+pub const SS_LOCK_001: &str = "SS-LOCK-001";
+pub const SS_LOCK_002: &str = "SS-LOCK-002";
+/// Meta-rule: an `// analyze: allow(…)` with no justification text, or one
+/// that no longer suppresses anything.
 pub const SS_ALLOW_001: &str = "SS-ALLOW-001";
 
 /// Static description of one rule, for `--help`-style listings and docs.
@@ -71,8 +80,42 @@ pub const RULES: &[RuleInfo] = &[
                   baseline-diff disappearance",
     },
     RuleInfo {
+        id: SS_DET_004,
+        summary: "no blocking wall-clock calls (std::thread::sleep, Instant::now, \
+                  SystemTime::now) in non-test sim-backend code; advance virtual time \
+                  through the scheduler",
+    },
+    RuleInfo {
+        id: SS_PROTO_001,
+        summary: "every frame tag (RecordType variant) must have an encoder construction \
+                  site and a from_u32 decoder arm, and the arm's literal must equal the \
+                  declared discriminant",
+    },
+    RuleInfo {
+        id: SS_PROTO_002,
+        summary: "encode*/decode* pairs in proto/wire must read and write the same \
+                  collapsed field-width sequence (loops compare equal to unrolled bodies)",
+    },
+    RuleInfo {
+        id: SS_PROTO_003,
+        summary: "no big- or native-endian byte calls in proto/wire non-test code; the \
+                  wire layout is pinned little-endian (use the _le variants)",
+    },
+    RuleInfo {
+        id: SS_LOCK_001,
+        summary: "no lock reacquired while its own guard is live (double-lock), and no \
+                  two locks acquired in opposite orders anywhere in the workspace \
+                  (lexical lock-order check)",
+    },
+    RuleInfo {
+        id: SS_LOCK_002,
+        summary: "no scheduler call (schedule_in, schedule_at, run_until) while a lock \
+                  guard is lexically live; scheduled callbacks may take the same locks",
+    },
+    RuleInfo {
         id: SS_ALLOW_001,
-        summary: "every analyze: allow(…) suppression must carry a `: justification`",
+        summary: "every analyze: allow(…) suppression must carry a `: justification` and \
+                  must still suppress at least one finding",
     },
 ];
 
@@ -395,6 +438,169 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
                 }
             }
         }
+    }
+
+    out
+}
+
+/// Phase 2: cross-file rules over the extracted workspace model.
+pub fn check_model(model: &WorkspaceModel) -> Vec<Finding> {
+    use std::collections::BTreeSet;
+
+    let mut out = Vec::new();
+    let finding = |site: &crate::model::Site, rule: &'static str, message: String| Finding {
+        file: site.file.clone(),
+        line: site.line,
+        rule,
+        message,
+    };
+
+    // SS-PROTO-001 — every frame tag has an encoder and a decoder arm, and
+    // the arm literal matches the declared discriminant.
+    for tag in &model.frame_tags {
+        if tag.encoders.is_empty() {
+            out.push(finding(
+                &tag.decl,
+                SS_PROTO_001,
+                format!(
+                    "frame tag `{}` has no encoder: no `rtype: {}::{}` construction site \
+                     exists, so this tag can never be put on the wire",
+                    tag.name,
+                    crate::model::FRAME_TAG_ENUM,
+                    tag.name
+                ),
+            ));
+        }
+        if tag.decoders.is_empty() {
+            out.push(finding(
+                &tag.decl,
+                SS_PROTO_001,
+                format!(
+                    "frame tag `{}` has no decoder arm in `{}`; frames of this type are \
+                     rejected as unknown on receive",
+                    tag.name,
+                    crate::model::FRAME_TAG_DECODER
+                ),
+            ));
+        }
+        for (site, lit) in &tag.decoders {
+            if let (Some(decl), Some(arm)) = (tag.discriminant, *lit) {
+                if decl != arm {
+                    out.push(finding(
+                        site,
+                        SS_PROTO_001,
+                        format!(
+                            "decoder arm matches {} but `{}` is declared as {}; \
+                             encode and decode disagree on the wire tag",
+                            arm, tag.name, decl
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // SS-PROTO-002 — encode/decode collapsed op sequences must agree.
+    for pair in &model.codec_pairs {
+        if pair.encode.ops.is_empty() || pair.decode.ops.is_empty() {
+            continue; // delegating wrappers carry no comparable shape
+        }
+        if pair.encode.ops != pair.decode.ops {
+            out.push(finding(
+                &crate::model::Site { file: pair.file.clone(), line: pair.decode.line },
+                SS_PROTO_002,
+                format!(
+                    "`{owner}::{d}` reads [{dec}] but `{owner}::{e}` (line {el}) writes \
+                     [{enc}]; field order/widths must mirror exactly",
+                    owner = pair.owner,
+                    d = pair.decode.name,
+                    e = pair.encode.name,
+                    el = pair.encode.line,
+                    dec = pair.decode.ops.join(", "),
+                    enc = pair.encode.ops.join(", "),
+                ),
+            ));
+        }
+    }
+
+    // SS-PROTO-003 — endianness, scoped to codec crates, non-test.
+    for e in &model.big_endian {
+        if e.in_test || !CODEC_CRATES.contains(&e.krate.as_str()) {
+            continue;
+        }
+        out.push(finding(
+            &e.site,
+            SS_PROTO_003,
+            format!(
+                "`{}` is big/native-endian; the wire layout is pinned little-endian \
+                 (paper §3.5.1) — use the `_le` variant",
+                e.call
+            ),
+        ));
+    }
+
+    // SS-LOCK-001 — double-locks and cross-file order inversions.
+    let mut seen: BTreeSet<(String, u32, String, String)> = BTreeSet::new();
+    let order: BTreeSet<(&str, &str)> = model
+        .lock_pairs
+        .iter()
+        .filter(|p| p.held != p.acquired)
+        .map(|p| (p.held.as_str(), p.acquired.as_str()))
+        .collect();
+    for p in &model.lock_pairs {
+        if !seen.insert((p.site.file.clone(), p.site.line, p.held.clone(), p.acquired.clone())) {
+            continue;
+        }
+        if p.held == p.acquired {
+            out.push(finding(
+                &p.site,
+                SS_LOCK_001,
+                format!(
+                    "lock `{}` acquired again while its own guard (taken at line {}) is \
+                     still live; self-deadlock on non-reentrant locks",
+                    p.held, p.held_line
+                ),
+            ));
+        } else if order.contains(&(p.acquired.as_str(), p.held.as_str())) {
+            out.push(finding(
+                &p.site,
+                SS_LOCK_001,
+                format!(
+                    "lock-order inversion: `{}` acquired while `{}` is held, but the \
+                     opposite order also occurs in the workspace; pick one global order",
+                    p.acquired, p.held
+                ),
+            ));
+        }
+    }
+
+    // SS-LOCK-002 — scheduler entry under a live guard.
+    for c in &model.sched_under_guard {
+        out.push(finding(
+            &c.site,
+            SS_LOCK_002,
+            format!(
+                "`.{}(…)` called while the guard on `{}` is live; scheduled callbacks \
+                 may take the same lock — release the guard first",
+                c.method, c.guard
+            ),
+        ));
+    }
+
+    // SS-DET-004 — blocking wall-clock calls in non-test code.
+    for w in &model.wallclock {
+        if w.in_test {
+            continue;
+        }
+        out.push(finding(
+            &w.site,
+            SS_DET_004,
+            format!(
+                "`{}` blocks on real time; sim-backend code must advance virtual time \
+                 through the scheduler (`schedule_in`/`run_until`)",
+                w.call
+            ),
+        ));
     }
 
     out

@@ -1,0 +1,6 @@
+// SS-ALLOW-001: a justified allow whose rule no longer fires is stale and
+// must be deleted, or the audit trail silently rots.
+// analyze: allow(SS-DET-002): was a HashMap until the BTreeMap migration
+pub fn cache() -> BTreeMap<u8, u8> {
+    BTreeMap::new()
+}

@@ -1,0 +1,23 @@
+// Adversarial lexer fixture: every tricky literal form below spells out a
+// rule trigger that must stay opaque to the token rules. The one real
+// HashMap at the bottom proves the lexer resynchronised after all of them.
+pub fn opaque() {
+    let raw = r#"HashMap::new() and thread_rng() and "quoted" Instant"#;
+    let hashes = r##"ends with "# but not here: HashMap"##;
+    let bytes = b"HashMap<u8, u8>";
+    let raw_bytes = br#"SystemTime::now()"#;
+    let ch = 'H';
+    let nl = '\n';
+    consume(raw, hashes, bytes, raw_bytes, ch, nl);
+}
+
+/* block comment: HashMap
+   /* nested: thread_rng() Instant::now() */
+   still inside the outer comment: OsRng */
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+pub fn real() -> HashMap<u8, u8> {
+    HashMap::new()
+}

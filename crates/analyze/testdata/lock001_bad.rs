@@ -1,0 +1,27 @@
+// SS-LOCK-001 violating side: `double` retakes sys under its own guard
+// (line 12); `forward` and `backward` acquire sys/net in opposite orders,
+// so both second acquisitions (lines 18 and 24) are inversion sites.
+pub struct Dbs {
+    sys: Mutex<u8>,
+    net: Mutex<u8>,
+}
+
+impl Dbs {
+    pub fn double(&self) {
+        let s = self.sys.lock();
+        let again = self.sys.lock();
+        use_both(s, again);
+    }
+
+    pub fn forward(&self) {
+        let s = self.sys.lock();
+        let n = self.net.lock();
+        use_both(s, n);
+    }
+
+    pub fn backward(&self) {
+        let n = self.net.lock();
+        let s = self.sys.lock();
+        use_both(n, s);
+    }
+}

@@ -1,0 +1,36 @@
+// SS-LOCK-001 clean side: one global order (sys before net), guards
+// dropped or scoped before the next acquisition, never reacquired.
+pub struct Dbs {
+    sys: Mutex<u8>,
+    net: Mutex<u8>,
+}
+
+impl Dbs {
+    pub fn ordered(&self) {
+        let s = self.sys.lock();
+        let n = self.net.lock();
+        use_both(s, n);
+    }
+
+    pub fn dropped(&self) {
+        let s = self.sys.lock();
+        drop(s);
+        let n = self.net.lock();
+        use_one(n);
+    }
+
+    pub fn scoped(&self) {
+        {
+            let n = self.net.lock();
+            use_one(n);
+        }
+        let s = self.sys.lock();
+        use_one(s);
+    }
+}
+
+pub fn elsewhere(d: &Dbs) {
+    let s = d.sys.lock();
+    let n = d.net.lock();
+    use_both(s, n);
+}

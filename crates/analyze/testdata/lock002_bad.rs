@@ -1,0 +1,18 @@
+// SS-LOCK-002 violating side: both methods enter the scheduler while the
+// queue guard is still lexically live (lines 11 and 16).
+pub struct Host {
+    q: Mutex<u8>,
+}
+
+impl Host {
+    pub fn schedules_under_guard(&self, sched: &mut Scheduler) {
+        let g = self.q.lock();
+        push(g);
+        sched.schedule_in(10, tick);
+    }
+
+    pub fn runs_under_guard(&self, sched: &mut Scheduler) {
+        let g = self.q.lock();
+        sched.run_until(100);
+    }
+}

@@ -1,0 +1,22 @@
+// SS-LOCK-002 clean side: the guard is dropped or scoped away before the
+// scheduler is entered, so scheduled callbacks can take the same lock.
+pub struct Host {
+    q: Mutex<u8>,
+}
+
+impl Host {
+    pub fn drop_first(&self, sched: &mut Scheduler) {
+        let g = self.q.lock();
+        push(g);
+        drop(g);
+        sched.schedule_in(10, tick);
+    }
+
+    pub fn scope_first(&self, sched: &mut Scheduler) {
+        {
+            let g = self.q.lock();
+            push(g);
+        }
+        sched.run_until(100);
+    }
+}

@@ -1,0 +1,22 @@
+// SS-PROTO-001 violating side: `User` is never constructed (line 6),
+// `Probe` has no decoder arm (line 7), and the `System` arm matches 9
+// where the declaration says 1 (line 13).
+pub enum RecordType {
+    System = 1,
+    User = 2,
+    Probe = 3,
+}
+
+impl RecordType {
+    pub fn from_u32(v: u32) -> Result<RecordType, ()> {
+        match v {
+            9 => Ok(RecordType::System),
+            2 => Ok(RecordType::User),
+            _ => Err(()),
+        }
+    }
+}
+
+pub fn frames(data: Bytes) -> (Frame, Frame) {
+    (Frame { rtype: RecordType::System, data }, Frame { rtype: RecordType::Probe, data })
+}

@@ -1,0 +1,21 @@
+// SS-PROTO-001 clean side: every tag has an encoder construction site, a
+// from_u32 decoder arm, and each arm literal matches the declared
+// discriminant.
+pub enum RecordType {
+    System = 1,
+    User = 2,
+}
+
+impl RecordType {
+    pub fn from_u32(v: u32) -> Result<RecordType, ()> {
+        match v {
+            1 => Ok(RecordType::System),
+            2 => Ok(RecordType::User),
+            _ => Err(()),
+        }
+    }
+}
+
+pub fn frames(data: Bytes) -> (Frame, Frame) {
+    (Frame { rtype: RecordType::System, data }, Frame { rtype: RecordType::User, data })
+}

@@ -1,0 +1,16 @@
+// SS-PROTO-002 violating side: decode reads the flag before the seq, the
+// mirror image of what encode wrote. The finding lands on the decode fn.
+impl Report {
+    pub fn encode(&self, out: &mut BytesMut) {
+        out.put_u32_le(self.seq);
+        out.put_u16_le(self.flag);
+        out.put_slice(self.body.as_ref());
+    }
+
+    pub fn decode(buf: &mut Bytes) -> Report {
+        let flag = buf.get_u16_le();
+        let seq = buf.get_u32_le();
+        let body = buf.split_to(4);
+        Report { seq, flag, body }
+    }
+}

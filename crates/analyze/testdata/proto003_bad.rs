@@ -1,0 +1,11 @@
+// SS-PROTO-003 violating side: the bytes API is big-endian when the width
+// carries no suffix, and the explicit _be/_ne forms pin the wrong order.
+pub fn write(out: &mut BytesMut, v: u32, d: u64) {
+    out.put_u32(v);
+    out.put_u64_be(d);
+    out.put_slice(&v.to_be_bytes());
+}
+
+pub fn read(buf: [u8; 4]) -> u32 {
+    u32::from_ne_bytes(buf)
+}

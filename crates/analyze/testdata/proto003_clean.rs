@@ -1,0 +1,14 @@
+// SS-PROTO-003 clean side: little-endian buffer ops, endian-neutral single
+// bytes, and big-endian reads confined to test code are all acceptable.
+pub fn write(out: &mut BytesMut, v: u32, b: u8) {
+    out.put_u32_le(v);
+    out.put_u8(b);
+    out.put_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    fn cross_check(buf: &mut Bytes) -> u32 {
+        buf.get_u32()
+    }
+}

@@ -6,7 +6,7 @@
 //! confined to the fixture files — this test only names rules by their
 //! string IDs, because the analyzer scans its own `tests/` directory too.
 
-use smartsock_analyze::{scan_source, span_registry_from_source};
+use smartsock_analyze::{analyze_files, scan_source, span_registry_from_source, FileInput};
 
 /// The real span registry, loaded the same way `check` loads it.
 fn registry() -> Vec<String> {
@@ -26,7 +26,13 @@ fn run(krate: &str, src: &str) -> (Vec<(String, u32)>, usize) {
 fn det001_flags_wall_clock_reads() {
     let (hits, suppressed) = run("net", include_str!("../testdata/det001.rs"));
     let ids: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
-    assert_eq!(ids, ["SS-DET-001"; 4], "use-line + call site for each type: {hits:?}");
+    // DET-001 fires on each type mention (use-line + call site per type);
+    // DET-004 additionally flags the two blocking `::now()` call sites.
+    assert_eq!(
+        ids,
+        ["SS-DET-001", "SS-DET-001", "SS-DET-001", "SS-DET-001", "SS-DET-004", "SS-DET-004"],
+        "{hits:?}"
+    );
     assert_eq!(suppressed, 0);
 }
 
@@ -119,8 +125,11 @@ fn obs002_flags_unregistered_span_names_only() {
     );
     assert_eq!(suppressed, 1, "the justified allow covers prototype-span");
 
+    // In the exempt telemetry crate the span rules never fire — which makes
+    // the allow itself stale, and staleness is SS-ALLOW-001's finding.
     let (hits, _) = run("telemetry", include_str!("../testdata/obs002.rs"));
-    assert!(hits.is_empty(), "the telemetry crate itself is exempt: {hits:?}");
+    let ids: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(ids, ["SS-ALLOW-001"], "exempt crate → allow suppresses nothing: {hits:?}");
 }
 
 #[test]
@@ -134,6 +143,222 @@ fn justified_allows_suppress_and_bare_allows_are_findings() {
             ("SS-PANIC-001".to_owned(), 12), // which therefore does NOT suppress
         ]
     );
+}
+
+#[test]
+fn proto001_clean_fixture_is_all_clear() {
+    let (hits, suppressed) = run("proto", include_str!("../testdata/proto001_clean.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn proto001_flags_missing_encoder_missing_arm_and_mismatched_discriminant() {
+    let (hits, suppressed) = run("proto", include_str!("../testdata/proto001_bad.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-PROTO-001".to_owned(), 6),  // User: no encoder site
+            ("SS-PROTO-001".to_owned(), 7),  // Probe: no decoder arm
+            ("SS-PROTO-001".to_owned(), 13), // System: arm matches 9, declared 1
+        ],
+        "{hits:?}"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn proto001_links_encoders_across_files() {
+    // The enum + decoder live in one file, both construction sites in
+    // another; the workspace model joins them, so the pair is clean.
+    let decl = include_str!("../testdata/proto001_clean.rs");
+    let mid = decl.find("pub fn frames").expect("fixture has a frames fn");
+    let (tags, encoders) = decl.split_at(mid);
+    let both = [
+        FileInput { rel: "a/tags.rs", krate: "proto", is_test: false, src: tags },
+        FileInput { rel: "b/frames.rs", krate: "wire", is_test: false, src: encoders },
+    ];
+    let a = analyze_files(&both, &registry());
+    assert_eq!(a.report.total(), 0, "{:?}", a.report.findings);
+
+    // Drop the encoder file and both tags lose their construction sites.
+    let only = [FileInput { rel: "a/tags.rs", krate: "proto", is_test: false, src: tags }];
+    let a = analyze_files(&only, &registry());
+    let ids: Vec<&str> = a.report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(ids, ["SS-PROTO-001", "SS-PROTO-001"], "{:?}", a.report.findings);
+}
+
+#[test]
+fn proto002_clean_fixture_equates_loops_and_skips_delegating_wrappers() {
+    let (hits, suppressed) = run("proto", include_str!("../testdata/proto002_clean.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn proto002_flags_field_order_asymmetry_at_the_decode_fn() {
+    let (hits, suppressed) = run("proto", include_str!("../testdata/proto002_bad.rs"));
+    assert_eq!(hits, [("SS-PROTO-002".to_owned(), 10)], "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn proto003_clean_fixture_accepts_le_neutral_and_test_code() {
+    let (hits, suppressed) = run("proto", include_str!("../testdata/proto003_clean.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn proto003_flags_big_and_native_endian_calls_in_codec_crates_only() {
+    let (hits, suppressed) = run("proto", include_str!("../testdata/proto003_bad.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-PROTO-003".to_owned(), 4),  // bare put_u32 is big-endian
+            ("SS-PROTO-003".to_owned(), 5),  // explicit put_u64_be
+            ("SS-PROTO-003".to_owned(), 6),  // to_be_bytes
+            ("SS-PROTO-003".to_owned(), 10), // from_ne_bytes
+        ],
+        "{hits:?}"
+    );
+    assert_eq!(suppressed, 0);
+
+    let (hits, _) = run("monitor", include_str!("../testdata/proto003_bad.rs"));
+    assert!(hits.is_empty(), "monitor is not a codec crate: {hits:?}");
+}
+
+#[test]
+fn lock001_clean_fixture_accepts_ordered_dropped_and_scoped_guards() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/lock001_clean.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn lock001_flags_double_lock_and_both_sides_of_an_inversion() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/lock001_bad.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-LOCK-001".to_owned(), 12), // sys retaken under its own guard
+            ("SS-LOCK-001".to_owned(), 18), // sys→net, inverted below
+            ("SS-LOCK-001".to_owned(), 24), // net→sys, inverted above
+        ],
+        "{hits:?}"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn lock001_sees_inversions_across_files() {
+    let decl = "pub struct Dbs { sys: Mutex<u8>, net: Mutex<u8> }\n\
+                pub fn forward(d: &Dbs) { let s = d.sys.lock(); let n = d.net.lock(); b(s, n); }";
+    let rev = "pub fn backward(d: &Dbs) { let n = d.net.lock(); let s = d.sys.lock(); b(n, s); }";
+    // Alone, each order is internally consistent.
+    let one = [FileInput { rel: "a/fwd.rs", krate: "core", is_test: false, src: decl }];
+    assert_eq!(analyze_files(&one, &registry()).report.total(), 0);
+    // Together they disagree, and each file's acquisition site is flagged.
+    let both = [
+        FileInput { rel: "a/fwd.rs", krate: "core", is_test: false, src: decl },
+        FileInput { rel: "b/rev.rs", krate: "wizard", is_test: false, src: rev },
+    ];
+    let a = analyze_files(&both, &registry());
+    let hits: Vec<(&str, &str)> =
+        a.report.findings.iter().map(|f| (f.rule, f.file.as_str())).collect();
+    assert_eq!(
+        hits,
+        [("SS-LOCK-001", "a/fwd.rs"), ("SS-LOCK-001", "b/rev.rs")],
+        "{:?}",
+        a.report.findings
+    );
+}
+
+#[test]
+fn lock002_clean_fixture_accepts_dropped_and_scoped_guards() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/lock002_clean.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn lock002_flags_scheduler_calls_under_a_live_guard() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/lock002_bad.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-LOCK-002".to_owned(), 11), // schedule_in under the q guard
+            ("SS-LOCK-002".to_owned(), 16), // run_until under the q guard
+        ],
+        "{hits:?}"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn det004_clean_fixture_accepts_scheduler_time_and_test_sleeps() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/det004_clean.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn det004_flags_thread_sleep_in_sim_code() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/det004_bad.rs"));
+    assert_eq!(hits, [("SS-DET-004".to_owned(), 4), ("SS-DET-004".to_owned(), 9)], "{hits:?}");
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn stale_justified_allow_is_flagged_and_audited() {
+    let src = include_str!("../testdata/allow_stale.rs");
+    let (hits, suppressed) = run("net", src);
+    assert_eq!(hits, [("SS-ALLOW-001".to_owned(), 3)], "{hits:?}");
+    assert_eq!(suppressed, 0);
+
+    // The allows audit reports the same suppression as justified but UNUSED.
+    let files = [FileInput { rel: "testdata/fixture.rs", krate: "net", is_test: false, src }];
+    let a = analyze_files(&files, &registry());
+    assert_eq!(a.allows.len(), 1);
+    assert!(a.allows[0].justified && a.allows[0].suppressed == 0, "{:?}", a.allows);
+    let (text, clean) = a.allows_report();
+    assert!(text.contains("UNUSED") && !clean, "{text}");
+}
+
+#[test]
+fn human_and_json_renderings_agree_on_the_finding_count() {
+    let files = [
+        FileInput {
+            rel: "testdata/a.rs",
+            krate: "net",
+            is_test: false,
+            src: include_str!("../testdata/lock001_bad.rs"),
+        },
+        FileInput {
+            rel: "testdata/b.rs",
+            krate: "proto",
+            is_test: false,
+            src: include_str!("../testdata/proto003_bad.rs"),
+        },
+    ];
+    let a = analyze_files(&files, &registry());
+    let total = a.report.total();
+    assert!(total > 0);
+    let json = a.report.to_json();
+    assert!(json.contains(&format!("\"total\": {total}")), "{json}");
+    assert_eq!(json.matches("\"rule\":").count(), total, "one JSON object per finding");
+    let human = a.report.to_human();
+    assert_eq!(human.lines().count(), total + 1, "one line per finding plus the summary");
+    assert!(human.contains(&format!("analyze: {total} finding(s)")), "{human}");
+}
+
+#[test]
+fn lexer_edge_fixture_keeps_literals_and_comments_opaque() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/lexer_edge.rs"));
+    // Only the real HashMap at the bottom fires; every spelled-out trigger
+    // inside raw strings, byte strings, chars and nested comments is inert.
+    assert_eq!(hits, [("SS-DET-002".to_owned(), 21), ("SS-DET-002".to_owned(), 22)], "{hits:?}");
+    assert_eq!(suppressed, 0);
 }
 
 #[test]

@@ -118,7 +118,7 @@ pub fn profile_call(id: &str, f: crate::Experiment, seed: u64) -> (Report, RunPr
     // This wall-clock read measures the host's cost of running the
     // simulation for BENCH_profile.json; nothing inside the simulation
     // observes it, so determinism of the runs is unaffected.
-    // analyze: allow(SS-DET-001): host-side wall cost metric, never read by sim code
+    // analyze: allow(SS-DET-001, SS-DET-004): host-side wall cost metric, never read by sim code
     let t0 = std::time::Instant::now();
     let report = f(seed);
     let wall_ns = t0.elapsed().as_nanos() as u64;

@@ -18,6 +18,7 @@ pub struct Ip(pub u32);
 
 impl Ip {
     pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ip {
+        // analyze: allow(SS-PROTO-003): dotted-quad value ordering (the definition of an IPv4 address), not wire-frame layout — frames carry the u32 as _le
         Ip(u32::from_be_bytes([a, b, c, d]))
     }
 
@@ -25,6 +26,7 @@ impl Ip {
     pub const LOOPBACK: Ip = Ip::new(127, 0, 0, 1);
 
     pub fn octets(self) -> [u8; 4] {
+        // analyze: allow(SS-PROTO-003): inverse of `new` — recovers display octets, not bytes on the wire
         self.0.to_be_bytes()
     }
 

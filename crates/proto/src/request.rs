@@ -103,6 +103,7 @@ impl UserRequest {
         out
     }
 
+    // analyze: allow(SS-PROTO-002): detail is the unconsumed remainder, read via from_utf8 rather than a Buf op — both sides agree on [u32, u16, u16, bytes]
     pub fn decode(mut buf: &[u8]) -> Result<Self, ProtoError> {
         if buf.remaining() < 8 {
             return Err(ProtoError::Truncated { expected: 8, got: buf.remaining() });
