@@ -40,7 +40,6 @@ pub mod baseline;
 pub mod client;
 pub mod deploy;
 pub mod group;
-pub mod live;
 pub mod reliable;
 
 pub use baseline::{RandomSelector, RoundRobinSelector};

@@ -177,6 +177,11 @@ pub struct MemInfo {
 }
 
 pub fn parse_meminfo(text: &str) -> Option<MemInfo> {
+    parse_meminfo_classic(text).or_else(|| parse_meminfo_modern(text))
+}
+
+/// The 2.4-era byte-count `Mem:` summary line (Table 4.1 format).
+fn parse_meminfo_classic(text: &str) -> Option<MemInfo> {
     let line = text.lines().find(|l| l.starts_with("Mem:"))?;
     let mut it = line.split_ascii_whitespace().skip(1);
     Some(MemInfo {
@@ -186,6 +191,28 @@ pub fn parse_meminfo(text: &str) -> Option<MemInfo> {
         shared: it.next()?.parse().ok()?,
         buffers: it.next()?.parse().ok()?,
         cached: it.next()?.parse().ok()?,
+    })
+}
+
+/// The 2.6+ per-field `Name:  <n> kB` format — kernels dropped the `Mem:`
+/// summary line, so the live probe reading a real `/proc/meminfo` lands
+/// here. Requires `MemTotal` *and* `MemFree` (a lone `MemTotal:` line is
+/// still rejected as garbage); `used` is derived, `shared` is gone.
+fn parse_meminfo_modern(text: &str) -> Option<MemInfo> {
+    let kb = |name: &str| -> Option<u64> {
+        let line = text.lines().find(|l| l.starts_with(name))?;
+        let n: u64 = line.split_ascii_whitespace().nth(1)?.parse().ok()?;
+        Some(n * 1024)
+    };
+    let total = kb("MemTotal:")?;
+    let free = kb("MemFree:")?;
+    Some(MemInfo {
+        total,
+        used: total.saturating_sub(free),
+        free,
+        shared: 0,
+        buffers: kb("Buffers:").unwrap_or(0),
+        cached: kb("Cached:").unwrap_or(0),
     })
 }
 
@@ -283,6 +310,22 @@ mod tests {
         assert_eq!(m.free, 141_127_680);
         assert_eq!(m.buffers, 18_284_544);
         assert_eq!(m.cached, 82_911_232);
+    }
+
+    #[test]
+    fn meminfo_modern_kb_format_falls_back() {
+        let text = "MemTotal:        256068 kB\nMemFree:         137820 kB\n\
+                    Buffers:          17856 kB\nCached:           80968 kB\n\
+                    SwapCached:           0 kB\n";
+        let m = parse_meminfo(text).unwrap();
+        assert_eq!(m.total, 256_068 * 1024);
+        assert_eq!(m.free, 137_820 * 1024);
+        assert_eq!(m.used, (256_068 - 137_820) * 1024);
+        assert_eq!(m.buffers, 17_856 * 1024);
+        assert_eq!(m.cached, 80_968 * 1024);
+        assert_eq!(m.shared, 0);
+        // Both MemTotal and MemFree are required; one alone is garbage.
+        assert!(parse_meminfo("MemFree: 5 kB").is_none());
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! `smartsockd` — the Smart socket control plane over real UDP sockets.
+//!
+//! The operational surface of the live backend (`smartsock-live`):
+//!
+//! ```text
+//! smartsockd wizard --bind 127.0.0.1:1120 [--trace PATH]
+//!     Run the combined monitor+wizard daemon until stdin closes; with
+//!     --trace, write the telemetry JSONL trace on shutdown (readable by
+//!     the `telemetry` query binary).
+//!
+//! smartsockd probe --wizard 127.0.0.1:1120 --host helene --ip 192.168.3.10 \
+//!                  [--proc-root /proc] [--iface eth0] \
+//!                  [--watch SECS] [--count N] \
+//!                  [--cpu-free 0.95] [--mem-free-mb 200] [--load1 0.1] [--services compute,file]
+//!     Send status reports. With --proc-root the probe samples the real
+//!     procfs through the shared differentiation engine; without it the
+//!     report is synthesized from the flags. --watch repeats every SECS
+//!     (until --count reports, or forever).
+//!
+//! smartsockd request --wizard 127.0.0.1:1120 --servers 2 [--req REQ | --file PATH] \
+//!                    [--timeout-ms N] [--retries N] [--json]
+//!     Issue a user request; prints the selected endpoints one per line,
+//!     or a single JSON object with --json.
+//! ```
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use smartsock_live::{live_request, send_live_report, Clock, LiveProbe, LiveWizard};
+use smartsock_probe::ProbeIdentity;
+use smartsock_proto::{Ip, RequestOption, ServerStatusReport, ServiceMask, UserRequest};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let flags = Flags::parse(rest);
+    let result = match cmd.as_str() {
+        "wizard" => cmd_wizard(&flags),
+        "probe" => cmd_probe(&flags),
+        "request" => cmd_request(&flags),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: smartsockd <wizard|probe|request> [flags]\n\
+         \n  wizard  --bind ADDR [--trace PATH]\
+         \n  probe   --wizard ADDR --host NAME --ip A.B.C.D [--proc-root PATH] [--iface IF]\
+         \n          [--watch SECS] [--count N]\
+         \n          [--cpu-free F] [--mem-free-mb N] [--load1 F] [--services a,b]\
+         \n  request --wizard ADDR --servers N [--req TEXT | --file PATH]\
+         \n          [--timeout-ms N] [--retries N] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+/// Tiny `--key value` flag parser (`--json`-style booleans take no value,
+/// listed in `UNARY`).
+struct Flags(Vec<(String, String)>);
+
+const UNARY: &[&str] = &["json"];
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut out = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(k) = it.next() {
+            if let Some(name) = k.strip_prefix("--") {
+                let v = if UNARY.contains(&name) {
+                    String::new()
+                } else {
+                    it.next().cloned().unwrap_or_default()
+                };
+                out.push((name.to_owned(), v));
+            }
+        }
+        Flags(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
+        }
+    }
+}
+
+fn cmd_wizard(flags: &Flags) -> Result<(), String> {
+    let bind = flags.get("bind").unwrap_or("127.0.0.1:1120");
+    let wiz = LiveWizard::spawn_on(bind).map_err(|e| e.to_string())?;
+    println!("smartsockd wizard listening on {}", wiz.addr());
+    println!("press ENTER (or close stdin) to stop");
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    let stats = wiz.shutdown().map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, &stats.trace_jsonl).map_err(|e| e.to_string())?;
+        println!("trace written to {path}");
+    }
+    println!("ingested {} reports", stats.reports);
+    println!("served {} requests", stats.served);
+    Ok(())
+}
+
+fn parse_services(flags: &Flags) -> Result<ServiceMask, String> {
+    let mut mask = ServiceMask::default();
+    if let Some(services) = flags.get("services") {
+        for class in services.split(',').filter(|c| !c.is_empty()) {
+            mask |= ServiceMask::by_name(class)
+                .ok_or_else(|| format!("unknown service class {class:?}"))?;
+        }
+    }
+    Ok(mask)
+}
+
+fn cmd_probe(flags: &Flags) -> Result<(), String> {
+    let wizard: SocketAddr =
+        flags.require("wizard")?.parse().map_err(|_| "bad --wizard address".to_owned())?;
+    let host = flags.require("host")?;
+    let ip: Ip = flags.require("ip")?.parse().map_err(|e| format!("{e}"))?;
+    let watch_secs: u64 = flags.get_parsed("watch", 0u64)?;
+    let count: u64 = flags.get_parsed("count", if watch_secs > 0 { u64::MAX } else { 1 })?;
+    let interval = Duration::from_secs(watch_secs.max(1));
+    // The pacing channel: nothing ever sends, so `recv_timeout` is an
+    // interruptible sleep that needs no wall-clock reads here.
+    let (_pace_tx, pace_rx) = mpsc::channel::<()>();
+
+    if let Some(root) = flags.get("proc-root") {
+        // Real sampling through the shared differentiation engine.
+        let id = ProbeIdentity {
+            host: host.into(),
+            ip,
+            bogomips: flags.get_parsed("bogomips", 3394.76f64)?,
+            iface: flags.get("iface").unwrap_or("eth0").to_owned(),
+            services: parse_services(flags)?,
+        };
+        let mut probe = LiveProbe::new(wizard, id, Clock::wall())
+            .map_err(|e| e.to_string())?
+            .with_proc_root(root);
+        if watch_secs == 0 {
+            let bytes = probe.report_once().map_err(|e| e.to_string())?;
+            println!("sent {bytes} byte report for {host} ({ip})");
+        } else {
+            let sent = probe.watch(interval, count, &pace_rx).map_err(|e| e.to_string())?;
+            println!("sent {sent} reports for {host} ({ip})");
+        }
+        return Ok(());
+    }
+
+    // Synthetic mode: the report is whatever the flags claim.
+    let mut report = ServerStatusReport::empty(host, ip);
+    report.cpu_idle = flags.get_parsed("cpu-free", 0.95f64)?;
+    report.cpu_user = (1.0 - report.cpu_idle).max(0.0);
+    report.load1 = flags.get_parsed("load1", 0.1f64)?;
+    report.load5 = report.load1;
+    report.load15 = report.load1;
+    report.mem_total = 256 << 20;
+    report.mem_free = flags.get_parsed("mem-free-mb", 180u64)? << 20;
+    report.mem_used = report.mem_total - report.mem_free;
+    report.bogomips = flags.get_parsed("bogomips", 3394.76f64)?;
+    report.services = parse_services(flags)?;
+    let clock = Clock::wall();
+    let mut sent = 0u64;
+    loop {
+        report.timestamp_ns = clock.now_ns();
+        send_live_report(wizard, &report).map_err(|e| e.to_string())?;
+        sent += 1;
+        if watch_secs == 0 || sent >= count {
+            break;
+        }
+        match pace_rx.recv_timeout(interval) {
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if sent == 1 {
+        println!("sent {} byte report for {host} ({ip})", report.encode_ascii().len());
+    } else {
+        println!("sent {sent} reports for {host} ({ip})");
+    }
+    Ok(())
+}
+
+fn cmd_request(flags: &Flags) -> Result<(), String> {
+    let wizard: SocketAddr =
+        flags.require("wizard")?.parse().map_err(|_| "bad --wizard address".to_owned())?;
+    let servers: u16 = flags.get_parsed("servers", 1u16)?;
+    let detail = match (flags.get("req"), flags.get("file")) {
+        (Some(req), _) => req.to_owned(),
+        (None, Some(path)) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+        (None, None) => String::new(),
+    };
+    let timeout = Duration::from_millis(flags.get_parsed("timeout-ms", 1000u64)?);
+    let retries: u32 = flags.get_parsed("retries", 2u32)?;
+    let req = UserRequest {
+        seq: std::process::id() ^ 0x5eed_0000,
+        server_num: servers,
+        option: RequestOption::DEFAULT,
+        detail,
+    };
+    let reply = live_request(wizard, &req, timeout, retries).map_err(|e| e.to_string())?;
+    if flags.has("json") {
+        let eps: Vec<String> = reply.servers.iter().map(|ep| format!("\"{ep}\"")).collect();
+        println!("{{\"seq\":{},\"servers\":[{}]}}", reply.seq, eps.join(","));
+        return Ok(());
+    }
+    if reply.servers.is_empty() {
+        eprintln!("no server satisfies the requirement");
+        return Err("empty reply".to_owned());
+    }
+    for ep in reply.servers {
+        println!("{ep}");
+    }
+    Ok(())
+}

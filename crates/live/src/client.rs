@@ -1,0 +1,207 @@
+//! The live client: the §3.6.2 request loop over a real UDP socket,
+//! shaped by the compile-time protocol state machine.
+//!
+//! [`LiveSock`] wraps [`RequestFlow`] — the same typestate the simulated
+//! client API uses — around an OS socket. Sequence violations (asking
+//! before registering, reading servers before a reply) are compile
+//! errors, not runtime surprises; the proofs live as `compile_fail`
+//! doctests on `smartsock_proto::typestate`.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+use smartsock_proto::typestate::{Connected, Registered, Requested};
+use smartsock_proto::{
+    Endpoint, FlowError, ReplyStatus, RequestFlow, ServerStatusReport, UserRequest, WizardReply,
+};
+
+use crate::transport::{endpoint_of, sockaddr_of};
+
+/// Why a request did not reach the connected phase.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Every attempt timed out without a usable reply.
+    TimedOut { attempts: u32 },
+    /// The wizard answered, but the reply rejects the request (empty, or
+    /// short with `accept_fewer` unset).
+    Rejected(FlowError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "socket error: {e}"),
+            RequestError::TimedOut { attempts } => {
+                write!(f, "wizard did not reply within {attempts} attempts")
+            }
+            RequestError::Rejected(e) => write!(f, "wizard rejected the request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A client socket whose protocol phase is a type parameter; see the
+/// module docs. Construct with [`LiveSock::bind`].
+pub struct LiveSock<S> {
+    sock: UdpSocket,
+    wizard: SocketAddr,
+    flow: RequestFlow<S>,
+}
+
+impl LiveSock<Registered> {
+    /// Bind an ephemeral loopback port, registered toward `wizard`.
+    pub fn bind(wizard: SocketAddr) -> io::Result<LiveSock<Registered>> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        let local = endpoint_of(sock.local_addr()?)
+            .ok_or_else(|| io::Error::other("live client requires an IPv4 bind address"))?;
+        Ok(LiveSock { sock, wizard, flow: RequestFlow::new().register(local) })
+    }
+
+    /// The bound local endpoint.
+    pub fn local(&self) -> Endpoint {
+        self.flow.local()
+    }
+
+    /// Encode and send the request once, entering the awaiting phase.
+    pub fn request(self, req: UserRequest) -> io::Result<LiveSock<Requested>> {
+        let flow = self.flow.request(req);
+        self.sock.send_to(flow.wire(), self.wizard)?;
+        Ok(LiveSock { sock: self.sock, wizard: self.wizard, flow })
+    }
+}
+
+impl LiveSock<Requested> {
+    /// The in-flight request's sequence tag.
+    pub fn seq(&self) -> u32 {
+        self.flow.seq()
+    }
+
+    /// Retransmit the identical request datagram (same sequence number).
+    pub fn resend(&self) -> io::Result<()> {
+        self.sock.send_to(self.flow.wire(), self.wizard)?;
+        Ok(())
+    }
+
+    /// Wait for the wizard's reply, retransmitting on timeout — §3.6.2
+    /// step 3. `retries` is the number of *re*transmissions after the
+    /// initial send, so the loop runs `retries + 1` attempts. On failure
+    /// the socket comes back in the awaiting phase so the caller can keep
+    /// trying or give up.
+    #[allow(clippy::result_large_err)] // the Err arm intentionally returns the socket itself
+    pub fn await_reply(
+        mut self,
+        timeout: Duration,
+        retries: u32,
+    ) -> Result<LiveSock<Connected>, (LiveSock<Requested>, RequestError)> {
+        let attempts = retries.saturating_add(1);
+        if let Err(e) = self.sock.set_read_timeout(Some(timeout.max(Duration::from_millis(1)))) {
+            return Err((self, RequestError::Io(e)));
+        }
+        let mut buf = [0u8; 4096];
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                if let Err(e) = self.resend() {
+                    return Err((self, RequestError::Io(e)));
+                }
+            }
+            // Drain datagrams until this attempt's timer runs out; stray
+            // traffic (stale sequence numbers, undecodable noise) never
+            // ends the wait early.
+            loop {
+                let n = match self.sock.recv_from(&mut buf) {
+                    Ok((n, _)) => n,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        break;
+                    }
+                    Err(e) => return Err((self, RequestError::Io(e))),
+                };
+                let Some(datagram) = buf.get(..n) else { continue };
+                match self.flow.accept(datagram) {
+                    Ok(flow) => {
+                        return Ok(LiveSock { sock: self.sock, wizard: self.wizard, flow });
+                    }
+                    Err((flow, err)) => {
+                        self.flow = flow;
+                        match err {
+                            // A definitive answer: retransmitting cannot
+                            // improve it. Hand the verdict back.
+                            FlowError::Empty | FlowError::Short { .. } => {
+                                return Err((self, RequestError::Rejected(err)));
+                            }
+                            // Noise; keep listening within this attempt.
+                            FlowError::Undecodable(_) | FlowError::SeqMismatch { .. } => {}
+                        }
+                    }
+                }
+            }
+        }
+        Err((self, RequestError::TimedOut { attempts }))
+    }
+}
+
+impl LiveSock<Connected> {
+    /// The selected service endpoints, best match first.
+    pub fn servers(&self) -> &[Endpoint] {
+        self.flow.servers()
+    }
+
+    /// The best-ranked server.
+    pub fn primary(&self) -> Option<Endpoint> {
+        self.flow.primary()
+    }
+
+    /// Full or short, as classified against the original request.
+    pub fn status(&self) -> ReplyStatus {
+        self.flow.status()
+    }
+
+    /// Surrender the socket for the raw reply.
+    pub fn into_reply(self) -> WizardReply {
+        self.flow.into_reply()
+    }
+}
+
+/// Send one probe report to a live wizard over real UDP.
+pub fn send_live_report(wizard: SocketAddr, report: &ServerStatusReport) -> io::Result<()> {
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.send_to(report.encode_ascii().as_bytes(), wizard)?;
+    Ok(())
+}
+
+/// One-shot convenience over [`LiveSock`]: request, await, return the
+/// reply. An *empty* reply is returned as a reply (the CLI reports it to
+/// the operator); timeouts and short-reply rejections become errors.
+pub fn live_request(
+    wizard: SocketAddr,
+    req: &UserRequest,
+    timeout: Duration,
+    retries: u32,
+) -> io::Result<WizardReply> {
+    let seq = req.seq;
+    let sock = LiveSock::bind(wizard)?.request(req.clone())?;
+    match sock.await_reply(timeout, retries) {
+        Ok(connected) => Ok(connected.into_reply()),
+        Err((_, RequestError::Rejected(FlowError::Empty))) => {
+            Ok(WizardReply { seq, servers: Vec::new() })
+        }
+        Err((_, RequestError::Io(e))) => Err(e),
+        Err((_, RequestError::TimedOut { .. })) => {
+            Err(io::Error::new(io::ErrorKind::TimedOut, "wizard did not reply"))
+        }
+        Err((_, e @ RequestError::Rejected(_))) => Err(io::Error::other(e.to_string())),
+    }
+}
+
+/// Open the data-plane TCP connection to a selected server. Exposed for
+/// deployments where the service endpoints are real; the loopback test
+/// rigs report protocol-level addresses that are not dialable.
+pub fn connect_service(server: Endpoint, timeout: Duration) -> io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect_timeout(&sockaddr_of(server), timeout)
+}

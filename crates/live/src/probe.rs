@@ -1,0 +1,110 @@
+//! The live server probe: the §3.2.1 daemon over real sockets and (when
+//! available) the real `/proc`.
+//!
+//! Sampling reads `loadavg`, `stat`, `meminfo`, and `net/dev` under a
+//! configurable root with the same parsers the simulator's render/parse
+//! pair exercises; modern kernels lack the 2.4 `disk_io:` line and use
+//! the per-field `meminfo` format, both of which the parsers absorb.
+//! Differentiation is `smartsock_probe::ReportEngine` — the identical
+//! code path the simulated probe runs — so a given counter history
+//! produces byte-for-byte the same report on either backend.
+//!
+//! The watch loop paces itself with `recv_timeout` on a stop channel
+//! rather than sleeping: dropping (or signalling) the stop handle ends
+//! the loop at the next tick boundary with no polling.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::Duration;
+
+use smartsock_hostsim::procfs;
+use smartsock_probe::{ProbeIdentity, ProcSample, ReportEngine};
+use smartsock_sim::SimTime;
+
+use crate::clock::Clock;
+
+/// A live probe daemon: samples, differentiates, reports over UDP.
+pub struct LiveProbe {
+    sock: UdpSocket,
+    wizard: SocketAddr,
+    id: ProbeIdentity,
+    engine: ReportEngine,
+    clock: Clock,
+    proc_root: PathBuf,
+}
+
+impl LiveProbe {
+    /// A probe reporting to `wizard` as `id`, sampling the real `/proc`.
+    pub fn new(wizard: SocketAddr, id: ProbeIdentity, clock: Clock) -> io::Result<LiveProbe> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        Ok(LiveProbe {
+            sock,
+            wizard,
+            id,
+            engine: ReportEngine::new(),
+            clock,
+            proc_root: "/proc".into(),
+        })
+    }
+
+    /// Sample under a different root (a fixture directory in tests, or a
+    /// container's `/host/proc`).
+    pub fn with_proc_root(mut self, root: impl Into<PathBuf>) -> LiveProbe {
+        self.proc_root = root.into();
+        self
+    }
+
+    /// One sampling pass over the procfs files.
+    pub fn sample(&self) -> io::Result<ProcSample> {
+        let read = |name: &str| std::fs::read_to_string(self.proc_root.join(name));
+        let parse_err =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("unparseable {what}"));
+        let (load1, load5, load15) =
+            procfs::parse_loadavg(&read("loadavg")?).ok_or_else(|| parse_err("loadavg"))?;
+        let stat = read("stat")?;
+        let jiffies = procfs::parse_stat_cpu(&stat).ok_or_else(|| parse_err("stat cpu line"))?;
+        // 2.4 kernels expose cumulative disk counters in `stat`; modern
+        // ones do not — report zero activity rather than failing.
+        let disk = procfs::parse_stat_disk(&stat).unwrap_or_default();
+        let mem = procfs::parse_meminfo(&read("meminfo")?).ok_or_else(|| parse_err("meminfo"))?;
+        let net = procfs::parse_net_dev(&read("net/dev")?, &self.id.iface)
+            .ok_or_else(|| parse_err("net/dev iface line"))?;
+        Ok(ProcSample { load1, load5, load15, jiffies, disk, mem, net })
+    }
+
+    /// Sample, differentiate, encode, send. Returns the report size in
+    /// bytes (the §3.2.1 contract keeps it under 200).
+    pub fn report_once(&mut self) -> io::Result<usize> {
+        let sample = self.sample()?;
+        let now = SimTime(self.clock.now_ns());
+        let report = self.engine.report(now, &self.id, &sample);
+        let line = report.encode_ascii();
+        self.sock.send_to(line.as_bytes(), self.wizard)?;
+        Ok(line.len())
+    }
+
+    /// Report every `interval` until `count` reports have gone out or the
+    /// stop channel fires (a message *or* a dropped sender both stop the
+    /// loop). Returns the number of reports sent.
+    pub fn watch(
+        &mut self,
+        interval: Duration,
+        count: u64,
+        stop: &Receiver<()>,
+    ) -> io::Result<u64> {
+        let mut sent = 0;
+        while sent < count {
+            self.report_once()?;
+            sent += 1;
+            if sent < count {
+                match stop.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        Ok(sent)
+    }
+}

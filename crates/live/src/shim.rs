@@ -1,0 +1,149 @@
+//! A socket-level fault shim: a UDP relay between client and wizard that
+//! drops a configured number of datagrams in each direction.
+//!
+//! This is the live counterpart of `smartsock-faults`' datagram-loss
+//! semantics (`FaultKind::LossSpike` and friends): the interop suite
+//! parks the shim between a [`LiveSock`](crate::client::LiveSock) and a
+//! [`LiveWizard`](crate::wizard::LiveWizard) to prove the client's
+//! retransmit loop recovers over real sockets, deterministically —
+//! "drop the first N" instead of coin flips.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Deterministic loss budgets, counted per direction from shim start.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShimPolicy {
+    /// Drop the first N client→wizard datagrams (requests).
+    pub drop_requests: u32,
+    /// Drop the first N wizard→client datagrams (replies).
+    pub drop_replies: u32,
+}
+
+impl ShimPolicy {
+    /// Pass everything through.
+    pub fn transparent() -> ShimPolicy {
+        ShimPolicy::default()
+    }
+}
+
+/// A relay for one client at a time: datagrams from anyone but the wizard
+/// are forwarded to the wizard, and the sender becomes the reply target.
+pub struct FaultShim {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    forwarded: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+    handle: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl FaultShim {
+    /// Bind an ephemeral loopback port relaying toward `wizard`.
+    pub fn spawn(wizard: SocketAddr, policy: ShimPolicy) -> io::Result<FaultShim> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        let addr = sock.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (stop2, fwd2, drop2) =
+            (Arc::clone(&stop), Arc::clone(&forwarded), Arc::clone(&dropped));
+        let handle = std::thread::spawn(move || relay(sock, wizard, policy, stop2, fwd2, drop2));
+        Ok(FaultShim { addr, stop, forwarded, dropped, handle: Some(handle) })
+    }
+
+    /// The address clients should treat as the wizard.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Datagrams passed through, both directions.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::SeqCst)
+    }
+
+    /// Datagrams eaten by the loss budgets.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Stop the relay promptly.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        wake(self.addr);
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| io::Error::other("shim thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for FaultShim {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            wake(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+fn wake(addr: SocketAddr) {
+    if let Ok(sock) = UdpSocket::bind("127.0.0.1:0") {
+        let _ = sock.send_to(&[], addr);
+    }
+}
+
+fn relay(
+    sock: UdpSocket,
+    wizard: SocketAddr,
+    policy: ShimPolicy,
+    stop: Arc<AtomicBool>,
+    forwarded: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+) -> io::Result<()> {
+    let mut buf = [0u8; 4096];
+    let mut client: Option<SocketAddr> = None;
+    let mut requests_to_drop = policy.drop_requests;
+    let mut replies_to_drop = policy.drop_replies;
+    loop {
+        let (n, from) = match sock.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let Some(payload) = buf.get(..n) else { continue };
+        if payload.is_empty() {
+            continue;
+        }
+        if from == wizard {
+            if replies_to_drop > 0 {
+                replies_to_drop -= 1;
+                dropped.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            if let Some(client) = client {
+                sock.send_to(payload, client)?;
+                forwarded.fetch_add(1, Ordering::SeqCst);
+            }
+        } else {
+            client = Some(from);
+            if requests_to_drop > 0 {
+                requests_to_drop -= 1;
+                dropped.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            sock.send_to(payload, wizard)?;
+            forwarded.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}

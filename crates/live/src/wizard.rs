@@ -1,0 +1,222 @@
+//! The combined monitor+wizard daemon on a real UDP socket.
+//!
+//! One background thread owns a [`WizardEngine`] — the same demux,
+//! ingest, staleness, and matching core the simulated daemons run — and a
+//! [`Telemetry`] sink recording the same counter/span/event names, so
+//! `telemetry summary` reads a live trace exactly like a simulated one.
+//!
+//! The receive loop blocks in `recv_from` with **no read timeout**: a
+//! stopped daemon is woken by one empty datagram to its own port (the
+//! classic self-pipe trick, in UDP), so shutdown is prompt and the idle
+//! daemon costs zero CPU.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use smartsock_sim::SimTime;
+use smartsock_telemetry::Telemetry;
+use smartsock_wizard::{Ingest, SelectPolicy, WizardEngine};
+
+use crate::clock::Clock;
+use crate::transport::{endpoint_of, UdpTransport};
+
+/// What a stopped daemon hands back.
+#[derive(Clone, Debug)]
+pub struct WizardStats {
+    /// User requests answered.
+    pub served: u64,
+    /// Probe reports ingested.
+    pub reports: u64,
+    /// The JSONL telemetry trace — same schema as the simulator's
+    /// `Telemetry::export_jsonl`, consumable by the `telemetry` binary.
+    pub trace_jsonl: String,
+}
+
+/// A monitor+wizard daemon on a background thread.
+pub struct LiveWizard {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    reports: Arc<AtomicU64>,
+    served: Arc<AtomicU64>,
+    records: Arc<AtomicU64>,
+    handle: Option<JoinHandle<io::Result<WizardStats>>>,
+}
+
+impl LiveWizard {
+    /// Bind an ephemeral loopback port and start serving.
+    pub fn spawn() -> io::Result<LiveWizard> {
+        Self::spawn_on("127.0.0.1:0")
+    }
+
+    /// Bind a specific address and start serving with default policy and
+    /// wall-clock time.
+    pub fn spawn_on(addr: &str) -> io::Result<LiveWizard> {
+        Self::spawn_with(addr, SelectPolicy::default(), Clock::wall())
+    }
+
+    /// Bind `addr` and serve with an explicit staleness/ranking policy and
+    /// clock. A [`Clock::manual`] here lets tests replay time-dependent
+    /// scenarios deterministically.
+    pub fn spawn_with(addr: &str, policy: SelectPolicy, clock: Clock) -> io::Result<LiveWizard> {
+        let sock = UdpSocket::bind(addr)?;
+        let addr = sock.local_addr()?;
+        let ip = endpoint_of(addr)
+            .ok_or_else(|| io::Error::other("live wizard requires an IPv4 bind address"))?
+            .ip;
+        let engine = WizardEngine::new(ip, policy);
+        let stop = Arc::new(AtomicBool::new(false));
+        let reports = Arc::new(AtomicU64::new(0));
+        let served = Arc::new(AtomicU64::new(0));
+        let records = Arc::new(AtomicU64::new(0));
+        let shared = Shared {
+            stop: Arc::clone(&stop),
+            reports: Arc::clone(&reports),
+            served: Arc::clone(&served),
+            records: Arc::clone(&records),
+        };
+        let handle = std::thread::spawn(move || serve(sock, engine, clock, shared));
+        Ok(LiveWizard { addr, stop, reports, served, records, handle: Some(handle) })
+    }
+
+    /// Where probes report and clients ask.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of live server records (post the most recent sweep).
+    pub fn live_servers(&self) -> usize {
+        self.records.load(Ordering::SeqCst) as usize
+    }
+
+    /// Probe reports ingested so far.
+    pub fn reports_ingested(&self) -> u64 {
+        self.reports.load(Ordering::SeqCst)
+    }
+
+    /// User requests answered so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Stop the daemon promptly and collect its stats and trace.
+    pub fn shutdown(mut self) -> io::Result<WizardStats> {
+        self.stop.store(true, Ordering::SeqCst);
+        wake(self.addr);
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| io::Error::other("wizard thread panicked"))?,
+            None => Err(io::Error::other("wizard already stopped")),
+        }
+    }
+}
+
+impl Drop for LiveWizard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            wake(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+/// Nudge a blocked `recv_from` with an empty datagram. Best-effort: if
+/// the send fails the join below still completes once any datagram lands.
+fn wake(addr: SocketAddr) {
+    if let Ok(sock) = UdpSocket::bind("127.0.0.1:0") {
+        let _ = sock.send_to(&[], addr);
+    }
+}
+
+struct Shared {
+    stop: Arc<AtomicBool>,
+    reports: Arc<AtomicU64>,
+    served: Arc<AtomicU64>,
+    records: Arc<AtomicU64>,
+}
+
+fn serve(
+    sock: UdpSocket,
+    mut engine: WizardEngine,
+    clock: Clock,
+    shared: Shared,
+) -> io::Result<WizardStats> {
+    // Telemetry is single-owner by design (the sim hangs it on the
+    // scheduler); here the daemon thread owns it and exports at shutdown.
+    let mut tel = Telemetry::new();
+    let host = engine.endpoint().ip.to_string();
+    let mut buf = [0u8; 4096];
+    loop {
+        let (n, from) = match sock.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                return Err(e);
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = clock.now_ns();
+        tel.set_now(now);
+        // Opportunistic stale sweep: every inbound datagram advances the
+        // expiry horizon, so dead servers stop being offered without a
+        // timer thread. (`select` independently skips stale records, so
+        // sweep cadence affects bookkeeping, not matching.)
+        let evicted = engine.sweep(SimTime(now));
+        if !evicted.is_empty() {
+            tel.counter_add("wizard-stale-evictions", evicted.len() as u64);
+            for ip in &evicted {
+                tel.event(
+                    "status-db-expired",
+                    &host,
+                    &[("db", "wizard-sysdb"), ("server", &ip.to_string())],
+                );
+            }
+        }
+        let Some(payload) = buf.get(..n) else { continue };
+        if payload.is_empty() {
+            // A wakeup nudge that raced a concurrent stop; nothing to do.
+            continue;
+        }
+        let Some(from_ep) = endpoint_of(from) else { continue };
+        let is_report =
+            payload.starts_with(smartsock_proto::ServerStatusReport::ASCII_MAGIC.as_bytes());
+        let span = if is_report { None } else { Some(tel.span_start("wizard-match", &host)) };
+        let outcome = {
+            let mut t = UdpTransport::new(&sock, &clock);
+            engine.handle(&mut t, from_ep, payload)
+        };
+        if let Some(span) = span {
+            tel.span_end(span);
+        }
+        match outcome {
+            Ok(Ingest::Report(_ip)) => {
+                tel.counter_incr("sysmon-reports");
+                tel.counter_add("sysmon-bytes", n as u64);
+                shared.reports.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(Ingest::BadReport(_)) => tel.counter_incr("sysmon-bad-reports"),
+            Ok(Ingest::Replied { reply, to: _ }) => {
+                tel.counter_incr("wizard-requests");
+                tel.counter_incr("wizard-replies");
+                tel.counter_add("wizard-reply-servers", reply.servers.len() as u64);
+                shared.served.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(Ingest::BadRequest) => tel.counter_incr("wizard-bad-requests"),
+            // A reply that failed to send: the client's retry loop covers
+            // it, exactly as it covers a datagram lost on the wire.
+            Err(_e) => tel.counter_incr("wizard-reply-send-errors"),
+        }
+        shared.records.store(engine.live_servers() as u64, Ordering::SeqCst);
+    }
+    Ok(WizardStats {
+        served: shared.served.load(Ordering::SeqCst),
+        reports: shared.reports.load(Ordering::SeqCst),
+        trace_jsonl: tel.export_jsonl(),
+    })
+}

@@ -1,0 +1,194 @@
+//! Integration tests for the real-socket backend: daemon lifecycle,
+//! typestate client round-trips, procfs-backed probing, deterministic
+//! datagram loss, and manual-clock staleness — all over real UDP on
+//! 127.0.0.1.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use smartsock_live::{
+    live_request, send_live_report, Clock, FaultShim, LiveProbe, LiveSock, LiveWizard,
+    RequestError, ShimPolicy,
+};
+use smartsock_probe::ProbeIdentity;
+use smartsock_proto::{Ip, ReplyStatus, RequestOption, ServerStatusReport, UserRequest};
+use smartsock_wizard::SelectPolicy;
+
+fn report(name: &str, last_octet: u8, cpu_idle: f64) -> ServerStatusReport {
+    let mut r = ServerStatusReport::empty(name, Ip::new(192, 168, 9, last_octet));
+    r.cpu_idle = cpu_idle;
+    r.mem_free = 200 << 20;
+    r.mem_total = 256 << 20;
+    r
+}
+
+fn req(seq: u32, server_num: u16, detail: &str) -> UserRequest {
+    UserRequest { seq, server_num, option: RequestOption::DEFAULT, detail: detail.to_owned() }
+}
+
+/// Poll until the wizard has ingested `n` reports (ingestion is
+/// asynchronous to the sender's return).
+fn wait_for_reports(wiz: &LiveWizard, n: u64) {
+    for _ in 0..400 {
+        if wiz.reports_ingested() >= n {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("wizard never ingested {n} reports (got {})", wiz.reports_ingested());
+}
+
+#[test]
+fn typestate_client_roundtrip_selects_qualified_servers() {
+    let wiz = LiveWizard::spawn().unwrap();
+    send_live_report(wiz.addr(), &report("idle1", 1, 0.97)).unwrap();
+    send_live_report(wiz.addr(), &report("busy", 2, 0.10)).unwrap();
+    send_live_report(wiz.addr(), &report("idle2", 3, 0.95)).unwrap();
+    wait_for_reports(&wiz, 3);
+    assert_eq!(wiz.live_servers(), 3);
+
+    let sock = LiveSock::bind(wiz.addr()).unwrap();
+    let waiting = sock.request(req(0xabcd, 5, "host_cpu_free > 0.9\n")).unwrap();
+    let connected = match waiting.await_reply(Duration::from_millis(500), 3) {
+        Ok(c) => c,
+        Err((_, e)) => panic!("request failed: {e}"),
+    };
+    assert_eq!(connected.servers().len(), 2);
+    assert!(connected.primary().is_some());
+    assert_eq!(connected.status(), ReplyStatus::Short { requested: 5, returned: 2 });
+    let reply = connected.into_reply();
+    assert_eq!(reply.seq, 0xabcd);
+
+    let stats = wiz.shutdown().unwrap();
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.reports, 3);
+}
+
+#[test]
+fn shutdown_is_prompt_without_traffic() {
+    // The daemon blocks in recv_from with no read timeout; shutdown must
+    // still return promptly (the wakeup datagram) — a hang here is the
+    // test's own timeout.
+    let wiz = LiveWizard::spawn().unwrap();
+    let stats = wiz.shutdown().unwrap();
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.reports, 0);
+}
+
+#[test]
+fn live_trace_carries_simulator_telemetry_names() {
+    let wiz = LiveWizard::spawn().unwrap();
+    send_live_report(wiz.addr(), &report("idle1", 1, 0.97)).unwrap();
+    wait_for_reports(&wiz, 1);
+    let _ = live_request(wiz.addr(), &req(7, 1, ""), Duration::from_millis(500), 3).unwrap();
+    let trace = wiz.shutdown().unwrap().trace_jsonl;
+    for needle in
+        ["sysmon-reports", "sysmon-bytes", "wizard-match", "wizard-replies", "wizard-reply-servers"]
+    {
+        assert!(trace.contains(needle), "trace missing {needle}:\n{trace}");
+    }
+}
+
+#[test]
+fn procfs_probe_watch_reports_the_requested_count() {
+    let wiz = LiveWizard::spawn().unwrap();
+    let id = ProbeIdentity {
+        host: "fixture".into(),
+        ip: Ip::new(192, 168, 9, 40),
+        bogomips: 3394.76,
+        iface: "eth0".to_owned(),
+        services: Default::default(),
+    };
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/proc");
+    let mut probe = LiveProbe::new(wiz.addr(), id, Clock::wall()).unwrap().with_proc_root(root);
+    let (_keepalive, stop) = mpsc::channel::<()>();
+    let sent = probe.watch(Duration::from_millis(10), 3, &stop).unwrap();
+    assert_eq!(sent, 3);
+    wait_for_reports(&wiz, 3);
+    assert_eq!(wiz.live_servers(), 1, "same host upserts in place");
+    let stats = wiz.shutdown().unwrap();
+    assert_eq!(stats.reports, 3);
+}
+
+#[test]
+fn procfs_probe_first_report_reflects_modern_proc_fixture() {
+    // The fixture uses the modern kernel formats: per-field meminfo, no
+    // disk_io line — the probe must absorb both.
+    let wiz = LiveWizard::spawn().unwrap();
+    let id = ProbeIdentity {
+        host: "fixture".into(),
+        ip: Ip::new(192, 168, 9, 41),
+        bogomips: 1000.0,
+        iface: "eth0".to_owned(),
+        services: Default::default(),
+    };
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/proc");
+    let mut probe = LiveProbe::new(wiz.addr(), id, Clock::wall()).unwrap().with_proc_root(root);
+    let bytes = probe.report_once().unwrap();
+    assert!(bytes < 200, "report must stay under 200 bytes, got {bytes}");
+    wait_for_reports(&wiz, 1);
+    // First scan differentiates against boot: 1500 idle of 2000 jiffies.
+    let reply = live_request(
+        wiz.addr(),
+        &req(11, 1, "host_cpu_free > 0.7\nhost_memory_free > 100000000\n"),
+        Duration::from_millis(500),
+        3,
+    )
+    .unwrap();
+    assert_eq!(reply.servers.len(), 1, "fixture host qualifies on cpu and memory");
+}
+
+#[test]
+fn client_retries_through_dropped_datagrams() {
+    let wiz = LiveWizard::spawn().unwrap();
+    send_live_report(wiz.addr(), &report("idle1", 1, 0.97)).unwrap();
+    wait_for_reports(&wiz, 1);
+
+    let shim =
+        FaultShim::spawn(wiz.addr(), ShimPolicy { drop_requests: 1, drop_replies: 0 }).unwrap();
+    // First request is eaten; the retransmit (same sequence number) lands.
+    let reply = live_request(shim.addr(), &req(42, 1, ""), Duration::from_millis(100), 3).unwrap();
+    assert_eq!(reply.seq, 42);
+    assert_eq!(reply.servers.len(), 1);
+    assert_eq!(shim.dropped(), 1);
+    assert!(shim.forwarded() >= 2, "request + reply forwarded, got {}", shim.forwarded());
+    shim.shutdown().unwrap();
+    assert_eq!(wiz.shutdown().unwrap().served, 1);
+}
+
+#[test]
+fn manual_clock_expires_stale_reports() {
+    let (clock, hand) = Clock::manual();
+    let wiz = LiveWizard::spawn_with("127.0.0.1:0", SelectPolicy::default(), clock).unwrap();
+    send_live_report(wiz.addr(), &report("ephemeral", 9, 0.99)).unwrap();
+    wait_for_reports(&wiz, 1);
+
+    let fresh = live_request(wiz.addr(), &req(1, 1, ""), Duration::from_millis(500), 3).unwrap();
+    assert_eq!(fresh.servers.len(), 1, "fresh record is offered");
+
+    // Default staleness window is 3 probe intervals (6 s); jump past it.
+    hand.advance_secs(60);
+    let stale = live_request(wiz.addr(), &req(2, 1, ""), Duration::from_millis(500), 3).unwrap();
+    assert!(stale.servers.is_empty(), "stale record must not be offered");
+    let trace = wiz.shutdown().unwrap().trace_jsonl;
+    assert!(trace.contains("status-db-expired"), "expiry must be traced:\n{trace}");
+}
+
+#[test]
+fn timeout_hands_the_socket_back_in_the_requested_phase() {
+    // A dead address: bind then drop to find an unused port.
+    let dead = {
+        let s = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        s.local_addr().unwrap()
+    };
+    let sock = LiveSock::bind(dead).unwrap();
+    let waiting = sock.request(req(5, 1, "")).unwrap();
+    match waiting.await_reply(Duration::from_millis(20), 1) {
+        Ok(_) => panic!("no wizard is listening; the request cannot connect"),
+        Err((sock, RequestError::TimedOut { attempts })) => {
+            assert_eq!(attempts, 2);
+            assert_eq!(sock.seq(), 5, "socket comes back still awaiting the same request");
+        }
+        Err((_, e)) => panic!("expected a timeout, got {e}"),
+    }
+}

@@ -1,0 +1,62 @@
+//! Shared report-ingest path: one decode-and-upsert used by every backend.
+//!
+//! The system monitor daemon (simulated, `sysmon.rs`) and the live
+//! combined monitor+wizard daemon (`smartsock-live`) must classify and
+//! store an incoming probe datagram *identically* — same UTF-8 check,
+//! same ASCII parse, same time-stamped upsert — or the two backends
+//! drift. This function is that single path.
+
+use smartsock_proto::{Ip, ServerStatusReport};
+use smartsock_sim::SimTime;
+
+use crate::db::SysDb;
+
+/// Why a datagram was rejected. Both counts feed the same
+/// `sysmon-bad-reports` counter; the split exists for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// Not UTF-8 text.
+    NotText,
+    /// Text, but not a parseable `SSR1` status report.
+    BadReport,
+}
+
+/// Decode one probe datagram and upsert it into `db` stamped `now`.
+/// Returns the reporting server's address on success.
+pub fn ingest_ascii(db: &mut SysDb, payload: &[u8], now: SimTime) -> Result<Ip, IngestError> {
+    let text = std::str::from_utf8(payload).map_err(|_| IngestError::NotText)?;
+    let report = ServerStatusReport::parse_ascii(text).map_err(|_| IngestError::BadReport)?;
+    let ip = report.ip;
+    db.upsert(report, now);
+    Ok(ip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_reports_are_upserted_and_stamped() {
+        let mut db = SysDb::default();
+        let r = ServerStatusReport::empty("helene", Ip::new(192, 168, 3, 10));
+        let ip = ingest_ascii(&mut db, r.encode_ascii().as_bytes(), SimTime::from_secs(4)).unwrap();
+        assert_eq!(ip, Ip::new(192, 168, 3, 10));
+        let stored = db.get(ip).unwrap();
+        assert_eq!(stored.recorded_at, SimTime::from_secs(4));
+        assert_eq!(stored.report.host.as_str(), "helene");
+    }
+
+    #[test]
+    fn rejects_non_utf8_and_non_reports() {
+        let mut db = SysDb::default();
+        assert_eq!(
+            ingest_ascii(&mut db, &[0xff, 0xfe, 0x01], SimTime::ZERO),
+            Err(IngestError::NotText)
+        );
+        assert_eq!(
+            ingest_ascii(&mut db, b"not a report", SimTime::ZERO),
+            Err(IngestError::BadReport)
+        );
+        assert!(db.is_empty());
+    }
+}

@@ -26,6 +26,7 @@
 pub mod db;
 pub mod estimator;
 pub mod health;
+pub mod ingest;
 pub mod iperf;
 pub mod netmon;
 pub mod pathload;
@@ -36,6 +37,7 @@ pub mod sysmon;
 pub use db::{NetDb, SecDb, SharedNetDb, SharedSecDb, SharedSysDb, SysDb, TimedReport};
 pub use estimator::{bandwidth_mbps_from_pair, BwEstimate, ProbePairSpec};
 pub use health::{shared_health, HealthConfig, HealthTable, SharedHealthDb, StateKind, Transition};
+pub use ingest::{ingest_ascii, IngestError};
 pub use netmon::{NetMonConfig, NetworkMonitor};
 pub use secmon::SecurityMonitor;
 pub use sysmon::{SysMonConfig, SystemMonitor};

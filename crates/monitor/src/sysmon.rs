@@ -2,7 +2,7 @@
 
 use smartsock_net::Network;
 use smartsock_proto::consts::{ports, timing};
-use smartsock_proto::{Endpoint, Ip, ServerStatusReport};
+use smartsock_proto::{Endpoint, Ip};
 use smartsock_sim::{Scheduler, SimDuration};
 
 use crate::db::SharedSysDb;
@@ -52,15 +52,12 @@ impl SystemMonitor {
     pub fn start(&self, s: &mut Scheduler, net: &Network) {
         let mon = self.clone();
         net.bind_udp(self.endpoint(), move |s, dgram| {
-            let Ok(text) = std::str::from_utf8(&dgram.payload.data) else {
-                s.telemetry.counter_incr("sysmon-bad-reports");
-                return;
-            };
-            match ServerStatusReport::parse_ascii(text) {
-                Ok(report) => {
+            // The decode-and-upsert itself is the backend-shared ingest
+            // path (crate::ingest) — the live daemon runs the same code.
+            match crate::ingest::ingest_ascii(&mut mon.db.write(), &dgram.payload.data, s.now()) {
+                Ok(_ip) => {
                     s.telemetry.counter_incr("sysmon-reports");
                     s.telemetry.counter_add("sysmon-bytes", dgram.payload.len());
-                    mon.db.write().upsert(report, s.now());
                 }
                 Err(_) => s.telemetry.counter_incr("sysmon-bad-reports"),
             }

@@ -38,6 +38,7 @@ pub mod flow;
 pub mod packet;
 pub mod state;
 pub mod traffic;
+pub mod transport;
 pub mod types;
 
 pub use builder::NetworkBuilder;
@@ -45,4 +46,5 @@ pub use flow::FlowStats;
 pub use packet::{Payload, StreamMessage, UdpDatagram};
 pub use state::Network;
 pub use traffic::CrossTraffic;
+pub use transport::SimTransport;
 pub use types::{HostParams, LinkId, LinkParams, NodeId};

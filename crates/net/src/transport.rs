@@ -1,0 +1,78 @@
+//! The simulator's implementation of the backend-neutral
+//! [`smartsock_proto::Transport`] seam.
+//!
+//! Protocol engines (the wizard's request/report demux, the probe's
+//! differentiation core) never talk to a socket or a scheduler directly —
+//! they call `Transport::send` and `Transport::now_ns`. [`SimTransport`]
+//! routes those calls into the packet-level [`Network`]; the live backend
+//! (`smartsock-live`) routes the same calls into real OS sockets.
+
+use smartsock_proto::{Endpoint, Transport, TransportError};
+use smartsock_sim::Scheduler;
+
+use crate::packet::Payload;
+use crate::state::Network;
+
+/// Borrow of the scheduler plus network for the duration of one engine
+/// call — exactly the span a daemon callback holds them anyway.
+pub struct SimTransport<'a> {
+    s: &'a mut Scheduler,
+    net: &'a Network,
+}
+
+impl<'a> SimTransport<'a> {
+    pub fn new(s: &'a mut Scheduler, net: &'a Network) -> SimTransport<'a> {
+        SimTransport { s, net }
+    }
+
+    /// Re-borrow the scheduler (for telemetry alongside engine calls).
+    pub fn scheduler(&mut self) -> &mut Scheduler {
+        self.s
+    }
+}
+
+impl Transport for SimTransport<'_> {
+    fn now_ns(&self) -> u64 {
+        self.s.now().0
+    }
+
+    fn send(&mut self, from: Endpoint, to: Endpoint, payload: &[u8]) -> Result<(), TransportError> {
+        // Datagram loss is the simulated network's business (fault plans,
+        // link drops); the send itself always succeeds, like sendto(2) on
+        // an unconnected UDP socket.
+        self.net.send_udp(self.s, from, to, Payload::data(payload.to_vec()), None);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::types::{HostParams, LinkParams};
+    use smartsock_proto::Ip;
+    use smartsock_sim::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn sim_transport_delivers_via_the_packet_network() {
+        let mut b = NetworkBuilder::new(3);
+        let a = b.host("a", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let c = b.host("c", Ip::new(10, 0, 0, 2), HostParams::testbed());
+        b.duplex(a, c, LinkParams::lan_100mbps());
+        let net = b.build();
+        let mut s = Scheduler::new();
+
+        let got: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&got);
+        let dst = Endpoint::new(Ip::new(10, 0, 0, 2), 1111);
+        net.bind_udp(dst, move |_s, d| sink.borrow_mut().push(d.payload.data.to_vec()));
+
+        let mut t = SimTransport::new(&mut s, &net);
+        assert_eq!(t.now_ns(), 0);
+        t.send(Endpoint::new(Ip::new(10, 0, 0, 1), 40000), dst, b"hello").unwrap();
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().as_slice(), &[b"hello".to_vec()]);
+    }
+}

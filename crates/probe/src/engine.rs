@@ -1,0 +1,199 @@
+//! The backend-agnostic probe engine: counter differentiation.
+//!
+//! A probe scan has two halves. *Sampling* reads the `/proc` artefacts —
+//! rendered text in the simulator, the real files on a live Linux box —
+//! and *differentiation* turns cumulative counters (CPU jiffies, NIC
+//! bytes, disk requests) into the usage fractions and per-second rates
+//! of the §3.2.1 status report. [`ReportEngine`] is the differentiation
+//! half, shared by both backends so a given counter history produces the
+//! identical report either way.
+
+use smartsock_hostsim::procfs::{CpuJiffies, DiskCounters, MemInfo, NetDevCounters};
+use smartsock_proto::{HostName, Ip, ServerStatusReport, ServiceMask};
+use smartsock_sim::SimTime;
+
+/// One scan's parsed `/proc` values, backend-neutral.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProcSample {
+    pub load1: f64,
+    pub load5: f64,
+    pub load15: f64,
+    /// Cumulative CPU jiffies (`/proc/stat` `cpu` line).
+    pub jiffies: CpuJiffies,
+    /// Cumulative disk counters (2.4 `disk_io:`; zero when the kernel no
+    /// longer exposes them — modern `/proc/stat` dropped the line).
+    pub disk: DiskCounters,
+    pub mem: MemInfo,
+    /// Cumulative NIC counters for the reported interface.
+    pub net: NetDevCounters,
+}
+
+/// Identity and constants of the reporting host, fixed across scans.
+#[derive(Clone, Debug)]
+pub struct ProbeIdentity {
+    pub host: HostName,
+    pub ip: Ip,
+    pub bogomips: f64,
+    pub iface: String,
+    pub services: ServiceMask,
+}
+
+/// Differentiates successive [`ProcSample`]s into status reports.
+///
+/// Plain owned state (`Send`): the simulated daemon keeps one behind its
+/// `Rc<RefCell<…>>` probe state, the live daemon owns one per thread.
+#[derive(Clone, Debug, Default)]
+pub struct ReportEngine {
+    prev_jiffies: CpuJiffies,
+    prev_sample_at: SimTime,
+    prev_net: NetDevCounters,
+    prev_disk: DiskCounters,
+}
+
+impl ReportEngine {
+    pub fn new() -> ReportEngine {
+        ReportEngine::default()
+    }
+
+    /// Forget all history — a restarted probe process has no previous
+    /// scan, so its first report differentiates against zero.
+    pub fn reset(&mut self) {
+        *self = ReportEngine::default();
+    }
+
+    /// Differentiate `sample` against the previous scan and build the
+    /// status report for time `now`. Updates the stored history.
+    pub fn report(
+        &mut self,
+        now: SimTime,
+        id: &ProbeIdentity,
+        sample: &ProcSample,
+    ) -> ServerStatusReport {
+        let window = now.since(self.prev_sample_at).as_secs_f64().max(1e-9);
+        let (cpu_user, cpu_nice, cpu_system, cpu_idle) = if sample.jiffies.total() == 0 {
+            // No jiffies at all (t = 0 on a fresh box): call it idle.
+            (0.0, 0.0, 0.0, 1.0)
+        } else if self.prev_sample_at == SimTime::ZERO && self.prev_jiffies.total() == 0 {
+            // First scan: differentiate against boot (all-zero counters).
+            sample.jiffies.usage_since(&CpuJiffies::default())
+        } else {
+            sample.jiffies.usage_since(&self.prev_jiffies)
+        };
+
+        let mut r = ServerStatusReport::empty(id.host.clone(), id.ip);
+        r.timestamp_ns = now.0;
+        r.load1 = sample.load1;
+        r.load5 = sample.load5;
+        r.load15 = sample.load15;
+        r.cpu_user = cpu_user;
+        r.cpu_nice = cpu_nice;
+        r.cpu_system = cpu_system;
+        r.cpu_idle = cpu_idle;
+        r.bogomips = id.bogomips;
+        r.mem_total = sample.mem.total;
+        r.mem_used = sample.mem.used;
+        r.mem_free = sample.mem.free;
+        r.mem_buffers = sample.mem.buffers;
+        r.mem_cached = sample.mem.cached;
+        // Disk counters report the activity *within this interval*.
+        r.disk_allreq = sample.disk.allreq.saturating_sub(self.prev_disk.allreq);
+        r.disk_rreq = sample.disk.rreq.saturating_sub(self.prev_disk.rreq);
+        r.disk_rblocks = sample.disk.rblocks.saturating_sub(self.prev_disk.rblocks);
+        r.disk_wreq = sample.disk.wreq.saturating_sub(self.prev_disk.wreq);
+        r.disk_wblocks = sample.disk.wblocks.saturating_sub(self.prev_disk.wblocks);
+        r.iface = id.iface.clone();
+        r.net_rbytes_ps = sample.net.rbytes.saturating_sub(self.prev_net.rbytes) as f64 / window;
+        r.net_rpackets_ps =
+            sample.net.rpackets.saturating_sub(self.prev_net.rpackets) as f64 / window;
+        r.net_tbytes_ps = sample.net.tbytes.saturating_sub(self.prev_net.tbytes) as f64 / window;
+        r.net_tpackets_ps =
+            sample.net.tpackets.saturating_sub(self.prev_net.tpackets) as f64 / window;
+        r.services = id.services;
+
+        self.prev_jiffies = sample.jiffies;
+        self.prev_net = sample.net;
+        self.prev_disk = sample.disk;
+        self.prev_sample_at = now;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity() -> ProbeIdentity {
+        ProbeIdentity {
+            host: HostName::new("helene"),
+            ip: Ip::new(192, 168, 3, 10),
+            bogomips: 3394.76,
+            iface: "eth0".to_owned(),
+            services: ServiceMask::COMPUTE,
+        }
+    }
+
+    fn sample(user: u64, idle: u64, rbytes: u64) -> ProcSample {
+        ProcSample {
+            load1: 0.5,
+            load5: 0.4,
+            load15: 0.3,
+            jiffies: CpuJiffies { user, nice: 0, system: 0, idle },
+            disk: DiskCounters { allreq: 10, rreq: 6, rblocks: 48, wreq: 4, wblocks: 32 },
+            mem: MemInfo {
+                total: 256 << 20,
+                used: 56 << 20,
+                free: 200 << 20,
+                shared: 0,
+                buffers: 8 << 20,
+                cached: 16 << 20,
+            },
+            net: NetDevCounters { rbytes, rpackets: rbytes / 1000, tbytes: 0, tpackets: 0 },
+        }
+    }
+
+    #[test]
+    fn zero_jiffies_report_as_idle() {
+        let mut e = ReportEngine::new();
+        let r = e.report(SimTime::ZERO, &identity(), &sample(0, 0, 0));
+        assert_eq!(r.cpu_idle, 1.0);
+        assert_eq!(r.cpu_user, 0.0);
+    }
+
+    #[test]
+    fn successive_scans_differentiate_cpu_and_rates() {
+        let mut e = ReportEngine::new();
+        let _ = e.report(SimTime::ZERO, &identity(), &sample(100, 900, 1_000_000));
+        // Two seconds later: +100 user jiffies, +100 idle, +2 MB received.
+        let r = e.report(SimTime::from_secs(2), &identity(), &sample(200, 1000, 3_000_000));
+        assert!((r.cpu_user - 0.5).abs() < 1e-9, "user = {}", r.cpu_user);
+        assert!((r.cpu_idle - 0.5).abs() < 1e-9);
+        assert!((r.net_rbytes_ps - 1_000_000.0).abs() < 1.0, "rate = {}", r.net_rbytes_ps);
+        // Disk counters did not advance: the interval delta is zero.
+        assert_eq!(r.disk_allreq, 0);
+    }
+
+    #[test]
+    fn reset_rebaselines_like_a_fresh_process() {
+        let mut e = ReportEngine::new();
+        let _ = e.report(SimTime::ZERO, &identity(), &sample(100, 900, 5_000_000));
+        e.reset();
+        // After reset the next report differentiates against zero again.
+        let r = e.report(SimTime::from_secs(10), &identity(), &sample(300, 700, 5_000_000));
+        assert!((r.cpu_user - 0.3).abs() < 1e-9);
+        assert!(r.net_rbytes_ps > 400_000.0, "counters re-baselined: {}", r.net_rbytes_ps);
+    }
+
+    #[test]
+    fn counter_regression_clamps_to_zero_rates() {
+        let mut e = ReportEngine::new();
+        let _ = e.report(SimTime::ZERO, &identity(), &sample(100, 900, 9_000_000));
+        let r = e.report(SimTime::from_secs(2), &identity(), &sample(100, 1100, 1_000));
+        assert_eq!(r.net_rbytes_ps, 0.0, "regressed counter must not underflow");
+    }
+
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ReportEngine>();
+    }
+}

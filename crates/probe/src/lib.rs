@@ -25,15 +25,19 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod engine;
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use smartsock_hostsim::procfs::{self, CpuJiffies};
+use smartsock_hostsim::procfs;
 use smartsock_hostsim::Host;
 use smartsock_net::{Network, Payload};
 use smartsock_proto::consts::{ports, timing};
 use smartsock_proto::{Endpoint, ServerStatusReport};
 use smartsock_sim::{Scheduler, SimDuration, SimTime};
+
+pub use engine::{ProbeIdentity, ProcSample, ReportEngine};
 
 /// Probe configuration.
 #[derive(Clone, Debug)]
@@ -67,10 +71,9 @@ impl ProbeConfig {
 }
 
 struct ProbeState {
-    prev_jiffies: CpuJiffies,
-    prev_sample_at: SimTime,
-    prev_net: procfs::NetDevCounters,
-    prev_disk: procfs::DiskCounters,
+    /// The backend-shared differentiation core (crate::engine) — the live
+    /// daemon runs the identical code over the real `/proc`.
+    engine: ReportEngine,
     reports_sent: u64,
     /// Restart generation. A scheduled tick carries the epoch it was
     /// armed under and dies quietly if the daemon was stopped or
@@ -95,10 +98,7 @@ impl ServerProbe {
             net,
             cfg,
             st: Rc::new(RefCell::new(ProbeState {
-                prev_jiffies: CpuJiffies::default(),
-                prev_sample_at: SimTime::ZERO,
-                prev_net: procfs::NetDevCounters::default(),
-                prev_disk: procfs::DiskCounters::default(),
+                engine: ReportEngine::new(),
                 reports_sent: 0,
                 epoch: 0,
                 running: false,
@@ -137,10 +137,7 @@ impl ServerProbe {
                 return;
             }
             st.epoch += 1;
-            st.prev_jiffies = CpuJiffies::default();
-            st.prev_net = procfs::NetDevCounters::default();
-            st.prev_disk = procfs::DiskCounters::default();
-            st.prev_sample_at = SimTime::ZERO;
+            st.engine.reset();
         }
         s.telemetry.counter_incr("probe-restarts");
         self.start(s);
@@ -178,8 +175,8 @@ impl ServerProbe {
         s.schedule_in(self.cfg.interval, move |s| probe.tick(s, epoch));
     }
 
-    /// One probing pass: render the /proc files, parse them back,
-    /// differentiate, and build the status report.
+    /// One probing pass: render the /proc files, parse them back, and
+    /// hand the parsed sample to the shared [`ReportEngine`].
     fn scan(&self, now: SimTime) -> ServerStatusReport {
         let sample = self.host.sample(now);
         let uptime = now.as_secs_f64();
@@ -190,7 +187,7 @@ impl ServerProbe {
         let meminfo_text = procfs::render_meminfo(&sample);
         let netdev_text = procfs::render_net_dev(&sample, "eth0");
 
-        let (l1, l5, l15) = procfs::parse_loadavg(&loadavg_text)
+        let (load1, load5, load15) = procfs::parse_loadavg(&loadavg_text)
             .expect("invariant: parsing our own rendered loadavg");
         let jiffies =
             procfs::parse_stat_cpu(&stat_text).expect("invariant: parsing our own rendered stat");
@@ -198,54 +195,18 @@ impl ServerProbe {
             .expect("invariant: parsing our own rendered disk_io");
         let mem = procfs::parse_meminfo(&meminfo_text)
             .expect("invariant: parsing our own rendered meminfo");
-        let netdev = procfs::parse_net_dev(&netdev_text, "eth0")
+        let net = procfs::parse_net_dev(&netdev_text, "eth0")
             .expect("invariant: parsing our own rendered net/dev for the iface we rendered");
 
-        let mut st = self.st.borrow_mut();
-        let window = now.since(st.prev_sample_at).as_secs_f64().max(1e-9);
-        let (cpu_user, cpu_nice, cpu_system, cpu_idle) = if jiffies.total() == 0 {
-            (0.0, 0.0, 0.0, 1.0)
-        } else if st.prev_sample_at == SimTime::ZERO && st.prev_jiffies.total() == 0 {
-            jiffies.usage_since(&CpuJiffies::default())
-        } else {
-            // Idle jiffies are derived from uptime in the renderer, so the
-            // delta can be computed directly.
-            jiffies.usage_since(&st.prev_jiffies)
+        let id = ProbeIdentity {
+            host: self.host.name(),
+            ip: self.host.ip(),
+            bogomips: self.host.cpu_model().bogomips,
+            iface: "eth0".to_owned(),
+            services: self.host.services(),
         };
-
-        let mut r = ServerStatusReport::empty(self.host.name(), self.host.ip());
-        r.timestamp_ns = now.0;
-        r.load1 = l1;
-        r.load5 = l5;
-        r.load15 = l15;
-        r.cpu_user = cpu_user;
-        r.cpu_nice = cpu_nice;
-        r.cpu_system = cpu_system;
-        r.cpu_idle = cpu_idle;
-        r.bogomips = self.host.cpu_model().bogomips;
-        r.mem_total = mem.total;
-        r.mem_used = mem.used;
-        r.mem_free = mem.free;
-        r.mem_buffers = mem.buffers;
-        r.mem_cached = mem.cached;
-        // Disk counters report the activity *within this interval*.
-        r.disk_allreq = disk.allreq.saturating_sub(st.prev_disk.allreq);
-        r.disk_rreq = disk.rreq.saturating_sub(st.prev_disk.rreq);
-        r.disk_rblocks = disk.rblocks.saturating_sub(st.prev_disk.rblocks);
-        r.disk_wreq = disk.wreq.saturating_sub(st.prev_disk.wreq);
-        r.disk_wblocks = disk.wblocks.saturating_sub(st.prev_disk.wblocks);
-        r.iface = "eth0".to_owned();
-        r.net_rbytes_ps = netdev.rbytes.saturating_sub(st.prev_net.rbytes) as f64 / window;
-        r.net_rpackets_ps = netdev.rpackets.saturating_sub(st.prev_net.rpackets) as f64 / window;
-        r.net_tbytes_ps = netdev.tbytes.saturating_sub(st.prev_net.tbytes) as f64 / window;
-        r.net_tpackets_ps = netdev.tpackets.saturating_sub(st.prev_net.tpackets) as f64 / window;
-        r.services = self.host.services();
-
-        st.prev_jiffies = jiffies;
-        st.prev_net = netdev;
-        st.prev_disk = disk;
-        st.prev_sample_at = now;
-        r
+        let parsed = ProcSample { load1, load5, load15, jiffies, disk, mem, net };
+        self.st.borrow_mut().engine.report(now, &id, &parsed)
     }
 
     fn send(&self, s: &mut Scheduler, report: ServerStatusReport) {

@@ -31,6 +31,8 @@ pub mod request;
 pub mod security;
 pub mod services;
 pub mod status;
+pub mod transport;
+pub mod typestate;
 
 pub use addr::{Endpoint, HostName, Ip};
 pub use framing::{Frame, RecordType};
@@ -40,6 +42,8 @@ pub use request::{ReplyStatus, RequestOption, UserRequest, WizardReply, MAX_SERV
 pub use security::SecurityRecord;
 pub use services::ServiceMask;
 pub use status::ServerStatusReport;
+pub use transport::{Transport, TransportError};
+pub use typestate::{FlowError, RequestFlow};
 
 /// Errors produced when parsing any of the protocol formats.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,150 @@
+//! Wire-format goldens: committed fixtures pinning the exact bytes of the
+//! three protocol frames both backends (sim and live) put on the wire.
+//!
+//! * `goldens/report.ascii.txt` — the probe → monitor ASCII status line;
+//! * `goldens/report.binary.hex` — the 204-byte transmitter → receiver record;
+//! * `goldens/user_request.hex` — the client → wizard request frame;
+//! * `goldens/wizard_reply.hex` — the wizard → client reply frame.
+//!
+//! If an encoding changes these tests fail with a byte-level diff; that is
+//! a wire-compatibility break and must be deliberate. To re-pin after an
+//! intentional change run:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p smartsock-proto --test goldens
+//! ```
+
+use smartsock_proto::consts::{ports, sizes};
+use smartsock_proto::{
+    Endpoint, Ip, RequestOption, ServerStatusReport, ServiceMask, UserRequest, WizardReply,
+};
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2 + bytes.len() / 16);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{b:02x}"));
+    }
+    out.push('\n');
+    out
+}
+
+fn unhex(text: &str) -> Vec<u8> {
+    let compact: String = text.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+    assert!(compact.len() % 2 == 0, "odd hex digit count in fixture");
+    (0..compact.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&compact[i..i + 2], 16).expect("fixture is hex"))
+        .collect()
+}
+
+/// Compare against a committed fixture, or rewrite it when
+/// `UPDATE_GOLDENS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/goldens/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path} (run with UPDATE_GOLDENS=1): {e}"));
+    assert_eq!(
+        actual, expected,
+        "wire format drifted from the committed golden {name}; \
+         if intentional, re-pin with UPDATE_GOLDENS=1"
+    );
+}
+
+/// The canonical report every fixture derives from: all field groups
+/// non-default so a layout change in any of them moves bytes.
+fn golden_report() -> ServerStatusReport {
+    let mut r = ServerStatusReport::empty("helene", Ip::new(192, 168, 3, 10));
+    r.timestamp_ns = 2_000_000_000;
+    r.load1 = 0.25;
+    r.load5 = 0.20;
+    r.load15 = 0.15;
+    r.cpu_user = 0.02;
+    r.cpu_nice = 0.001;
+    r.cpu_system = 0.019;
+    r.cpu_idle = 0.96;
+    r.bogomips = 3394.76;
+    r.mem_total = 256 << 20;
+    r.mem_used = 56 << 20;
+    r.mem_free = 200 << 20;
+    r.mem_buffers = 17 << 20;
+    r.mem_cached = 79 << 20;
+    r.disk_allreq = 1500;
+    r.disk_rreq = 600;
+    r.disk_rblocks = 4800;
+    r.disk_wreq = 900;
+    r.disk_wblocks = 7200;
+    r.iface = "eth0".to_owned();
+    r.net_rbytes_ps = 18500.5;
+    r.net_rpackets_ps = 120.2;
+    r.net_tbytes_ps = 9600.1;
+    r.net_tpackets_ps = 88.8;
+    r.services = ServiceMask::NONE;
+    r
+}
+
+fn golden_request() -> UserRequest {
+    UserRequest {
+        seq: 0x5eed_cafe,
+        server_num: 4,
+        option: RequestOption { accept_fewer: true, template: Some(2) },
+        detail: "host_cpu_free > 0.9\nhost_memory_free > 100*1024*1024\n".to_owned(),
+    }
+}
+
+fn golden_reply() -> WizardReply {
+    WizardReply {
+        seq: 0x5eed_cafe,
+        servers: vec![
+            Endpoint::new(Ip::new(192, 168, 3, 10), ports::SERVICE),
+            Endpoint::new(Ip::new(192, 168, 3, 11), ports::SERVICE),
+            Endpoint::new(Ip::new(10, 0, 9, 7), ports::SERVICE),
+        ],
+    }
+}
+
+#[test]
+fn report_ascii_frame_matches_golden() {
+    let line = golden_report().encode_ascii();
+    assert!(line.len() < 200, "the paper's 200-byte report bound");
+    check_golden("report.ascii.txt", &format!("{line}\n"));
+    // The committed line is canonical: parsing and re-encoding reproduces it.
+    let back = ServerStatusReport::parse_ascii(&line).unwrap();
+    assert_eq!(back.encode_ascii(), line);
+}
+
+#[test]
+fn report_binary_record_matches_golden() {
+    let mut buf = Vec::new();
+    golden_report().encode_binary(&mut buf);
+    assert_eq!(buf.len(), sizes::BINARY_STATUS_RECORD_BYTES, "fixed 204-byte record");
+    check_golden("report.binary.hex", &hex(&buf));
+    // Canonical: the committed bytes decode and re-encode to themselves.
+    let fixture = unhex(&hex(&buf));
+    let decoded = ServerStatusReport::decode_binary(&mut fixture.as_slice()).unwrap();
+    let mut again = Vec::new();
+    decoded.encode_binary(&mut again);
+    assert_eq!(again, fixture);
+}
+
+#[test]
+fn user_request_frame_matches_golden() {
+    let req = golden_request();
+    let wire = req.encode();
+    check_golden("user_request.hex", &hex(&wire));
+    assert_eq!(UserRequest::decode(&wire).unwrap(), req, "frame round-trips to the same request");
+}
+
+#[test]
+fn wizard_reply_frame_matches_golden() {
+    let reply = golden_reply();
+    let wire = reply.encode();
+    check_golden("wizard_reply.hex", &hex(&wire));
+    assert_eq!(WizardReply::decode(&wire).unwrap(), reply, "frame round-trips to the same reply");
+}

@@ -1,0 +1,440 @@
+//! The backend-agnostic wizard engine.
+//!
+//! Everything the wizard *decides* — which servers qualify, how they are
+//! ordered, when records expire — lives here, independent of transport.
+//! Two drivers exist:
+//!
+//! * the simulated daemon ([`crate::Wizard`]) keeps its shared-memory
+//!   databases (`Arc<RwLock<…>>`, written by monitors and receivers) and
+//!   calls [`select`] with borrowed views;
+//! * the live daemon (`smartsock-live`) owns a [`WizardEngine`] outright
+//!   — one thread, no locks — and drives it through the
+//!   [`smartsock_proto::Transport`] seam over real UDP sockets.
+//!
+//! Because both backends execute this one matching core, the interop
+//! conformance suite can assert byte-identical replies between them.
+
+use std::collections::BTreeMap;
+
+use smartsock_lang::{compile, Evaluator, HostLists, VarProvider};
+use smartsock_monitor::health::HealthTable;
+use smartsock_monitor::ingest::{ingest_ascii, IngestError};
+use smartsock_monitor::{NetDb, SecDb, SysDb};
+use smartsock_proto::consts::ports;
+use smartsock_proto::{
+    Endpoint, Ip, ServerStatusReport, Transport, TransportError, UserRequest, WizardReply,
+    MAX_SERVERS_PER_REPLY,
+};
+use smartsock_sim::{SimDuration, SimTime};
+
+use crate::vars::ServerVars;
+
+/// The selection-relevant slice of [`crate::WizardConfig`].
+#[derive(Clone, Debug)]
+pub struct SelectPolicy {
+    /// Records older than this are skipped even before the sweep evicts
+    /// them. `None` disables staleness handling entirely.
+    pub stale_max_age: Option<SimDuration>,
+    /// Discount rows by age (freshness tiers) during ordering.
+    pub age_discount: bool,
+}
+
+impl Default for SelectPolicy {
+    fn default() -> Self {
+        SelectPolicy { stale_max_age: Some(SimDuration::from_secs(6)), age_discount: true }
+    }
+}
+
+/// Borrowed views of everything [`select`] consults. The simulated wizard
+/// builds this from its shared databases; [`WizardEngine`] from its owned
+/// ones.
+pub struct SelectView<'a> {
+    pub sysdb: &'a SysDb,
+    pub netdb: &'a NetDb,
+    pub secdb: &'a SecDb,
+    pub health: &'a HealthTable,
+    /// host ip → its group's network-monitor ip (for `monitor_*` vars).
+    pub group_map: &'a BTreeMap<Ip, Ip>,
+    /// Wizard-side requirement templates, by option-field id.
+    pub templates: &'a BTreeMap<u8, String>,
+}
+
+/// §3.6.1 steps 3–4: compile the requirement, evaluate every live record,
+/// order candidates, truncate to the reply cap. This is *the* matching
+/// core — both backends call it, so its ordering rules are documented in
+/// DESIGN.md §13 and pinned by the interop suite.
+pub fn select(
+    view: &SelectView<'_>,
+    policy: &SelectPolicy,
+    now: SimTime,
+    req: &UserRequest,
+    client_ip: Ip,
+) -> Vec<Endpoint> {
+    // Prepend a template when the option asks for one.
+    let detail = match req.option.template {
+        Some(id) => match view.templates.get(&id) {
+            Some(t) => format!("{t}\n{}", req.detail),
+            None => req.detail.clone(),
+        },
+        None => req.detail.clone(),
+    };
+    let Ok(requirement) = compile(&detail) else {
+        return Vec::new(); // uncompilable requirement ⇒ empty reply
+    };
+    let lists = HostLists::from_requirement(&requirement);
+    let rank = parse_rank_directive(&detail);
+
+    let client_mon = view.group_map.get(&client_ip).copied();
+
+    struct Candidate {
+        ip: Ip,
+        preferred_rank: Option<usize>,
+        /// Health score × freshness tier, quantized to ‰ so float noise
+        /// cannot perturb the sort (higher is better).
+        score_bucket: i64,
+        rank_value: f64,
+    }
+    let mut qualified: Vec<Candidate> = Vec::new();
+    for (&ip, timed) in view.sysdb.iter() {
+        if let Some(max_age) = policy.stale_max_age {
+            if now.since(timed.recorded_at) > max_age {
+                continue;
+            }
+        }
+        // Quarantined servers are never offered; probation servers
+        // stay eligible (their low score orders them last) so the
+        // system re-learns whether they recovered.
+        if !view.health.selectable(ip, now) {
+            continue;
+        }
+        let report = &timed.report;
+        if lists.denied.iter().any(|d| designates(d, report)) {
+            continue;
+        }
+        let server_mon = view.group_map.get(&ip).copied();
+        let net_rec = match (client_mon, server_mon) {
+            (Some(a), Some(b)) if a != b => view.netdb.get(a, b).copied(),
+            _ => None,
+        };
+        let same_group = client_mon.is_some() && client_mon == server_mon;
+        let sv = ServerVars {
+            report,
+            security_level: view.secdb.level_of(ip),
+            net_record: net_rec,
+            same_group,
+        };
+        let decision = Evaluator::evaluate(&requirement, &sv);
+        if !decision.qualified {
+            continue;
+        }
+        let preferred_rank = lists.preferred.iter().position(|p| designates(p, report));
+        let rank_value = rank.as_ref().and_then(|(var, _)| sv.lookup(var)).unwrap_or(0.0);
+        // Staleness-aware discount: a row half-way to expiry is worth
+        // less than one recorded this tick. Tiers (rather than a
+        // continuous factor) keep steady-state testbeds — where every
+        // row is at most one probe interval old — in the same bucket,
+        // so the legacy ordering is unchanged unless rows actually go
+        // stale.
+        let freshness_tier = match policy.stale_max_age {
+            Some(max) if policy.age_discount => {
+                let age = now.since(timed.recorded_at).as_nanos();
+                let max = max.as_nanos();
+                if age.saturating_mul(2) <= max {
+                    1.0
+                } else if age.saturating_mul(4) <= max.saturating_mul(3) {
+                    0.5
+                } else {
+                    0.25
+                }
+            }
+            _ => 1.0,
+        };
+        let score_bucket = (view.health.score(ip, now) * freshness_tier * 1000.0).round() as i64;
+        qualified.push(Candidate { ip, preferred_rank, score_bucket, rank_value });
+    }
+
+    // Ordering: preferred first (by preference index), then healthier
+    // and fresher servers (score bucket, descending), then the rank
+    // directive, then address order for determinism.
+    qualified.sort_by(|a, b| {
+        let pa = a.preferred_rank.map_or(usize::MAX, |i| i);
+        let pb = b.preferred_rank.map_or(usize::MAX, |i| i);
+        pa.cmp(&pb)
+            .then_with(|| b.score_bucket.cmp(&a.score_bucket))
+            .then_with(|| match &rank {
+                Some((_, descending)) => {
+                    let ord = a
+                        .rank_value
+                        .partial_cmp(&b.rank_value)
+                        .unwrap_or(std::cmp::Ordering::Equal);
+                    if *descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                }
+                None => std::cmp::Ordering::Equal,
+            })
+            .then_with(|| a.ip.cmp(&b.ip))
+    });
+
+    let cap = usize::from(req.server_num).min(MAX_SERVERS_PER_REPLY);
+    qualified.truncate(cap);
+    qualified.into_iter().map(|c| Endpoint::new(c.ip, ports::SERVICE)).collect()
+}
+
+/// Does a user host designator (IP, domain or bare name) refer to this
+/// server's report?
+pub(crate) fn designates(designator: &str, report: &ServerStatusReport) -> bool {
+    if let Ok(ip) = designator.parse::<Ip>() {
+        return ip == report.ip;
+    }
+    report.host.matches(&smartsock_proto::HostName::new(designator))
+}
+
+/// Parse the `#!rank <var> [asc|desc]` directive, if present.
+pub(crate) fn parse_rank_directive(detail: &str) -> Option<(String, bool)> {
+    for line in detail.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("#!rank") {
+            let mut it = rest.split_ascii_whitespace();
+            let var = it.next()?.to_owned();
+            let descending = match it.next() {
+                Some("asc") => false,
+                Some("desc") | None => true,
+                Some(_) => return None,
+            };
+            return Some((var, descending));
+        }
+    }
+    None
+}
+
+/// What one inbound datagram turned out to be, after the engine handled
+/// it. The driver maps these onto its backend's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ingest {
+    /// A probe status report, upserted for this server address.
+    Report(Ip),
+    /// A datagram with the report magic that failed to parse.
+    BadReport(IngestError),
+    /// A user request, answered with this reply (already sent).
+    Replied { reply: WizardReply, to: Endpoint },
+    /// Neither a report nor a decodable request.
+    BadRequest,
+}
+
+/// The combined monitor+wizard daemon state for single-owner backends:
+/// plain owned databases (no locks — one thread owns the engine), the
+/// same demux the paper's co-hosted daemons perform (§4.3), and the
+/// shared [`select`] core. `Send`, so a live daemon thread can own it.
+pub struct WizardEngine {
+    ip: Ip,
+    sysdb: SysDb,
+    netdb: NetDb,
+    secdb: SecDb,
+    health: HealthTable,
+    group_map: BTreeMap<Ip, Ip>,
+    templates: BTreeMap<u8, String>,
+    policy: SelectPolicy,
+}
+
+impl WizardEngine {
+    pub fn new(ip: Ip, policy: SelectPolicy) -> WizardEngine {
+        WizardEngine {
+            ip,
+            sysdb: SysDb::default(),
+            netdb: NetDb::default(),
+            secdb: SecDb::default(),
+            health: HealthTable::new(Default::default()),
+            group_map: BTreeMap::new(),
+            templates: crate::templates::defaults(),
+            policy,
+        }
+    }
+
+    /// The request endpoint (port 1120 of Table 4.2), used as the reply
+    /// source address.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, ports::WIZARD)
+    }
+
+    /// Register a requirement template usable via the request option field.
+    pub fn add_template(&mut self, id: u8, text: impl Into<String>) {
+        self.templates.insert(id, text.into());
+    }
+
+    /// Register which network monitor serves a host's group.
+    pub fn map_group(&mut self, host: Ip, monitor: Ip) {
+        self.group_map.insert(host, monitor);
+    }
+
+    /// Number of live server records.
+    pub fn live_servers(&self) -> usize {
+        self.sysdb.len()
+    }
+
+    /// Demux and handle one datagram, replying through the transport when
+    /// it is a user request — the single-socket monitor+wizard loop.
+    /// Datagrams starting with the status-report magic (`SSR1`) are probe
+    /// reports; everything else is decoded as a user request.
+    pub fn handle<T: Transport>(
+        &mut self,
+        t: &mut T,
+        from: Endpoint,
+        payload: &[u8],
+    ) -> Result<Ingest, TransportError> {
+        let now = SimTime(t.now_ns());
+        if payload.starts_with(ServerStatusReport::ASCII_MAGIC.as_bytes()) {
+            return Ok(match ingest_ascii(&mut self.sysdb, payload, now) {
+                Ok(ip) => Ingest::Report(ip),
+                Err(e) => Ingest::BadReport(e),
+            });
+        }
+        let Ok(req) = UserRequest::decode(payload) else {
+            return Ok(Ingest::BadRequest);
+        };
+        let servers = select(
+            &SelectView {
+                sysdb: &self.sysdb,
+                netdb: &self.netdb,
+                secdb: &self.secdb,
+                health: &self.health,
+                group_map: &self.group_map,
+                templates: &self.templates,
+            },
+            &self.policy,
+            now,
+            &req,
+            from.ip,
+        );
+        let reply = WizardReply { seq: req.seq, servers };
+        t.send(self.endpoint(), from, &reply.encode())?;
+        Ok(Ingest::Replied { reply, to: from })
+    }
+
+    /// Evict records older than the staleness window, returning exactly
+    /// which addresses went dark (same semantics as the simulated sweep).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<Ip> {
+        match self.policy.stale_max_age {
+            Some(age) => self.sysdb.expire(now, age),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartsock_proto::RequestOption;
+
+    struct NullTransport {
+        now: u64,
+        sent: Vec<(Endpoint, Vec<u8>)>,
+    }
+
+    impl Transport for NullTransport {
+        fn now_ns(&self) -> u64 {
+            self.now
+        }
+        fn send(
+            &mut self,
+            _from: Endpoint,
+            to: Endpoint,
+            payload: &[u8],
+        ) -> Result<(), TransportError> {
+            self.sent.push((to, payload.to_vec()));
+            Ok(())
+        }
+    }
+
+    fn report(name: &str, last: u8, cpu_idle: f64) -> ServerStatusReport {
+        let mut r = ServerStatusReport::empty(name, Ip::new(10, 0, 1, last));
+        r.cpu_idle = cpu_idle;
+        r.mem_free = 200 << 20;
+        r
+    }
+
+    fn engine() -> WizardEngine {
+        WizardEngine::new(Ip::new(10, 0, 0, 1), SelectPolicy::default())
+    }
+
+    #[test]
+    fn demux_ingests_reports_and_answers_requests() {
+        let mut e = engine();
+        let mut t = NullTransport { now: 0, sent: Vec::new() };
+        let client = Endpoint::new(Ip::new(10, 0, 0, 2), 40001);
+
+        for (name, last, idle) in [("idle1", 1, 0.97), ("busy", 2, 0.10), ("idle2", 3, 0.95)] {
+            let wire = report(name, last, idle).encode_ascii();
+            let got = e.handle(&mut t, client, wire.as_bytes()).unwrap();
+            assert_eq!(got, Ingest::Report(Ip::new(10, 0, 1, last)));
+        }
+        assert_eq!(e.live_servers(), 3);
+
+        let req = UserRequest {
+            seq: 0xabcd,
+            server_num: 5,
+            option: RequestOption::DEFAULT,
+            detail: "host_cpu_free > 0.9\n".to_owned(),
+        };
+        let got = e.handle(&mut t, client, &req.encode()).unwrap();
+        let Ingest::Replied { reply, to } = got else { panic!("expected a reply, got {got:?}") };
+        assert_eq!(to, client);
+        assert_eq!(reply.seq, 0xabcd);
+        assert_eq!(
+            reply.servers.iter().map(|e| e.ip).collect::<Vec<_>>(),
+            vec![Ip::new(10, 0, 1, 1), Ip::new(10, 0, 1, 3)]
+        );
+        // The reply went out through the transport, byte-for-byte.
+        assert_eq!(t.sent.len(), 1);
+        assert_eq!(t.sent[0].1, reply.encode().to_vec());
+    }
+
+    #[test]
+    fn bad_datagrams_are_classified_not_dropped_silently() {
+        let mut e = engine();
+        let mut t = NullTransport { now: 0, sent: Vec::new() };
+        let client = Endpoint::new(Ip::new(10, 0, 0, 2), 40001);
+        let got = e.handle(&mut t, client, b"SSR1 this is not a report").unwrap();
+        assert!(matches!(got, Ingest::BadReport(_)));
+        let got = e.handle(&mut t, client, b"xy").unwrap();
+        assert_eq!(got, Ingest::BadRequest);
+        assert!(t.sent.is_empty());
+    }
+
+    #[test]
+    fn stale_records_expire_via_sweep_and_are_skipped_by_select() {
+        let mut e = engine();
+        let mut t = NullTransport { now: 0, sent: Vec::new() };
+        let client = Endpoint::new(Ip::new(10, 0, 0, 2), 40001);
+        e.handle(&mut t, client, report("old", 1, 0.95).encode_ascii().as_bytes()).unwrap();
+        t.now = SimTime::from_secs(8).0;
+        e.handle(&mut t, client, report("new", 2, 0.95).encode_ascii().as_bytes()).unwrap();
+
+        // At t = 8 s the t=0 record is 8 s old (> 6 s window): selection
+        // skips it even before any sweep runs.
+        let req = UserRequest {
+            seq: 1,
+            server_num: 5,
+            option: RequestOption::DEFAULT,
+            detail: String::new(),
+        };
+        let Ingest::Replied { reply, .. } = e.handle(&mut t, client, &req.encode()).unwrap() else {
+            panic!("expected reply")
+        };
+        assert_eq!(
+            reply.servers.iter().map(|e| e.ip).collect::<Vec<_>>(),
+            vec![Ip::new(10, 0, 1, 2)]
+        );
+        // And the sweep evicts it for good.
+        assert_eq!(e.sweep(SimTime::from_secs(8)), vec![Ip::new(10, 0, 1, 1)]);
+        assert_eq!(e.live_servers(), 1);
+    }
+
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<WizardEngine>();
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod engine;
 pub mod templates;
 pub mod vars;
 
@@ -36,19 +37,17 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use smartsock_lang::{compile, Evaluator, HostLists};
 use smartsock_monitor::health::{
     shared_health, HealthConfig, SharedHealthDb, StateKind, Transition,
 };
 use smartsock_monitor::{SharedNetDb, SharedSecDb, SharedSysDb};
 use smartsock_net::{Network, Payload};
 use smartsock_proto::consts::ports;
-use smartsock_proto::{
-    Endpoint, Ip, OutcomeReport, UserRequest, WizardReply, MAX_SERVERS_PER_REPLY,
-};
+use smartsock_proto::{Endpoint, Ip, OutcomeReport, UserRequest, WizardReply};
 use smartsock_sim::{Scheduler, SimDuration, SimTime};
 use smartsock_wire::Receiver;
 
+pub use engine::{select, Ingest, SelectPolicy, SelectView, WizardEngine};
 pub use vars::ServerVars;
 
 /// Wizard operating mode, mirroring the transmitters' (§3.5.1).
@@ -310,159 +309,32 @@ impl Wizard {
 
     /// The selection core, independent of the transport: returns the
     /// ordered candidate list for a request from `client_ip`.
+    ///
+    /// Delegates to [`engine::select`] — the same matching core the live
+    /// backend's [`WizardEngine`] runs, so both backends order candidates
+    /// identically (pinned by the interop conformance suite). Lock order
+    /// (sysdb, netdb, secdb, health) matches every other wizard site.
     pub fn select(&self, now: SimTime, req: &UserRequest, client_ip: Ip) -> Vec<Endpoint> {
-        // Prepend a template when the option asks for one.
-        let detail = match req.option.template {
-            Some(id) => match self.templates.borrow().get(&id) {
-                Some(t) => format!("{t}\n{}", req.detail),
-                None => req.detail.clone(),
-            },
-            None => req.detail.clone(),
-        };
-        let Ok(requirement) = compile(&detail) else {
-            return Vec::new(); // uncompilable requirement ⇒ empty reply
-        };
-        let lists = HostLists::from_requirement(&requirement);
-        let rank = parse_rank_directive(&detail);
-
+        let sysdb = self.sysdb.read();
+        let netdb = self.netdb.read();
+        let secdb = self.secdb.read();
+        let health = self.health.read();
         let group_map = self.group_map.borrow();
-        let client_mon = group_map.get(&client_ip).copied();
-
-        struct Candidate {
-            ip: Ip,
-            preferred_rank: Option<usize>,
-            /// Health score × freshness tier, quantized to ‰ so float noise
-            /// cannot perturb the sort (higher is better).
-            score_bucket: i64,
-            rank_value: f64,
-        }
-        let mut qualified: Vec<Candidate> = Vec::new();
-        {
-            let sysdb = self.sysdb.read();
-            let netdb = self.netdb.read();
-            let secdb = self.secdb.read();
-            let health = self.health.read();
-            for (&ip, timed) in sysdb.iter() {
-                if let Some(max_age) = self.cfg.stale_max_age {
-                    if now.since(timed.recorded_at) > max_age {
-                        continue;
-                    }
-                }
-                // Quarantined servers are never offered; probation servers
-                // stay eligible (their low score orders them last) so the
-                // system re-learns whether they recovered.
-                if !health.selectable(ip, now) {
-                    continue;
-                }
-                let report = &timed.report;
-                if lists.denied.iter().any(|d| designates(d, report)) {
-                    continue;
-                }
-                let server_mon = group_map.get(&ip).copied();
-                let net_rec = match (client_mon, server_mon) {
-                    (Some(a), Some(b)) if a != b => netdb.get(a, b).copied(),
-                    _ => None,
-                };
-                let same_group = client_mon.is_some() && client_mon == server_mon;
-                let view = ServerVars {
-                    report,
-                    security_level: secdb.level_of(ip),
-                    net_record: net_rec,
-                    same_group,
-                };
-                let decision = Evaluator::evaluate(&requirement, &view);
-                if !decision.qualified {
-                    continue;
-                }
-                let preferred_rank = lists.preferred.iter().position(|p| designates(p, report));
-                let rank_value =
-                    rank.as_ref().and_then(|(var, _)| view_lookup(&view, var)).unwrap_or(0.0);
-                // Staleness-aware discount: a row half-way to expiry is
-                // worth less than one recorded this tick. Tiers (rather
-                // than a continuous factor) keep steady-state testbeds —
-                // where every row is at most one probe interval old — in
-                // the same bucket, so the legacy ordering is unchanged
-                // unless rows actually go stale.
-                let freshness_tier = match self.cfg.stale_max_age {
-                    Some(max) if self.cfg.age_discount => {
-                        let age = now.since(timed.recorded_at).as_nanos();
-                        let max = max.as_nanos();
-                        if age.saturating_mul(2) <= max {
-                            1.0
-                        } else if age.saturating_mul(4) <= max.saturating_mul(3) {
-                            0.5
-                        } else {
-                            0.25
-                        }
-                    }
-                    _ => 1.0,
-                };
-                let score_bucket = (health.score(ip, now) * freshness_tier * 1000.0).round() as i64;
-                qualified.push(Candidate { ip, preferred_rank, score_bucket, rank_value });
-            }
-        }
-
-        // Ordering: preferred first (by preference index), then healthier
-        // and fresher servers (score bucket, descending), then the rank
-        // directive, then address order for determinism.
-        qualified.sort_by(|a, b| {
-            let pa = a.preferred_rank.map_or(usize::MAX, |i| i);
-            let pb = b.preferred_rank.map_or(usize::MAX, |i| i);
-            pa.cmp(&pb)
-                .then_with(|| b.score_bucket.cmp(&a.score_bucket))
-                .then_with(|| match &rank {
-                    Some((_, descending)) => {
-                        let ord = a
-                            .rank_value
-                            .partial_cmp(&b.rank_value)
-                            .unwrap_or(std::cmp::Ordering::Equal);
-                        if *descending {
-                            ord.reverse()
-                        } else {
-                            ord
-                        }
-                    }
-                    None => std::cmp::Ordering::Equal,
-                })
-                .then_with(|| a.ip.cmp(&b.ip))
-        });
-
-        let cap = usize::from(req.server_num).min(MAX_SERVERS_PER_REPLY);
-        qualified.truncate(cap);
-        qualified.into_iter().map(|c| Endpoint::new(c.ip, ports::SERVICE)).collect()
+        let templates = self.templates.borrow();
+        let view = engine::SelectView {
+            sysdb: &sysdb,
+            netdb: &netdb,
+            secdb: &secdb,
+            health: &health,
+            group_map: &group_map,
+            templates: &templates,
+        };
+        let policy = engine::SelectPolicy {
+            stale_max_age: self.cfg.stale_max_age,
+            age_discount: self.cfg.age_discount,
+        };
+        engine::select(&view, &policy, now, req, client_ip)
     }
-}
-
-/// Does a user host designator (IP, domain or bare name) refer to this
-/// server's report?
-fn designates(designator: &str, report: &smartsock_proto::ServerStatusReport) -> bool {
-    if let Ok(ip) = designator.parse::<Ip>() {
-        return ip == report.ip;
-    }
-    report.host.matches(&smartsock_proto::HostName::new(designator))
-}
-
-/// Parse the `#!rank <var> [asc|desc]` directive, if present.
-fn parse_rank_directive(detail: &str) -> Option<(String, bool)> {
-    for line in detail.lines() {
-        let line = line.trim();
-        if let Some(rest) = line.strip_prefix("#!rank") {
-            let mut it = rest.split_ascii_whitespace();
-            let var = it.next()?.to_owned();
-            let descending = match it.next() {
-                Some("asc") => false,
-                Some("desc") | None => true,
-                Some(_) => return None,
-            };
-            return Some((var, descending));
-        }
-    }
-    None
-}
-
-fn view_lookup(view: &ServerVars<'_>, var: &str) -> Option<f64> {
-    use smartsock_lang::VarProvider;
-    view.lookup(var)
 }
 
 #[cfg(test)]
@@ -470,7 +342,9 @@ mod tests {
     use super::*;
     use smartsock_monitor::db::shared_dbs;
     use smartsock_net::{HostParams, LinkParams, NetworkBuilder};
-    use smartsock_proto::{NetPathRecord, RequestOption, SecurityRecord, ServerStatusReport};
+    use smartsock_proto::{
+        NetPathRecord, RequestOption, SecurityRecord, ServerStatusReport, MAX_SERVERS_PER_REPLY,
+    };
 
     fn report(name: &str, ip: Ip) -> ServerStatusReport {
         let mut r = ServerStatusReport::empty(name, ip);

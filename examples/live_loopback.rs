@@ -1,93 +1,63 @@
-//! Live transport demo: the exact same protocol bytes, but over real
-//! operating-system UDP sockets on 127.0.0.1 instead of the simulator —
-//! showing that `smartsock-proto`'s formats are carrier-independent.
+//! Live backend demo: the exact same protocol engines as the simulator,
+//! but over real operating-system UDP sockets on 127.0.0.1.
 //!
-//! A miniature wizard runs on a background thread: it ingests one ASCII
-//! probe report (as the system monitor would), then serves user requests
-//! by compiling the requirement with `smartsock-lang` and evaluating it
-//! against the live report.
+//! A `LiveWizard` daemon thread runs the combined monitor+wizard engine
+//! (`smartsock_wizard::WizardEngine` — the very code the simulated
+//! daemons execute), a probe report arrives as real bytes, and a
+//! typestate client walks Registered → Requested → Connected, each phase
+//! transition enforced at compile time.
 //!
 //! ```text
 //! cargo run --example live_loopback
 //! ```
 
-use std::net::UdpSocket;
-use std::thread;
+use std::time::Duration;
 
-use smartsock::lang::{compile, Evaluator};
-use smartsock::proto::consts::ports;
-use smartsock::proto::{Endpoint, Ip, RequestOption, ServerStatusReport, UserRequest, WizardReply};
-use smartsock::wizard::ServerVars;
+use smartsock_live::{send_live_report, LiveSock, LiveWizard};
+use smartsock_proto::{Ip, RequestOption, ServerStatusReport, UserRequest};
 
 fn main() -> std::io::Result<()> {
-    // --- the "monitor + wizard" process -------------------------------
-    let wizard_sock = UdpSocket::bind("127.0.0.1:0")?;
-    let wizard_addr = wizard_sock.local_addr()?;
-    let server = thread::spawn(move || -> std::io::Result<()> {
-        let mut buf = [0u8; 2048];
-
-        // First datagram: a probe's ASCII status report.
-        let (n, _) = wizard_sock.recv_from(&mut buf)?;
-        let report_text = std::str::from_utf8(&buf[..n]).expect("ascii report");
-        let report = ServerStatusReport::parse_ascii(report_text).expect("valid report");
-        println!("[wizard] ingested report from {} ({} bytes)", report.host, n);
-
-        // Second datagram: a user request; evaluate and reply.
-        let (n, from) = wizard_sock.recv_from(&mut buf)?;
-        let req = UserRequest::decode(&buf[..n]).expect("valid request");
-        println!("[wizard] request seq={:#x} for {} servers", req.seq, req.server_num);
-        let requirement = compile(&req.detail).expect("requirement compiles");
-        let view = ServerVars {
-            report: &report,
-            security_level: Some(3),
-            net_record: None,
-            same_group: true,
-        };
-        let decision = Evaluator::evaluate(&requirement, &view);
-        let servers = if decision.qualified {
-            vec![Endpoint::new(report.ip, ports::SERVICE)]
-        } else {
-            vec![]
-        };
-        let reply = WizardReply { seq: req.seq, servers };
-        wizard_sock.send_to(&reply.encode(), from)?;
-        Ok(())
-    });
+    // --- the "monitor + wizard" process --------------------------------
+    let wizard = LiveWizard::spawn()?;
+    println!("[wizard] listening on {}", wizard.addr());
 
     // --- the "probe" ---------------------------------------------------
-    let probe_sock = UdpSocket::bind("127.0.0.1:0")?;
     let mut report = ServerStatusReport::empty("helene", Ip::new(192, 168, 3, 10));
     report.cpu_idle = 0.96;
     report.load1 = 0.12;
     report.bogomips = 3394.76;
     report.mem_total = 256 << 20;
     report.mem_free = 180 << 20;
-    let line = report.encode_ascii();
-    assert!(line.len() < 200, "the paper's report-size bound holds on the wire");
-    probe_sock.send_to(line.as_bytes(), wizard_addr)?;
-    println!("[probe ] sent {} byte ASCII report over real UDP", line.len());
+    let line_len = report.encode_ascii().len();
+    assert!(line_len < 200, "the paper's report-size bound holds on the wire");
+    send_live_report(wizard.addr(), &report)?;
+    println!("[probe ] sent {line_len} byte ASCII report over real UDP");
+    while wizard.reports_ingested() < 1 {
+        std::thread::yield_now();
+    }
 
     // --- the "client library" ------------------------------------------
-    let client_sock = UdpSocket::bind("127.0.0.1:0")?;
     let req = UserRequest {
         seq: 0x5eed_cafe,
         server_num: 1,
         option: RequestOption::DEFAULT,
         detail: "host_cpu_free > 0.9\nhost_memory_free > 100*1024*1024\n".to_owned(),
     };
-    client_sock.send_to(&req.encode(), wizard_addr)?;
-
-    let mut buf = [0u8; 2048];
-    let (n, _) = client_sock.recv_from(&mut buf)?;
-    let reply = WizardReply::decode(&buf[..n]).expect("valid reply");
-    assert_eq!(reply.seq, req.seq, "sequence numbers match request to reply");
-    println!("[client] reply seq={:#x}: {} server(s)", reply.seq, reply.servers.len());
-    for s in &reply.servers {
+    let sock = LiveSock::bind(wizard.addr())?; // Registered
+    let waiting = sock.request(req)?; // Requested
+    let connected = waiting
+        .await_reply(Duration::from_millis(500), 3) // Connected
+        .map_err(|(_, e)| std::io::Error::other(e.to_string()))?;
+    println!("[client] reply seq={:#x}: {} server(s)", 0x5eed_cafeu32, connected.servers().len());
+    for s in connected.servers() {
         println!("[client] would connect to {s}");
     }
-    assert_eq!(reply.servers.len(), 1, "the idle report qualifies");
+    assert_eq!(connected.servers().len(), 1, "the idle report qualifies");
 
-    server.join().expect("wizard thread")?;
-    println!("done: same formats, real sockets.");
+    let stats = wizard.shutdown()?;
+    println!(
+        "done: same engines, real sockets — {} report(s), {} request(s).",
+        stats.reports, stats.served
+    );
     Ok(())
 }

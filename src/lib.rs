@@ -5,3 +5,4 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 pub use smartsock as core;
+pub use smartsock_live as live;
