@@ -52,6 +52,14 @@ echo "$out"
 echo "$out" | grep -q '"seq":'
 echo "$out" | grep -q '192.168.3.10:1200'
 
+echo "== live stats snapshot from the running daemon =="
+stats="$("$bin" stats --wizard "$addr")"
+echo "$stats"
+echo "$stats" | grep -q "snapshot at"
+echo "$stats" | grep -q "sysmon-reports"
+echo "$stats" | grep -q "wizard-replies"
+"$bin" stats --wizard "$addr" --json | grep -q '"counts":'
+
 echo "== graceful stop & daemon stats =="
 echo >&3
 exec 3>&-
@@ -66,5 +74,7 @@ echo "$sout" | grep -q "wizard-match"
 # Counters ride in the raw trace; the names are the simulator's own.
 grep -q '"name":"sysmon-reports"' "$trace"
 grep -q '"name":"wizard-replies"' "$trace"
+# The daemon heartbeats into its own trace (first inbound datagram).
+grep -q '"name":"daemon-heartbeat"' "$trace"
 
 echo "live smoke: ok"

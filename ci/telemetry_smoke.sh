@@ -27,6 +27,14 @@ echo "== timeline & slowest smoke check =="
 cargo run -q -p smartsock-telemetry -- timeline lhost "$trace" | grep "fault-injected"
 cargo run -q -p smartsock-telemetry -- slowest 5 "$trace" | grep "client-request"
 
+echo "== tail & rollup smoke check =="
+[ "$(cargo run -q -p smartsock-telemetry -- tail --lines 5 "$trace" | wc -l)" -eq 5 ]
+cargo run -q -p smartsock-telemetry -- tail --lines 3 "$trace" | grep -q '"t":'
+rout="$(cargo run -q -p smartsock-telemetry -- rollup "$trace")"
+echo "$rout" | grep -q "host/"
+echo "$rout" | grep -q "records folded"
+cargo run -q -p smartsock-telemetry -- --json rollup "$trace" | grep -q '"rows":'
+
 echo "== merged-trace smoke check =="
 # The parallel runner's merged export must still parse and keep the same
 # span names visible: merge the drill trace with itself as two shards and

@@ -11,7 +11,8 @@ use crate::lexer::{self, TokKind};
 use crate::model::{self, SourceUnit, WorkspaceModel};
 use crate::rules::{self, Finding};
 
-/// Where the span-name registry lives, relative to the workspace root.
+/// Where the telemetry name registries (spans, events, counters) live,
+/// relative to the workspace root.
 pub const SPAN_REGISTRY_PATH: &str = "crates/telemetry/src/names.rs";
 
 /// The result of one `check` run.
@@ -108,21 +109,42 @@ fn targets(root: &Path) -> Vec<Target> {
     out
 }
 
-/// Pull the `SPAN_NAMES` string literals out of registry source text
-/// (`crates/telemetry/src/names.rs`). Lexing the real file instead of
-/// keeping a copy here means registering a span stays a one-file change.
-/// Returns the names in declaration order; empty if the const is absent.
-pub fn span_registry_from_source(src: &str) -> Vec<String> {
-    let lexed = lexer::lex(src);
+/// The telemetry name registries, as loaded from
+/// `crates/telemetry/src/names.rs`. Each empty list disables its rule —
+/// spans for SS-OBS-002, events and counters for their halves of
+/// SS-OBS-003 — rather than flagging every call site when the registry
+/// file could not be read.
+#[derive(Debug, Clone, Default)]
+pub struct NameRegistry {
+    pub spans: Vec<String>,
+    pub events: Vec<String>,
+    pub counters: Vec<String>,
+}
+
+impl NameRegistry {
+    /// Extract all three registries from registry source text. Lexing the
+    /// real file instead of keeping a copy here means registering a name
+    /// stays a one-file change.
+    pub fn from_source(src: &str) -> Self {
+        let lexed = lexer::lex(src);
+        Self {
+            spans: const_str_literals(&lexed, "SPAN_NAMES"),
+            events: const_str_literals(&lexed, "EVENT_NAMES"),
+            counters: const_str_literals(&lexed, "COUNTER_NAMES"),
+        }
+    }
+}
+
+/// Every string literal between `const_name` and its closing `;` — the
+/// names, in declaration order. Comments are not tokens, and each
+/// initializer is a flat `&[…]` of literals by construction (names.rs's
+/// own tests check the shape). Empty if the const is absent.
+fn const_str_literals(lexed: &lexer::Lexed, const_name: &str) -> Vec<String> {
     let toks = &lexed.toks;
-    let Some(start) = toks.iter().position(|t| t.kind == TokKind::Ident && t.text == "SPAN_NAMES")
+    let Some(start) = toks.iter().position(|t| t.kind == TokKind::Ident && t.text == const_name)
     else {
         return Vec::new();
     };
-    // Every string literal between the const's name and its closing `;`
-    // is a span name — comments are not tokens, and the initializer is a
-    // flat `&[…]` of literals by construction (names.rs's own tests check
-    // the shape).
     toks[start..]
         .iter()
         .take_while(|t| t.text != ";")
@@ -131,11 +153,16 @@ pub fn span_registry_from_source(src: &str) -> Vec<String> {
         .collect()
 }
 
+/// Pull just the `SPAN_NAMES` literals out of registry source text.
+pub fn span_registry_from_source(src: &str) -> Vec<String> {
+    const_str_literals(&lexer::lex(src), "SPAN_NAMES")
+}
+
 /// Run the full two-phase analysis over a set of already-loaded files:
 /// lex everything, extract the workspace model, run per-file rules and
 /// cross-file model rules, then apply suppressions with usage accounting.
-/// An empty `span_registry` disables SS-OBS-002.
-pub fn analyze_files(files: &[FileInput<'_>], span_registry: &[String]) -> Analysis {
+/// Each empty registry list disables its rule (SS-OBS-002 / SS-OBS-003).
+pub fn analyze_files(files: &[FileInput<'_>], registry: &NameRegistry) -> Analysis {
     let lexed: Vec<lexer::Lexed> = files.iter().map(|f| lexer::lex(f.src)).collect();
     let ranges: Vec<Vec<(usize, usize)>> =
         lexed.iter().map(|l| rules::test_ranges(&l.toks)).collect();
@@ -166,7 +193,9 @@ pub fn analyze_files(files: &[FileInput<'_>], span_registry: &[String]) -> Analy
             file_is_test: f.is_test,
             lexed: &lexed[idx],
             test_ranges: &ranges[idx],
-            span_registry,
+            span_registry: &registry.spans,
+            event_registry: &registry.events,
+            counter_registry: &registry.counters,
         };
         let mut raw = rules::check_file(&ctx);
         let (mine, rest): (Vec<Finding>, Vec<Finding>) =
@@ -228,23 +257,23 @@ pub fn analyze_files(files: &[FileInput<'_>], span_registry: &[String]) -> Analy
     Analysis { report, allows, model }
 }
 
-/// Scan one already-loaded file. Exposed for the fixture tests. An empty
-/// `span_registry` disables SS-OBS-002.
+/// Scan one already-loaded file. Exposed for the fixture tests. Each
+/// empty registry list disables its rule (SS-OBS-002 / SS-OBS-003).
 pub fn scan_source(
     rel: &str,
     krate: &str,
     is_test: bool,
     src: &str,
-    span_registry: &[String],
+    registry: &NameRegistry,
 ) -> (Vec<Finding>, usize) {
-    let a = analyze_files(&[FileInput { rel, krate, is_test, src }], span_registry);
+    let a = analyze_files(&[FileInput { rel, krate, is_test, src }], registry);
     (a.report.findings, a.report.suppressed)
 }
 
 /// Walk the tree under `root` and run the full analysis.
 pub fn run_analysis(root: &Path) -> io::Result<Analysis> {
     let registry = fs::read_to_string(root.join(SPAN_REGISTRY_PATH))
-        .map(|src| span_registry_from_source(&src))
+        .map(|src| NameRegistry::from_source(&src))
         .unwrap_or_default();
     let loaded: Vec<(Target, String)> = targets(root)
         .into_iter()
@@ -377,7 +406,7 @@ mod tests {
     #[test]
     fn justified_allow_suppresses_and_counts() {
         let src = "let m: HashMap<u8, u8>; // analyze: allow(SS-DET-002): lookup-only cache\n";
-        let (kept, suppressed) = scan_source("f.rs", "net", false, src, &[]);
+        let (kept, suppressed) = scan_source("f.rs", "net", false, src, &NameRegistry::default());
         assert!(kept.is_empty(), "{kept:?}");
         assert_eq!(suppressed, 1);
     }
@@ -385,7 +414,7 @@ mod tests {
     #[test]
     fn unjustified_allow_is_its_own_finding() {
         let src = "let m: HashMap<u8, u8>; // analyze: allow(SS-DET-002)\n";
-        let (kept, _) = scan_source("f.rs", "net", false, src, &[]);
+        let (kept, _) = scan_source("f.rs", "net", false, src, &NameRegistry::default());
         // The HashMap stays suppressed? No: an unjustified allow does not
         // suppress, so both the DET finding and the ALLOW finding surface.
         let rules: Vec<_> = kept.iter().map(|f| f.rule).collect();
@@ -396,7 +425,7 @@ mod tests {
     fn own_line_allow_covers_next_line() {
         let src = "// analyze: allow(SS-DET-002): fixture table, never iterated\n\
                    let m: HashMap<u8, u8>;\n";
-        let (kept, suppressed) = scan_source("f.rs", "net", false, src, &[]);
+        let (kept, suppressed) = scan_source("f.rs", "net", false, src, &NameRegistry::default());
         assert!(kept.is_empty());
         assert_eq!(suppressed, 1);
     }
@@ -404,7 +433,7 @@ mod tests {
     #[test]
     fn json_report_is_valid_shape() {
         let src = "let m: HashMap<u8, u8>;\n";
-        let (kept, _) = scan_source("f.rs", "net", false, src, &[]);
+        let (kept, _) = scan_source("f.rs", "net", false, src, &NameRegistry::default());
         let report = Report { findings: kept, suppressed: 0, files_scanned: 1 };
         let json = report.to_json();
         assert!(json.contains("\"rule\": \"SS-DET-002\""));
@@ -433,5 +462,11 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted, "names.rs keeps SPAN_NAMES sorted");
+
+        let reg = NameRegistry::from_source(src);
+        assert_eq!(reg.spans, names, "NameRegistry spans match the span-only extraction");
+        assert!(reg.events.contains(&"daemon-heartbeat".to_owned()), "{:?}", reg.events);
+        assert!(reg.counters.contains(&"telemetry-dropped".to_owned()), "{:?}", reg.counters);
+        assert!(reg.counters.len() >= 50, "{:?}", reg.counters.len());
     }
 }

@@ -31,6 +31,7 @@
 //! | SS-LOCK-002 | workspace-wide (non-test) | no scheduler call while a lock guard is live |
 //! | SS-OBS-001 | everywhere except telemetry | telemetry names are kebab-case `&'static str` literals |
 //! | SS-OBS-002 | everywhere except telemetry (non-test) | `span_start`/`span_child` names appear in `SPAN_NAMES` (crates/telemetry/src/names.rs) |
+//! | SS-OBS-003 | everywhere except telemetry (non-test) | `event` names appear in `EVENT_NAMES`, `counter_add`/`counter_incr`/`counter_add_labeled` names in `COUNTER_NAMES` (crates/telemetry/src/names.rs) |
 //! | SS-ALLOW-001 | everywhere | every suppression carries a justification and still suppresses something |
 //!
 //! Suppress a finding with `// analyze: allow(RULE-ID): justification`,
@@ -48,7 +49,7 @@ pub mod rules;
 
 pub use engine::{
     analyze_files, run_analysis, run_check, scan_source, span_registry_from_source, AllowRecord,
-    Analysis, FileInput, Report,
+    Analysis, FileInput, NameRegistry, Report,
 };
 pub use model::WorkspaceModel;
 pub use rules::{Finding, RuleInfo, RULES};

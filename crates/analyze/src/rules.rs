@@ -24,6 +24,7 @@ pub const SS_PANIC_001: &str = "SS-PANIC-001";
 pub const SS_CAST_001: &str = "SS-CAST-001";
 pub const SS_OBS_001: &str = "SS-OBS-001";
 pub const SS_OBS_002: &str = "SS-OBS-002";
+pub const SS_OBS_003: &str = "SS-OBS-003";
 pub const SS_PROTO_001: &str = "SS-PROTO-001";
 pub const SS_PROTO_002: &str = "SS-PROTO-002";
 pub const SS_PROTO_003: &str = "SS-PROTO-003";
@@ -78,6 +79,14 @@ pub const RULES: &[RuleInfo] = &[
                   registered in SPAN_NAMES (crates/telemetry/src/names.rs); profiles are \
                   keyed by span name, so an ad-hoc span turns a perf regression into a \
                   baseline-diff disappearance",
+    },
+    RuleInfo {
+        id: SS_OBS_003,
+        summary: "event and counter names used outside the telemetry crate (non-test \
+                  code) must be registered in EVENT_NAMES / COUNTER_NAMES \
+                  (crates/telemetry/src/names.rs); summaries, rollups and the live \
+                  stats frame query by name, so an ad-hoc name is a series nobody \
+                  ever reads",
     },
     RuleInfo {
         id: SS_DET_004,
@@ -152,6 +161,13 @@ pub struct FileCtx<'a> {
     /// The span-name registry (`SPAN_NAMES` from `crates/telemetry/src/names.rs`).
     /// Empty disables SS-OBS-002 — the caller could not load the registry.
     pub span_registry: &'a [String],
+    /// The event-name registry (`EVENT_NAMES`). Empty disables the event
+    /// half of SS-OBS-003.
+    pub event_registry: &'a [String],
+    /// The counter-name registry (`COUNTER_NAMES`, base names only — the
+    /// `/label` dimension of labeled counters stays free-form). Empty
+    /// disables the counter half of SS-OBS-003.
+    pub counter_registry: &'a [String],
 }
 
 impl FileCtx<'_> {
@@ -422,6 +438,48 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
             }
         }
 
+        // SS-OBS-003 — event and counter names must come from their
+        // registries. Scoped exactly like SS-OBS-002: kebab-case literals
+        // only (dynamic/malformed names are SS-OBS-001's job), non-test
+        // code outside the telemetry crate, and an empty registry disables
+        // its half rather than flagging every call site.
+        if obs_rule_applies
+            && !ctx.in_test_code(i)
+            && t.kind == TokKind::Ident
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|p| p.text == "(").unwrap_or(false)
+        {
+            let target = match t.text.as_str() {
+                "event" => Some((ctx.event_registry, "event", "EVENT_NAMES")),
+                "counter_add" | "counter_incr" | "counter_add_labeled" => {
+                    Some((ctx.counter_registry, "counter", "COUNTER_NAMES"))
+                }
+                _ => None,
+            };
+            if let Some((registry, which, const_name)) = target {
+                if !registry.is_empty() {
+                    if let Some(arg) = toks.get(i + 2) {
+                        if arg.kind == TokKind::Str
+                            && is_kebab(&arg.text)
+                            && !registry.iter().any(|n| n == &arg.text)
+                        {
+                            out.push(ctx.finding(
+                                t.line,
+                                SS_OBS_003,
+                                format!(
+                                    "{which} name {:?} is not registered; add it to \
+                                     {const_name} in crates/telemetry/src/names.rs so \
+                                     summaries and rollups can query it",
+                                    arg.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
         // SS-CAST-001 — narrowing `as` casts in codec crates.
         if cast_rule_applies && !ctx.in_test_code(i) && t.kind == TokKind::Ident && t.text == "as" {
             if let Some(ty) = toks.get(i + 1) {
@@ -612,7 +670,9 @@ mod tests {
     use crate::lexer::lex;
 
     fn run(krate: &str, is_test: bool, src: &str) -> Vec<Finding> {
-        let registry = ["client-request".to_owned(), "probe-report".to_owned()];
+        let spans = ["client-request".to_owned(), "probe-report".to_owned()];
+        let events = ["fault-injected".to_owned()];
+        let counters = ["any-counter-name".to_owned(), "net-udp-drops".to_owned()];
         let lexed = lex(src);
         let ranges = test_ranges(&lexed.toks);
         let ctx = FileCtx {
@@ -621,7 +681,9 @@ mod tests {
             file_is_test: is_test,
             lexed: &lexed,
             test_ranges: &ranges,
-            span_registry: &registry,
+            span_registry: &spans,
+            event_registry: &events,
+            counter_registry: &counters,
         };
         check_file(&ctx)
     }
@@ -711,7 +773,7 @@ mod tests {
         assert!(run("net", false, ok).is_empty());
         let rogue = "fn f(s: &mut S) { s.telemetry.span_start(\"rogue-span\", \"h\"); }";
         assert_eq!(rules_of(&run("net", false, rogue)), [SS_OBS_002]);
-        // Non-span recorders take free-form (kebab) names.
+        // Registered non-span recorders are SS-OBS-003's scope, not 002's.
         let counter = "fn f(s: &mut S) { s.telemetry.counter_incr(\"any-counter-name\"); }";
         assert!(run("net", false, counter).is_empty());
     }
@@ -737,6 +799,51 @@ mod tests {
             lexed: &lexed,
             test_ranges: &ranges,
             span_registry: &[],
+            event_registry: &[],
+            counter_registry: &[],
+        };
+        assert!(check_file(&ctx).is_empty());
+    }
+
+    #[test]
+    fn obs003_wants_registered_event_and_counter_names() {
+        let ok = "fn f(s: &mut S) { s.telemetry.event(\"fault-injected\", \"h\", &[]); \
+                  s.telemetry.counter_incr(\"net-udp-drops\"); \
+                  s.telemetry.counter_add_labeled(\"net-udp-drops\", \"eth0\", 1); }";
+        assert!(run("net", false, ok).is_empty());
+        let rogue_event = "fn f(s: &mut S) { s.telemetry.event(\"rogue-event\", \"h\", &[]); }";
+        assert_eq!(rules_of(&run("net", false, rogue_event)), [SS_OBS_003]);
+        let rogue_counter = "fn f(s: &mut S) { s.telemetry.counter_add(\"rogue-counter\", 2); }";
+        assert_eq!(rules_of(&run("net", false, rogue_counter)), [SS_OBS_003]);
+        // Gauges and histograms are outside the registries' scope.
+        let gauge = "fn f(s: &mut S) { s.telemetry.gauge_set(\"free-form-gauge\", \"l\", 1); \
+                     s.telemetry.observe_ns(\"free-form-hist\", 9); }";
+        assert!(run("net", false, gauge).is_empty());
+    }
+
+    #[test]
+    fn obs003_exempts_tests_telemetry_nonkebab_and_empty_registries() {
+        let rogue = "fn f(s: &mut S) { s.telemetry.counter_incr(\"rogue-counter\"); }";
+        assert!(run("net", true, rogue).is_empty(), "test files are exempt");
+        assert!(run("telemetry", false, rogue).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests { fn t(s: &mut S) { \
+                           s.telemetry.counter_incr(\"rogue-counter\"); } }";
+        assert!(run("net", false, in_test_mod).is_empty());
+        // A non-kebab or dynamic name is SS-OBS-001's finding, not a double.
+        let snake = "fn f(s: &mut S) { s.telemetry.event(\"Rogue_Event\", \"h\", &[]); }";
+        assert_eq!(rules_of(&run("net", false, snake)), [SS_OBS_001]);
+        // Empty registries disable the rule rather than flagging everything.
+        let lexed = lex(rogue);
+        let ranges = test_ranges(&lexed.toks);
+        let ctx = FileCtx {
+            rel: "x.rs",
+            krate: "net",
+            file_is_test: false,
+            lexed: &lexed,
+            test_ranges: &ranges,
+            span_registry: &[],
+            event_registry: &[],
+            counter_registry: &[],
         };
         assert!(check_file(&ctx).is_empty());
     }

@@ -6,8 +6,8 @@ fn flows(s: &mut Scheduler) {
     s.telemetry.span_start("rogue-span", "helene"); // unregistered
     // analyze: allow(SS-OBS-002): prototype span, registration tracked in review
     s.telemetry.span_start("prototype-span", "helene");
-    // Non-span recorders are outside the registry's scope.
-    s.telemetry.counter_incr("any-counter-name");
+    // Non-span recorders are outside SPAN_NAMES' scope (SS-OBS-003's job).
+    s.telemetry.counter_incr("net-udp-drops");
     // Dynamic and malformed names are SS-OBS-001's findings, not doubles.
     s.telemetry.span_start("Not_Kebab", "helene");
 }

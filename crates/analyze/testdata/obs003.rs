@@ -1,0 +1,24 @@
+//! Fixture: SS-OBS-003 — event and counter names must come from their
+//! registries.
+
+fn flows(s: &mut Scheduler) {
+    s.telemetry.event("fault-injected", "helene", &[]); // registered event
+    s.telemetry.counter_incr("net-udp-drops"); // registered counter
+    s.telemetry.event("made-up-event", "helene", &[]); // unregistered
+    s.telemetry.counter_add("made-up-counter", 3); // unregistered
+    s.telemetry.counter_incr("rogue-counter"); // unregistered
+    s.telemetry.counter_add_labeled("probe-report-bytes", "helene", 9); // registered base
+    // analyze: allow(SS-OBS-003): prototype counter, registration tracked in review
+    s.telemetry.counter_incr("prototype-counter");
+    // Gauges and histograms are outside the registries' scope.
+    s.telemetry.gauge_set("free-form-gauge", "helene", 1);
+    // Dynamic and malformed names are SS-OBS-001's findings, not doubles.
+    s.telemetry.event("Not_Kebab", "helene", &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(s: &mut super::Scheduler) {
+        s.telemetry.counter_incr("test-only-counter"); // test code is exempt
+    }
+}

@@ -6,11 +6,11 @@
 //! confined to the fixture files — this test only names rules by their
 //! string IDs, because the analyzer scans its own `tests/` directory too.
 
-use smartsock_analyze::{analyze_files, scan_source, span_registry_from_source, FileInput};
+use smartsock_analyze::{analyze_files, scan_source, FileInput, NameRegistry};
 
-/// The real span registry, loaded the same way `check` loads it.
-fn registry() -> Vec<String> {
-    span_registry_from_source(include_str!("../../telemetry/src/names.rs"))
+/// The real name registries, loaded the same way `check` loads them.
+fn registry() -> NameRegistry {
+    NameRegistry::from_source(include_str!("../../telemetry/src/names.rs"))
 }
 
 /// Run one fixture and return `(lines per rule-id, suppressed count)`.
@@ -128,6 +128,28 @@ fn obs002_flags_unregistered_span_names_only() {
     // In the exempt telemetry crate the span rules never fire — which makes
     // the allow itself stale, and staleness is SS-ALLOW-001's finding.
     let (hits, _) = run("telemetry", include_str!("../testdata/obs002.rs"));
+    let ids: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(ids, ["SS-ALLOW-001"], "exempt crate → allow suppresses nothing: {hits:?}");
+}
+
+#[test]
+fn obs003_flags_unregistered_event_and_counter_names_only() {
+    let (hits, suppressed) = run("net", include_str!("../testdata/obs003.rs"));
+    assert_eq!(
+        hits,
+        [
+            ("SS-OBS-001".to_owned(), 16), // Not_Kebab is OBS-001's, not a double
+            ("SS-OBS-003".to_owned(), 7),  // made-up-event via event
+            ("SS-OBS-003".to_owned(), 8),  // made-up-counter via counter_add
+            ("SS-OBS-003".to_owned(), 9),  // rogue-counter via counter_incr
+        ],
+        "registered names, gauges, labeled bases and test code are all-clear: {hits:?}"
+    );
+    assert_eq!(suppressed, 1, "the justified allow covers prototype-counter");
+
+    // In the exempt telemetry crate the registry rules never fire — which
+    // makes the allow itself stale, SS-ALLOW-001's finding.
+    let (hits, _) = run("telemetry", include_str!("../testdata/obs003.rs"));
     let ids: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
     assert_eq!(ids, ["SS-ALLOW-001"], "exempt crate → allow suppresses nothing: {hits:?}");
 }

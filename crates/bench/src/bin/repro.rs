@@ -137,23 +137,27 @@ fn main() {
 }
 
 /// Write the merged per-cell telemetry traces: one shard per scheduler,
-/// labeled `experiment#seed/k`, in stable cell order.
+/// labeled `experiment#seed/k`, in stable cell order. Streams shard by
+/// shard through the incremental [`Merger`](smartsock_telemetry::merge::Merger)
+/// over a buffered file, so the merged document never has to exist in
+/// memory alongside every shard — a seed sweep's trace can be much larger
+/// than any single cell's.
 fn cell_trace_export(path: Option<&str>, results: &[smartsock_bench::CellResult]) {
     let Some(path) = path else { return };
-    let mut shards: Vec<(String, &str)> = Vec::new();
+    let write_err = |e: std::io::Error| -> ! { fail(&format!("cannot write {path}: {e}")) };
+    let file = std::fs::File::create(path).unwrap_or_else(|e| write_err(e));
+    let mut merger = smartsock_telemetry::merge::Merger::new(std::io::BufWriter::new(file));
     for r in results {
         if let Ok((_, profile)) = &r.outcome {
             for (k, trace) in profile.traces.iter().enumerate() {
-                shards.push((format!("{}#{}/{k}", r.id, r.seed), trace.as_str()));
+                merger
+                    .push_shard(&format!("{}#{}/{k}", r.id, r.seed), trace)
+                    .unwrap_or_else(|e| write_err(e));
             }
         }
     }
-    let merged =
-        smartsock_telemetry::merge::merge_jsonl(shards.iter().map(|(l, t)| (l.as_str(), *t)));
-    if merged.dropped > 0 {
-        eprintln!("repro: warning: merge dropped {} malformed trace line(s)", merged.dropped);
-    }
-    if let Err(e) = std::fs::write(path, merged.jsonl) {
-        fail(&format!("cannot write {path}: {e}"));
+    let dropped = merger.finish().unwrap_or_else(|e| write_err(e));
+    if dropped > 0 {
+        eprintln!("repro: warning: merge dropped {dropped} malformed trace line(s)");
     }
 }

@@ -3,10 +3,16 @@
 //! The operational surface of the live backend (`smartsock-live`):
 //!
 //! ```text
-//! smartsockd wizard --bind 127.0.0.1:1120 [--trace PATH]
+//! smartsockd wizard --bind 127.0.0.1:1120 [--trace PATH | --stream-trace PATH]
 //!     Run the combined monitor+wizard daemon until stdin closes; with
 //!     --trace, write the telemetry JSONL trace on shutdown (readable by
-//!     the `telemetry` query binary).
+//!     the `telemetry` query binary); with --stream-trace, stream records
+//!     to PATH as they happen (tail with `telemetry tail --follow`).
+//!
+//! smartsockd stats --wizard 127.0.0.1:1120 [--timeout-ms N] [--json]
+//!     Query a running daemon for its live telemetry snapshot: rollup
+//!     counters per host/subnet, histogram quantiles, dropped-record
+//!     count — without stopping the daemon.
 //!
 //! smartsockd probe --wizard 127.0.0.1:1120 --host helene --ip 192.168.3.10 \
 //!                  [--proc-root /proc] [--iface eth0] \
@@ -30,9 +36,10 @@ use std::process::ExitCode;
 use std::sync::mpsc;
 use std::time::Duration;
 
-use smartsock_live::{live_request, send_live_report, Clock, LiveProbe, LiveWizard};
+use smartsock_live::{live_request, query_stats, send_live_report, Clock, LiveProbe, LiveWizard};
 use smartsock_probe::ProbeIdentity;
 use smartsock_proto::{Ip, RequestOption, ServerStatusReport, ServiceMask, UserRequest};
+use smartsock_wizard::SelectPolicy;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +51,7 @@ fn main() -> ExitCode {
         "wizard" => cmd_wizard(&flags),
         "probe" => cmd_probe(&flags),
         "request" => cmd_request(&flags),
+        "stats" => cmd_stats(&flags),
         "--help" | "-h" | "help" => return usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -61,13 +69,14 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: smartsockd <wizard|probe|request> [flags]\n\
-         \n  wizard  --bind ADDR [--trace PATH]\
+        "usage: smartsockd <wizard|probe|request|stats> [flags]\n\
+         \n  wizard  --bind ADDR [--trace PATH | --stream-trace PATH]\
          \n  probe   --wizard ADDR --host NAME --ip A.B.C.D [--proc-root PATH] [--iface IF]\
          \n          [--watch SECS] [--count N]\
          \n          [--cpu-free F] [--mem-free-mb N] [--load1 F] [--services a,b]\
          \n  request --wizard ADDR --servers N [--req TEXT | --file PATH]\
-         \n          [--timeout-ms N] [--retries N] [--json]"
+         \n          [--timeout-ms N] [--retries N] [--json]\
+         \n  stats   --wizard ADDR [--timeout-ms N] [--retries N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -117,7 +126,16 @@ impl Flags {
 
 fn cmd_wizard(flags: &Flags) -> Result<(), String> {
     let bind = flags.get("bind").unwrap_or("127.0.0.1:1120");
-    let wiz = LiveWizard::spawn_on(bind).map_err(|e| e.to_string())?;
+    let wiz = match flags.get("stream-trace") {
+        Some(path) => LiveWizard::spawn_streaming(
+            bind,
+            SelectPolicy::default(),
+            Clock::wall(),
+            std::path::Path::new(path),
+        )
+        .map_err(|e| e.to_string())?,
+        None => LiveWizard::spawn_on(bind).map_err(|e| e.to_string())?,
+    };
     println!("smartsockd wizard listening on {}", wiz.addr());
     println!("press ENTER (or close stdin) to stop");
     let mut line = String::new();
@@ -127,8 +145,73 @@ fn cmd_wizard(flags: &Flags) -> Result<(), String> {
         std::fs::write(path, &stats.trace_jsonl).map_err(|e| e.to_string())?;
         println!("trace written to {path}");
     }
+    if stats.dropped > 0 {
+        eprintln!("warning: streaming sink dropped {} record(s)", stats.dropped);
+    }
     println!("ingested {} reports", stats.reports);
     println!("served {} requests", stats.served);
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let wizard: SocketAddr =
+        flags.require("wizard")?.parse().map_err(|_| "bad --wizard address".to_owned())?;
+    let timeout = Duration::from_millis(flags.get_parsed("timeout-ms", 1000u64)?);
+    let retries: u32 = flags.get_parsed("retries", 2u32)?;
+    let seq = std::process::id() ^ 0x57a7_0000;
+    let reply = query_stats(wizard, seq, timeout, retries).map_err(|e| e.to_string())?;
+    if flags.has("json") {
+        let mut counts = String::new();
+        for (i, c) in reply.counts.iter().enumerate() {
+            if i > 0 {
+                counts.push(',');
+            }
+            counts.push_str(&format!(
+                "{{\"scope\":\"{}\",\"name\":\"{}\",\"value\":{}}}",
+                c.scope, c.name, c.value
+            ));
+        }
+        let mut hists = String::new();
+        for (i, h) in reply.hists.iter().enumerate() {
+            if i > 0 {
+                hists.push(',');
+            }
+            hists.push_str(&format!(
+                "{{\"scope\":\"{}\",\"name\":\"{}\",\"count\":{},\
+                 \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                h.scope, h.name, h.count, h.p50_ns, h.p95_ns, h.p99_ns
+            ));
+        }
+        println!(
+            "{{\"now_ns\":{},\"records\":{},\"dropped\":{},\"truncated\":{},\
+             \"counts\":[{counts}],\"hists\":[{hists}]}}",
+            reply.now_ns, reply.records, reply.dropped, reply.truncated
+        );
+        return Ok(());
+    }
+    println!(
+        "snapshot at {} ns: {} records, {} dropped",
+        reply.now_ns, reply.records, reply.dropped
+    );
+    if reply.truncated {
+        println!("(rows truncated to fit one datagram)");
+    }
+    println!("{:<28} {:<32} {:>12}", "scope", "name", "value");
+    for c in &reply.counts {
+        println!("{:<28} {:<32} {:>12}", c.scope, c.name, c.value);
+    }
+    if !reply.hists.is_empty() {
+        println!(
+            "{:<28} {:<32} {:>8} {:>12} {:>12} {:>12}",
+            "scope", "name", "count", "p50-ns", "p95-ns", "p99-ns"
+        );
+        for h in &reply.hists {
+            println!(
+                "{:<28} {:<32} {:>8} {:>12} {:>12} {:>12}",
+                h.scope, h.name, h.count, h.p50_ns, h.p95_ns, h.p99_ns
+            );
+        }
+    }
     Ok(())
 }
 

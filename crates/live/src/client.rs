@@ -13,7 +13,8 @@ use std::time::Duration;
 
 use smartsock_proto::typestate::{Connected, Registered, Requested};
 use smartsock_proto::{
-    Endpoint, FlowError, ReplyStatus, RequestFlow, ServerStatusReport, UserRequest, WizardReply,
+    Endpoint, FlowError, ReplyStatus, RequestFlow, ServerStatusReport, StatsReply, StatsRequest,
+    UserRequest, WizardReply,
 };
 
 use crate::transport::{endpoint_of, sockaddr_of};
@@ -197,6 +198,49 @@ pub fn live_request(
         }
         Err((_, e @ RequestError::Rejected(_))) => Err(io::Error::other(e.to_string())),
     }
+}
+
+/// Ask a running daemon for its current telemetry snapshot (the `SSQ1` /
+/// `SSA1` exchange behind `smartsockd stats`). One datagram each way per
+/// attempt; stray datagrams and replies to other queries are skipped by
+/// the echoed `seq`.
+pub fn query_stats(
+    daemon: SocketAddr,
+    seq: u32,
+    timeout: Duration,
+    retries: u32,
+) -> io::Result<StatsReply> {
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.set_read_timeout(Some(timeout))?;
+    let wire = StatsRequest { seq }.encode();
+    let mut buf = [0u8; 65536];
+    for _ in 0..retries.max(1) {
+        sock.send_to(&wire, daemon)?;
+        loop {
+            match sock.recv_from(&mut buf) {
+                Ok((n, from)) => {
+                    if from != daemon {
+                        continue;
+                    }
+                    let Some(payload) = buf.get(..n) else { continue };
+                    match StatsReply::decode(payload) {
+                        Ok(reply) if reply.seq == seq => return Ok(reply),
+                        // Someone else's reply, or damage: keep listening
+                        // until this attempt's timeout.
+                        Ok(_) | Err(_) => continue,
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::TimedOut, "daemon did not answer the stats query"))
 }
 
 /// Open the data-plane TCP connection to a selected server. Exposed for

@@ -37,9 +37,11 @@ pub mod shim;
 pub mod transport;
 pub mod wizard;
 
-pub use client::{connect_service, live_request, send_live_report, LiveSock, RequestError};
+pub use client::{
+    connect_service, live_request, query_stats, send_live_report, LiveSock, RequestError,
+};
 pub use clock::{Clock, ManualHandle};
-pub use probe::LiveProbe;
+pub use probe::{sample_proc, LiveProbe};
 pub use shim::{FaultShim, ShimPolicy};
 pub use transport::{endpoint_of, sockaddr_of, UdpTransport};
 pub use wizard::{LiveWizard, WizardStats};

@@ -15,7 +15,7 @@
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::time::Duration;
 
@@ -24,6 +24,27 @@ use smartsock_probe::{ProbeIdentity, ProcSample, ReportEngine};
 use smartsock_sim::SimTime;
 
 use crate::clock::Clock;
+
+/// One sampling pass over the procfs files under `proc_root`, reading the
+/// network counters for `iface`. Shared between [`LiveProbe`] and the
+/// live wizard's heartbeat self-report, so both describe a host with the
+/// exact same parsers.
+pub fn sample_proc(proc_root: &Path, iface: &str) -> io::Result<ProcSample> {
+    let read = |name: &str| std::fs::read_to_string(proc_root.join(name));
+    let parse_err =
+        |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("unparseable {what}"));
+    let (load1, load5, load15) =
+        procfs::parse_loadavg(&read("loadavg")?).ok_or_else(|| parse_err("loadavg"))?;
+    let stat = read("stat")?;
+    let jiffies = procfs::parse_stat_cpu(&stat).ok_or_else(|| parse_err("stat cpu line"))?;
+    // 2.4 kernels expose cumulative disk counters in `stat`; modern
+    // ones do not — report zero activity rather than failing.
+    let disk = procfs::parse_stat_disk(&stat).unwrap_or_default();
+    let mem = procfs::parse_meminfo(&read("meminfo")?).ok_or_else(|| parse_err("meminfo"))?;
+    let net = procfs::parse_net_dev(&read("net/dev")?, iface)
+        .ok_or_else(|| parse_err("net/dev iface line"))?;
+    Ok(ProcSample { load1, load5, load15, jiffies, disk, mem, net })
+}
 
 /// A live probe daemon: samples, differentiates, reports over UDP.
 pub struct LiveProbe {
@@ -58,20 +79,7 @@ impl LiveProbe {
 
     /// One sampling pass over the procfs files.
     pub fn sample(&self) -> io::Result<ProcSample> {
-        let read = |name: &str| std::fs::read_to_string(self.proc_root.join(name));
-        let parse_err =
-            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("unparseable {what}"));
-        let (load1, load5, load15) =
-            procfs::parse_loadavg(&read("loadavg")?).ok_or_else(|| parse_err("loadavg"))?;
-        let stat = read("stat")?;
-        let jiffies = procfs::parse_stat_cpu(&stat).ok_or_else(|| parse_err("stat cpu line"))?;
-        // 2.4 kernels expose cumulative disk counters in `stat`; modern
-        // ones do not — report zero activity rather than failing.
-        let disk = procfs::parse_stat_disk(&stat).unwrap_or_default();
-        let mem = procfs::parse_meminfo(&read("meminfo")?).ok_or_else(|| parse_err("meminfo"))?;
-        let net = procfs::parse_net_dev(&read("net/dev")?, &self.id.iface)
-            .ok_or_else(|| parse_err("net/dev iface line"))?;
-        Ok(ProcSample { load1, load5, load15, jiffies, disk, mem, net })
+        sample_proc(&self.proc_root, &self.id.iface)
     }
 
     /// Sample, differentiate, encode, send. Returns the report size in

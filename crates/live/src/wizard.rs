@@ -12,16 +12,29 @@
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use smartsock_proto::{StatsCount, StatsHist, StatsReply, StatsRequest};
 use smartsock_sim::SimTime;
-use smartsock_telemetry::Telemetry;
+use smartsock_telemetry::{AccumSink, RollupSink, Sink, StreamSink, TeeSink, Telemetry};
 use smartsock_wizard::{Ingest, SelectPolicy, WizardEngine};
 
 use crate::clock::Clock;
 use crate::transport::{endpoint_of, UdpTransport};
+
+/// How often the daemon self-reports (a `daemon-heartbeat` event with
+/// own-process procfs gauges). Checked opportunistically on every inbound
+/// datagram — no timer thread; an idle daemon emits no heartbeats, which
+/// keeps the idle-costs-zero-CPU property. The first datagram after the
+/// interval elapses carries the beat, and a `smartsockd stats` query is
+/// itself a datagram, so polling the daemon also freshens it.
+const HEARTBEAT_INTERVAL_NS: u64 = 5_000_000_000;
+
+/// Line-buffer capacity of the streaming trace sink (bytes).
+const STREAM_CAP: usize = 4096;
 
 /// What a stopped daemon hands back.
 #[derive(Clone, Debug)]
@@ -30,10 +43,22 @@ pub struct WizardStats {
     pub served: u64,
     /// Probe reports ingested.
     pub reports: u64,
+    /// Telemetry records dropped by the sink's backpressure policy
+    /// (always 0 for the default in-memory sink; a streaming sink whose
+    /// file write failed counts every record it could not persist).
+    pub dropped: u64,
     /// The JSONL telemetry trace — same schema as the simulator's
     /// `Telemetry::export_jsonl`, consumable by the `telemetry` binary.
+    /// When the daemon streams its trace to a file instead, this holds
+    /// only the summary lines (counters/gauges/hists); the records are in
+    /// the streamed file.
     pub trace_jsonl: String,
 }
+
+/// Deferred sink construction: built on the daemon thread because sinks
+/// (telemetry is single-threaded by design) are not `Send`, while the
+/// pieces a factory captures — a `File`, a policy — are.
+type SinkFactory = Box<dyn FnOnce() -> Box<dyn Sink> + Send>;
 
 /// A monitor+wizard daemon on a background thread.
 pub struct LiveWizard {
@@ -60,7 +85,52 @@ impl LiveWizard {
     /// Bind `addr` and serve with an explicit staleness/ranking policy and
     /// clock. A [`Clock::manual`] here lets tests replay time-dependent
     /// scenarios deterministically.
+    ///
+    /// The default sink tees an accumulator (the full trace returned by
+    /// [`LiveWizard::shutdown`]) with a rollup, so a running daemon can
+    /// answer `smartsockd stats` snapshots at any time.
     pub fn spawn_with(addr: &str, policy: SelectPolicy, clock: Clock) -> io::Result<LiveWizard> {
+        Self::spawn_sink(
+            addr,
+            policy,
+            clock,
+            Box::new(|| {
+                Box::new(TeeSink::new(Box::new(AccumSink::new()), Box::new(RollupSink::new())))
+            }),
+        )
+    }
+
+    /// Like [`LiveWizard::spawn_with`], but stream the trace to `trace`
+    /// incrementally instead of accumulating it: records hit the file as
+    /// they happen (backpressure policy: a failed write drops records and
+    /// counts them, never blocking the serve loop). The rollup side stays,
+    /// so live stats queries still work.
+    pub fn spawn_streaming(
+        addr: &str,
+        policy: SelectPolicy,
+        clock: Clock,
+        trace: &Path,
+    ) -> io::Result<LiveWizard> {
+        let file = std::fs::File::create(trace)?;
+        Self::spawn_sink(
+            addr,
+            policy,
+            clock,
+            Box::new(move || {
+                Box::new(TeeSink::new(
+                    Box::new(StreamSink::new(Box::new(file), STREAM_CAP)),
+                    Box::new(RollupSink::new()),
+                ))
+            }),
+        )
+    }
+
+    fn spawn_sink(
+        addr: &str,
+        policy: SelectPolicy,
+        clock: Clock,
+        make_sink: SinkFactory,
+    ) -> io::Result<LiveWizard> {
         let sock = UdpSocket::bind(addr)?;
         let addr = sock.local_addr()?;
         let ip = endpoint_of(addr)
@@ -77,7 +147,7 @@ impl LiveWizard {
             served: Arc::clone(&served),
             records: Arc::clone(&records),
         };
-        let handle = std::thread::spawn(move || serve(sock, engine, clock, shared));
+        let handle = std::thread::spawn(move || serve(sock, engine, clock, shared, make_sink));
         Ok(LiveWizard { addr, stop, reports, served, records, handle: Some(handle) })
     }
 
@@ -142,12 +212,14 @@ fn serve(
     mut engine: WizardEngine,
     clock: Clock,
     shared: Shared,
+    make_sink: SinkFactory,
 ) -> io::Result<WizardStats> {
     // Telemetry is single-owner by design (the sim hangs it on the
     // scheduler); here the daemon thread owns it and exports at shutdown.
-    let mut tel = Telemetry::new();
+    let mut tel = Telemetry::with_sink(make_sink());
     let host = engine.endpoint().ip.to_string();
     let mut buf = [0u8; 4096];
+    let mut last_heartbeat: Option<u64> = None;
     loop {
         let (n, from) = match sock.recv_from(&mut buf) {
             Ok(x) => x,
@@ -178,9 +250,26 @@ fn serve(
                 );
             }
         }
+        // Sonar-style self-report: every so often the daemon describes
+        // itself in its own trace, same schema a probe would send about it.
+        if last_heartbeat.is_none_or(|at| now.saturating_sub(at) >= HEARTBEAT_INTERVAL_NS) {
+            last_heartbeat = Some(now);
+            heartbeat(&mut tel, &host, &shared);
+        }
         let Some(payload) = buf.get(..n) else { continue };
         if payload.is_empty() {
             // A wakeup nudge that raced a concurrent stop; nothing to do.
+            continue;
+        }
+        // `smartsockd stats` snapshot query: answered out-of-band, before
+        // the engine ever sees the payload, so a monitoring poller cannot
+        // perturb protocol handling.
+        if payload.starts_with(StatsRequest::ASCII_MAGIC.as_bytes()) {
+            tel.counter_incr("wizard-stats-requests");
+            if let Ok(q) = StatsRequest::decode(payload) {
+                let reply = stats_snapshot(&tel, q.seq, now);
+                let _ = sock.send_to(&reply.encode(), from);
+            }
             continue;
         }
         let Some(from_ep) = endpoint_of(from) else { continue };
@@ -214,9 +303,73 @@ fn serve(
         }
         shared.records.store(engine.live_servers() as u64, Ordering::SeqCst);
     }
+    // Flush a streaming sink's buffer and write its summary tail before
+    // snapshotting the trace for the caller.
+    tel.finish();
     Ok(WizardStats {
         served: shared.served.load(Ordering::SeqCst),
         reports: shared.reports.load(Ordering::SeqCst),
+        dropped: tel.dropped(),
         trace_jsonl: tel.export_jsonl(),
     })
+}
+
+/// Emit the periodic self-report: a `daemon-heartbeat` event carrying the
+/// serve counters, plus own-host gauges sampled from the real `/proc`
+/// through the same parsers the probe uses. Platforms without a parseable
+/// procfs still get the event, just not the gauges.
+fn heartbeat(tel: &mut Telemetry, host: &str, shared: &Shared) {
+    tel.counter_incr("daemon-heartbeats");
+    let served = shared.served.load(Ordering::SeqCst).to_string();
+    let reports = shared.reports.load(Ordering::SeqCst).to_string();
+    tel.event("daemon-heartbeat", host, &[("served", &served), ("reports", &reports)]);
+    if let Ok(s) = crate::probe::sample_proc(Path::new("/proc"), "lo") {
+        // Loads are centi-scaled: gauges are integers by design.
+        #[allow(clippy::cast_possible_truncation)]
+        tel.gauge_set("daemon-load1-centi", host, (s.load1 * 100.0) as i64);
+        tel.gauge_set("daemon-mem-free-bytes", host, i64::try_from(s.mem.free).unwrap_or(i64::MAX));
+        tel.gauge_set(
+            "daemon-mem-total-bytes",
+            host,
+            i64::try_from(s.mem.total).unwrap_or(i64::MAX),
+        );
+    }
+}
+
+/// Build the `smartsockd stats` reply: process-wide counters under the
+/// `daemon` scope, then the rollup's per-host/per-subnet counters and
+/// histogram summaries. Sorted-map iteration keeps row order stable, so
+/// truncation (if the frame would overflow a datagram) cuts the tail
+/// deterministically.
+fn stats_snapshot(tel: &Telemetry, seq: u32, now_ns: u64) -> StatsReply {
+    let mut counts = Vec::new();
+    {
+        let counters = tel.shared_counters();
+        for (name, value) in counters.borrow().iter() {
+            counts.push(StatsCount {
+                scope: "daemon".to_owned(),
+                name: name.clone(),
+                value: *value,
+            });
+        }
+    }
+    let mut hists = Vec::new();
+    let mut records = 0;
+    if let Some(r) = tel.rollup() {
+        records = r.records();
+        for (scope, name, value) in r.counts() {
+            counts.push(StatsCount { scope: scope.to_owned(), name: name.to_owned(), value });
+        }
+        for (scope, name, s) in r.hists() {
+            hists.push(StatsHist {
+                scope: scope.to_owned(),
+                name: name.to_owned(),
+                count: s.count,
+                p50_ns: s.p50,
+                p95_ns: s.p95,
+                p99_ns: s.p99,
+            });
+        }
+    }
+    StatsReply { seq, now_ns, records, dropped: tel.dropped(), truncated: false, counts, hists }
 }

@@ -7,7 +7,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use smartsock_live::{
-    live_request, send_live_report, Clock, FaultShim, LiveProbe, LiveSock, LiveWizard,
+    live_request, query_stats, send_live_report, Clock, FaultShim, LiveProbe, LiveSock, LiveWizard,
     RequestError, ShimPolicy,
 };
 use smartsock_probe::ProbeIdentity;
@@ -87,6 +87,68 @@ fn live_trace_carries_simulator_telemetry_names() {
     {
         assert!(trace.contains(needle), "trace missing {needle}:\n{trace}");
     }
+}
+
+#[test]
+fn stats_query_snapshots_a_running_daemon() {
+    let wiz = LiveWizard::spawn().unwrap();
+    send_live_report(wiz.addr(), &report("idle1", 1, 0.97)).unwrap();
+    wait_for_reports(&wiz, 1);
+    let _ = live_request(wiz.addr(), &req(9, 1, ""), Duration::from_millis(500), 3).unwrap();
+
+    let snap = query_stats(wiz.addr(), 0x51a7, Duration::from_millis(500), 3).unwrap();
+    assert_eq!(snap.dropped, 0);
+    let count = |scope: &str, name: &str| {
+        snap.counts
+            .iter()
+            .find(|c| c.scope == scope && c.name == name)
+            .map(|c| c.value)
+            .unwrap_or_else(|| panic!("snapshot missing {scope}/{name}: {:?}", snap.counts))
+    };
+    assert_eq!(count("daemon", "sysmon-reports"), 1);
+    assert_eq!(count("daemon", "wizard-replies"), 1);
+    // The daemon's rollup scopes its own spans by its bind host.
+    assert_eq!(count("host/127.0.0.1", "wizard-match"), 1);
+    assert!(
+        snap.hists.iter().any(|h| h.name == "wizard-match" && h.count >= 1),
+        "rollup histogram rows missing: {:?}",
+        snap.hists
+    );
+    // The query itself is counted — visible in the *next* snapshot.
+    let again = query_stats(wiz.addr(), 0x51a8, Duration::from_millis(500), 3).unwrap();
+    assert!(
+        again.counts.iter().any(|c| c.name == "wizard-stats-requests" && c.value >= 1),
+        "stats requests not counted: {:?}",
+        again.counts
+    );
+
+    // Heartbeat: the first inbound datagram carries the daemon's first
+    // self-report, so the shutdown trace records it.
+    let trace = wiz.shutdown().unwrap().trace_jsonl;
+    assert!(trace.contains("daemon-heartbeat"), "no heartbeat in trace:\n{trace}");
+}
+
+#[test]
+fn streaming_wizard_writes_the_trace_incrementally() {
+    let dir = std::env::temp_dir().join(format!("smartsock-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.jsonl");
+    let wiz =
+        LiveWizard::spawn_streaming("127.0.0.1:0", SelectPolicy::default(), Clock::wall(), &path)
+            .unwrap();
+    send_live_report(wiz.addr(), &report("idle1", 1, 0.97)).unwrap();
+    wait_for_reports(&wiz, 1);
+    // Live stats still work in stream mode (the rollup side of the tee).
+    let snap = query_stats(wiz.addr(), 0x51a9, Duration::from_millis(500), 3).unwrap();
+    assert!(snap.counts.iter().any(|c| c.name == "sysmon-reports"));
+    let stats = wiz.shutdown().unwrap();
+    assert_eq!(stats.dropped, 0);
+    let streamed = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(streamed.contains("daemon-heartbeat"), "streamed trace missing records:\n{streamed}");
+    assert!(streamed.contains("\"t\":\"counter\""), "summary tail not flushed:\n{streamed}");
+    // The in-memory copy holds only the summary (records went to the file).
+    assert!(stats.trace_jsonl.contains("sysmon-reports"));
 }
 
 #[test]

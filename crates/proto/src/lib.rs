@@ -30,6 +30,7 @@ pub mod outcome;
 pub mod request;
 pub mod security;
 pub mod services;
+pub mod stats;
 pub mod status;
 pub mod transport;
 pub mod typestate;
@@ -41,6 +42,7 @@ pub use outcome::{OutcomeKind, OutcomeReport};
 pub use request::{ReplyStatus, RequestOption, UserRequest, WizardReply, MAX_SERVERS_PER_REPLY};
 pub use security::SecurityRecord;
 pub use services::ServiceMask;
+pub use stats::{StatsCount, StatsHist, StatsReply, StatsRequest};
 pub use status::ServerStatusReport;
 pub use transport::{Transport, TransportError};
 pub use typestate::{FlowError, RequestFlow};

@@ -48,14 +48,16 @@ pub mod hist;
 pub mod json;
 pub mod merge;
 pub mod names;
+pub mod sink;
 pub mod trace;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
 use hist::Histogram;
+pub use sink::{AccumSink, Rollup, RollupSink, SharedBuf, Sink, StreamSink, TeeSink};
 
 /// The counter store. Held behind a shared handle so embedders that need a
 /// second view of the same counters (historically the `sim::Metrics`
@@ -96,17 +98,27 @@ struct OpenSpan {
     start_ns: u64,
 }
 
-/// The deterministic telemetry sink. One instance lives on the scheduler
-/// (`Scheduler::telemetry`); daemons record through it from their event
-/// handlers.
+/// The deterministic telemetry recorder. One instance lives on the
+/// scheduler (`Scheduler::telemetry`); daemons record through it from
+/// their event handlers. Records flow into a pluggable [`Sink`]
+/// ([`AccumSink`] by default — retain and export at the end); counters,
+/// gauges and histograms are bounded-size aggregates and stay here.
 pub struct Telemetry {
     now_ns: u64,
     next_span: u64,
-    records: Vec<Record>,
+    next_seq: u64,
+    sink: Box<dyn Sink>,
     open: BTreeMap<u64, OpenSpan>,
     counters: SharedCounters,
     gauges: BTreeMap<String, i64>,
     hists: BTreeMap<&'static str, Histogram>,
+    /// Sink drops already folded into the `telemetry-dropped` counter
+    /// (interior mutability: the fold happens inside `&self` exports).
+    dropped_counted: Cell<u64>,
+    /// When set, `hist` summary lines carry the raw 65-bucket counts, so
+    /// downstream merges can recombine quantiles bucket-wise. Off by
+    /// default: the default export bytes are fingerprinted.
+    export_buckets: bool,
 }
 
 impl Default for Telemetry {
@@ -117,15 +129,51 @@ impl Default for Telemetry {
 
 impl Telemetry {
     pub fn new() -> Telemetry {
+        Self::with_sink(Box::new(AccumSink::new()))
+    }
+
+    /// A recorder feeding a specific sink; see [`sink`] for the menu.
+    pub fn with_sink(sink: Box<dyn Sink>) -> Telemetry {
         Telemetry {
             now_ns: 0,
             next_span: 1,
-            records: Vec::new(),
+            next_seq: 0,
+            sink,
             open: BTreeMap::new(),
             counters: Rc::new(RefCell::new(BTreeMap::new())),
             gauges: BTreeMap::new(),
             hists: BTreeMap::new(),
+            dropped_counted: Cell::new(0),
+            export_buckets: false,
         }
+    }
+
+    /// Swap the sink, returning the old one. Install before recording:
+    /// records already delivered to the old sink do not migrate.
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) -> Box<dyn Sink> {
+        std::mem::replace(&mut self.sink, sink)
+    }
+
+    /// The installed sink.
+    pub fn sink(&self) -> &dyn Sink {
+        self.sink.as_ref()
+    }
+
+    /// Aggregate view, when the sink (or one side of a tee) folds one.
+    pub fn rollup(&self) -> Option<&Rollup> {
+        self.sink.rollup()
+    }
+
+    /// Records dropped by the sink's backpressure policy so far.
+    pub fn dropped(&self) -> u64 {
+        self.sink.dropped()
+    }
+
+    /// Include raw histogram bucket counts in exported `hist` lines (see
+    /// [`merge`]: cross-shard quantiles need them). Off by default to
+    /// keep the fingerprinted export format byte-stable.
+    pub fn set_export_buckets(&mut self, on: bool) {
+        self.export_buckets = on;
     }
 
     /// Sync the virtual clock. The scheduler calls this before dispatching
@@ -237,7 +285,7 @@ impl Telemetry {
     fn span_open(&mut self, name: &'static str, host: &str, parent: Option<u64>) -> SpanId {
         let id = self.next_span;
         self.next_span += 1;
-        self.records.push(Record::SpanStart {
+        self.push(Record::SpanStart {
             at_ns: self.now_ns,
             id,
             parent,
@@ -248,13 +296,20 @@ impl Telemetry {
         SpanId(id)
     }
 
+    /// Hand one record to the sink with its global sequence number.
+    fn push(&mut self, rec: Record) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sink.record(seq, rec);
+    }
+
     /// Close a span: emits the exit record and feeds the span's duration
     /// into the histogram of the span's name. Closing an already-closed
     /// span is a no-op.
     pub fn span_end(&mut self, id: SpanId) {
         let Some(span) = self.open.remove(&id.0) else { return };
         let dur_ns = self.now_ns.saturating_sub(span.start_ns);
-        self.records.push(Record::SpanEnd {
+        self.push(Record::SpanEnd {
             at_ns: self.now_ns,
             id: id.0,
             name: span.name,
@@ -268,7 +323,7 @@ impl Telemetry {
 
     /// Record a point-in-time event.
     pub fn event(&mut self, name: &'static str, host: &str, attrs: &[(&'static str, &str)]) {
-        self.records.push(Record::Event(EventRecord {
+        self.push(Record::Event(EventRecord {
             at_ns: self.now_ns,
             name,
             host: host.to_owned(),
@@ -278,14 +333,16 @@ impl Telemetry {
 
     // ---- queries --------------------------------------------------------
 
-    /// All records in global sequence order.
+    /// All records in global sequence order. Empty for sinks that do not
+    /// retain records (streaming, rollup-only): record-level queries are
+    /// an accumulate-mode feature.
     pub fn records(&self) -> &[Record] {
-        &self.records
+        self.sink.records()
     }
 
     /// Every event named `name`, in emission order.
     pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventRecord> {
-        self.records.iter().filter_map(move |r| match r {
+        self.records().iter().filter_map(move |r| match r {
             Record::Event(e) if e.name == name => Some(e),
             _ => None,
         })
@@ -303,7 +360,7 @@ impl Telemetry {
 
     /// Durations (ns) of every finished span named `name`, in finish order.
     pub fn span_durations_ns(&self, name: &str) -> Vec<u64> {
-        self.records
+        self.records()
             .iter()
             .filter_map(|r| match r {
                 Record::SpanEnd { name: n, dur_ns, .. } if *n == name => Some(*dur_ns),
@@ -315,61 +372,59 @@ impl Telemetry {
     /// Drop all recorded state (records, spans, counters, gauges,
     /// histograms). Used between experiment repetitions.
     pub fn clear(&mut self) {
-        self.records.clear();
+        self.sink.reset();
         self.open.clear();
         self.counters.borrow_mut().clear();
         self.gauges.clear();
         self.hists.clear();
         self.next_span = 1;
+        self.next_seq = 0;
+        self.dropped_counted.set(0);
     }
 
     // ---- export ---------------------------------------------------------
 
     /// Serialize the full trace as JSONL: records in sequence order, then
     /// `counter`, `gauge` and `hist` lines sorted by name. Byte-identical
-    /// across same-seed runs.
+    /// across same-seed runs. For non-retaining sinks only the summary
+    /// tail comes out — the records already left through the sink.
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
-        for (seq, r) in self.records.iter().enumerate() {
-            match r {
-                Record::SpanStart { at_ns, id, parent, name, host } => {
-                    let parent = match parent {
-                        Some(p) => p.to_string(),
-                        None => "null".to_owned(),
-                    };
-                    let _ = writeln!(
-                        out,
-                        "{{\"t\":\"span-start\",\"seq\":{seq},\"ns\":{at_ns},\"id\":{id},\
-                         \"parent\":{parent},\"name\":\"{name}\",\"host\":\"{}\"}}",
-                        json::escape(host),
-                    );
-                }
-                Record::SpanEnd { at_ns, id, name, host, dur_ns } => {
-                    let _ = writeln!(
-                        out,
-                        "{{\"t\":\"span-end\",\"seq\":{seq},\"ns\":{at_ns},\"id\":{id},\
-                         \"name\":\"{name}\",\"host\":\"{}\",\"dur_ns\":{dur_ns}}}",
-                        json::escape(host),
-                    );
-                }
-                Record::Event(e) => {
-                    let mut attrs = String::new();
-                    for (i, (k, v)) in e.attrs.iter().enumerate() {
-                        if i > 0 {
-                            attrs.push(',');
-                        }
-                        let _ = write!(attrs, "\"{k}\":\"{}\"", json::escape(v));
-                    }
-                    let _ = writeln!(
-                        out,
-                        "{{\"t\":\"event\",\"seq\":{seq},\"ns\":{},\"name\":\"{}\",\
-                         \"host\":\"{}\",\"attrs\":{{{attrs}}}}}",
-                        e.at_ns,
-                        e.name,
-                        json::escape(&e.host),
-                    );
-                }
-            }
+        for (seq, r) in self.sink.records().iter().enumerate() {
+            sink::write_record_line(&mut out, seq as u64, r);
+        }
+        out.push_str(&self.summary_tail());
+        out
+    }
+
+    /// End of run for streaming sinks: flush buffered record lines and
+    /// write the summary tail to the sink's destination, so the streamed
+    /// file carries exactly the bytes [`Telemetry::export_jsonl`] would
+    /// have produced. No-op for accumulating sinks.
+    pub fn finish(&mut self) {
+        let tail = self.summary_tail();
+        self.sink.finish(&tail);
+    }
+
+    /// The summary lines every export ends with: an optional
+    /// `{"t":"sink",...}` trailer (only when records were dropped, so an
+    /// untruncated trace keeps its historical bytes), then `counter`,
+    /// `gauge` and `hist` lines sorted by name. Folds the sink's drop
+    /// total into the `telemetry-dropped` counter first.
+    fn summary_tail(&self) -> String {
+        let dropped = self.sink.dropped();
+        if dropped > self.dropped_counted.get() {
+            let delta = dropped - self.dropped_counted.get();
+            *self.counters.borrow_mut().entry("telemetry-dropped".to_owned()).or_insert(0) += delta;
+            self.dropped_counted.set(dropped);
+        }
+        let mut out = String::new();
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"t\":\"sink\",\"kind\":\"{}\",\"dropped\":{dropped}}}",
+                self.sink.kind(),
+            );
         }
         for (name, value) in self.counters.borrow().iter() {
             let _ = writeln!(
@@ -387,12 +442,23 @@ impl Telemetry {
         }
         for (name, h) in &self.hists {
             if let Some(s) = h.summary() {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{{\"t\":\"hist\",\"name\":\"{name}\",\"count\":{},\"sum\":{},\
-                     \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                     \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
                     s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99,
                 );
+                if self.export_buckets {
+                    out.push_str(",\"buckets\":[");
+                    for (i, (idx, n)) in h.nonzero_buckets().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{idx},{n}]");
+                    }
+                    out.push(']');
+                }
+                out.push_str("}\n");
             }
         }
         out

@@ -7,22 +7,30 @@
 //! telemetry merge <out.jsonl> <label=trace.jsonl>...
 //!                                              merge shard exports into one
 //!                                              trace (global seq, offset ids)
+//! telemetry tail [--lines N] [--follow] <trace.jsonl>
+//!                                              last N lines; with --follow keep
+//!                                              printing as the file grows
+//! telemetry rollup [--json] <trace.jsonl>      per-host/per-subnet aggregates
 //! ```
 //!
 //! `--json` renders the same aggregates as a single machine-readable JSON
 //! document (stable field order, sorted maps) so `smartsock-profile` and
 //! scripts can consume them without scraping the human tables.
+//!
+//! Every command tolerates a closed downstream pipe (`| head` exits the
+//! reader first): writes stop and the process exits clean.
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 use std::fmt::Write as _;
-use std::io::{ErrorKind, Write};
+use std::io::{ErrorKind, Read as _, Seek, SeekFrom, Write};
 use std::process::ExitCode;
 
 use smartsock_telemetry::json;
 use smartsock_telemetry::trace::Trace;
+use smartsock_telemetry::Rollup;
 
-const USAGE: &str = "usage:\n  telemetry summary [--json] <trace.jsonl>\n  telemetry timeline <host> <trace.jsonl>\n  telemetry slowest [--json] <n> <trace.jsonl>\n  telemetry merge <out.jsonl> <label=trace.jsonl>...\n";
+const USAGE: &str = "usage:\n  telemetry summary [--json] <trace.jsonl>\n  telemetry timeline <host> <trace.jsonl>\n  telemetry slowest [--json] <n> <trace.jsonl>\n  telemetry merge <out.jsonl> <label=trace.jsonl>...\n  telemetry tail [--lines N] [--follow] <trace.jsonl>\n  telemetry rollup [--json] <trace.jsonl>\n";
 
 enum CmdError {
     /// User-facing failure: print to stderr, exit non-zero.
@@ -95,6 +103,16 @@ fn cmd_summary(out: &mut impl Write, path: &str, as_json: bool) -> Result<(), Cm
         let value = tr.counters.get(*name).copied().unwrap_or(0);
         writeln!(out, "  {name:<32} {value:>8}")?;
     }
+    let (kind, dropped) = sink_meta(&tr);
+    if dropped > 0 {
+        writeln!(
+            out,
+            "sink: {}, dropped {dropped} record(s) -- trace is INCOMPLETE",
+            kind.unwrap_or("unknown")
+        )?;
+    } else {
+        writeln!(out, "sink: complete (no dropped records)")?;
+    }
     let span_total: u64 = spans.iter().map(|s| s.1).sum();
     let event_total: u64 = events.iter().map(|e| e.1).sum();
     writeln!(
@@ -104,6 +122,15 @@ fn cmd_summary(out: &mut impl Write, path: &str, as_json: bool) -> Result<(), Cm
         tr.counters.len()
     )?;
     Ok(())
+}
+
+/// The sink metadata of a trace: the writing sink's kind (from the
+/// `{"t":"sink",...}` trailer, when present) and the dropped-record
+/// total. The trailer is authoritative; the `telemetry-dropped` counter
+/// is the fallback for traces whose trailer was itself lost.
+fn sink_meta(tr: &Trace) -> (Option<&str>, u64) {
+    let counted = tr.counters.get("telemetry-dropped").copied().unwrap_or(0);
+    (tr.sink_kind.as_deref(), tr.sink_dropped.max(counted))
 }
 
 fn cmd_timeline(out: &mut impl Write, host: &str, path: &str) -> Result<(), CmdError> {
@@ -195,13 +222,159 @@ fn summary_json(tr: &Trace) -> String {
     }
     let span_total: u64 = spans.iter().map(|s| s.1).sum();
     let event_total: u64 = events.iter().map(|e| e.1).sum();
+    let (kind, dropped) = sink_meta(tr);
+    let kind = match kind {
+        Some(k) => format!("\"{}\"", json::escape(k)),
+        None => "null".to_owned(),
+    };
     let _ = write!(
         s,
-        "}},\"totals\":{{\"spans\":{span_total},\"span_names\":{},\"events\":{event_total},\
+        "}},\"sink\":{{\"kind\":{kind},\"dropped\":{dropped},\"complete\":{}}},\
+         \"totals\":{{\"spans\":{span_total},\"span_names\":{},\"events\":{event_total},\
          \"counters\":{}}}}}",
+        dropped == 0,
         spans.len(),
         tr.counters.len(),
     );
+    s
+}
+
+/// `tail [--lines N] [--follow] <trace.jsonl>`: print the last `N`
+/// complete lines of the file, then — in follow mode — keep printing new
+/// complete lines as the stream grows, the natural companion of a
+/// `StreamSink`-written trace. A truncated/rotated file restarts from its
+/// beginning; a closed downstream pipe ends the command cleanly.
+fn cmd_tail(out: &mut impl Write, args: &[&str]) -> Result<(), CmdError> {
+    let mut lines = 10usize;
+    let mut follow = false;
+    let mut path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--follow" => follow = true,
+            "--lines" => {
+                let n = it.next().ok_or_else(|| CmdError::Msg(USAGE.to_owned()))?;
+                lines =
+                    n.parse().map_err(|_| CmdError::Msg(format!("telemetry: not a count: {n}")))?;
+            }
+            p if path.is_none() && !p.starts_with('-') => path = Some(p),
+            _ => return Err(CmdError::Msg(USAGE.to_owned())),
+        }
+    }
+    let path = path.ok_or_else(|| CmdError::Msg(USAGE.to_owned()))?;
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| CmdError::Msg(format!("telemetry: cannot read {path}: {e}")))?;
+
+    // Initial window: last `lines` complete lines. Anything after the
+    // final newline is a partial line still being written; it stays
+    // buffered in `carry` until its newline arrives.
+    let mut text = String::new();
+    f.read_to_string(&mut text)
+        .map_err(|e| CmdError::Msg(format!("telemetry: cannot read {path}: {e}")))?;
+    let mut pos = text.len() as u64;
+    let complete = match text.rfind('\n') {
+        Some(i) => &text[..=i],
+        None => "",
+    };
+    let mut carry = text[complete.len()..].to_owned();
+    let window: Vec<&str> = complete.lines().collect();
+    let skip = window.len().saturating_sub(lines);
+    for line in &window[skip..] {
+        writeln!(out, "{line}")?;
+    }
+    out.flush()?;
+    if !follow {
+        return Ok(());
+    }
+    loop {
+        // CLI pacing between file-size polls; nothing simulated runs here.
+        // analyze: allow(SS-DET-004): follow-mode poll interval of an offline CLI, not sim code
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let len = f
+            .metadata()
+            .map_err(|e| CmdError::Msg(format!("telemetry: cannot stat {path}: {e}")))?
+            .len();
+        if len < pos {
+            // Truncated or rotated underneath us: start over.
+            f.seek(SeekFrom::Start(0))
+                .map_err(|e| CmdError::Msg(format!("telemetry: cannot seek {path}: {e}")))?;
+            pos = 0;
+            carry.clear();
+        }
+        if len == pos {
+            continue;
+        }
+        let mut chunk = String::new();
+        f.read_to_string(&mut chunk)
+            .map_err(|e| CmdError::Msg(format!("telemetry: cannot read {path}: {e}")))?;
+        pos += chunk.len() as u64;
+        carry.push_str(&chunk);
+        while let Some(i) = carry.find('\n') {
+            writeln!(out, "{}", &carry[..i])?;
+            carry.drain(..=i);
+        }
+        out.flush()?;
+    }
+}
+
+/// `rollup [--json] <trace.jsonl>`: fold the trace's records into
+/// per-host / per-subnet aggregates — the offline twin of the live
+/// `smartsockd stats` snapshot.
+fn cmd_rollup(out: &mut impl Write, path: &str, as_json: bool) -> Result<(), CmdError> {
+    let tr = load(path)?;
+    let mut rollup = Rollup::default();
+    for s in &tr.spans {
+        rollup.fold_span(&s.host, &s.name, s.dur_ns);
+    }
+    for e in &tr.events {
+        rollup.fold_event(&e.host, &e.name);
+    }
+    if as_json {
+        writeln!(out, "{}", rollup_json(&rollup))?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{:<28} {:<32} {:>8} {:>12} {:>12} {:>12}",
+        "scope", "name", "count", "p50-ns", "p95-ns", "p99-ns"
+    )?;
+    for (scope, name, count) in rollup.counts() {
+        match rollup.hist_summary(scope, name) {
+            Some(h) => writeln!(
+                out,
+                "{scope:<28} {name:<32} {count:>8} {:>12} {:>12} {:>12}",
+                h.p50, h.p95, h.p99
+            )?,
+            None => writeln!(
+                out,
+                "{scope:<28} {name:<32} {count:>8} {:>12} {:>12} {:>12}",
+                "-", "-", "-"
+            )?,
+        }
+    }
+    writeln!(out, "total: {} records folded", rollup.records())?;
+    Ok(())
+}
+
+/// `rollup --json`: sorted rows plus the fold total.
+fn rollup_json(rollup: &Rollup) -> String {
+    let mut s = String::from("{\"rows\":[");
+    for (i, (scope, name, count)) in rollup.counts().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"scope\":\"{}\",\"name\":\"{}\",\"count\":{count}",
+            json::escape(scope),
+            json::escape(name),
+        );
+        if let Some(h) = rollup.hist_summary(scope, name) {
+            let _ = write!(s, ",\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}", h.p50, h.p95, h.p99);
+        }
+        s.push('}');
+    }
+    let _ = write!(s, "],\"records\":{}}}", rollup.records());
     s
 }
 
@@ -244,6 +417,8 @@ fn main() -> ExitCode {
         ["timeline", host, path] if !as_json => cmd_timeline(&mut out, host, path),
         ["slowest", n, path] => cmd_slowest(&mut out, n, path, as_json),
         ["merge", out_path, ref shards @ ..] if !as_json => cmd_merge(out_path, shards),
+        ["tail", ref rest @ ..] if !as_json && !rest.is_empty() => cmd_tail(&mut out, rest),
+        ["rollup", path] => cmd_rollup(&mut out, path, as_json),
         _ => Err(CmdError::Msg(USAGE.to_owned())),
     };
     let result = result.and_then(|()| out.flush().map_err(CmdError::from));
@@ -318,6 +493,69 @@ mod tests {
                 .any(|l| l.contains("wizard-quarantined-assignments") && l.ends_with("0")),
             "zero counters must be shown, not omitted: {reliability}"
         );
+    }
+
+    #[test]
+    fn tail_prints_only_the_last_complete_lines() {
+        let path = std::env::temp_dir().join("smartsock-telemetry-tail-test.jsonl");
+        std::fs::write(&path, "one\ntwo\nthree\nfour\npartial-no-newline").unwrap();
+        let mut out = Vec::new();
+        cmd_tail(&mut out, &["--lines", "2", path.to_str().unwrap()])
+            .unwrap_or_else(|_| panic!("tail fails"));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(String::from_utf8(out).unwrap(), "three\nfour\n");
+    }
+
+    #[test]
+    fn tail_rejects_bad_flags_and_missing_path() {
+        let mut out = Vec::new();
+        assert!(matches!(cmd_tail(&mut out, &["--lines", "x", "t.jsonl"]), Err(CmdError::Msg(_))));
+        assert!(matches!(cmd_tail(&mut out, &["--follow"]), Err(CmdError::Msg(_))));
+        assert!(matches!(cmd_tail(&mut out, &["--frobnicate", "t.jsonl"]), Err(CmdError::Msg(_))));
+    }
+
+    #[test]
+    fn rollup_folds_hosts_and_subnets_from_a_trace_file() {
+        let mut t = Telemetry::new();
+        t.set_now(100);
+        let a = t.span_start("client-request", "10.0.1.5");
+        t.set_now(600);
+        t.span_end(a);
+        t.event("fault-injected", "10.0.1.9", &[("kind", "host-crash")]);
+        let path = std::env::temp_dir().join("smartsock-telemetry-rollup-test.jsonl");
+        std::fs::write(&path, t.export_jsonl()).unwrap();
+
+        let mut out = Vec::new();
+        cmd_rollup(&mut out, path.to_str().unwrap(), false)
+            .unwrap_or_else(|_| panic!("rollup fails"));
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("host/10.0.1.5"), "per-host scope missing: {text}");
+        assert!(text.contains("subnet/10.0.1.0/24"), "subnet scope missing: {text}");
+        // One finished span + one event; span-starts fold into their ends.
+        assert!(text.contains("total: 2 records folded"), "fold total wrong: {text}");
+
+        let mut jout = Vec::new();
+        cmd_rollup(&mut jout, path.to_str().unwrap(), true)
+            .unwrap_or_else(|_| panic!("rollup --json fails"));
+        let _ = std::fs::remove_file(&path);
+        let doc = String::from_utf8(jout).unwrap();
+        let v = json::parse(doc.trim()).expect("rollup --json must emit valid JSON");
+        assert_eq!(v.get("records").unwrap().as_u64(), Some(2));
+        let rows = match v.get("rows") {
+            Some(json::Value::Arr(xs)) => xs,
+            other => panic!("rows: {other:?}"),
+        };
+        // Two scopes for the span + two for the event, one row each.
+        assert_eq!(rows.len(), 4);
+        let span_row = rows
+            .iter()
+            .find(|r| {
+                r.get("scope").unwrap().as_str() == Some("host/10.0.1.5")
+                    && r.get("name").unwrap().as_str() == Some("client-request")
+            })
+            .expect("span row present");
+        assert_eq!(span_row.get("count").unwrap().as_u64(), Some(1));
+        assert!(span_row.get("p50_ns").unwrap().as_u64().is_some(), "span rows carry quantiles");
     }
 
     #[test]

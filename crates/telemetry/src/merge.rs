@@ -9,35 +9,49 @@
 //! * `seq` is strictly increasing over all record lines of a document, and
 //! * span `id`s are unique, so parent pointers join unambiguously.
 //!
-//! [`merge_jsonl`] restores both: shards are emitted in the caller's order
-//! (the caller sorts by the stable (experiment, seed) key), each prefixed
-//! with a `{"t":"shard",...}` header line, record `seq` numbers are
-//! rewritten to one global sequence and span `id`/`parent` fields are
-//! offset per shard past every id of the shards before it. Summary lines
-//! are merged across shards and appended once, sorted by name, mirroring
-//! the single-sink export layout:
+//! [`Merger`] restores both, incrementally: shards are pushed in the
+//! caller's order (the caller sorts by the stable (experiment, seed) key),
+//! each prefixed with a `{"t":"shard",...}` header line; record `seq`
+//! numbers are rewritten to one global sequence and span `id`/`parent`
+//! fields are offset per shard past every id of the shards before it.
+//! Record lines are written straight through to the output, so memory
+//! stays bounded by one shard plus the summary accumulators no matter how
+//! many shards stream past. Summary lines are merged across shards and
+//! appended once by [`Merger::finish`], sorted by name, mirroring the
+//! single-sink export layout:
 //!
 //! * **counters** sum (they are monotone totals);
 //! * **gauges** are last-write-wins in shard order, matching the in-process
 //!   semantics of a gauge;
-//! * **histograms** sum `count`/`sum` and combine `min`/`max`; the
-//!   `p50`/`p95`/`p99` quantiles are *omitted* when a name occurs in more
-//!   than one shard — quantiles of a distribution cannot be recovered from
-//!   per-shard summaries, and a wrong number is worse than a missing field
-//!   (the parser treats them as optional).
+//! * **histograms** sum `count`/`sum` and combine `min`/`max`. When every
+//!   contributing shard exported its raw bucket counts
+//!   ([`crate::Telemetry::set_export_buckets`]), the 65 log2 buckets are
+//!   summed bucket-wise and `p50`/`p95`/`p99` are recomputed from the
+//!   combined histogram — cross-shard quantiles with full fidelity (the
+//!   merged buckets are re-emitted so merges nest). Without buckets the
+//!   quantiles are *omitted* for names spanning more than one shard:
+//!   quantiles of a distribution cannot be recovered from per-shard
+//!   summaries, and a wrong number is worse than a missing field (the
+//!   parser treats them as optional).
 //!
 //! The output is a pure function of the input sequence, so two runs that
 //! produce the same shards in the same order merge to byte-identical
 //! documents regardless of how many worker threads raced to produce them.
 //! Malformed or unknown lines are dropped (counted per the returned
 //! [`Merged::dropped`]), keeping the artifact schema-clean.
+//!
+//! [`merge_jsonl`] wraps a [`Merger`] over an in-memory buffer for callers
+//! that want the whole document as a `String`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io;
 
+use crate::hist::Histogram;
 use crate::json::{self, Value};
 
-/// Result of a merge: the combined document plus drop accounting.
+/// Result of an in-memory merge: the combined document plus drop
+/// accounting.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Merged {
     /// The merged JSONL document.
@@ -54,212 +68,313 @@ struct HistAcc {
     min: u64,
     max: u64,
     /// Quantiles of the single shard that defined this name, kept only
-    /// while exactly one shard has contributed.
+    /// while exactly one shard has contributed (the bucketless fallback).
     quantiles: Option<(u64, u64, u64)>,
+    /// Dense 65-bucket sum, alive only while *every* contributing shard
+    /// carried bucket counts.
+    buckets: Option<Vec<u64>>,
     shards: u32,
 }
 
-/// Merge per-shard JSONL exports into one document. Shards are `(label,
-/// jsonl)` pairs in the caller's (stable) order; the label lands in the
-/// shard header line so queries can attribute records to their cell.
-pub fn merge_jsonl<'a, I>(shards: I) -> Merged
-where
-    I: IntoIterator<Item = (&'a str, &'a str)>,
-{
-    let mut out = String::new();
-    let mut dropped = 0usize;
-    let mut seq = 0u64;
-    let mut id_base = 0u64;
-    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-    let mut gauges: BTreeMap<String, String> = BTreeMap::new();
-    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+/// Streaming shard merger over any [`io::Write`]; see the module docs.
+pub struct Merger<W: io::Write> {
+    out: W,
+    dropped: usize,
+    seq: u64,
+    id_base: u64,
+    index: usize,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, String>,
+    hists: BTreeMap<String, HistAcc>,
+}
 
-    for (index, (label, src)) in shards.into_iter().enumerate() {
-        let _ = writeln!(
+impl<W: io::Write> Merger<W> {
+    pub fn new(out: W) -> Merger<W> {
+        Merger {
             out,
-            "{{\"t\":\"shard\",\"seq\":{seq},\"index\":{index},\"label\":\"{}\"}}",
+            dropped: 0,
+            seq: 0,
+            id_base: 0,
+            index: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// Lines dropped so far.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Append one shard: header line plus its record lines (rewritten),
+    /// summaries folded into the accumulators.
+    pub fn push_shard(&mut self, label: &str, src: &str) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"t\":\"shard\",\"seq\":{},\"index\":{},\"label\":\"{}\"}}",
+            self.seq,
+            self.index,
             json::escape(label),
-        );
-        seq += 1;
+        )?;
+        self.seq += 1;
+        self.index += 1;
         let mut max_id = 0u64;
         for line in src.lines() {
             if line.trim().is_empty() {
                 continue;
             }
-            let Some(v) = json::parse(line) else {
-                dropped += 1;
-                continue;
-            };
-            if merge_line(
-                &v,
-                &mut out,
-                &mut seq,
-                id_base,
-                &mut max_id,
-                &mut counters,
-                &mut gauges,
-                &mut hists,
-            )
-            .is_none()
-            {
-                dropped += 1;
+            let parsed = json::parse(line);
+            let action = parsed.as_ref().and_then(|v| self.fold_line(v, &mut max_id));
+            match action {
+                None => self.dropped += 1,
+                Some(None) => {}
+                Some(Some(rendered)) => self.out.write_all(rendered.as_bytes())?,
             }
         }
-        id_base += max_id;
+        self.id_base += max_id;
+        Ok(())
     }
 
-    for (name, value) in &counters {
-        let _ = writeln!(
-            out,
-            "{{\"t\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
-            json::escape(name)
-        );
-    }
-    for (name, raw) in &gauges {
-        let _ = writeln!(
-            out,
-            "{{\"t\":\"gauge\",\"name\":\"{}\",\"value\":{raw}}}",
-            json::escape(name)
-        );
-    }
-    for (name, h) in &hists {
-        let _ = write!(
-            out,
-            "{{\"t\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
-            json::escape(name),
-            h.count,
-            h.sum,
-            h.min,
-            h.max,
-        );
-        if let (1, Some((p50, p95, p99))) = (h.shards, h.quantiles) {
-            let _ = write!(out, ",\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}");
+    /// Write the merged summary lines and flush. Returns the total number
+    /// of dropped lines.
+    pub fn finish(mut self) -> io::Result<usize> {
+        for (name, value) in &self.counters {
+            writeln!(
+                self.out,
+                "{{\"t\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                json::escape(name)
+            )?;
         }
-        out.push_str("}\n");
+        for (name, raw) in &self.gauges {
+            writeln!(
+                self.out,
+                "{{\"t\":\"gauge\",\"name\":\"{}\",\"value\":{raw}}}",
+                json::escape(name)
+            )?;
+        }
+        for (name, h) in &self.hists {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"t\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                json::escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+            );
+            // Bucket-wise path: every shard carried buckets, so the
+            // combined histogram is exact and its quantiles are real.
+            let combined = h.buckets.as_ref().and_then(|b| {
+                Histogram::from_parts(
+                    b.iter().copied().enumerate().filter(|&(_, n)| n > 0),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                )
+            });
+            if let Some(combined) = combined.as_ref().and_then(Histogram::summary) {
+                let _ = write!(
+                    line,
+                    ",\"p50\":{},\"p95\":{},\"p99\":{}",
+                    combined.p50, combined.p95, combined.p99
+                );
+                line.push_str(",\"buckets\":[");
+                if let Some(b) = &h.buckets {
+                    let mut first = true;
+                    for (i, n) in b.iter().copied().enumerate().filter(|&(_, n)| n > 0) {
+                        if !first {
+                            line.push(',');
+                        }
+                        first = false;
+                        let _ = write!(line, "[{i},{n}]");
+                    }
+                }
+                line.push(']');
+            } else if let (1, Some((p50, p95, p99))) = (h.shards, h.quantiles) {
+                // Bucketless fallback: a single shard's own quantiles
+                // still hold verbatim.
+                let _ = write!(line, ",\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}");
+            }
+            line.push_str("}\n");
+            self.out.write_all(line.as_bytes())?;
+        }
+        self.out.flush()?;
+        Ok(self.dropped)
     }
-    Merged { jsonl: out, dropped }
+
+    /// Classify one parsed line: `None` = drop it; `Some(None)` = folded
+    /// into a summary accumulator; `Some(Some(s))` = a record line,
+    /// re-rendered with the rewritten `seq`/`id`, ready to write.
+    fn fold_line(&mut self, v: &Value, max_id: &mut u64) -> Option<Option<String>> {
+        let esc = |key: &str| v.get(key).and_then(Value::as_str).map(json::escape);
+        let mut out = String::new();
+        match v.get("t")?.as_str()? {
+            "span-start" => {
+                let id = v.get("id")?.as_u64()?;
+                *max_id = (*max_id).max(id);
+                let parent = match v.get("parent").and_then(Value::as_u64) {
+                    Some(p) => (p + self.id_base).to_string(),
+                    None => "null".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"span-start\",\"seq\":{},\"ns\":{},\"id\":{},\
+                     \"parent\":{parent},\"name\":\"{}\",\"host\":\"{}\"}}",
+                    self.seq,
+                    v.get("ns")?.as_u64()?,
+                    id + self.id_base,
+                    esc("name")?,
+                    esc("host")?,
+                );
+                self.seq += 1;
+            }
+            "span-end" => {
+                let id = v.get("id")?.as_u64()?;
+                *max_id = (*max_id).max(id);
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"span-end\",\"seq\":{},\"ns\":{},\"id\":{},\
+                     \"name\":\"{}\",\"host\":\"{}\",\"dur_ns\":{}}}",
+                    self.seq,
+                    v.get("ns")?.as_u64()?,
+                    id + self.id_base,
+                    esc("name")?,
+                    esc("host")?,
+                    v.get("dur_ns")?.as_u64()?,
+                );
+                self.seq += 1;
+            }
+            "event" => {
+                let mut attrs = String::new();
+                if let Some(Value::Obj(m)) = v.get("attrs") {
+                    for (i, (k, val)) in m.iter().enumerate() {
+                        if i > 0 {
+                            attrs.push(',');
+                        }
+                        let _ = write!(
+                            attrs,
+                            "\"{}\":\"{}\"",
+                            json::escape(k),
+                            json::escape(val.as_str().unwrap_or_default()),
+                        );
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"event\",\"seq\":{},\"ns\":{},\"name\":\"{}\",\
+                     \"host\":\"{}\",\"attrs\":{{{attrs}}}}}",
+                    self.seq,
+                    v.get("ns")?.as_u64()?,
+                    esc("name")?,
+                    esc("host")?,
+                );
+                self.seq += 1;
+            }
+            "counter" => {
+                let name = v.get("name")?.as_str()?.to_owned();
+                *self.counters.entry(name).or_insert(0) += v.get("value")?.as_u64()?;
+                return Some(None);
+            }
+            "gauge" => {
+                // Keep the raw number text (gauges are i64; re-parsing through
+                // a float could perturb it). Later shards overwrite: gauges are
+                // last-write-wins in process, so they are in the merge too.
+                let name = v.get("name")?.as_str()?.to_owned();
+                let raw = match v.get("value")? {
+                    Value::Num(s) => s.clone(),
+                    _ => return None,
+                };
+                self.gauges.insert(name, raw);
+                return Some(None);
+            }
+            "hist" => {
+                let name = v.get("name")?.as_str()?.to_owned();
+                let count = v.get("count")?.as_u64()?;
+                let sum = v.get("sum")?.as_u64()?;
+                let min = v.get("min")?.as_u64()?;
+                let max = v.get("max")?.as_u64()?;
+                let q = match (
+                    v.get("p50").and_then(Value::as_u64),
+                    v.get("p95").and_then(Value::as_u64),
+                    v.get("p99").and_then(Value::as_u64),
+                ) {
+                    (Some(a), Some(b), Some(c)) => Some((a, b, c)),
+                    _ => None,
+                };
+                let buckets = parse_buckets(v);
+                let h = self.hists.entry(name).or_default();
+                if h.shards == 0 {
+                    h.min = min;
+                    h.max = max;
+                    h.quantiles = q;
+                    h.buckets = buckets;
+                } else {
+                    h.min = h.min.min(min);
+                    h.max = h.max.max(max);
+                    h.quantiles = None;
+                    h.buckets = match (h.buckets.take(), buckets) {
+                        (Some(mut acc), Some(b)) => {
+                            for (slot, n) in acc.iter_mut().zip(b) {
+                                *slot += n;
+                            }
+                            Some(acc)
+                        }
+                        // One bucketless shard poisons the name: a partial
+                        // bucket sum would fake exactness.
+                        _ => None,
+                    };
+                }
+                h.count += count;
+                h.sum += sum;
+                h.shards += 1;
+                return Some(None);
+            }
+            // A sink trailer describes the shard's own stream, not the
+            // merged document; its drop total already reached the
+            // `telemetry-dropped` counter.
+            "sink" => return Some(None),
+            _ => return None,
+        }
+        Some(Some(out))
+    }
 }
 
-/// Re-serialize one record line with the rewritten `seq`/`id`, or fold a
-/// summary line into the cross-shard accumulators. `None` = unknown type
-/// or missing fields: the line is dropped.
-#[allow(clippy::too_many_arguments)]
-fn merge_line(
-    v: &Value,
-    out: &mut String,
-    seq: &mut u64,
-    id_base: u64,
-    max_id: &mut u64,
-    counters: &mut BTreeMap<String, u64>,
-    gauges: &mut BTreeMap<String, String>,
-    hists: &mut BTreeMap<String, HistAcc>,
-) -> Option<()> {
-    let esc = |key: &str| v.get(key).and_then(Value::as_str).map(json::escape);
-    match v.get("t")?.as_str()? {
-        "span-start" => {
-            let id = v.get("id")?.as_u64()?;
-            *max_id = (*max_id).max(id);
-            let parent = match v.get("parent").and_then(Value::as_u64) {
-                Some(p) => (p + id_base).to_string(),
-                None => "null".to_owned(),
-            };
-            let _ = writeln!(
-                out,
-                "{{\"t\":\"span-start\",\"seq\":{seq},\"ns\":{},\"id\":{},\
-                 \"parent\":{parent},\"name\":\"{}\",\"host\":\"{}\"}}",
-                v.get("ns")?.as_u64()?,
-                id + id_base,
-                esc("name")?,
-                esc("host")?,
-            );
-            *seq += 1;
-        }
-        "span-end" => {
-            let id = v.get("id")?.as_u64()?;
-            *max_id = (*max_id).max(id);
-            let _ = writeln!(
-                out,
-                "{{\"t\":\"span-end\",\"seq\":{seq},\"ns\":{},\"id\":{},\
-                 \"name\":\"{}\",\"host\":\"{}\",\"dur_ns\":{}}}",
-                v.get("ns")?.as_u64()?,
-                id + id_base,
-                esc("name")?,
-                esc("host")?,
-                v.get("dur_ns")?.as_u64()?,
-            );
-            *seq += 1;
-        }
-        "event" => {
-            let mut attrs = String::new();
-            if let Some(Value::Obj(m)) = v.get("attrs") {
-                for (i, (k, val)) in m.iter().enumerate() {
-                    if i > 0 {
-                        attrs.push(',');
-                    }
-                    let _ = write!(
-                        attrs,
-                        "\"{}\":\"{}\"",
-                        json::escape(k),
-                        json::escape(val.as_str().unwrap_or_default()),
-                    );
-                }
-            }
-            let _ = writeln!(
-                out,
-                "{{\"t\":\"event\",\"seq\":{seq},\"ns\":{},\"name\":\"{}\",\
-                 \"host\":\"{}\",\"attrs\":{{{attrs}}}}}",
-                v.get("ns")?.as_u64()?,
-                esc("name")?,
-                esc("host")?,
-            );
-            *seq += 1;
-        }
-        "counter" => {
-            let name = v.get("name")?.as_str()?.to_owned();
-            *counters.entry(name).or_insert(0) += v.get("value")?.as_u64()?;
-        }
-        "gauge" => {
-            // Keep the raw number text (gauges are i64; re-parsing through
-            // a float could perturb it). Later shards overwrite: gauges are
-            // last-write-wins in process, so they are in the merge too.
-            let name = v.get("name")?.as_str()?.to_owned();
-            let raw = match v.get("value")? {
-                Value::Num(s) => s.clone(),
-                _ => return None,
-            };
-            gauges.insert(name, raw);
-        }
-        "hist" => {
-            let name = v.get("name")?.as_str()?.to_owned();
-            let count = v.get("count")?.as_u64()?;
-            let sum = v.get("sum")?.as_u64()?;
-            let min = v.get("min")?.as_u64()?;
-            let max = v.get("max")?.as_u64()?;
-            let q = match (
-                v.get("p50").and_then(Value::as_u64),
-                v.get("p95").and_then(Value::as_u64),
-                v.get("p99").and_then(Value::as_u64),
-            ) {
-                (Some(a), Some(b), Some(c)) => Some((a, b, c)),
-                _ => None,
-            };
-            let h = hists.entry(name).or_default();
-            if h.shards == 0 {
-                h.min = min;
-                h.max = max;
-                h.quantiles = q;
-            } else {
-                h.min = h.min.min(min);
-                h.max = h.max.max(max);
-                h.quantiles = None;
-            }
-            h.count += count;
-            h.sum += sum;
-            h.shards += 1;
-        }
-        _ => return None,
+/// The optional `"buckets":[[index,count],...]` field as a dense 65-slot
+/// vector. `None` when absent or malformed.
+fn parse_buckets(v: &Value) -> Option<Vec<u64>> {
+    let Value::Arr(pairs) = v.get("buckets")? else { return None };
+    let mut dense = vec![0u64; 65];
+    for pair in pairs {
+        let Value::Arr(kv) = pair else { return None };
+        let (i, n) = match kv.as_slice() {
+            [i, n] => (i.as_u64()?, n.as_u64()?),
+            _ => return None,
+        };
+        let slot = dense.get_mut(usize::try_from(i).ok()?)?;
+        *slot = slot.checked_add(n)?;
     }
-    Some(())
+    Some(dense)
+}
+
+/// Merge per-shard JSONL exports into one in-memory document. Shards are
+/// `(label, jsonl)` pairs in the caller's (stable) order; the label lands
+/// in the shard header line so queries can attribute records to their
+/// cell.
+pub fn merge_jsonl<'a, I>(shards: I) -> Merged
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut buf: Vec<u8> = Vec::new();
+    let mut merger = Merger::new(&mut buf);
+    for (label, src) in shards {
+        // Writes into a Vec cannot fail.
+        let _ = merger.push_shard(label, src);
+    }
+    let dropped = merger.finish().unwrap_or(0);
+    Merged { jsonl: String::from_utf8_lossy(&buf).into_owned(), dropped }
 }
 
 #[cfg(test)]
@@ -354,7 +469,7 @@ mod tests {
     }
 
     #[test]
-    fn hist_quantiles_survive_single_shard_but_not_multi_shard_merges() {
+    fn hist_quantiles_survive_single_shard_but_not_bucketless_multi_shard_merges() {
         let mut t = Telemetry::new();
         t.observe_ns("client-request", 100);
         t.observe_ns("client-request", 200);
@@ -368,7 +483,71 @@ mod tests {
             .find(|l| l.contains("\"t\":\"hist\""))
             .expect("merged hist line present");
         assert!(hist_line.contains("\"count\":4"));
-        assert!(!hist_line.contains("p50"), "cross-shard quantiles are unrecoverable");
+        assert!(
+            !hist_line.contains("p50"),
+            "cross-shard quantiles are unrecoverable without buckets"
+        );
+    }
+
+    #[test]
+    fn bucketed_shards_merge_quantiles_bucket_wise() {
+        // Two shards with disjoint latency populations. The merged
+        // quantiles must reflect the combined distribution — exactly what
+        // an in-process histogram over all four samples reports.
+        let mut a = Telemetry::new();
+        a.set_export_buckets(true);
+        a.observe_ns("client-request", 100);
+        a.observe_ns("client-request", 120);
+        let mut b = Telemetry::new();
+        b.set_export_buckets(true);
+        b.observe_ns("client-request", 5_000);
+        b.observe_ns("client-request", 6_000);
+        let (ja, jb) = (a.export_jsonl(), b.export_jsonl());
+        let m = merge_jsonl([("a", ja.as_str()), ("b", jb.as_str())]);
+        let hist_line = m.jsonl.lines().find(|l| l.contains("\"t\":\"hist\"")).expect("hist line");
+
+        let mut combined = crate::hist::Histogram::new();
+        for v in [100, 120, 5_000, 6_000] {
+            combined.record(v);
+        }
+        let s = combined.summary().unwrap();
+        assert!(hist_line.contains(&format!("\"count\":{}", s.count)), "{hist_line}");
+        assert!(hist_line.contains(&format!("\"p50\":{}", s.p50)), "{hist_line}");
+        assert!(hist_line.contains(&format!("\"p95\":{}", s.p95)), "{hist_line}");
+        assert!(hist_line.contains(&format!("\"p99\":{}", s.p99)), "{hist_line}");
+        // Merged buckets are re-emitted so a merge-of-merges still works.
+        assert!(hist_line.contains("\"buckets\":["), "{hist_line}");
+        let remerged = merge_jsonl([("m", m.jsonl.as_str()), ("b2", jb.as_str())]);
+        let line2 = remerged.jsonl.lines().find(|l| l.contains("\"t\":\"hist\"")).unwrap();
+        assert!(line2.contains("\"count\":6") && line2.contains("\"p50\":"), "{line2}");
+    }
+
+    #[test]
+    fn one_bucketless_shard_poisons_merged_quantiles() {
+        let mut a = Telemetry::new();
+        a.set_export_buckets(true);
+        a.observe_ns("client-request", 100);
+        let mut b = Telemetry::new();
+        b.observe_ns("client-request", 9_000);
+        let (ja, jb) = (a.export_jsonl(), b.export_jsonl());
+        let m = merge_jsonl([("a", ja.as_str()), ("b", jb.as_str())]);
+        let hist_line = m.jsonl.lines().find(|l| l.contains("\"t\":\"hist\"")).unwrap();
+        assert!(hist_line.contains("\"count\":2"));
+        assert!(!hist_line.contains("p50"), "partial buckets must not fake exact quantiles");
+        assert!(!hist_line.contains("buckets"), "{hist_line}");
+    }
+
+    #[test]
+    fn streaming_merger_matches_in_memory_merge() {
+        let (a, b) = (shard_a(), shard_b());
+        let whole = merge_jsonl([("a", a.as_str()), ("b", b.as_str())]);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut m = Merger::new(&mut buf);
+        m.push_shard("a", &a).unwrap();
+        m.push_shard("b", &b).unwrap();
+        let dropped = m.finish().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), whole.jsonl);
+        assert_eq!(dropped, whole.dropped);
     }
 
     #[test]

@@ -1,20 +1,25 @@
-//! The span-name registry: the closed set of span names any smartsock
-//! component may open.
+//! The telemetry name registries: the closed sets of span, event, and
+//! counter names any smartsock component may emit.
 //!
 //! Profiles are keyed by span name (`smartsock-profile` folds traces into
 //! per-name self-time/total-time tables and diffs them against a committed
 //! baseline), so a renamed or ad-hoc span silently breaks the perf
 //! trajectory: the old series ends, a new one starts, and `profile diff`
-//! sees a disappearance instead of a regression. Registering names here
-//! keeps them stable and greppable.
+//! sees a disappearance instead of a regression. Events and counters are
+//! queried by name across traces (`telemetry summary`, `telemetry
+//! rollup`, the live `smartsockd stats` frame, and the experiment
+//! invariants in `smartsock-bench`), so the same drift argument applies.
+//! Registering names here keeps them stable and greppable.
 //!
-//! The `SS-OBS-002` analyzer rule enforces the registry: every literal
-//! passed to `span_start` / `span_child` outside this crate (and outside
-//! test code) must appear in [`SPAN_NAMES`]. The analyzer reads the string
-//! literals out of this file, so adding a span is a one-line change here
-//! plus the call site.
+//! Analyzer rules enforce the registries: every literal passed to
+//! `span_start` / `span_child` outside this crate (and outside test code)
+//! must appear in [`SPAN_NAMES`] (`SS-OBS-002`), and every literal passed
+//! to `event` / `counter_add` / `counter_incr` / `counter_add_labeled`
+//! must appear in [`EVENT_NAMES`] / [`COUNTER_NAMES`] (`SS-OBS-003`). The
+//! analyzer reads the string literals out of this file, so adding a name
+//! is a one-line change here plus the call site.
 //!
-//! Keep the list sorted; kebab-case is enforced separately by
+//! Keep the lists sorted; kebab-case is enforced separately by
 //! `SS-OBS-001`.
 
 /// Every registered span name, sorted.
@@ -42,9 +47,178 @@ pub const SPAN_NAMES: &[&str] = &[
     "wizard-match",
 ];
 
+/// Every registered event name, sorted.
+pub const EVENT_NAMES: &[&str] = &[
+    // core: one exponential-backoff pause before a retry
+    // (crates/core/src/client.rs).
+    "client-backoff",
+    // core: a request abandoned at its deadline (crates/core/src/client.rs).
+    "client-deadline-exceeded",
+    // core: a speculative hedge launched / a hedge reply winning the race
+    // (crates/core/src/client.rs).
+    "client-hedge-fired",
+    "client-hedge-won",
+    // core: one retransmit of an unanswered request
+    // (crates/core/src/client.rs).
+    "client-retry",
+    // live: the periodic sonar-style self-report of a live daemon, with
+    // its own-process procfs gauges alongside (crates/live/src/wizard.rs).
+    "daemon-heartbeat",
+    // faults: one fault applied / healed, attributed by kind
+    // (crates/faults/src/lib.rs).
+    "fault-injected",
+    "fault-recovered",
+    // core: a socket group swapping a dead server for a fresh one
+    // (crates/core/src/group.rs).
+    "group-repaired",
+    // wizard: a server moving between healthy/probation/quarantine
+    // (crates/wizard/src/lib.rs).
+    "health-transition",
+    // monitor: a path estimate reaching its convergence criterion
+    // (crates/monitor/src/netmon.rs).
+    "netmon-estimate-converged",
+    // monitor+wizard: a stale server record swept out of a status DB.
+    "status-db-expired",
+];
+
+/// Every registered counter name, sorted. Labeled counters register the
+/// base name; the `/label` dimension stays free-form.
+pub const COUNTER_NAMES: &[&str] = &[
+    // core client request loop: retries, hedges, deadlines, repair.
+    "client-auto-repairs",
+    "client-backoff-ms-total",
+    "client-bad-replies",
+    "client-deadline-exceeded",
+    "client-group-repaired",
+    "client-hedge-timeouts",
+    "client-hedges-fired",
+    "client-hedges-won",
+    "client-outcome-reports",
+    "client-requests",
+    "client-responses",
+    "client-retries",
+    "client-stale-timeouts",
+    "client-timeouts",
+    "client-unmatched-replies",
+    "client-unreachable",
+    // live: heartbeats emitted by a running daemon.
+    "daemon-heartbeats",
+    // faults: injector bookkeeping by fault kind.
+    "faults-applied",
+    "faults-chaos-ticks",
+    "faults-daemon-kills",
+    "faults-daemon-restarts",
+    "faults-heals",
+    "faults-host-crashes",
+    "faults-host-reboots",
+    "faults-latency-spikes",
+    "faults-link-down",
+    "faults-link-up",
+    "faults-loss-spikes",
+    "faults-partitions",
+    // wizard health layer: outcome-report-driven quarantine.
+    "health-probations",
+    "health-quarantines",
+    // monitor tools.
+    "iperf-measurements",
+    // apps (§4 workloads).
+    "massd-blocks-received",
+    "massd-client-bad-msgs",
+    "massd-server-bad-msgs",
+    "matmul-master-bad-msgs",
+    "matmul-tiles-done",
+    "matmul-worker-bad-msgs",
+    "matmul-worker-oom",
+    // net: datagram/stream/flow accounting.
+    "net-cross-bursts",
+    "net-datagrams-fragmented",
+    "net-flow-dropped-unroutable",
+    "net-flows-completed",
+    "net-flows-started",
+    "net-fragments",
+    "net-host-down-drops",
+    "net-icmp-echoes",
+    "net-link-down-drops",
+    "net-node-crashes",
+    "net-node-revivals",
+    "net-stream-blocked",
+    "net-stream-bytes",
+    "net-stream-dropped-unroutable",
+    "net-stream-messages",
+    "net-stream-refused",
+    "net-udp-bytes",
+    "net-udp-datagrams",
+    "net-udp-dropped-unroutable",
+    "net-udp-drops",
+    "net-udp-lost",
+    // monitor: network-monitor probing rounds.
+    "netmon-bytes",
+    "netmon-pairs-timed-out",
+    "netmon-probes",
+    "netmon-rounds-empty",
+    "netmon-rounds-ok",
+    // probe daemon.
+    "probe-report-bytes",
+    "probe-reports",
+    "probe-restarts",
+    // §3.4 receiver/transmitter data plane.
+    "receiver-bad-frames",
+    "receiver-bytes",
+    "receiver-frames",
+    "receiver-pull-requests",
+    "rsock-acks",
+    "rsock-retransmits",
+    "rsock-server-bad-frames",
+    "rsock-server-duplicates",
+    "rsock-transmits",
+    // monitor tools.
+    "secmon-bad-scans",
+    // sim scheduler.
+    "sim-events-dispatched",
+    // monitor tools.
+    "slops-streams",
+    // monitor+wizard ingest.
+    "sysmon-bad-reports",
+    "sysmon-bytes",
+    "sysmon-expired",
+    "sysmon-reports",
+    "sysmon-restarts",
+    // telemetry itself: records dropped by a streaming sink's
+    // backpressure policy (crates/telemetry/src/sink.rs).
+    "telemetry-dropped",
+    "transmitter-bad-requests",
+    "transmitter-bytes",
+    "transmitter-pulls",
+    "transmitter-snapshots",
+    // wizard matching and reply path.
+    "wizard-bad-outcome-reports",
+    "wizard-bad-requests",
+    "wizard-outcome-reports",
+    "wizard-quarantined-assignments",
+    "wizard-replies",
+    "wizard-reply-send-errors",
+    "wizard-reply-servers",
+    "wizard-requests",
+    "wizard-restarts",
+    "wizard-stale-evictions",
+    // live: `smartsockd stats` queries answered (crates/live/src/wizard.rs).
+    "wizard-stats-requests",
+];
+
 /// Whether `name` is a registered span name.
 pub fn is_registered(name: &str) -> bool {
     SPAN_NAMES.binary_search(&name).is_ok()
+}
+
+/// Whether `name` is a registered event name.
+pub fn is_registered_event(name: &str) -> bool {
+    EVENT_NAMES.binary_search(&name).is_ok()
+}
+
+/// Whether `name` is a registered counter name (base name, without any
+/// `/label` dimension).
+pub fn is_registered_counter(name: &str) -> bool {
+    COUNTER_NAMES.binary_search(&name).is_ok()
 }
 
 #[cfg(test)]
@@ -52,18 +226,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_is_sorted_deduped_kebab_case() {
-        for w in SPAN_NAMES.windows(2) {
-            assert!(w[0] < w[1], "registry must stay sorted/deduped: {:?} vs {:?}", w[0], w[1]);
-        }
-        for name in SPAN_NAMES {
-            assert!(
-                name.split('-').all(|seg| {
-                    !seg.is_empty()
-                        && seg.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
-                }),
-                "{name:?} is not kebab-case"
-            );
+    fn registries_are_sorted_deduped_kebab_case() {
+        for (which, names) in
+            [("spans", SPAN_NAMES), ("events", EVENT_NAMES), ("counters", COUNTER_NAMES)]
+        {
+            for w in names.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "{which} registry must stay sorted/deduped: {:?} vs {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+            for name in names {
+                assert!(
+                    name.split('-').all(|seg| {
+                        !seg.is_empty()
+                            && seg.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+                    }),
+                    "{which}: {name:?} is not kebab-case"
+                );
+            }
         }
     }
 
@@ -73,5 +256,11 @@ mod tests {
         assert!(is_registered("wizard-match"));
         assert!(!is_registered("client-Request"));
         assert!(!is_registered("made-up-span"));
+        assert!(is_registered_event("fault-injected"));
+        assert!(is_registered_event("daemon-heartbeat"));
+        assert!(!is_registered_event("made-up-event"));
+        assert!(is_registered_counter("telemetry-dropped"));
+        assert!(is_registered_counter("wizard-stats-requests"));
+        assert!(!is_registered_counter("probe-report-bytes/helene"), "labels are not base names");
     }
 }

@@ -44,6 +44,13 @@ pub struct Trace {
     pub counters: BTreeMap<String, u64>,
     /// Lines that failed to parse (counted so the CLI can warn).
     pub skipped: usize,
+    /// The `{"t":"sink",...}` trailer, when present: which sink kind
+    /// wrote the trace. Only emitted when records were dropped, so its
+    /// presence means the trace is incomplete.
+    pub sink_kind: Option<String>,
+    /// Records dropped by the writing sink's backpressure policy (from
+    /// the sink trailer; `0` for a complete trace).
+    pub sink_dropped: u64,
 }
 
 impl Trace {
@@ -117,6 +124,10 @@ impl Trace {
             "counter" => {
                 self.counters
                     .insert(v.get("name")?.as_str()?.to_owned(), v.get("value")?.as_u64()?);
+            }
+            "sink" => {
+                self.sink_kind = Some(v.get("kind")?.as_str()?.to_owned());
+                self.sink_dropped = v.get("dropped")?.as_u64()?;
             }
             // gauge / hist summary lines carry no extra query surface yet;
             // shard lines are the headers [`crate::merge`] inserts between
