@@ -4,6 +4,7 @@
 //! repro --list                    list experiment ids
 //! repro all                       run everything (paper order)
 //! repro table5.3 fig3.6           run specific experiments
+//! repro fleet.*                   run an experiment family by prefix
 //! repro --seed 42 all             override the seed
 //! repro --jobs 8 all              shard cells across 8 workers
 //! repro --seeds 100..120 all      seed-sweep matrix with shape checks
@@ -71,19 +72,30 @@ fn main() {
         return;
     }
 
-    let ids: Vec<(&'static str, Experiment)> =
-        if args.iter().any(|a| a == "all") {
-            catalog()
-        } else {
-            let catalog = catalog();
-            args.iter()
-                .map(|want| {
-                    catalog.iter().find(|(id, _)| id == want).copied().unwrap_or_else(|| {
+    let ids: Vec<(&'static str, Experiment)> = if args.iter().any(|a| a == "all") {
+        catalog()
+    } else {
+        let catalog = catalog();
+        args.iter()
+            .flat_map(|want| {
+                // `family.*` expands to every `family.` id, in catalog
+                // order; exact ids still match one entry.
+                if let Some(prefix) = want.strip_suffix(".*") {
+                    let dotted = format!("{prefix}.");
+                    let matched: Vec<_> =
+                        catalog.iter().filter(|(id, _)| id.starts_with(&dotted)).copied().collect();
+                    if matched.is_empty() {
+                        fail(&format!("no experiments match {want:?} (try --list)"));
+                    }
+                    matched
+                } else {
+                    vec![catalog.iter().find(|(id, _)| id == want).copied().unwrap_or_else(|| {
                         fail(&format!("unknown experiment {want:?} (try --list)"))
-                    })
-                })
-                .collect()
-        };
+                    })]
+                }
+            })
+            .collect()
+    };
 
     // Wall-clock here measures the harness (printed to stderr only, so
     // stdout stays byte-identical across --jobs); nothing inside any

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod bandwidth;
+pub mod fleet;
 pub mod hostile;
 pub mod massd_calib;
 pub mod massd_exp;

@@ -70,6 +70,10 @@ pub fn catalog() -> Vec<(&'static str, Experiment)> {
         ("hostile.flashcrowd", hostile::flashcrowd),
         ("hostile.flapping", hostile::flapping),
         ("hostile.staleness", hostile::staleness),
+        ("fleet.11", fleet::fleet_11),
+        ("fleet.100", fleet::fleet_100),
+        ("fleet.1k", fleet::fleet_1k),
+        ("fleet.10k", fleet::fleet_10k),
     ]
 }
 

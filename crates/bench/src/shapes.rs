@@ -281,6 +281,35 @@ fn hostile_staleness(c: &mut Checker<'_>) {
     c.eq("legacy_stale_picks", 3.0);
 }
 
+fn fleet_shape(c: &mut Checker<'_>, hosts: f64) {
+    c.eq("hosts", hosts);
+    // Every generated report stays inside the staleness window, so the
+    // final database holds exactly one live row per host and the sweep
+    // never fires.
+    c.eq("live_servers", hosts);
+    c.eq("stale_evictions", 0.0);
+    c.eq("replies", 3.0);
+    // The tentpole invariant, re-checked in situ each run: the pruned
+    // shard walk answered byte-identically to the flat reference scan.
+    c.eq("prune_mismatch", 0.0);
+    let (pruned, total) = (c.get("shards_pruned"), c.get("shards_total"));
+    c.ensure(pruned < total, format!("all {total} shards pruned — nobody qualified"));
+    let rows = c.get("rows_evaluated");
+    c.ensure(rows <= hosts, format!("{rows} rows evaluated out of {hosts} live"));
+}
+
+/// Generated fleets split ~half the hosts into busy/legacy subnets whose
+/// summary ranges provably fail `host_cpu_free > 0.9` — pruning must
+/// skip them, and enough compute hosts qualify to fill every reply.
+fn fleet_generated(c: &mut Checker<'_>, hosts: f64) {
+    fleet_shape(c, hosts);
+    c.eq("reply_servers", 8.0);
+    let pruned = c.get("shards_pruned");
+    c.ensure(pruned >= 1.0, "no shard pruned — busy subnets were scanned".to_owned());
+    let (rows, live) = (c.get("rows_evaluated"), c.get("live_servers"));
+    c.ensure(rows < live, format!("{rows} rows evaluated !< {live} live — pruning saved nothing"));
+}
+
 /// Run the registered shape checks for experiment `id` against its
 /// report. `None` when the experiment has no registered shapes (it still
 /// contributes figure distributions to the matrix, just no gate).
@@ -313,6 +342,10 @@ pub fn check(id: &str, report: &Report) -> Option<Vec<String>> {
         "hostile.flashcrowd" => hostile_flashcrowd,
         "hostile.flapping" => hostile_flapping,
         "hostile.staleness" => hostile_staleness,
+        "fleet.11" => |c| fleet_shape(c, 11.0),
+        "fleet.100" => |c| fleet_generated(c, 100.0),
+        "fleet.1k" => |c| fleet_generated(c, 1_000.0),
+        "fleet.10k" => |c| fleet_generated(c, 10_000.0),
         _ => return None,
     };
     let mut c = Checker { report, violations: Vec::new() };
@@ -354,7 +387,7 @@ mod tests {
     #[test]
     fn most_of_the_catalog_is_shape_checked() {
         let covered = catalog().iter().filter(|(id, _)| check(id, &dummy(id)).is_some()).count();
-        assert!(covered >= 28, "only {covered} experiments have shape checks");
+        assert!(covered >= 32, "only {covered} experiments have shape checks");
     }
 
     fn dummy(id: &str) -> Report {

@@ -36,9 +36,13 @@ pub mod load;
 pub mod mem;
 pub mod procfs;
 pub mod testbed;
+pub mod topology;
 pub mod workload;
 
 pub use cpu::CpuModel;
 pub use host::{Host, HostConfig, SpawnError};
 pub use testbed::{machine_specs, MachineSpec};
+pub use topology::{
+    Fleet, FleetHost, HostClass, LinkProfile, SubnetGroup, SubnetInfo, TopologySpec,
+};
 pub use workload::Workload;

@@ -4,6 +4,11 @@
 //! `192.168.1.0/24 … 192.168.5.0/24` live in the Communication and
 //! Internet Research lab, `sagit` sits in the School of Computing network
 //! `137.132.81.0/24` behind the gateway `dalmatian`.
+//!
+//! This table is the *data*; the expansion path lives in
+//! [`crate::topology`], where [`crate::topology::TopologySpec::testbed11`]
+//! wraps these machines as one named spec alongside the generated
+//! `fleet*` topologies.
 
 use smartsock_proto::Ip;
 

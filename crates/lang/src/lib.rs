@@ -48,6 +48,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod interval;
 pub mod lexer;
 pub mod parser;
 pub mod token;
@@ -55,6 +56,7 @@ pub mod vars;
 
 pub use ast::{BinOp, Expr, Requirement, Stmt};
 pub use eval::{Decision, EvalError, Evaluator, HostLists, MapVars, VarProvider};
+pub use interval::{may_qualify, MapRanges, RangeProvider};
 pub use lexer::{LexError, Lexer};
 pub use parser::{parse, ParseError};
 pub use token::Token;

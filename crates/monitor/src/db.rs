@@ -5,6 +5,25 @@
 //! transmitter (or, on the wizard machine, written by the receiver and
 //! read by the wizard). Here each database is an `Arc<RwLock<...>>`: the
 //! same concurrent-reader/exclusive-writer discipline without the UB.
+//!
+//! ## Sharding (DESIGN.md §15)
+//!
+//! At fleet scale (10k+ servers) the server status database is keyed in
+//! two levels: an outer `BTreeMap` from IPv4 /24 subnet prefix to
+//! [`Shard`], and per-shard row maps keyed by full address. Because the
+//! /24 prefix is the high 24 bits of the address, iterating shards in
+//! prefix order and rows in address order visits records in exactly the
+//! global address order the flat map had — every legacy accessor
+//! (`iter`, `snapshot`, `expire`, …) is behaviorally unchanged.
+//!
+//! Each shard additionally maintains a conservative [`ShardSummary`]:
+//! row count, the newest `recorded_at`, and per-variable min/max ranges
+//! over the report-derived server variables. Summaries are **widened** on
+//! upsert (cheap, always a superset of the true ranges) and recomputed
+//! **exactly** during `expire` (which walks every row anyway). The
+//! wizard's match loop consults summaries to skip whole subnets that
+//! cannot satisfy a requirement; conservatism makes that pruning
+//! behaviorally invisible.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,17 +41,191 @@ pub struct TimedReport {
     pub recorded_at: SimTime,
 }
 
-/// The server status database, keyed by server address.
+/// A /24 subnet prefix — the shard key.
+pub type SubnetKey = [u8; 3];
+
+/// The shard an address belongs to.
+pub fn subnet_of(ip: Ip) -> SubnetKey {
+    let [a, b, c, _] = ip.octets();
+    [a, b, c]
+}
+
+/// The report-derived server variables a shard summary tracks ranges for:
+/// Appendix B.1 minus `host_security_level` (which comes from `secdb`,
+/// not the status report). The wizard asserts this list agrees with its
+/// `ServerVars` bindings.
+pub const REPORT_VARS: [&str; 21] = [
+    "host_system_load1",
+    "host_system_load5",
+    "host_system_load15",
+    "host_cpu_user",
+    "host_cpu_nice",
+    "host_cpu_system",
+    "host_cpu_idle",
+    "host_cpu_free",
+    "host_cpu_bogomips",
+    "host_memory_total",
+    "host_memory_used",
+    "host_memory_free",
+    "host_memory_buffers",
+    "host_memory_cached",
+    "host_disk_allreq",
+    "host_disk_rreq",
+    "host_disk_rblocks",
+    "host_disk_wreq",
+    "host_disk_wblocks",
+    "host_network_rbytesps",
+    "host_network_tbytesps",
+];
+
+/// Value of one [`REPORT_VARS`] entry for a report (same bindings as the
+/// wizard's `ServerVars`).
+pub fn report_var(r: &ServerStatusReport, name: &str) -> Option<f64> {
+    Some(match name {
+        "host_system_load1" => r.load1,
+        "host_system_load5" => r.load5,
+        "host_system_load15" => r.load15,
+        "host_cpu_user" => r.cpu_user,
+        "host_cpu_nice" => r.cpu_nice,
+        "host_cpu_system" => r.cpu_system,
+        "host_cpu_idle" => r.cpu_idle,
+        "host_cpu_free" => r.cpu_free(),
+        "host_cpu_bogomips" => r.bogomips,
+        "host_memory_total" => r.mem_total as f64,
+        "host_memory_used" => r.mem_used as f64,
+        "host_memory_free" => r.mem_free as f64,
+        "host_memory_buffers" => r.mem_buffers as f64,
+        "host_memory_cached" => r.mem_cached as f64,
+        "host_disk_allreq" => r.disk_allreq as f64,
+        "host_disk_rreq" => r.disk_rreq as f64,
+        "host_disk_rblocks" => r.disk_rblocks as f64,
+        "host_disk_wreq" => r.disk_wreq as f64,
+        "host_disk_wblocks" => r.disk_wblocks as f64,
+        "host_network_rbytesps" => r.net_rbytes_ps,
+        "host_network_tbytesps" => r.net_tbytes_ps,
+        _ => return None,
+    })
+}
+
+/// Per-variable min/max over a shard's rows, indexed parallel to
+/// [`REPORT_VARS`]. Empty ranges are `[+inf, -inf]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarRanges {
+    lo: [f64; REPORT_VARS.len()],
+    hi: [f64; REPORT_VARS.len()],
+}
+
+impl Default for VarRanges {
+    fn default() -> Self {
+        VarRanges {
+            lo: [f64::INFINITY; REPORT_VARS.len()],
+            hi: [f64::NEG_INFINITY; REPORT_VARS.len()],
+        }
+    }
+}
+
+impl VarRanges {
+    /// Widen every range to cover `report`'s values.
+    fn widen(&mut self, report: &ServerStatusReport) {
+        let bounds = self.lo.iter_mut().zip(self.hi.iter_mut());
+        for ((lo, hi), name) in bounds.zip(REPORT_VARS) {
+            let v = report_var(report, name).unwrap_or(f64::NAN);
+            if v < *lo {
+                *lo = v;
+            }
+            if v > *hi {
+                *hi = v;
+            }
+        }
+    }
+
+    /// `[lo, hi]` for a named variable, or `None` when the name is not a
+    /// report variable or the shard is empty.
+    pub fn range_of(&self, name: &str) -> Option<(f64, f64)> {
+        let i = REPORT_VARS.iter().position(|n| *n == name)?;
+        let (lo, hi) = (*self.lo.get(i)?, *self.hi.get(i)?);
+        if lo > hi {
+            return None;
+        }
+        Some((lo, hi))
+    }
+}
+
+/// The conservative rollup the wizard's prune pass reads: always a
+/// superset of the true per-row state (see module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardSummary {
+    /// Exact row count.
+    pub count: usize,
+    /// At least as new as the newest row's `recorded_at` — exact after
+    /// every `expire`, never older than the truth in between.
+    pub newest_recorded_at: SimTime,
+    /// Superset ranges over [`REPORT_VARS`].
+    pub ranges: VarRanges,
+}
+
+/// One /24 subnet's slice of the server status database.
+#[derive(Clone, Debug, Default)]
+pub struct Shard {
+    rows: BTreeMap<Ip, TimedReport>,
+    summary: ShardSummary,
+}
+
+impl Shard {
+    /// Rows in address order.
+    pub fn rows(&self) -> impl Iterator<Item = (&Ip, &TimedReport)> {
+        self.rows.iter()
+    }
+
+    pub fn summary(&self) -> &ShardSummary {
+        &self.summary
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Recompute the summary exactly from the current rows.
+    fn recompute_summary(&mut self) {
+        let mut s = ShardSummary { count: self.rows.len(), ..Default::default() };
+        for t in self.rows.values() {
+            if t.recorded_at > s.newest_recorded_at {
+                s.newest_recorded_at = t.recorded_at;
+            }
+            s.ranges.widen(&t.report);
+        }
+        self.summary = s;
+    }
+}
+
+/// The server status database, sharded by /24 subnet (address order is
+/// preserved across shard boundaries — see module docs).
 #[derive(Clone, Debug, Default)]
 pub struct SysDb {
-    records: BTreeMap<Ip, TimedReport>,
+    shards: BTreeMap<SubnetKey, Shard>,
+    total: usize,
 }
 
 impl SysDb {
     /// Insert or update one server's record (§3.2.2: update if the address
-    /// exists, insert otherwise).
+    /// exists, insert otherwise). The shard summary is widened, not
+    /// recomputed: an overwrite can leave stale extremes behind until the
+    /// next `expire`, which only ever makes pruning *less* aggressive.
     pub fn upsert(&mut self, report: ServerStatusReport, now: SimTime) {
-        self.records.insert(report.ip, TimedReport { report, recorded_at: now });
+        let shard = self.shards.entry(subnet_of(report.ip)).or_default();
+        let ip = report.ip;
+        shard.summary.ranges.widen(&report);
+        if now > shard.summary.newest_recorded_at {
+            shard.summary.newest_recorded_at = now;
+        }
+        if shard.rows.insert(ip, TimedReport { report, recorded_at: now }).is_none() {
+            shard.summary.count += 1;
+            self.total += 1;
+        }
     }
 
     /// Drop records older than `max_age` (the stale sweep; with the 3×
@@ -47,25 +240,62 @@ impl SysDb {
     /// interval still counts as alive; the sweep one interval later evicts
     /// it. Pinned by `expiry_keeps_a_record_aged_exactly_max_age`.
     pub fn expire(&mut self, now: SimTime, max_age: SimDuration) -> Vec<Ip> {
-        let mut evicted = Vec::new();
-        self.records.retain(|&ip, r| {
-            let keep = now.since(r.recorded_at) <= max_age;
-            if !keep {
-                evicted.push(ip);
+        self.expire_by_shard(now, max_age).into_iter().flat_map(|(_, ips)| ips).collect()
+    }
+
+    /// Shard-resolved stale sweep: the same evictions as [`SysDb::expire`]
+    /// grouped by subnet, in shard (= address) order; shards that evicted
+    /// nothing are omitted. The per-shard counts always sum to the flat
+    /// sweep's count — `wizard-stale-evictions` keeps its meaning — which
+    /// is pinned by `per_shard_evictions_sum_to_the_flat_count`.
+    ///
+    /// Touched shards get their summaries recomputed exactly (the sweep
+    /// walks every row anyway), re-tightening the widen-only drift from
+    /// upserts; emptied shards are dropped.
+    pub fn expire_by_shard(
+        &mut self,
+        now: SimTime,
+        max_age: SimDuration,
+    ) -> Vec<(SubnetKey, Vec<Ip>)> {
+        let mut by_shard = Vec::new();
+        for (key, shard) in &mut self.shards {
+            let mut evicted = Vec::new();
+            shard.rows.retain(|&ip, r| {
+                let keep = now.since(r.recorded_at) <= max_age;
+                if !keep {
+                    evicted.push(ip);
+                }
+                keep
+            });
+            shard.recompute_summary();
+            if !evicted.is_empty() {
+                self.total -= evicted.len();
+                by_shard.push((*key, evicted));
             }
-            keep
-        });
-        evicted
+        }
+        self.shards.retain(|_, s| !s.rows.is_empty());
+        by_shard
     }
 
     pub fn get(&self, ip: Ip) -> Option<&TimedReport> {
-        self.records.get(&ip)
+        self.shards.get(&subnet_of(ip))?.rows.get(&ip)
+    }
+
+    /// Shards in subnet order, for the wizard's prune-then-descend match
+    /// loop.
+    pub fn iter_shards(&self) -> impl Iterator<Item = (&SubnetKey, &Shard)> {
+        self.shards.iter()
+    }
+
+    /// Number of non-empty shards (subnets with live records).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Live records in deterministic (address) order — the order the
     /// wizard scans candidates in.
     pub fn snapshot(&self) -> Vec<ServerStatusReport> {
-        self.records.values().map(|t| t.report.clone()).collect()
+        self.iter().map(|(_, t)| t.report.clone()).collect()
     }
 
     /// Live records plus each one's age (in nanoseconds) at `now`, in
@@ -74,28 +304,28 @@ impl SysDb {
     /// receiver reconstructs `recorded_at = arrival - age` in its own
     /// timeline, so the wizard's staleness discount sees true row ages.
     pub fn aged_snapshot(&self, now: SimTime) -> Vec<(ServerStatusReport, u64)> {
-        self.records
-            .values()
-            .map(|t| (t.report.clone(), now.since(t.recorded_at).as_nanos()))
-            .collect()
+        self.iter().map(|(_, t)| (t.report.clone(), now.since(t.recorded_at).as_nanos())).collect()
     }
 
+    /// All records in global address order (shard prefixes are the high
+    /// address bits, so chaining shards preserves the flat-map order).
     pub fn iter(&self) -> impl Iterator<Item = (&Ip, &TimedReport)> {
-        self.records.iter()
+        self.shards.values().flat_map(|s| s.rows.iter())
     }
 
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.total
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.total == 0
     }
 
     /// Replace the whole database (receiver side: §3.5.2 keeps the wizard
     /// machine's copy identical to the transmitter's).
     pub fn replace_all(&mut self, reports: Vec<ServerStatusReport>, now: SimTime) {
-        self.records.clear();
+        self.shards.clear();
+        self.total = 0;
         for r in reports {
             self.upsert(r, now);
         }
@@ -265,6 +495,41 @@ mod tests {
                 proptest::prop_assert!(db.get(ip).is_none());
             }
         }
+
+        /// The sharded sweep is an exact regrouping of the flat one: the
+        /// per-shard evictions sum to the old global count, every address
+        /// lands in the shard its /24 prefix names, and the sharded /
+        /// flat walks agree record for record. Pins the ISSUE 10 bugfix:
+        /// `wizard-stale-evictions` must not change meaning.
+        #[test]
+        fn per_shard_evictions_sum_to_the_flat_count(
+            ages in proptest::collection::vec(0u64..30, 0..40),
+            max_age in 1u64..25,
+        ) {
+            let now = SimTime::from_secs(40);
+            let mut flat = SysDb::default();
+            let mut sharded = SysDb::default();
+            for (i, &age) in ages.iter().enumerate() {
+                // Spread addresses over several /24s.
+                let ip = Ip::new(10, (i % 3) as u8, (i % 5) as u8, (i % 250) as u8 + 1);
+                flat.upsert(report(ip, 0.0), SimTime::from_secs(40 - age));
+                sharded.upsert(report(ip, 0.0), SimTime::from_secs(40 - age));
+            }
+            let max_age = SimDuration::from_secs(max_age);
+            let flat_evicted = flat.expire(now, max_age);
+            let by_shard = sharded.expire_by_shard(now, max_age);
+            let total: usize = by_shard.iter().map(|(_, ips)| ips.len()).sum();
+            proptest::prop_assert_eq!(total, flat_evicted.len());
+            let flattened: Vec<Ip> =
+                by_shard.iter().flat_map(|(_, ips)| ips.iter().copied()).collect();
+            proptest::prop_assert_eq!(&flattened, &flat_evicted);
+            for (key, ips) in &by_shard {
+                for ip in ips {
+                    proptest::prop_assert_eq!(subnet_of(*ip), *key);
+                }
+            }
+            proptest::prop_assert_eq!(sharded.len(), flat.len());
+        }
     }
 
     #[test]
@@ -274,6 +539,74 @@ mod tests {
         db.upsert(report(Ip::new(10, 0, 0, 1), 0.0), SimTime::ZERO);
         let snap = db.snapshot();
         assert!(snap[0].ip < snap[1].ip);
+    }
+
+    #[test]
+    fn iteration_order_spans_shards_in_address_order() {
+        let mut db = SysDb::default();
+        let ips = [
+            Ip::new(192, 168, 5, 1),
+            Ip::new(10, 0, 0, 7),
+            Ip::new(10, 0, 1, 2),
+            Ip::new(10, 0, 0, 200),
+            Ip::new(137, 132, 81, 10),
+        ];
+        for ip in ips {
+            db.upsert(report(ip, 0.0), SimTime::ZERO);
+        }
+        let seen: Vec<Ip> = db.iter().map(|(ip, _)| *ip).collect();
+        let mut want = ips.to_vec();
+        want.sort();
+        assert_eq!(seen, want);
+        assert_eq!(db.shard_count(), 4);
+        assert_eq!(db.len(), 5);
+    }
+
+    #[test]
+    fn shard_summaries_cover_rows_and_tighten_on_expire() {
+        let mut db = SysDb::default();
+        let a = Ip::new(10, 0, 0, 1);
+        let b = Ip::new(10, 0, 0, 2);
+        db.upsert(report(a, 5.0), SimTime::from_secs(1));
+        db.upsert(report(b, 1.0), SimTime::from_secs(2));
+        let (_, shard) = db.iter_shards().next().unwrap();
+        assert_eq!(shard.summary().count, 2);
+        assert_eq!(shard.summary().newest_recorded_at, SimTime::from_secs(2));
+        assert_eq!(shard.summary().ranges.range_of("host_system_load1"), Some((1.0, 5.0)));
+
+        // Overwrite the hot row with a calmer report: widen-only leaves
+        // the old maximum in place (conservative superset)…
+        db.upsert(report(a, 2.0), SimTime::from_secs(3));
+        let (_, shard) = db.iter_shards().next().unwrap();
+        assert_eq!(shard.summary().ranges.range_of("host_system_load1"), Some((1.0, 5.0)));
+
+        // …and the sweep recomputes the exact range.
+        db.expire(SimTime::from_secs(3), SimDuration::from_secs(60));
+        let (_, shard) = db.iter_shards().next().unwrap();
+        assert_eq!(shard.summary().ranges.range_of("host_system_load1"), Some((1.0, 2.0)));
+        assert_eq!(shard.summary().count, 2);
+    }
+
+    #[test]
+    fn emptied_shards_are_dropped() {
+        let mut db = SysDb::default();
+        db.upsert(report(Ip::new(10, 0, 0, 1), 0.0), SimTime::ZERO);
+        db.upsert(report(Ip::new(10, 0, 1, 1), 0.0), SimTime::from_secs(9));
+        assert_eq!(db.shard_count(), 2);
+        let by_shard = db.expire_by_shard(SimTime::from_secs(10), SimDuration::from_secs(6));
+        assert_eq!(by_shard, vec![([10, 0, 0], vec![Ip::new(10, 0, 0, 1)])]);
+        assert_eq!(db.shard_count(), 1);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn report_vars_resolve_for_every_listed_name() {
+        let r = report(Ip::new(10, 0, 0, 1), 0.5);
+        for name in REPORT_VARS {
+            assert!(report_var(&r, name).is_some(), "unresolved report var {name}");
+        }
+        assert_eq!(report_var(&r, "host_security_level"), None);
+        assert_eq!(report_var(&r, "monitor_network_bw"), None);
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod pipechar;
 pub mod secmon;
 pub mod sysmon;
 
-pub use db::{NetDb, SecDb, SharedNetDb, SharedSecDb, SharedSysDb, SysDb, TimedReport};
+pub use db::{
+    report_var, subnet_of, NetDb, SecDb, Shard, ShardSummary, SharedNetDb, SharedSecDb,
+    SharedSysDb, SubnetKey, SysDb, TimedReport, VarRanges, REPORT_VARS,
+};
 pub use estimator::{bandwidth_mbps_from_pair, BwEstimate, ProbePairSpec};
 pub use health::{shared_health, HealthConfig, HealthTable, SharedHealthDb, StateKind, Transition};
 pub use ingest::{ingest_ascii, IngestError};

@@ -8,14 +8,17 @@
 //!                                          profiler (sharded across --jobs
 //!                                          workers), write BENCH_profile.json
 //! profile diff [--threshold-pct P] [--gate-wall] [--wall-threshold-pct P]
+//!              [--only PREFIX]
 //!              <old.json> <new.json>       classify vs baseline; exit 1 on
 //!                                          regression
 //! ```
 //!
 //! `report` and `flame` are byte-deterministic for same-seed traces. The
-//! default `bench` subset (fig3.3, table5.2) is the CI gate — cheap to run
-//! and between them they exercise the probe, monitor, wizard and client
-//! span paths.
+//! default `bench` subset (fig3.3, table5.2, fleet.11/100/1k) is the CI
+//! gate — cheap to run and between them they exercise the probe, monitor,
+//! wizard and client span paths plus shard-pruned matching at fleet
+//! scale. `diff --only` filters both documents by id prefix so one job
+//! can gate one experiment family against the full committed baseline.
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
@@ -25,11 +28,13 @@ use std::process::ExitCode;
 use smartsock_profile::{baseline, fold};
 use smartsock_telemetry::trace::Trace;
 
-const USAGE: &str = "usage:\n  profile report [--top N] <trace.jsonl>\n  profile flame <trace.jsonl>\n  profile bench [--seed N] [--jobs N] [--zero-wall] [--out PATH] (all | experiment-id ...)\n  profile diff [--threshold-pct P] [--gate-wall] [--wall-threshold-pct P] <old.json> <new.json>\n";
+const USAGE: &str = "usage:\n  profile report [--top N] <trace.jsonl>\n  profile flame <trace.jsonl>\n  profile bench [--seed N] [--jobs N] [--zero-wall] [--out PATH] (all | experiment-id ...)\n  profile diff [--threshold-pct P] [--gate-wall] [--wall-threshold-pct P] [--only PREFIX] <old.json> <new.json>\n";
 
 /// The CI gating subset: the two cheapest catalog experiments that drive
-/// full scheduler runs (fig1.4 never builds one).
-const DEFAULT_BENCH_IDS: &[&str] = &["fig3.3", "table5.2"];
+/// full scheduler runs (fig1.4 never builds one), plus the fleet family
+/// up to 1k hosts so shard-pruned matching is perf-gated at scale
+/// (fleet.10k stays nightly-only).
+const DEFAULT_BENCH_IDS: &[&str] = &["fig3.3", "table5.2", "fleet.11", "fleet.100", "fleet.1k"];
 
 fn load_trace(path: &str) -> Result<Trace, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -133,6 +138,7 @@ fn cmd_bench(args: &[&str]) -> Result<String, String> {
 /// Returns the rendered diff plus whether it regressed.
 fn cmd_diff(args: &[&str]) -> Result<(String, bool), String> {
     let mut th = baseline::Thresholds::default();
+    let mut only: Option<String> = None;
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -146,13 +152,24 @@ fn cmd_diff(args: &[&str]) -> Result<(String, bool), String> {
                 th.wall_pct = v.parse().map_err(|_| format!("not a percentage: {v}"))?;
             }
             "--gate-wall" => th.gate_wall = true,
+            "--only" => only = Some(it.next().ok_or("--only needs an id prefix")?.to_string()),
             p => paths.push(p),
         }
     }
     let [old_path, new_path] = paths[..] else { return Err(USAGE.to_owned()) };
     let load = |p: &str| -> Result<Vec<baseline::ExperimentProfile>, String> {
         let src = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
-        baseline::parse_profiles(&src).map_err(|e| format!("{p}: {e}"))
+        let mut profiles = baseline::parse_profiles(&src).map_err(|e| format!("{p}: {e}"))?;
+        // `--only PREFIX` restricts BOTH documents before diffing, so a
+        // baseline holding the full catalog can gate a partial rerun
+        // without every absent experiment reading as a disappearance.
+        if let Some(prefix) = &only {
+            profiles.retain(|ep| ep.experiment_id.starts_with(prefix.as_str()));
+            if profiles.is_empty() {
+                return Err(format!("{p}: no experiments match --only {prefix}"));
+            }
+        }
+        Ok(profiles)
     };
     let report = baseline::diff(&load(old_path)?, &load(new_path)?, &th);
     Ok((baseline::render_diff(&report), report.has_regression()))

@@ -68,6 +68,10 @@ pub const EVENT_NAMES: &[&str] = &[
     // (crates/faults/src/lib.rs).
     "fault-injected",
     "fault-recovered",
+    // bench: one generated fleet status report upserted into the wizard's
+    // sysdb; the host field is the server's IP string so telemetry rollups
+    // gain per-subnet scopes (crates/bench/src/experiments/fleet.rs).
+    "fleet-report-ingested",
     // core: a socket group swapping a dead server for a fresh one
     // (crates/core/src/group.rs).
     "group-repaired",
@@ -79,6 +83,9 @@ pub const EVENT_NAMES: &[&str] = &[
     "netmon-estimate-converged",
     // monitor+wizard: a stale server record swept out of a status DB.
     "status-db-expired",
+    // wizard: one shard's share of a sweep — subnet plus eviction count
+    // (crates/wizard/src/lib.rs).
+    "status-db-shard-swept",
 ];
 
 /// Every registered counter name, sorted. Labeled counters register the
@@ -200,6 +207,11 @@ pub const COUNTER_NAMES: &[&str] = &[
     "wizard-reply-servers",
     "wizard-requests",
     "wizard-restarts",
+    // wizard shard-pruned matching: rows actually evaluated, shards
+    // skipped by the summary prune, shards descended into.
+    "wizard-rows-evaluated",
+    "wizard-shards-pruned",
+    "wizard-shards-scanned",
     "wizard-stale-evictions",
     // live: `smartsockd stats` queries answered (crates/live/src/wizard.rs).
     "wizard-stats-requests",

@@ -16,7 +16,8 @@
 
 use std::collections::BTreeMap;
 
-use smartsock_lang::{compile, Evaluator, HostLists, VarProvider};
+use smartsock_lang::{compile, may_qualify, Evaluator, HostLists, RangeProvider, VarProvider};
+use smartsock_monitor::db::{TimedReport, VarRanges};
 use smartsock_monitor::health::HealthTable;
 use smartsock_monitor::ingest::{ingest_ascii, IngestError};
 use smartsock_monitor::{NetDb, SecDb, SysDb};
@@ -59,109 +60,136 @@ pub struct SelectView<'a> {
     pub templates: &'a BTreeMap<u8, String>,
 }
 
-/// §3.6.1 steps 3–4: compile the requirement, evaluate every live record,
-/// order candidates, truncate to the reply cap. This is *the* matching
-/// core — both backends call it, so its ordering rules are documented in
-/// DESIGN.md §13 and pinned by the interop suite.
-pub fn select(
+/// How much of the status database one [`select_with_stats`] call
+/// actually touched. The sim/live drivers feed these into telemetry
+/// (`wizard-shards-pruned`, `wizard-rows-evaluated`), and the fleet
+/// experiments report the prune ratio as a figure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Shards in the status database when the request arrived.
+    pub shards_total: usize,
+    /// Shards skipped wholesale — summary proved no row could qualify.
+    pub shards_pruned: usize,
+    /// Rows that went through full requirement evaluation.
+    pub rows_evaluated: usize,
+}
+
+/// The per-request compiled state shared by every row evaluation.
+struct CompiledRequest {
+    requirement: smartsock_lang::Requirement,
+    lists: HostLists,
+    rank: Option<(String, bool)>,
+}
+
+impl CompiledRequest {
+    fn from_request(view: &SelectView<'_>, req: &UserRequest) -> Option<CompiledRequest> {
+        // Prepend a template when the option asks for one.
+        let detail = match req.option.template {
+            Some(id) => match view.templates.get(&id) {
+                Some(t) => format!("{t}\n{}", req.detail),
+                None => req.detail.clone(),
+            },
+            None => req.detail.clone(),
+        };
+        let requirement = compile(&detail).ok()?; // uncompilable ⇒ empty reply
+        let lists = HostLists::from_requirement(&requirement);
+        let rank = parse_rank_directive(&detail);
+        Some(CompiledRequest { requirement, lists, rank })
+    }
+}
+
+struct Candidate {
+    ip: Ip,
+    preferred_rank: Option<usize>,
+    /// Health score × freshness tier, quantized to ‰ so float noise
+    /// cannot perturb the sort (higher is better).
+    score_bucket: i64,
+    rank_value: f64,
+}
+
+/// Evaluate one status row against the compiled request; `Some` when the
+/// server qualifies. Shared by the sharded walk and the flat reference
+/// scan so the two can only differ in *which* rows they visit.
+fn consider_row(
     view: &SelectView<'_>,
     policy: &SelectPolicy,
     now: SimTime,
-    req: &UserRequest,
-    client_ip: Ip,
+    creq: &CompiledRequest,
+    client_mon: Option<Ip>,
+    ip: Ip,
+    timed: &TimedReport,
+) -> Option<Candidate> {
+    if let Some(max_age) = policy.stale_max_age {
+        if now.since(timed.recorded_at) > max_age {
+            return None;
+        }
+    }
+    // Quarantined servers are never offered; probation servers
+    // stay eligible (their low score orders them last) so the
+    // system re-learns whether they recovered.
+    if !view.health.selectable(ip, now) {
+        return None;
+    }
+    let report = &timed.report;
+    if creq.lists.denied.iter().any(|d| designates(d, report)) {
+        return None;
+    }
+    let server_mon = view.group_map.get(&ip).copied();
+    let net_rec = match (client_mon, server_mon) {
+        (Some(a), Some(b)) if a != b => view.netdb.get(a, b).copied(),
+        _ => None,
+    };
+    let same_group = client_mon.is_some() && client_mon == server_mon;
+    let sv = ServerVars {
+        report,
+        security_level: view.secdb.level_of(ip),
+        net_record: net_rec,
+        same_group,
+    };
+    let decision = Evaluator::evaluate(&creq.requirement, &sv);
+    if !decision.qualified {
+        return None;
+    }
+    let preferred_rank = creq.lists.preferred.iter().position(|p| designates(p, report));
+    let rank_value = creq.rank.as_ref().and_then(|(var, _)| sv.lookup(var)).unwrap_or(0.0);
+    // Staleness-aware discount: a row half-way to expiry is worth
+    // less than one recorded this tick. Tiers (rather than a
+    // continuous factor) keep steady-state testbeds — where every
+    // row is at most one probe interval old — in the same bucket,
+    // so the legacy ordering is unchanged unless rows actually go
+    // stale.
+    let freshness_tier = match policy.stale_max_age {
+        Some(max) if policy.age_discount => {
+            let age = now.since(timed.recorded_at).as_nanos();
+            let max = max.as_nanos();
+            if age.saturating_mul(2) <= max {
+                1.0
+            } else if age.saturating_mul(4) <= max.saturating_mul(3) {
+                0.5
+            } else {
+                0.25
+            }
+        }
+        _ => 1.0,
+    };
+    let score_bucket = (view.health.score(ip, now) * freshness_tier * 1000.0).round() as i64;
+    Some(Candidate { ip, preferred_rank, score_bucket, rank_value })
+}
+
+/// Ordering: preferred first (by preference index), then healthier
+/// and fresher servers (score bucket, descending), then the rank
+/// directive, then address order for determinism.
+fn order_and_cap(
+    mut qualified: Vec<Candidate>,
+    rank: &Option<(String, bool)>,
+    server_num: u16,
 ) -> Vec<Endpoint> {
-    // Prepend a template when the option asks for one.
-    let detail = match req.option.template {
-        Some(id) => match view.templates.get(&id) {
-            Some(t) => format!("{t}\n{}", req.detail),
-            None => req.detail.clone(),
-        },
-        None => req.detail.clone(),
-    };
-    let Ok(requirement) = compile(&detail) else {
-        return Vec::new(); // uncompilable requirement ⇒ empty reply
-    };
-    let lists = HostLists::from_requirement(&requirement);
-    let rank = parse_rank_directive(&detail);
-
-    let client_mon = view.group_map.get(&client_ip).copied();
-
-    struct Candidate {
-        ip: Ip,
-        preferred_rank: Option<usize>,
-        /// Health score × freshness tier, quantized to ‰ so float noise
-        /// cannot perturb the sort (higher is better).
-        score_bucket: i64,
-        rank_value: f64,
-    }
-    let mut qualified: Vec<Candidate> = Vec::new();
-    for (&ip, timed) in view.sysdb.iter() {
-        if let Some(max_age) = policy.stale_max_age {
-            if now.since(timed.recorded_at) > max_age {
-                continue;
-            }
-        }
-        // Quarantined servers are never offered; probation servers
-        // stay eligible (their low score orders them last) so the
-        // system re-learns whether they recovered.
-        if !view.health.selectable(ip, now) {
-            continue;
-        }
-        let report = &timed.report;
-        if lists.denied.iter().any(|d| designates(d, report)) {
-            continue;
-        }
-        let server_mon = view.group_map.get(&ip).copied();
-        let net_rec = match (client_mon, server_mon) {
-            (Some(a), Some(b)) if a != b => view.netdb.get(a, b).copied(),
-            _ => None,
-        };
-        let same_group = client_mon.is_some() && client_mon == server_mon;
-        let sv = ServerVars {
-            report,
-            security_level: view.secdb.level_of(ip),
-            net_record: net_rec,
-            same_group,
-        };
-        let decision = Evaluator::evaluate(&requirement, &sv);
-        if !decision.qualified {
-            continue;
-        }
-        let preferred_rank = lists.preferred.iter().position(|p| designates(p, report));
-        let rank_value = rank.as_ref().and_then(|(var, _)| sv.lookup(var)).unwrap_or(0.0);
-        // Staleness-aware discount: a row half-way to expiry is worth
-        // less than one recorded this tick. Tiers (rather than a
-        // continuous factor) keep steady-state testbeds — where every
-        // row is at most one probe interval old — in the same bucket,
-        // so the legacy ordering is unchanged unless rows actually go
-        // stale.
-        let freshness_tier = match policy.stale_max_age {
-            Some(max) if policy.age_discount => {
-                let age = now.since(timed.recorded_at).as_nanos();
-                let max = max.as_nanos();
-                if age.saturating_mul(2) <= max {
-                    1.0
-                } else if age.saturating_mul(4) <= max.saturating_mul(3) {
-                    0.5
-                } else {
-                    0.25
-                }
-            }
-            _ => 1.0,
-        };
-        let score_bucket = (view.health.score(ip, now) * freshness_tier * 1000.0).round() as i64;
-        qualified.push(Candidate { ip, preferred_rank, score_bucket, rank_value });
-    }
-
-    // Ordering: preferred first (by preference index), then healthier
-    // and fresher servers (score bucket, descending), then the rank
-    // directive, then address order for determinism.
     qualified.sort_by(|a, b| {
         let pa = a.preferred_rank.map_or(usize::MAX, |i| i);
         let pb = b.preferred_rank.map_or(usize::MAX, |i| i);
         pa.cmp(&pb)
             .then_with(|| b.score_bucket.cmp(&a.score_bucket))
-            .then_with(|| match &rank {
+            .then_with(|| match rank {
                 Some((_, descending)) => {
                     let ord = a
                         .rank_value
@@ -177,10 +205,100 @@ pub fn select(
             })
             .then_with(|| a.ip.cmp(&b.ip))
     });
-
-    let cap = usize::from(req.server_num).min(MAX_SERVERS_PER_REPLY);
+    let cap = usize::from(server_num).min(MAX_SERVERS_PER_REPLY);
     qualified.truncate(cap);
     qualified.into_iter().map(|c| Endpoint::new(c.ip, ports::SERVICE)).collect()
+}
+
+/// Adapts a shard's [`VarRanges`] rollup to the interval analyser. Names
+/// the rollup does not track (security/monitor/service variables) come
+/// back `None`, which `may_qualify` treats as unknown — never a prune.
+struct ShardRanges<'a>(&'a VarRanges);
+
+impl RangeProvider for ShardRanges<'_> {
+    fn range(&self, name: &str) -> Option<(f64, f64)> {
+        self.0.range_of(name)
+    }
+}
+
+/// §3.6.1 steps 3–4: compile the requirement, evaluate the live records,
+/// order candidates, truncate to the reply cap. This is *the* matching
+/// core — both backends call it, so its ordering rules are documented in
+/// DESIGN.md §13 and pinned by the interop suite.
+///
+/// Since the fleet scale-out the scan is *prune-then-descend*: each /24
+/// shard's summary is checked first, and a shard is skipped wholesale
+/// when every row in it is provably stale or provably unqualifiable
+/// (interval analysis, `smartsock_lang::may_qualify`). Pruning is
+/// behaviourally invisible — `select` returns exactly what
+/// [`select_flat`] would, property-tested below.
+pub fn select(
+    view: &SelectView<'_>,
+    policy: &SelectPolicy,
+    now: SimTime,
+    req: &UserRequest,
+    client_ip: Ip,
+) -> Vec<Endpoint> {
+    select_with_stats(view, policy, now, req, client_ip).0
+}
+
+/// [`select`], plus counters describing how much work pruning saved.
+pub fn select_with_stats(
+    view: &SelectView<'_>,
+    policy: &SelectPolicy,
+    now: SimTime,
+    req: &UserRequest,
+    client_ip: Ip,
+) -> (Vec<Endpoint>, SelectStats) {
+    let mut stats = SelectStats { shards_total: view.sysdb.shard_count(), ..Default::default() };
+    let Some(creq) = CompiledRequest::from_request(view, req) else {
+        return (Vec::new(), stats);
+    };
+    let client_mon = view.group_map.get(&client_ip).copied();
+
+    let mut qualified: Vec<Candidate> = Vec::new();
+    for (_subnet, shard) in view.sysdb.iter_shards() {
+        let summary = shard.summary();
+        // Staleness prune: `newest_recorded_at` is never older than the
+        // newest row, so when even it exceeds the window every row does.
+        let all_stale = match policy.stale_max_age {
+            Some(max) => now.since(summary.newest_recorded_at) > max,
+            None => false,
+        };
+        if all_stale || !may_qualify(&creq.requirement, &ShardRanges(&summary.ranges)) {
+            stats.shards_pruned += 1;
+            continue;
+        }
+        for (&ip, timed) in shard.rows() {
+            stats.rows_evaluated += 1;
+            if let Some(c) = consider_row(view, policy, now, &creq, client_mon, ip, timed) {
+                qualified.push(c);
+            }
+        }
+    }
+    (order_and_cap(qualified, &creq.rank, req.server_num), stats)
+}
+
+/// Reference implementation: the pre-sharding flat scan over every row.
+/// Kept (and exercised by property tests) to pin that shard pruning
+/// never changes a reply.
+pub fn select_flat(
+    view: &SelectView<'_>,
+    policy: &SelectPolicy,
+    now: SimTime,
+    req: &UserRequest,
+    client_ip: Ip,
+) -> Vec<Endpoint> {
+    let Some(creq) = CompiledRequest::from_request(view, req) else {
+        return Vec::new();
+    };
+    let client_mon = view.group_map.get(&client_ip).copied();
+    let qualified = view
+        .sysdb
+        .iter()
+        .filter_map(|(&ip, timed)| consider_row(view, policy, now, &creq, client_mon, ip, timed))
+        .collect();
+    order_and_cap(qualified, &creq.rank, req.server_num)
 }
 
 /// Does a user host designator (IP, domain or bare name) refer to this
@@ -436,5 +554,179 @@ mod tests {
     fn engine_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<WizardEngine>();
+    }
+
+    // ---- shard-pruning equivalence ----------------------------------
+
+    /// Owned databases + empty maps, enough to build a `SelectView`.
+    struct Rig {
+        sysdb: SysDb,
+        netdb: NetDb,
+        secdb: SecDb,
+        health: HealthTable,
+        group_map: BTreeMap<Ip, Ip>,
+        templates: BTreeMap<u8, String>,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            Rig {
+                sysdb: SysDb::default(),
+                netdb: NetDb::default(),
+                secdb: SecDb::default(),
+                health: HealthTable::new(Default::default()),
+                group_map: BTreeMap::new(),
+                templates: BTreeMap::new(),
+            }
+        }
+
+        fn view(&self) -> SelectView<'_> {
+            SelectView {
+                sysdb: &self.sysdb,
+                netdb: &self.netdb,
+                secdb: &self.secdb,
+                health: &self.health,
+                group_map: &self.group_map,
+                templates: &self.templates,
+            }
+        }
+    }
+
+    fn user_request(detail: &str, n: u16) -> UserRequest {
+        UserRequest {
+            seq: 1,
+            server_num: n,
+            option: RequestOption::DEFAULT,
+            detail: detail.to_owned(),
+        }
+    }
+
+    /// The requirement shapes the equivalence property samples from:
+    /// empty, conjunctive, disjunctive, temp-var, untracked-variable,
+    /// rank-directive, error-raising, tautological.
+    const REQUIREMENTS: &[&str] = &[
+        "",
+        "host_cpu_free > 0.9\n",
+        "host_cpu_free > 0.9\nhost_system_load1 < 1\n",
+        "(host_cpu_bogomips > 4000) || (host_cpu_free > 0.95)\n",
+        "host_memory_free > 100*1024*1024\n",
+        "x = host_cpu_free * 2\nx > 1.8\n",
+        "host_security_level >= 3\n",
+        "#!rank host_memory_free desc\nhost_cpu_free > 0.5\n",
+        "100 > 0\n",
+        "x = 1 / 0\n",
+    ];
+
+    proptest::proptest! {
+        /// The tentpole invariant: prune-then-descend returns exactly what
+        /// the flat per-row scan returns, for random fleets and every
+        /// requirement shape, at every staleness mix.
+        #[test]
+        fn pruned_selection_is_identical_to_the_flat_scan(
+            hosts in proptest::collection::vec(
+                (0u8..6, 1u8..250, 0u64..12, 0.0f64..1.0, 0.0f64..4.0, 1u64..512),
+                1..60
+            ),
+            req_idx in 0usize..10,
+            server_num in 1u16..20,
+        ) {
+            let mut rig = Rig::new();
+            for &(subnet, last, age, idle, load, mem_mb) in &hosts {
+                let ip = Ip::new(10, 0, subnet, last);
+                let mut r = ServerStatusReport::empty(format!("h{subnet}-{last}").as_str(), ip);
+                r.cpu_idle = idle;
+                r.load1 = load;
+                r.mem_free = mem_mb << 20;
+                r.bogomips = if subnet % 2 == 0 { 4771.02 } else { 1730.15 };
+                rig.sysdb.upsert(r, SimTime::from_secs(age));
+            }
+            let now = SimTime::from_secs(12);
+            let policy = SelectPolicy::default();
+            let req = user_request(REQUIREMENTS[req_idx], server_num);
+            let client = Ip::new(10, 0, 0, 254);
+
+            let flat = select_flat(&rig.view(), &policy, now, &req, client);
+            let (pruned, stats) = select_with_stats(&rig.view(), &policy, now, &req, client);
+            proptest::prop_assert_eq!(&pruned, &flat);
+            proptest::prop_assert!(stats.rows_evaluated <= rig.sysdb.len());
+            proptest::prop_assert!(stats.shards_pruned <= stats.shards_total);
+            proptest::prop_assert_eq!(stats.shards_total, rig.sysdb.shard_count());
+        }
+    }
+
+    #[test]
+    fn impossible_requirements_prune_every_shard() {
+        let mut rig = Rig::new();
+        for subnet in 0..4u8 {
+            for last in 1..=20u8 {
+                let mut r = ServerStatusReport::empty(
+                    format!("b{subnet}-{last}").as_str(),
+                    Ip::new(10, 1, subnet, last),
+                );
+                r.cpu_idle = 0.2; // cpu_free 0.2 everywhere
+                r.mem_free = 64 << 20;
+                rig.sysdb.upsert(r, SimTime::ZERO);
+            }
+        }
+        let policy = SelectPolicy::default();
+        let req = user_request("host_cpu_free > 0.9\n", 10);
+        let (got, stats) =
+            select_with_stats(&rig.view(), &policy, SimTime::ZERO, &req, Ip::new(10, 0, 0, 254));
+        assert!(got.is_empty());
+        assert_eq!(stats.shards_total, 4);
+        assert_eq!(stats.shards_pruned, 4, "summary ranges rule out every shard");
+        assert_eq!(stats.rows_evaluated, 0);
+        // And the flat scan agrees on the (empty) reply.
+        assert_eq!(
+            select_flat(&rig.view(), &policy, SimTime::ZERO, &req, Ip::new(10, 0, 0, 254)),
+            got
+        );
+    }
+
+    #[test]
+    fn all_stale_shards_are_pruned_without_row_visits() {
+        let mut rig = Rig::new();
+        for last in 1..=10u8 {
+            let mut r =
+                ServerStatusReport::empty(format!("old{last}").as_str(), Ip::new(10, 2, 0, last));
+            r.cpu_idle = 0.95;
+            rig.sysdb.upsert(r, SimTime::ZERO); // all stale at t = 12 s
+        }
+        let mut fresh = ServerStatusReport::empty("fresh", Ip::new(10, 2, 1, 1));
+        fresh.cpu_idle = 0.95;
+        fresh.mem_free = 200 << 20;
+        rig.sysdb.upsert(fresh, SimTime::from_secs(11));
+
+        let policy = SelectPolicy::default(); // 6 s window
+        let req = user_request("", 60);
+        let now = SimTime::from_secs(12);
+        let (got, stats) =
+            select_with_stats(&rig.view(), &policy, now, &req, Ip::new(10, 0, 0, 254));
+        assert_eq!(got.iter().map(|e| e.ip).collect::<Vec<_>>(), vec![Ip::new(10, 2, 1, 1)]);
+        assert_eq!(stats.shards_pruned, 1, "the all-stale /24 is skipped wholesale");
+        assert_eq!(stats.rows_evaluated, 1);
+        assert_eq!(select_flat(&rig.view(), &policy, now, &req, Ip::new(10, 0, 0, 254)), got);
+    }
+
+    #[test]
+    fn untracked_variables_never_prune() {
+        let mut rig = Rig::new();
+        let mut r = ServerStatusReport::empty("sec", Ip::new(10, 3, 0, 1));
+        r.cpu_idle = 0.5;
+        rig.sysdb.upsert(r, SimTime::ZERO);
+        rig.secdb.upsert(smartsock_proto::SecurityRecord {
+            host: "sec".into(),
+            ip: Ip::new(10, 3, 0, 1),
+            level: 5,
+        });
+        let policy = SelectPolicy::default();
+        // Security levels are not in the shard rollup; the shard must be
+        // descended into and the row must qualify via secdb.
+        let req = user_request("host_security_level >= 3\n", 5);
+        let (got, stats) =
+            select_with_stats(&rig.view(), &policy, SimTime::ZERO, &req, Ip::new(10, 0, 0, 254));
+        assert_eq!(got.len(), 1);
+        assert_eq!(stats.shards_pruned, 0);
+        assert_eq!(stats.rows_evaluated, 1);
     }
 }

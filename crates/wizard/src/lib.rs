@@ -47,7 +47,10 @@ use smartsock_proto::{Endpoint, Ip, OutcomeReport, UserRequest, WizardReply};
 use smartsock_sim::{Scheduler, SimDuration, SimTime};
 use smartsock_wire::Receiver;
 
-pub use engine::{select, Ingest, SelectPolicy, SelectView, WizardEngine};
+pub use engine::{
+    select, select_flat, select_with_stats, Ingest, SelectPolicy, SelectStats, SelectView,
+    WizardEngine,
+};
 pub use vars::ServerVars;
 
 /// Wizard operating mode, mirroring the transmitters' (§3.5.1).
@@ -226,10 +229,25 @@ impl Wizard {
         let transitions = self.health.write().poll(s.now());
         self.emit_transitions(s, &transitions);
         if let Some(age) = self.cfg.stale_max_age {
-            let evicted = self.sysdb.write().expire(s.now(), age);
-            if !evicted.is_empty() {
-                s.telemetry.counter_add("wizard-stale-evictions", evicted.len() as u64);
-                for ip in &evicted {
+            let by_shard = self.sysdb.write().expire_by_shard(s.now(), age);
+            // The global eviction counter keeps its pre-sharding meaning:
+            // total addresses that went dark this sweep, regardless of how
+            // they distribute over shards (pinned by a regression test).
+            let total: u64 = by_shard.iter().map(|(_, evicted)| evicted.len() as u64).sum();
+            if total > 0 {
+                s.telemetry.counter_add("wizard-stale-evictions", total);
+            }
+            for (subnet, evicted) in &by_shard {
+                let [a, b, c] = subnet;
+                s.telemetry.event(
+                    "status-db-shard-swept",
+                    &self.ip.to_string(),
+                    &[
+                        ("subnet", &format!("{a}.{b}.{c}.0/24")),
+                        ("evicted", &evicted.len().to_string()),
+                    ],
+                );
+                for ip in evicted {
                     s.telemetry.event(
                         "status-db-expired",
                         &self.ip.to_string(),
@@ -276,13 +294,22 @@ impl Wizard {
     /// drive matching synchronously.
     pub fn match_and_reply(&self, s: &mut Scheduler, req: UserRequest, client: Endpoint) {
         let span = s.telemetry.span_start("wizard-match", &self.ip.to_string());
-        // Modeled requirement-evaluation cost: the wizard walks every live
-        // record once (§3.6.1 step 3), so charge a fixed per-record price.
-        // Recorded as an observation, NOT as simulated time — matching is
-        // instantaneous in the event model.
-        let records = self.sysdb.read().len() as u64;
-        s.telemetry.observe_ns("wizard-requirement-eval", records * EVAL_NS_PER_RECORD);
-        let servers = self.select(s.now(), &req, client.ip);
+        let (servers, stats) = self.select_with_stats(s.now(), &req, client.ip);
+        // Modeled requirement-evaluation cost: the wizard walks every
+        // record the shard-prune pass could not rule out (§3.6.1 step 3),
+        // so charge a fixed per-record price. Recorded as an observation,
+        // NOT as simulated time — matching is instantaneous in the event
+        // model.
+        s.telemetry.observe_ns(
+            "wizard-requirement-eval",
+            stats.rows_evaluated as u64 * EVAL_NS_PER_RECORD,
+        );
+        s.telemetry.counter_add(
+            "wizard-shards-scanned",
+            (stats.shards_total - stats.shards_pruned) as u64,
+        );
+        s.telemetry.counter_add("wizard-shards-pruned", stats.shards_pruned as u64);
+        s.telemetry.counter_add("wizard-rows-evaluated", stats.rows_evaluated as u64);
         // Invariant accounting: select() must never hand out a quarantined
         // server. The counter exists so the hostile.* shapes can assert it
         // stays at zero rather than trusting the exclusion by inspection.
@@ -315,6 +342,17 @@ impl Wizard {
     /// identically (pinned by the interop conformance suite). Lock order
     /// (sysdb, netdb, secdb, health) matches every other wizard site.
     pub fn select(&self, now: SimTime, req: &UserRequest, client_ip: Ip) -> Vec<Endpoint> {
+        self.select_with_stats(now, req, client_ip).0
+    }
+
+    /// [`Wizard::select`], plus the scan statistics the shard-prune pass
+    /// produced (how many shards were skipped, how many rows evaluated).
+    pub fn select_with_stats(
+        &self,
+        now: SimTime,
+        req: &UserRequest,
+        client_ip: Ip,
+    ) -> (Vec<Endpoint>, SelectStats) {
         let sysdb = self.sysdb.read();
         let netdb = self.netdb.read();
         let secdb = self.secdb.read();
@@ -333,7 +371,7 @@ impl Wizard {
             stale_max_age: self.cfg.stale_max_age,
             age_discount: self.cfg.age_discount,
         };
-        engine::select(&view, &policy, now, req, client_ip)
+        engine::select_with_stats(&view, &policy, now, req, client_ip)
     }
 }
 
@@ -637,6 +675,51 @@ mod tests {
         sysdb.write().upsert(report("x", Ip::new(10, 0, 1, 1)), SimTime::ZERO);
         let got = wiz.select(SimTime::ZERO, &request("+++ ~~~", 5), Ip::new(10, 0, 0, 2));
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn sweep_reports_per_shard_evictions_summing_to_the_global_counter() {
+        // Regression pin for the sharded sweep: `wizard-stale-evictions`
+        // keeps its pre-sharding meaning (total addresses evicted), the
+        // per-shard `status-db-shard-swept` events account for every one
+        // of them, and each expired address still gets its
+        // `status-db-expired` event.
+        let mut b = NetworkBuilder::new(2);
+        let w = b.host("wiz", Ip::new(10, 0, 0, 1), HostParams::testbed());
+        let c = b.host("client", Ip::new(10, 0, 0, 2), HostParams::testbed());
+        b.duplex(w, c, LinkParams::lan_100mbps());
+        let net = b.build();
+        let (sysdb, netdb, secdb) = shared_dbs();
+        // Five records across three /24 subnets, all recorded at t = 0 so
+        // the 6 s window expires every one of them on the first sweep.
+        for (subnet, last) in [(1u8, 1u8), (1, 2), (2, 1), (2, 2), (3, 1)] {
+            sysdb.write().upsert(
+                report(&format!("s{subnet}{last}"), Ip::new(10, 0, subnet, last)),
+                SimTime::ZERO,
+            );
+        }
+        let wiz = Wizard::new(
+            Ip::new(10, 0, 0, 1),
+            net,
+            sysdb.clone(),
+            netdb,
+            secdb,
+            WizardConfig::default(),
+        );
+        let mut s = Scheduler::new();
+        wiz.start(&mut s);
+        s.run_until(SimTime::from_secs(10));
+
+        assert_eq!(s.telemetry.counter("wizard-stale-evictions"), 5);
+        assert_eq!(sysdb.read().len(), 0);
+        let per_shard: u64 = s
+            .telemetry
+            .events_named("status-db-shard-swept")
+            .map(|e| e.attr("evicted").unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(per_shard, 5, "per-shard counts must sum to the global eviction count");
+        assert_eq!(s.telemetry.event_count("status-db-shard-swept"), 3, "one event per /24");
+        assert_eq!(s.telemetry.event_count("status-db-expired"), 5);
     }
 
     #[test]

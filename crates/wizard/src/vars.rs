@@ -135,6 +135,44 @@ mod tests {
     }
 
     #[test]
+    fn shard_rollup_vars_agree_with_per_server_lookup() {
+        // The monitor's shard summaries (`report_var` over REPORT_VARS)
+        // must bind exactly the values this provider serves, or interval
+        // pruning would reason about different numbers than row
+        // evaluation sees. Every tracked name, same value, bit for bit.
+        use smartsock_monitor::db::{report_var, REPORT_VARS};
+        let mut r = ServerStatusReport::empty("h", Ip::new(10, 0, 0, 1));
+        r.load1 = 0.51;
+        r.load5 = 0.42;
+        r.load15 = 0.33;
+        r.cpu_user = 0.21;
+        r.cpu_nice = 0.01;
+        r.cpu_system = 0.08;
+        r.cpu_idle = 0.70;
+        r.bogomips = 3394.76;
+        r.mem_total = 256 << 20;
+        r.mem_used = 100 << 20;
+        r.mem_free = 156 << 20;
+        r.mem_buffers = 9 << 20;
+        r.mem_cached = 31 << 20;
+        r.disk_allreq = 123;
+        r.disk_rreq = 45;
+        r.disk_rblocks = 678;
+        r.disk_wreq = 9;
+        r.disk_wblocks = 1011;
+        r.net_rbytes_ps = 1213.0;
+        r.net_tbytes_ps = 1415.0;
+        let v = view(&r);
+        for name in REPORT_VARS {
+            assert_eq!(
+                report_var(&r, name),
+                v.lookup(name),
+                "rollup and provider disagree on {name}"
+            );
+        }
+    }
+
+    #[test]
     fn service_flags_resolve_from_the_mask() {
         use smartsock_proto::ServiceMask;
         let mut r = ServerStatusReport::empty("h", Ip::new(10, 0, 0, 1));
